@@ -1,0 +1,57 @@
+"""Shared benchmark fixtures.
+
+The benchmarks both *measure* (pytest-benchmark timings of the
+simulator and of the real data structures) and *regenerate the paper's
+tables* (full-fidelity configuration sweeps whose rendered output is
+written to ``benchmarks/results/`` and echoed to stdout).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.corpus import CorpusGenerator, PAPER_PROFILE
+from repro.simengine import Workload
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def _write_result(name: str, text: str) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, name), "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def write_result():
+    """Persist a rendered table under benchmarks/results/ and echo it."""
+    return _write_result
+
+
+@pytest.fixture(scope="session")
+def paper_workload():
+    """The full 51,000-file / 869 MB synthetic workload."""
+    return Workload.synthesize()
+
+
+@pytest.fixture(scope="session")
+def bench_corpus():
+    """A small real corpus (~510 files, ~8.7 MB) for real-engine benchmarks."""
+    return CorpusGenerator(PAPER_PROFILE.scaled(0.01, name="bench")).generate()
+
+
+@pytest.fixture(scope="session")
+def bench_blocks(bench_corpus):
+    """Pre-extracted term blocks of the bench corpus."""
+    from repro.text import Tokenizer, extract_term_block
+
+    tokenizer = Tokenizer()
+    fs = bench_corpus.fs
+    return [
+        extract_term_block(ref.path, fs.read_file(ref.path), tokenizer)
+        for ref in fs.list_files()
+    ]

@@ -1,0 +1,82 @@
+"""Ablation (lessons learned, step 6): auto-tuner strategies.
+
+The paper recommends "Use an auto-tuner to speed up exploring the
+design space."  This ablation quantifies the recommendation: how close
+do cheap search strategies get to the exhaustive optimum, at what
+fraction of the evaluations?
+"""
+
+import pytest
+
+from repro.autotune import (
+    ConfigurationSpace,
+    ExhaustiveSearch,
+    HillClimbing,
+    RandomSearch,
+)
+from repro.engine.config import Implementation
+from repro.platforms import OCTO_CORE
+from repro.simengine import SimPipeline
+
+IMPL = Implementation.REPLICATED_UNJOINED
+
+
+@pytest.fixture(scope="module")
+def objective(paper_workload):
+    pipeline = SimPipeline(OCTO_CORE, paper_workload, batches_per_extractor=60)
+    return lambda config: pipeline.run(IMPL, config).total_s
+
+
+@pytest.fixture(scope="module")
+def space():
+    return ConfigurationSpace(IMPL, max_extractors=10, max_updaters=5)
+
+
+@pytest.fixture(scope="module")
+def exhaustive_result(space, objective, write_result):
+    result = ExhaustiveSearch().run(space, objective)
+    hill = HillClimbing(restarts=3, seed=0).run(space, objective)
+    rand = RandomSearch(budget=hill.evaluations, seed=0).run(space, objective)
+    lines = [
+        "Auto-tuner ablation (Implementation 3 on octo-core)",
+        f"{'strategy':<14}{'best config':>12}{'best time':>11}{'evals':>7}",
+        f"{'exhaustive':<14}{str(result.best_config):>12}"
+        f"{result.best_value:>10.1f}s{result.evaluations:>7}",
+        f"{'hill-climb':<14}{str(hill.best_config):>12}"
+        f"{hill.best_value:>10.1f}s{hill.evaluations:>7}",
+        f"{'random':<14}{str(rand.best_config):>12}"
+        f"{rand.best_value:>10.1f}s{rand.evaluations:>7}",
+    ]
+    write_result("ablation_autotune.txt", "\n".join(lines))
+    return result, hill, rand
+
+
+class TestAutotuneAblation:
+    def test_hill_climbing_near_optimal(self, exhaustive_result):
+        exhaustive, hill, _ = exhaustive_result
+        assert hill.best_value <= exhaustive.best_value * 1.05
+
+    def test_hill_climbing_cheaper(self, exhaustive_result):
+        exhaustive, hill, _ = exhaustive_result
+        assert hill.evaluations < exhaustive.evaluations * 0.7
+
+    def test_random_with_same_budget_no_better_than_exhaustive(
+        self, exhaustive_result
+    ):
+        exhaustive, _, rand = exhaustive_result
+        assert rand.best_value >= exhaustive.best_value - 1e-9
+
+    def test_bench_hill_climbing(self, benchmark, space, objective,
+                                 exhaustive_result):
+        result = benchmark.pedantic(
+            lambda: HillClimbing(restarts=2, seed=1).run(space, objective),
+            rounds=3,
+        )
+        assert result.best_value > 0
+
+    def test_bench_single_evaluation(self, benchmark, paper_workload):
+        from repro.engine.config import ThreadConfig
+
+        pipeline = SimPipeline(OCTO_CORE, paper_workload, batches_per_extractor=60)
+        result = benchmark(pipeline.run, IMPL, ThreadConfig(6, 2, 0))
+        assert result.total_s > 0

@@ -1,0 +1,70 @@
+"""Ablation (section 2.1/3): work-distribution strategies.
+
+The paper tried size-aware assignment and found that "simply assigning
+files round-robin was the fastest approach".  This ablation measures
+the distribution step itself at paper scale (51,000 filenames) and the
+resulting byte balance.
+"""
+
+import pytest
+
+from repro.distribute import (
+    RoundRobinStrategy,
+    SharedQueueStrategy,
+    SizeBalancedStrategy,
+    WorkStealingStrategy,
+)
+from repro.fsmodel import FileRef
+
+WORKERS = 8
+
+
+@pytest.fixture(scope="module")
+def paper_refs(paper_workload):
+    return [FileRef(f.path, f.size_bytes) for f in paper_workload.files]
+
+
+class TestDistributionCost:
+    """Time to split 51,000 filenames among 8 extractors."""
+
+    def test_bench_round_robin(self, benchmark, paper_refs):
+        distribution = benchmark(
+            RoundRobinStrategy().distribute, paper_refs, WORKERS
+        )
+        assert distribution.file_count == len(paper_refs)
+
+    def test_bench_size_balanced(self, benchmark, paper_refs):
+        distribution = benchmark(
+            SizeBalancedStrategy().distribute, paper_refs, WORKERS
+        )
+        assert distribution.file_count == len(paper_refs)
+
+    def test_bench_shared_queue(self, benchmark, paper_refs):
+        distribution = benchmark(
+            SharedQueueStrategy().distribute, paper_refs, WORKERS
+        )
+        assert distribution.file_count == len(paper_refs)
+
+    def test_bench_work_stealing_setup(self, benchmark, paper_refs):
+        deques = benchmark(
+            WorkStealingStrategy().make_deques, paper_refs, WORKERS
+        )
+        assert sum(len(d) for d in deques) == len(paper_refs)
+
+
+class TestDistributionQuality:
+    def test_round_robin_balance_good_enough(self, paper_refs):
+        """The paper's point: on a many-small-files corpus, round-robin's
+        byte balance is already close to perfect, so paying for anything
+        smarter (or synchronized) buys nothing."""
+        rr = RoundRobinStrategy().distribute(paper_refs, WORKERS)
+        assert rr.imbalance() < 1.35
+
+    def test_lpt_balance_near_perfect(self, paper_refs):
+        lpt = SizeBalancedStrategy().distribute(paper_refs, WORKERS)
+        assert lpt.imbalance() < 1.01
+
+    def test_shared_queue_pays_lock_pair_per_filename(self, paper_refs):
+        strategy = SharedQueueStrategy()
+        strategy.distribute(paper_refs, WORKERS)
+        assert strategy.lock_operations >= 2 * len(paper_refs)

@@ -1,0 +1,92 @@
+"""Ablation (section 3 / future work): cost of richer file formats.
+
+The paper indexed plain text and notes that "for more complex formats,
+this part [extraction] would take longer".  This ablation measures it:
+the same underlying text is encoded as plain text, HTML, Markdown, CSV
+and DocZ, and per-format extraction+tokenization cost is benchmarked on
+the real code paths.
+"""
+
+import time
+
+import pytest
+
+from repro.corpus import CorpusGenerator, PAPER_PROFILE
+from repro.formats import default_registry
+from repro.formats.mixed import _ENCODERS
+from repro.text import Tokenizer
+
+FORMATS = ("plain", "html", "markdown", "csv", "docz")
+
+
+@pytest.fixture(scope="module")
+def encoded_corpus():
+    """The same ~300 KB of text, encoded once per format."""
+    import random
+
+    corpus = CorpusGenerator(PAPER_PROFILE.scaled(0.0006, name="fmt")).generate()
+    texts = [
+        corpus.fs.read_file(ref.path) for ref in corpus.fs.list_files()
+    ]
+    rng = random.Random(7)
+    return {
+        name: [(f"doc{i}.{name}", _ENCODERS[name](text, rng))
+               for i, text in enumerate(texts)]
+        for name in FORMATS
+    }
+
+
+def extract_all(documents, registry, tokenizer):
+    total_terms = 0
+    for path, content in documents:
+        text = registry.extract_text(path, content)
+        total_terms += sum(1 for _ in tokenizer.iter_terms(text))
+    return total_terms
+
+
+class TestFormatCosts:
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_bench_format_extraction(self, benchmark, encoded_corpus, fmt):
+        registry = default_registry()
+        tokenizer = Tokenizer()
+        terms = benchmark(
+            extract_all, encoded_corpus[fmt], registry, tokenizer
+        )
+        assert terms > 1000
+
+    def test_rich_formats_cost_more_than_plain(
+        self, encoded_corpus, write_result
+    ):
+        """The paper's prediction, quantified on real code paths."""
+        registry = default_registry()
+        tokenizer = Tokenizer()
+        costs = {}
+        for fmt in FORMATS:
+            t0 = time.perf_counter()
+            for _ in range(3):
+                extract_all(encoded_corpus[fmt], registry, tokenizer)
+            costs[fmt] = (time.perf_counter() - t0) / 3
+        lines = [
+            "Format-cost ablation: extraction + tokenization of the same text",
+            f"{'format':<10}{'time':>9}{'vs plain':>10}",
+        ]
+        for fmt in FORMATS:
+            lines.append(
+                f"{fmt:<10}{costs[fmt] * 1000:>8.1f}ms"
+                f"{costs[fmt] / costs['plain']:>9.2f}x"
+            )
+        write_result("ablation_formats.txt", "\n".join(lines))
+        assert costs["html"] > costs["plain"]
+
+    def test_all_formats_preserve_terms(self, encoded_corpus):
+        registry = default_registry()
+        tokenizer = Tokenizer()
+        plain_terms = set()
+        for path, content in encoded_corpus["plain"]:
+            plain_terms.update(tokenizer.tokenize(content))
+        for fmt in ("html", "markdown", "docz"):
+            extracted = set()
+            for path, content in encoded_corpus[fmt]:
+                text = registry.extract_text(path, content)
+                extracted.update(tokenizer.tokenize(text))
+            assert plain_terms <= extracted, f"{fmt} lost terms"

@@ -1,0 +1,94 @@
+"""Ablation (section 2.3): join strategies.
+
+"Would it be enough to join the indices with a single thread, or should
+a parallel reduction setup with multiple joining processes be used?"
+Measured on real indices (single fold vs. pairwise reduction tree) and
+on the simulator (z = 1 vs z = 2 on the 32-core machine, where the
+paper's Implementation 2 pays ~11 s of join).
+"""
+
+import pytest
+
+from repro.engine.config import Implementation, ThreadConfig
+from repro.index import InvertedIndex, join_indices, join_pairwise_tree
+from repro.platforms import MANYCORE_32
+from repro.simengine import SimPipeline
+
+REPLICAS = 8
+
+
+@pytest.fixture(scope="module")
+def replicas(bench_blocks):
+    """The bench corpus's blocks spread over 8 replica indices."""
+    replicas = [InvertedIndex() for _ in range(REPLICAS)]
+    for i, block in enumerate(bench_blocks):
+        replicas[i % REPLICAS].add_block(block)
+    return replicas
+
+
+def fresh_copies(replicas):
+    """Deep-ish copies so destructive tree joins can run repeatedly."""
+    copies = []
+    for replica in replicas:
+        copy = InvertedIndex()
+        from repro.index.merge import merge_into
+
+        merge_into(copy, replica, copy=True)
+        copies.append(copy)
+    return copies
+
+
+class TestRealJoins:
+    def test_bench_single_join(self, benchmark, replicas):
+        joined = benchmark(join_indices, replicas)
+        assert len(joined) > 0
+
+    def test_bench_tree_join_one_thread(self, benchmark, replicas):
+        joined = benchmark.pedantic(
+            join_pairwise_tree,
+            setup=lambda: ((fresh_copies(replicas),), {}),
+            rounds=5,
+        )
+        assert len(joined) > 0
+
+    def test_bench_tree_join_four_threads(self, benchmark, replicas):
+        joined = benchmark.pedantic(
+            lambda reps: join_pairwise_tree(reps, threads_per_level=4),
+            setup=lambda: ((fresh_copies(replicas),), {}),
+            rounds=5,
+        )
+        assert len(joined) > 0
+
+    def test_all_strategies_agree(self, replicas):
+        single = join_indices(replicas)
+        tree = join_pairwise_tree(fresh_copies(replicas))
+        threaded = join_pairwise_tree(fresh_copies(replicas), threads_per_level=4)
+        assert single == tree == threaded
+
+
+class TestSimulatedJoins:
+    def test_tree_join_beats_single_join_on_manycore(self, paper_workload):
+        pipeline = SimPipeline(MANYCORE_32, paper_workload)
+        single = pipeline.run(
+            Implementation.REPLICATED_JOINED, ThreadConfig(9, 4, 1)
+        )
+        tree = pipeline.run(
+            Implementation.REPLICATED_JOINED, ThreadConfig(9, 4, 2)
+        )
+        assert tree.join_s < single.join_s
+
+    def test_join_cost_near_paper(self, paper_workload):
+        """Paper Table 4: Impl2 (8,4,1) 36.4s vs Impl3 (9,4,0) 25.7s —
+        the single-thread join of 4 replicas costs ~10.7s."""
+        pipeline = SimPipeline(MANYCORE_32, paper_workload)
+        joined = pipeline.run(
+            Implementation.REPLICATED_JOINED, ThreadConfig(8, 4, 1)
+        )
+        assert joined.join_s == pytest.approx(10.7, rel=0.5)
+
+    def test_unjoined_never_pays(self, paper_workload):
+        pipeline = SimPipeline(MANYCORE_32, paper_workload)
+        unjoined = pipeline.run(
+            Implementation.REPLICATED_UNJOINED, ThreadConfig(9, 4, 0)
+        )
+        assert unjoined.join_s == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,65 @@
+"""Ablation (extension): lock striping between the paper's extremes.
+
+The paper compares one lock (Implementation 1) against full replication
+(Implementations 2/3).  Striping the shared index's lock over K shards
+is the classic middle ground; this ablation places it on the spectrum
+using the 32-core platform, where Implementation 1 suffers most.
+"""
+
+import pytest
+
+from repro.engine.config import Implementation, ThreadConfig
+from repro.platforms import MANYCORE_32
+from repro.simengine import SimPipeline
+
+CONFIG = ThreadConfig(8, 4, 0)
+
+
+@pytest.fixture(scope="module")
+def sharding_sweep(paper_workload, write_result):
+    pipeline = SimPipeline(MANYCORE_32, paper_workload)
+    results = {}
+    lines = [
+        "Sharding ablation: Implementation 1 with K striped locks "
+        "(manycore-32, config (8, 4, 0))",
+        f"{'variant':<16}{'time':>8}{'lock wait':>11}",
+    ]
+    for shards in (1, 2, 4, 8, 16, 32):
+        run = pipeline.run(Implementation.SHARED_LOCKED, CONFIG, shards=shards)
+        results[shards] = run
+        lines.append(
+            f"{'K=' + str(shards):<16}{run.total_s:>7.1f}s"
+            f"{run.lock_wait_s:>10.1f}s"
+        )
+    impl3 = pipeline.run(Implementation.REPLICATED_UNJOINED, ThreadConfig(7, 3, 0))
+    results["impl3"] = impl3
+    lines.append(f"{'Impl 3 (7,3,0)':<16}{impl3.total_s:>7.1f}s{'-':>11}")
+    write_result("ablation_sharding.txt", "\n".join(lines))
+    return results
+
+
+class TestShardingAblation:
+    def test_monotone_improvement(self, sharding_sweep):
+        times = [sharding_sweep[k].total_s for k in (1, 2, 4, 8, 16)]
+        assert all(a >= b - 0.2 for a, b in zip(times, times[1:]))
+
+    def test_striping_recovers_most_of_replication_win(self, sharding_sweep):
+        single = sharding_sweep[1].total_s
+        striped = sharding_sweep[16].total_s
+        impl3 = sharding_sweep["impl3"].total_s
+        recovered = (single - striped) / (single - impl3)
+        assert recovered > 0.7
+
+    def test_replication_still_wins(self, sharding_sweep):
+        # Even at K=32, the replicas' total absence of locking wins.
+        assert sharding_sweep["impl3"].total_s <= sharding_sweep[32].total_s
+
+    def test_lock_wait_collapses(self, sharding_sweep):
+        assert sharding_sweep[16].lock_wait_s < sharding_sweep[1].lock_wait_s / 10
+
+    def test_bench_striped_run(self, benchmark, paper_workload, sharding_sweep):
+        pipeline = SimPipeline(MANYCORE_32, paper_workload)
+        result = benchmark(
+            pipeline.run, Implementation.SHARED_LOCKED, CONFIG, False, 8
+        )
+        assert result.total_s > 0

@@ -1,0 +1,63 @@
+"""Ablation (section 2.1/3): pre-generated vs. pipelined stage 1.
+
+The paper: "Running the filename generator concurrently with the term
+extractors proved to be highly inefficient, because of a pair of lock
+operations for every filename generated and consumed."  This ablation
+simulates both designs on each platform.
+"""
+
+import pytest
+
+from repro.engine.config import Implementation, ThreadConfig
+from repro.platforms import ALL_PLATFORMS, MANYCORE_32, OCTO_CORE
+from repro.simengine import SimPipeline
+
+CONFIG = ThreadConfig(5, 3, 0)
+IMPL = Implementation.REPLICATED_UNJOINED
+
+
+@pytest.fixture(scope="module")
+def stage1_results(paper_workload, write_result):
+    lines = ["Stage-1 ablation: pre-generated vs pipelined filename generation",
+             f"{'platform':<14}{'pre-generated':>14}{'pipelined':>12}{'delta':>8}"]
+    results = {}
+    for platform in ALL_PLATFORMS:
+        pipeline = SimPipeline(platform, paper_workload)
+        pre = pipeline.run(IMPL, CONFIG).total_s
+        pipelined = pipeline.run(IMPL, CONFIG, pipelined_stage1=True).total_s
+        results[platform.name] = (pre, pipelined)
+        lines.append(
+            f"{platform.name:<14}{pre:>13.1f}s{pipelined:>11.1f}s"
+            f"{(pipelined / pre - 1) * 100:>+7.0f}%"
+        )
+    write_result("ablation_stage1.txt", "\n".join(lines))
+    return results
+
+
+class TestStage1Ablation:
+    def test_pipelined_loses_on_octo_core(self, stage1_results):
+        pre, pipelined = stage1_results["octo-core"]
+        assert pipelined > pre * 1.05
+
+    def test_pipelined_loses_badly_on_manycore(self, stage1_results):
+        pre, pipelined = stage1_results["manycore-32"]
+        assert pipelined > pre * 1.2
+
+    def test_quad_core_roughly_neutral(self, stage1_results):
+        """On the cheap-lock 4-core machine the two designs are close;
+        the paper's decision is driven by the multicore machines."""
+        pre, pipelined = stage1_results["quad-core"]
+        assert pipelined == pytest.approx(pre, rel=0.10)
+
+    def test_bench_pipelined_run(self, benchmark, paper_workload, stage1_results):
+        pipeline = SimPipeline(OCTO_CORE, paper_workload)
+        result = benchmark(pipeline.run, IMPL, CONFIG, True)
+        assert result.total_s > 0
+
+    def test_filename_lock_contention_visible(self, paper_workload):
+        # The simulated filename queue really is the contention point:
+        # disk utilization drops versus the pre-generated design.
+        pipeline = SimPipeline(MANYCORE_32, paper_workload)
+        pre = pipeline.run(IMPL, CONFIG)
+        pipelined = pipeline.run(IMPL, CONFIG, pipelined_stage1=True)
+        assert pipelined.disk_utilization < pre.disk_utilization

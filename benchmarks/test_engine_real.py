@@ -1,0 +1,122 @@
+"""Benchmarks of the real (threaded) engine and the core structures.
+
+These run the actual Python implementations on a 1%-scale corpus.  The
+GIL means thread counts do not buy real speed-ups here (that is exactly
+why the timing reproduction lives in the simulator); what these
+benchmarks document is the relative cost of the real code paths.
+"""
+
+import pytest
+
+from repro.adt import FnvHashMap
+from repro.engine import (
+    Implementation,
+    IndexGenerator,
+    SequentialIndexer,
+    ThreadConfig,
+)
+from repro.hashing import fnv1a_64
+from repro.query import QueryEngine
+from repro.text import Tokenizer
+
+
+class TestHashingCost:
+    def test_bench_fnv1a_64(self, benchmark):
+        words = [f"benchword{i}" for i in range(1000)]
+        total = benchmark(lambda: sum(fnv1a_64(w) for w in words))
+        assert total > 0
+
+    def test_bench_hashmap_inserts(self, benchmark):
+        keys = [f"key{i}" for i in range(2000)]
+
+        def build():
+            m = FnvHashMap()
+            for i, key in enumerate(keys):
+                m[key] = i
+            return m
+
+        assert len(benchmark(build)) == 2000
+
+
+class TestTokenizerCost:
+    def test_bench_tokenize_large_file(self, benchmark, bench_corpus):
+        fs = bench_corpus.fs
+        big = max(fs.list_files(), key=lambda r: r.size)
+        content = fs.read_file(big.path)
+        tokenizer = Tokenizer()
+        terms = benchmark(tokenizer.tokenize, content)
+        assert len(terms) > 100
+
+
+class TestRealEngineBuilds:
+    def test_bench_sequential_naive(self, benchmark, bench_corpus):
+        report = benchmark.pedantic(
+            SequentialIndexer(bench_corpus.fs, naive=True).build,
+            rounds=3,
+        )
+        assert report.term_count > 0
+
+    def test_bench_sequential_en_bloc(self, benchmark, bench_corpus):
+        report = benchmark.pedantic(
+            SequentialIndexer(bench_corpus.fs, naive=False).build,
+            rounds=3,
+        )
+        assert report.term_count > 0
+
+    def test_bench_impl1(self, benchmark, bench_corpus):
+        generator = IndexGenerator(bench_corpus.fs)
+        report = benchmark.pedantic(
+            lambda: generator.build(
+                Implementation.SHARED_LOCKED, ThreadConfig(3, 1, 0)
+            ),
+            rounds=3,
+        )
+        assert report.term_count > 0
+
+    def test_bench_impl2(self, benchmark, bench_corpus):
+        generator = IndexGenerator(bench_corpus.fs)
+        report = benchmark.pedantic(
+            lambda: generator.build(
+                Implementation.REPLICATED_JOINED, ThreadConfig(3, 2, 1)
+            ),
+            rounds=3,
+        )
+        assert report.term_count > 0
+
+    def test_bench_impl3(self, benchmark, bench_corpus):
+        generator = IndexGenerator(bench_corpus.fs)
+        report = benchmark.pedantic(
+            lambda: generator.build(
+                Implementation.REPLICATED_UNJOINED, ThreadConfig(3, 2, 0)
+            ),
+            rounds=3,
+        )
+        assert report.term_count > 0
+
+
+class TestQueryCost:
+    @pytest.fixture(scope="class")
+    def engine(self, bench_corpus):
+        report = IndexGenerator(bench_corpus.fs).build(
+            Implementation.REPLICATED_UNJOINED, ThreadConfig(3, 2, 0)
+        )
+        universe = [ref.path for ref in bench_corpus.fs.list_files()]
+        return QueryEngine(report.index, universe=universe), report
+
+    def test_bench_single_term_query(self, benchmark, engine):
+        query_engine, report = engine
+        term = next(iter(report.index.replicas[0].terms()))
+        hits = benchmark(query_engine.search, term)
+        assert hits
+
+    def test_bench_boolean_query(self, benchmark, engine):
+        query_engine, report = engine
+        terms = list(report.index.replicas[0].terms())[:3]
+        query = f"{terms[0]} OR ({terms[1]} AND NOT {terms[2]})"
+        benchmark(query_engine.search, query)
+
+    def test_bench_parallel_multi_index_query(self, benchmark, engine):
+        query_engine, report = engine
+        term = next(iter(report.index.replicas[0].terms()))
+        hits = benchmark(query_engine.search, term, True)
+        assert hits

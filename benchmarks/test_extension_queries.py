@@ -1,0 +1,83 @@
+"""Extension study: parallel query processing over multiple indices.
+
+The paper's stated future work: "analyze how to integrate the search
+query functionality and parallelize it as well, for instance by using
+multiple indices."  This study serves a Zipfian query stream on the
+32-core platform from (a) one joined index, (b) Implementation 3's four
+unjoined replicas probed sequentially, (c) the replicas probed in
+parallel per query.
+
+Expected shape: intra-query parallelism cuts latency severalfold while
+cores are idle, costs nothing while the merge overhead is hidden, and
+loses throughput once every core is busy — quantifying when
+Implementation 3's "search works with multiple indices in parallel"
+claim pays off.
+"""
+
+import pytest
+
+from repro.platforms import MANYCORE_32
+from repro.simengine.querysim import QuerySimulation, QueryWorkloadSpec
+
+WORKER_POINTS = (1, 4, 16, 64)
+REPLICAS = 4
+
+
+@pytest.fixture(scope="module")
+def study(paper_workload, write_result):
+    simulation = QuerySimulation(
+        MANYCORE_32, paper_workload, QueryWorkloadSpec(query_count=400)
+    )
+    sweep = simulation.sweep(list(WORKER_POINTS), replicas=REPLICAS)
+    lines = [
+        "Query-serving study (manycore-32, 400 Zipfian queries, "
+        f"{REPLICAS} replicas)",
+        f"{'mode':<22}{'workers':>8}{'mean lat':>10}{'p95 lat':>10}"
+        f"{'qps':>10}",
+    ]
+    for mode, results in sweep.items():
+        for result in results:
+            lines.append(
+                f"{mode:<22}{result.workers:>8}"
+                f"{result.mean_latency_ms:>8.1f}ms"
+                f"{result.p95_latency_ms():>8.1f}ms"
+                f"{result.throughput_qps:>10.1f}"
+            )
+    write_result("extension_queries.txt", "\n".join(lines))
+    return sweep
+
+
+def _at(study, mode, workers):
+    return next(r for r in study[mode] if r.workers == workers)
+
+
+class TestQueryStudy:
+    def test_parallel_latency_wins_at_light_load(self, study):
+        parallel = _at(study, "replicas-parallel", 1)
+        joined = _at(study, "joined", 1)
+        assert parallel.mean_latency_ms < joined.mean_latency_ms * 0.7
+
+    def test_throughput_scales_with_workers(self, study):
+        for mode in study:
+            one = _at(study, mode, 1)
+            sixteen = _at(study, mode, 16)
+            assert sixteen.throughput_qps > one.throughput_qps * 8
+
+    def test_saturation_erases_parallel_advantage(self, study):
+        """At 64 workers on 32 cores, throughput is fixed by total CPU
+        work — and parallel probing does strictly more of it (merge)."""
+        joined = _at(study, "joined", 64)
+        parallel = _at(study, "replicas-parallel", 64)
+        assert joined.throughput_qps >= parallel.throughput_qps * 0.95
+
+    def test_sequential_replicas_cost_little_over_joined(self, study):
+        joined = _at(study, "joined", 16)
+        sequential = _at(study, "replicas-sequential", 16)
+        assert sequential.throughput_qps > joined.throughput_qps * 0.8
+
+    def test_bench_one_service_run(self, benchmark, paper_workload):
+        simulation = QuerySimulation(
+            MANYCORE_32, paper_workload, QueryWorkloadSpec(query_count=200)
+        )
+        result = benchmark(simulation.run, "replicas-parallel", 8, REPLICAS)
+        assert result.throughput_qps > 0

@@ -1,0 +1,93 @@
+"""Extension study: how do the three designs scale with core count?
+
+The paper measures three fixed machines; this study isolates the *core
+count* variable by holding the 32-core machine's disk and memory
+parameters fixed and sweeping hypothetical variants from 2 to 64 cores.
+The expectation from the paper's analysis: Implementation 3 rides the
+disk ceiling once enough cores exist; Implementation 1 stops scaling
+early because its serialized critical section does not shrink with
+cores; and past the disk saturation point nobody gains anything.
+"""
+
+import pytest
+
+from repro.autotune import ConfigurationSpace, ExhaustiveSearch
+from repro.engine.config import Implementation
+from repro.platforms import MANYCORE_32, hypothetical
+from repro.simengine import SimPipeline
+
+CORE_COUNTS = (2, 4, 8, 16, 32, 64)
+
+
+@pytest.fixture(scope="module")
+def scaling_results(paper_workload, write_result):
+    results = {}
+    lines = [
+        "Core-count scaling (manycore-32 disk, best config per point)",
+        f"{'cores':>6}" + "".join(
+            f"{impl.paper_name:>20}" for impl in Implementation
+        ),
+    ]
+    search = ExhaustiveSearch()
+    for cores in CORE_COUNTS:
+        platform = hypothetical(MANYCORE_32, cores=cores)
+        pipeline = SimPipeline(
+            platform, paper_workload, batches_per_extractor=60
+        )
+        sequential = pipeline.run_sequential().total_s
+        row = {}
+        for implementation in Implementation:
+            space = ConfigurationSpace(
+                implementation, max_extractors=10, max_updaters=4
+            )
+            best = search.run(
+                space,
+                lambda config, impl=implementation: pipeline.run(
+                    impl, config
+                ).total_s,
+            )
+            row[implementation] = sequential / best.best_value
+        results[cores] = row
+        lines.append(
+            f"{cores:>6}" + "".join(
+                f"{row[impl]:>19.2f}x" for impl in Implementation
+            )
+        )
+    write_result("extension_scaling.txt", "\n".join(lines))
+    return results
+
+
+IMPL1 = Implementation.SHARED_LOCKED
+IMPL3 = Implementation.REPLICATED_UNJOINED
+
+
+class TestScalingStudy:
+    def test_impl3_scales_then_saturates(self, scaling_results):
+        speedups = [scaling_results[c][IMPL3] for c in CORE_COUNTS]
+        assert speedups[1] > speedups[0]  # still gaining at low counts
+        # Disk-bound plateau: 64 cores buy almost nothing over 32.
+        assert speedups[-1] <= speedups[-2] * 1.1
+
+    def test_impl1_gap_grows_with_cores(self, scaling_results):
+        gap_small = (
+            scaling_results[4][IMPL3] / scaling_results[4][IMPL1]
+        )
+        gap_large = (
+            scaling_results[32][IMPL3] / scaling_results[32][IMPL1]
+        )
+        assert gap_large > gap_small
+
+    def test_impl3_at_least_matches_impl1_everywhere(self, scaling_results):
+        for cores in CORE_COUNTS:
+            row = scaling_results[cores]
+            assert row[IMPL3] >= row[IMPL1] - 0.05
+
+    def test_bench_one_scaling_point(self, benchmark, paper_workload):
+        platform = hypothetical(MANYCORE_32, cores=16)
+        pipeline = SimPipeline(platform, paper_workload, batches_per_extractor=60)
+        from repro.engine.config import ThreadConfig
+
+        result = benchmark(
+            pipeline.run, Implementation.REPLICATED_UNJOINED, ThreadConfig(7, 3, 0)
+        )
+        assert result.total_s > 0

@@ -1,0 +1,78 @@
+"""Extension study: robustness of the conclusions to the fitted
+parameters.
+
+The stage times come from the paper's Table 1, but aggregate bandwidth,
+cache-coherence penalty and lock handoff were fitted to Tables 2-4.
+This study halves and doubles each fitted parameter on the 32-core
+platform and checks whether the paper's central conclusion — the strict
+Implementation 3 > 2 > 1 ordering — survives.
+"""
+
+import pytest
+
+from repro.engine.config import Implementation
+from repro.experiments.sensitivity import (
+    render_sensitivity,
+    sweep_parameter,
+)
+from repro.platforms import MANYCORE_32
+
+PARAMETERS = ("shared_coherence", "lock_handoff_us", "aggregate_mbps")
+IMPL1 = Implementation.SHARED_LOCKED
+IMPL3 = Implementation.REPLICATED_UNJOINED
+
+
+@pytest.fixture(scope="module")
+def reports(paper_workload, write_result):
+    reports = {
+        parameter: sweep_parameter(
+            MANYCORE_32, paper_workload, parameter,
+            scales=(0.5, 1.0, 2.0),
+        )
+        for parameter in PARAMETERS
+    }
+    write_result(
+        "extension_sensitivity.txt",
+        "\n\n".join(render_sensitivity(r) for r in reports.values()),
+    )
+    return reports
+
+
+class TestSensitivity:
+    @pytest.mark.parametrize("parameter", PARAMETERS)
+    def test_impl3_beats_impl1_under_all_perturbations(
+        self, reports, parameter
+    ):
+        """The headline conclusion must not hinge on the fitted values."""
+        for point in reports[parameter].points:
+            assert point.speedups[IMPL3] > point.speedups[IMPL1], (
+                f"{parameter} x{point.scale}: ordering flipped"
+            )
+
+    def test_contention_parameters_mostly_hit_impl1(self, reports):
+        """Coherence and handoff scale Impl 1's pain, not Impl 3's."""
+        for parameter in ("shared_coherence", "lock_handoff_us"):
+            report = reports[parameter]
+            assert report.speedup_range(IMPL1) > report.speedup_range(IMPL3)
+
+    def test_bandwidth_moves_everyone(self, reports):
+        """Aggregate bandwidth is the shared ceiling: doubling it must
+        lift Implementation 3 substantially."""
+        report = reports["aggregate_mbps"]
+        assert report.speedup_range(IMPL3) > 0.5
+
+    def test_unknown_parameter_rejected(self, paper_workload):
+        with pytest.raises(ValueError):
+            sweep_parameter(MANYCORE_32, paper_workload, "cores")
+
+    def test_bench_one_sensitivity_point(self, benchmark, paper_workload):
+        result = benchmark.pedantic(
+            lambda: sweep_parameter(
+                MANYCORE_32, paper_workload, "shared_coherence",
+                scales=(1.0,), max_extractors=4, max_updaters=2,
+                batches_per_extractor=30,
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        assert result.points

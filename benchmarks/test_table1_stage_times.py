@@ -1,0 +1,38 @@
+"""Table 1 — sequential stage times on the three platforms.
+
+Regenerates the table (written to benchmarks/results/table1.txt) and
+benchmarks the simulated stage measurement itself.
+"""
+
+import pytest
+
+from repro.experiments import PAPER_STAGE_TIMES, render_table1, run_table1
+from repro.platforms import QUAD_CORE
+from repro.simengine import SimPipeline
+
+
+@pytest.fixture(scope="module")
+def table1_rows(paper_workload, write_result):
+    rows = run_table1(paper_workload)
+    write_result("table1.txt", render_table1(rows))
+    return rows
+
+
+class TestTable1:
+    def test_matches_paper(self, table1_rows):
+        for row in table1_rows:
+            paper = PAPER_STAGE_TIMES[row.platform]
+            assert row.filename_generation == pytest.approx(paper[0], rel=0.05)
+            assert row.read_files == pytest.approx(paper[1], rel=0.05)
+            assert row.read_and_extract == pytest.approx(paper[2], rel=0.05)
+            assert row.index_update == pytest.approx(paper[3], rel=0.05)
+
+    def test_bench_stage_simulation(self, benchmark, paper_workload, table1_rows):
+        pipeline = SimPipeline(QUAD_CORE, paper_workload)
+        times = benchmark(pipeline.stage_times)
+        assert times.read_files == pytest.approx(77.0, rel=0.05)
+
+    def test_bench_sequential_simulation(self, benchmark, paper_workload):
+        pipeline = SimPipeline(QUAD_CORE, paper_workload)
+        result = benchmark(pipeline.run_sequential)
+        assert result.total_s == pytest.approx(220.0, rel=0.05)

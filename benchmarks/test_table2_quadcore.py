@@ -1,0 +1,59 @@
+"""Table 2 — best configurations on the 4-core machine.
+
+Full-fidelity sweep (x up to 12, y up to 6, z up to 2) against the
+paper-scale workload; output in benchmarks/results/table2.txt.
+
+Paper: all three implementations tie at ~46.5 s (speed-up ~4.7).
+"""
+
+import pytest
+
+from repro.engine.config import Implementation, ThreadConfig
+from repro.experiments import (
+    PAPER_BEST,
+    render_best_config_table,
+    run_best_config_table,
+)
+from repro.platforms import QUAD_CORE
+from repro.simengine import SimPipeline
+
+PLATFORM = QUAD_CORE
+
+
+@pytest.fixture(scope="module")
+def table(paper_workload, write_result):
+    table = run_best_config_table(PLATFORM, paper_workload)
+    write_result("table2.txt", render_best_config_table(table))
+    return table
+
+
+class TestTable2:
+    def test_sequential_matches_paper(self, table):
+        assert table.sequential_s == pytest.approx(220.0, rel=0.05)
+
+    @pytest.mark.parametrize("implementation", list(Implementation))
+    def test_speedups_match_paper(self, table, implementation):
+        paper = PAPER_BEST[PLATFORM.name][implementation].speedup
+        assert table.row_for(implementation).speedup == pytest.approx(
+            paper, rel=0.15
+        )
+
+    def test_all_three_tie(self, table):
+        speedups = [row.speedup for row in table.rows]
+        assert max(speedups) - min(speedups) < 0.25
+
+    def test_bench_best_impl1_run(self, benchmark, paper_workload, table):
+        pipeline = SimPipeline(PLATFORM, paper_workload)
+        row = table.row_for(Implementation.SHARED_LOCKED)
+        result = benchmark(
+            pipeline.run, Implementation.SHARED_LOCKED, row.config
+        )
+        assert result.total_s == pytest.approx(row.exec_time_s, rel=0.02)
+
+    def test_bench_best_impl3_run(self, benchmark, paper_workload, table):
+        pipeline = SimPipeline(PLATFORM, paper_workload)
+        row = table.row_for(Implementation.REPLICATED_UNJOINED)
+        result = benchmark(
+            pipeline.run, Implementation.REPLICATED_UNJOINED, row.config
+        )
+        assert result.total_s == pytest.approx(row.exec_time_s, rel=0.02)

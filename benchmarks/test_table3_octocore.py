@@ -1,0 +1,64 @@
+"""Table 3 — best configurations on the 8-core machine.
+
+Paper: Implementation 1 is slowest (59.5 s, x1.76), Implementation 3
+fastest (49.5 s, x2.12); the disk is nearly saturated by one stream, so
+speed-ups stay ~2.
+"""
+
+import pytest
+
+from repro.engine.config import Implementation
+from repro.experiments import (
+    PAPER_BEST,
+    render_best_config_table,
+    run_best_config_table,
+)
+from repro.platforms import OCTO_CORE
+from repro.simengine import SimPipeline
+
+PLATFORM = OCTO_CORE
+
+
+@pytest.fixture(scope="module")
+def table(paper_workload, write_result):
+    table = run_best_config_table(PLATFORM, paper_workload)
+    write_result("table3.txt", render_best_config_table(table))
+    return table
+
+
+class TestTable3:
+    def test_sequential_matches_paper(self, table):
+        assert table.sequential_s == pytest.approx(105.0, rel=0.05)
+
+    @pytest.mark.parametrize("implementation", list(Implementation))
+    def test_speedups_match_paper(self, table, implementation):
+        paper = PAPER_BEST[PLATFORM.name][implementation].speedup
+        assert table.row_for(implementation).speedup == pytest.approx(
+            paper, rel=0.15
+        )
+
+    def test_impl3_wins(self, table):
+        s1 = table.row_for(Implementation.SHARED_LOCKED).speedup
+        s2 = table.row_for(Implementation.REPLICATED_JOINED).speedup
+        s3 = table.row_for(Implementation.REPLICATED_UNJOINED).speedup
+        assert s3 > s2 > s1
+
+    def test_speedups_stay_around_two(self, table):
+        for row in table.rows:
+            assert row.speedup < 2.6  # paper max: 2.12
+
+    def test_bench_best_impl1_run(self, benchmark, paper_workload, table):
+        pipeline = SimPipeline(PLATFORM, paper_workload)
+        row = table.row_for(Implementation.SHARED_LOCKED)
+        result = benchmark(
+            pipeline.run, Implementation.SHARED_LOCKED, row.config
+        )
+        assert result.lock_acquires > 0
+
+    def test_bench_best_impl3_run(self, benchmark, paper_workload, table):
+        pipeline = SimPipeline(PLATFORM, paper_workload)
+        row = table.row_for(Implementation.REPLICATED_UNJOINED)
+        result = benchmark(
+            pipeline.run, Implementation.REPLICATED_UNJOINED, row.config
+        )
+        assert result.total_s == pytest.approx(row.exec_time_s, rel=0.02)

@@ -1,0 +1,76 @@
+"""Table 4 — best configurations on the 32-core machine.
+
+Paper: the spread is widest here — Implementation 1 x1.96 (lock
+contention), Implementation 2 x2.47 (join costs ~11 s), Implementation 3
+x3.50 (variance +78.6 % over Implementation 1).
+"""
+
+import pytest
+
+from repro.engine.config import Implementation
+from repro.experiments import (
+    PAPER_BEST,
+    render_best_config_table,
+    run_best_config_table,
+)
+from repro.platforms import MANYCORE_32
+from repro.simengine import SimPipeline
+
+PLATFORM = MANYCORE_32
+
+
+@pytest.fixture(scope="module")
+def table(paper_workload, write_result):
+    table = run_best_config_table(PLATFORM, paper_workload)
+    write_result("table4.txt", render_best_config_table(table))
+    return table
+
+
+class TestTable4:
+    def test_sequential_matches_paper(self, table):
+        assert table.sequential_s == pytest.approx(90.0, rel=0.05)
+
+    @pytest.mark.parametrize("implementation", list(Implementation))
+    def test_speedups_match_paper(self, table, implementation):
+        paper = PAPER_BEST[PLATFORM.name][implementation].speedup
+        assert table.row_for(implementation).speedup == pytest.approx(
+            paper, rel=0.15
+        )
+
+    def test_strict_ordering(self, table):
+        s1 = table.row_for(Implementation.SHARED_LOCKED).speedup
+        s2 = table.row_for(Implementation.REPLICATED_JOINED).speedup
+        s3 = table.row_for(Implementation.REPLICATED_UNJOINED).speedup
+        assert s3 > s2 > s1
+
+    def test_impl3_variance_large(self, table):
+        # Paper: +78.6 % over Implementation 1.
+        variance = table.row_for(
+            Implementation.REPLICATED_UNJOINED
+        ).variance_vs_impl1_pct
+        assert variance > 50.0
+
+    def test_join_cost_separates_impl2_from_impl3(self, table):
+        t2 = table.row_for(Implementation.REPLICATED_JOINED).exec_time_s
+        t3 = table.row_for(Implementation.REPLICATED_UNJOINED).exec_time_s
+        assert t2 - t3 > 3.0  # paper: 36.4 - 25.7 = 10.7 s
+
+    def test_extractors_far_below_core_count(self, table):
+        for row in table.rows:
+            assert row.config.extractors <= 12 < PLATFORM.cores
+
+    def test_bench_best_impl1_run(self, benchmark, paper_workload, table):
+        pipeline = SimPipeline(PLATFORM, paper_workload)
+        row = table.row_for(Implementation.SHARED_LOCKED)
+        result = benchmark(
+            pipeline.run, Implementation.SHARED_LOCKED, row.config
+        )
+        assert result.lock_wait_s > 0
+
+    def test_bench_best_impl3_run(self, benchmark, paper_workload, table):
+        pipeline = SimPipeline(PLATFORM, paper_workload)
+        row = table.row_for(Implementation.REPLICATED_UNJOINED)
+        result = benchmark(
+            pipeline.run, Implementation.REPLICATED_UNJOINED, row.config
+        )
+        assert result.total_s == pytest.approx(row.exec_time_s, rel=0.02)

@@ -1,0 +1,73 @@
+"""repro — a reproduction of "Parallelizing an Index Generator for
+Desktop Search" (Meder & Tichy, Karlsruhe Reports in Informatics 2010-9).
+
+The package has two halves:
+
+* a **real desktop-search engine**: corpus generation
+  (:mod:`repro.corpus`), FNV-hashed index structures (:mod:`repro.adt`,
+  :mod:`repro.index`), the paper's three parallel implementations on
+  real Python threads (:mod:`repro.engine`) and a boolean query engine
+  (:mod:`repro.query`);
+* a **calibrated platform simulator**: a discrete-event kernel
+  (:mod:`repro.sim`), models of the paper's 4-, 8- and 32-core Intel
+  machines (:mod:`repro.platforms`), the simulated pipeline
+  (:mod:`repro.simengine`), an auto-tuner (:mod:`repro.autotune`) and
+  the experiment drivers that regenerate the paper's Tables 1-4
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import (CorpusGenerator, TINY_PROFILE, IndexGenerator,
+                       Implementation, ThreadConfig, QueryEngine)
+
+    corpus = CorpusGenerator(TINY_PROFILE).generate()
+    report = IndexGenerator(corpus.fs).build(
+        Implementation.REPLICATED_UNJOINED, ThreadConfig(3, 2, 0))
+    engine = QueryEngine(report.index)
+    hits = engine.search("some AND terms")
+"""
+
+from repro.corpus import (
+    CorpusGenerator,
+    CorpusProfile,
+    PAPER_PROFILE,
+    SMALL_PROFILE,
+    TINY_PROFILE,
+)
+from repro.engine import (
+    BuildReport,
+    Implementation,
+    IndexGenerator,
+    SequentialIndexer,
+    ThreadConfig,
+)
+from repro.index import InvertedIndex, MultiIndex, join_indices
+from repro.platforms import ALL_PLATFORMS, MANYCORE_32, OCTO_CORE, QUAD_CORE
+from repro.query import QueryEngine, parse_query
+from repro.simengine import SimPipeline, Workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_PLATFORMS",
+    "BuildReport",
+    "CorpusGenerator",
+    "CorpusProfile",
+    "Implementation",
+    "IndexGenerator",
+    "InvertedIndex",
+    "MANYCORE_32",
+    "MultiIndex",
+    "OCTO_CORE",
+    "PAPER_PROFILE",
+    "QUAD_CORE",
+    "QueryEngine",
+    "SMALL_PROFILE",
+    "SequentialIndexer",
+    "SimPipeline",
+    "ThreadConfig",
+    "TINY_PROFILE",
+    "Workload",
+    "join_indices",
+    "parse_query",
+]

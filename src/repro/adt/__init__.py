@@ -1,0 +1,14 @@
+"""Hash containers built on the FNV-1 hash.
+
+The C++ original stores its index in a Boost ``unordered_map`` and does
+per-file duplicate elimination in a ``hash_set``, both parameterized with
+the FNV1 hash function.  These classes are the Python stand-ins: a
+separate-chaining hash map and hash set whose bucket hash is FNV-1a and
+whose growth policy (load factor 1.0, doubling) mirrors common
+``unordered_map`` implementations.
+"""
+
+from repro.adt.hashmap import FnvHashMap
+from repro.adt.hashset import FnvHashSet
+
+__all__ = ["FnvHashMap", "FnvHashSet"]

@@ -1,0 +1,166 @@
+"""A separate-chaining hash map keyed by FNV-1a.
+
+``FnvHashMap`` implements the subset of the mapping protocol the index
+generator needs (get/set/del/contains/iterate/len) plus ``setdefault``
+and ``get``, with amortized O(1) operations.  Keys must be ``str`` or
+``bytes`` because the whole point is to hash them with FNV rather than
+Python's built-in ``hash``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, Iterator, List, Optional, Tuple, TypeVar, Union
+
+from repro.hashing import fnv1a_64
+
+Key = Union[str, bytes]
+V = TypeVar("V")
+
+_INITIAL_BUCKETS = 16
+_MAX_LOAD_FACTOR = 1.0
+
+
+class FnvHashMap(Generic[V]):
+    """Hash map from str/bytes keys to arbitrary values, hashed with FNV-1a.
+
+    Collision handling is separate chaining: each bucket is a list of
+    ``(hash, key, value)`` entries.  The table doubles when the load
+    factor exceeds 1.0, rehashing via the stored hash values so keys are
+    never re-hashed.
+    """
+
+    __slots__ = ("_buckets", "_size")
+
+    def __init__(self, items: Optional[Iterator[Tuple[Key, V]]] = None) -> None:
+        self._buckets: List[List[Tuple[int, Key, V]]] = [
+            [] for _ in range(_INITIAL_BUCKETS)
+        ]
+        self._size = 0
+        if items is not None:
+            for key, value in items:
+                self[key] = value
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, key: Key) -> bool:
+        h = fnv1a_64(key)
+        bucket = self._buckets[h % len(self._buckets)]
+        return any(eh == h and ek == key for eh, ek, _ in bucket)
+
+    def __getitem__(self, key: Key) -> V:
+        h = fnv1a_64(key)
+        bucket = self._buckets[h % len(self._buckets)]
+        for eh, ek, value in bucket:
+            if eh == h and ek == key:
+                return value
+        raise KeyError(key)
+
+    def __setitem__(self, key: Key, value: V) -> None:
+        h = fnv1a_64(key)
+        bucket = self._buckets[h % len(self._buckets)]
+        for i, (eh, ek, _) in enumerate(bucket):
+            if eh == h and ek == key:
+                bucket[i] = (h, key, value)
+                return
+        bucket.append((h, key, value))
+        self._size += 1
+        if self._size > len(self._buckets) * _MAX_LOAD_FACTOR:
+            self._grow()
+
+    def __delitem__(self, key: Key) -> None:
+        h = fnv1a_64(key)
+        bucket = self._buckets[h % len(self._buckets)]
+        for i, (eh, ek, _) in enumerate(bucket):
+            if eh == h and ek == key:
+                bucket.pop(i)
+                self._size -= 1
+                return
+        raise KeyError(key)
+
+    def __iter__(self) -> Iterator[Key]:
+        return self.keys()
+
+    def __repr__(self) -> str:
+        preview = ", ".join(f"{k!r}: {v!r}" for k, v in list(self.items())[:4])
+        suffix = ", ..." if self._size > 4 else ""
+        return f"FnvHashMap({{{preview}{suffix}}}, size={self._size})"
+
+    def get(self, key: Key, default: Optional[V] = None) -> Optional[V]:
+        """Value for ``key``, or ``default`` when absent."""
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def setdefault(self, key: Key, default: V) -> V:
+        """Return the value for ``key``, inserting ``default`` if absent."""
+        h = fnv1a_64(key)
+        bucket = self._buckets[h % len(self._buckets)]
+        for eh, ek, value in bucket:
+            if eh == h and ek == key:
+                return value
+        bucket.append((h, key, default))
+        self._size += 1
+        if self._size > len(self._buckets) * _MAX_LOAD_FACTOR:
+            self._grow()
+        return default
+
+    def pop(self, key: Key, *default: Any) -> V:
+        """Remove and return the value for ``key``.
+
+        With a second positional argument, return it instead of raising
+        when the key is absent (mirrors ``dict.pop``).
+        """
+        try:
+            value = self[key]
+        except KeyError:
+            if default:
+                return default[0]
+            raise
+        del self[key]
+        return value
+
+    def keys(self) -> Iterator[Key]:
+        """Iterate over keys in bucket order."""
+        for bucket in self._buckets:
+            for _, key, _ in bucket:
+                yield key
+
+    def values(self) -> Iterator[V]:
+        """Iterate over values in bucket order."""
+        for bucket in self._buckets:
+            for _, _, value in bucket:
+                yield value
+
+    def items(self) -> Iterator[Tuple[Key, V]]:
+        """Iterate over (key, value) pairs in bucket order."""
+        for bucket in self._buckets:
+            for _, key, value in bucket:
+                yield key, value
+
+    def clear(self) -> None:
+        """Remove all entries, shrinking back to the initial table size."""
+        self._buckets = [[] for _ in range(_INITIAL_BUCKETS)]
+        self._size = 0
+
+    @property
+    def bucket_count(self) -> int:
+        """Current number of buckets (exposed for tests and diagnostics)."""
+        return len(self._buckets)
+
+    @property
+    def load_factor(self) -> float:
+        """Entries per bucket; rehash triggers above 1.0."""
+        return self._size / len(self._buckets)
+
+    def _grow(self) -> None:
+        old = self._buckets
+        self._buckets = [[] for _ in range(len(old) * 2)]
+        n = len(self._buckets)
+        for bucket in old:
+            for entry in bucket:
+                self._buckets[entry[0] % n].append(entry)

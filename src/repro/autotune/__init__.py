@@ -1,0 +1,29 @@
+"""Auto-tuning over the thread-configuration space.
+
+The paper used the auto-tuner of Schäfer et al. to explore thread
+allocations ("Use an auto-tuner to speed up exploring the design
+space"), but could not use it throughout because it was written for C#.
+This package provides that missing piece: tuners that search the
+``(implementation, x, y, z)`` space against any objective function —
+usually a :class:`~repro.simengine.pipeline.SimPipeline` run, but the
+threaded engine works too.
+
+* :class:`ExhaustiveSearch` — evaluate every valid configuration (the
+  paper's methodology for Tables 2-4);
+* :class:`RandomSearch` — a sampling baseline;
+* :class:`HillClimbing` — greedy neighbourhood descent with restarts,
+  typically finding the optimum with ~10x fewer evaluations.
+"""
+
+from repro.autotune.space import ConfigurationSpace
+from repro.autotune.strategies import ExhaustiveSearch, HillClimbing, RandomSearch
+from repro.autotune.tuner import AutoTuner, TuningResult
+
+__all__ = [
+    "AutoTuner",
+    "ConfigurationSpace",
+    "ExhaustiveSearch",
+    "HillClimbing",
+    "RandomSearch",
+    "TuningResult",
+]

@@ -1,0 +1,83 @@
+"""Search strategies over the configuration space."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.autotune.space import ConfigurationSpace
+from repro.autotune.tuner import AutoTuner, Objective, TuningResult
+
+
+class ExhaustiveSearch:
+    """Evaluate every valid configuration — the paper's methodology."""
+
+    def run(self, space: ConfigurationSpace, objective: Objective) -> TuningResult:
+        """Sweep the whole space; guaranteed to find the optimum."""
+        tuner = AutoTuner(objective)
+        for config in space:
+            tuner.evaluate(config)
+        return tuner.result()
+
+
+class RandomSearch:
+    """Uniformly sample ``budget`` configurations."""
+
+    def __init__(self, budget: int = 30, seed: int = 0) -> None:
+        if budget < 1:
+            raise ValueError("budget must be at least 1")
+        self.budget = budget
+        self.seed = seed
+
+    def run(self, space: ConfigurationSpace, objective: Objective) -> TuningResult:
+        """Evaluate a random sample (without replacement) of the space."""
+        configs = space.configurations()
+        rng = random.Random(self.seed)
+        rng.shuffle(configs)
+        tuner = AutoTuner(objective)
+        for config in configs[: self.budget]:
+            tuner.evaluate(config)
+        return tuner.result()
+
+
+class HillClimbing:
+    """Greedy +-1 neighbourhood descent with random restarts.
+
+    Starts from a random configuration, moves to the best improving
+    neighbour until none improves, then restarts; stops when the
+    evaluation budget is exhausted or all restarts are done.
+    """
+
+    def __init__(
+        self, restarts: int = 3, budget: Optional[int] = None, seed: int = 0
+    ) -> None:
+        if restarts < 1:
+            raise ValueError("restarts must be at least 1")
+        self.restarts = restarts
+        self.budget = budget
+        self.seed = seed
+
+    def run(self, space: ConfigurationSpace, objective: Objective) -> TuningResult:
+        """Climb from ``restarts`` random starting points."""
+        configs = space.configurations()
+        rng = random.Random(self.seed)
+        tuner = AutoTuner(objective)
+
+        def budget_left() -> bool:
+            return self.budget is None or tuner.evaluations < self.budget
+
+        for _ in range(self.restarts):
+            if not budget_left():
+                break
+            current = rng.choice(configs)
+            current_value = tuner.evaluate(current)
+            while budget_left():
+                neighbours = space.neighbours(current)
+                if not neighbours:
+                    break
+                scored = [(tuner.evaluate(n), n) for n in neighbours]
+                best_value, best_neighbour = min(scored, key=lambda t: t[0])
+                if best_value >= current_value:
+                    break
+                current, current_value = best_neighbour, best_value
+        return tuner.result()

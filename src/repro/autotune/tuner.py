@@ -1,0 +1,58 @@
+"""The tuner facade and its result type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from repro.engine.config import ThreadConfig
+
+Objective = Callable[[ThreadConfig], float]
+
+
+@dataclass
+class TuningResult:
+    """Outcome of a tuning session (lower objective is better)."""
+
+    best_config: ThreadConfig
+    best_value: float
+    evaluations: int
+    history: List[Tuple[ThreadConfig, float]] = field(default_factory=list)
+
+    def top(self, n: int = 5) -> List[Tuple[ThreadConfig, float]]:
+        """The ``n`` best (config, value) pairs seen."""
+        return sorted(self.history, key=lambda item: item[1])[:n]
+
+
+class AutoTuner:
+    """Runs a search strategy against an objective with memoization.
+
+    The objective is called at most once per distinct configuration —
+    simulator runs are deterministic, so re-evaluation is pure waste
+    (and strategies like hill climbing with restarts revisit a lot).
+    """
+
+    def __init__(self, objective: Objective) -> None:
+        self._objective = objective
+        self._cache: Dict[ThreadConfig, float] = {}
+        self.evaluations = 0
+
+    def evaluate(self, config: ThreadConfig) -> float:
+        """Objective value for ``config`` (memoized)."""
+        if config not in self._cache:
+            self._cache[config] = self._objective(config)
+            self.evaluations += 1
+        return self._cache[config]
+
+    def result(self) -> TuningResult:
+        """Best configuration over everything evaluated so far."""
+        if not self._cache:
+            raise RuntimeError("nothing evaluated yet")
+        history = list(self._cache.items())
+        best_config, best_value = min(history, key=lambda item: item[1])
+        return TuningResult(
+            best_config=best_config,
+            best_value=best_value,
+            evaluations=self.evaluations,
+            history=history,
+        )

@@ -1,0 +1,407 @@
+"""Command-line interface: ``repro-desktopsearch``.
+
+Subcommands:
+
+* ``generate-corpus`` — materialize a synthetic benchmark corpus on disk
+  (optionally mixed-format);
+* ``index`` — build an index over a directory with one of the three
+  implementations (or sequentially) and optionally save it (JSON or the
+  compact binary format);
+* ``search`` — run a boolean/wildcard query against a saved index,
+  optionally tf-idf ranked;
+* ``refresh`` — incrementally update a saved index after file changes;
+* ``simulate`` — run one configuration on a simulated platform;
+* ``tune`` — auto-tune the thread configuration on a simulated platform;
+* ``tables`` — regenerate the paper's Tables 1-4.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.autotune import (
+    ConfigurationSpace,
+    ExhaustiveSearch,
+    HillClimbing,
+    RandomSearch,
+)
+from repro.corpus import CorpusGenerator, PAPER_PROFILE, materialize
+from repro.engine import Implementation, IndexGenerator, SequentialIndexer, ThreadConfig
+from repro.experiments import (
+    render_best_config_table,
+    render_table1,
+    run_best_config_table,
+    run_table1,
+)
+from repro.fsmodel import OsFileSystem
+from repro.index import (
+    MultiIndex,
+    load_index,
+    load_multi_index,
+    save_index,
+    save_multi_index,
+)
+from repro.platforms import ALL_PLATFORMS, platform_by_name
+from repro.query import QueryEngine
+from repro.simengine import SimPipeline, Workload, WorkloadSpec
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if not hasattr(args, "func"):
+        parser.print_help()
+        return 2
+    return args.func(args)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-desktopsearch",
+        description="Parallel index generation for desktop search "
+        "(reproduction of Meder & Tichy 2010)",
+    )
+    sub = parser.add_subparsers(title="commands")
+
+    p = sub.add_parser("generate-corpus", help="write a synthetic corpus to disk")
+    p.add_argument("destination", help="empty or missing target directory")
+    p.add_argument(
+        "--scale", type=float, default=0.01,
+        help="fraction of the paper's 51,000-file / 869 MB benchmark "
+        "(default 0.01)",
+    )
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument(
+        "--mixed", action="store_true",
+        help="emit a mix of plain/HTML/Markdown/CSV/DocZ files instead of "
+        "plain text only",
+    )
+    p.set_defaults(func=_cmd_generate_corpus)
+
+    p = sub.add_parser("index", help="index a directory")
+    p.add_argument("directory")
+    p.add_argument(
+        "--implementation", "-i", type=int, choices=(1, 2, 3), default=3,
+        help="1=shared+locked, 2=replicated+joined, 3=replicated unjoined",
+    )
+    p.add_argument("-x", "--extractors", type=int, default=3)
+    p.add_argument("-y", "--updaters", type=int, default=2)
+    p.add_argument("-z", "--joiners", type=int, default=0)
+    p.add_argument("--sequential", action="store_true",
+                   help="use the naive sequential baseline instead")
+    p.add_argument("--save", help="file (impl 1/2) or directory (impl 3) "
+                   "to save the index to")
+    p.add_argument("--binary", action="store_true",
+                   help="save in the compact binary format (impl 1/2 only)")
+    p.add_argument("--formats", action="store_true",
+                   help="extract text per file format (HTML, DocZ, ...) "
+                   "before tokenizing")
+    p.add_argument("--dynamic", choices=("steal", "queue"),
+                   help="acquire work at runtime (work stealing or a "
+                   "shared queue) instead of static round-robin vectors")
+    p.set_defaults(func=_cmd_index)
+
+    p = sub.add_parser("search", help="query a saved index")
+    p.add_argument("index_path", help="an .idx/.ridx file or a replica "
+                   "directory")
+    p.add_argument("query", help='boolean query, e.g. "cat AND (dog* OR '
+                   'NOT fox)"; a trailing * makes a term a prefix wildcard')
+    p.add_argument("--parallel", action="store_true",
+                   help="search replicas with one thread each")
+    p.add_argument("--ranked", metavar="CORPUS_DIR",
+                   help="tf-idf rank the hits, computing term frequencies "
+                   "from the given corpus directory")
+    p.set_defaults(func=_cmd_search)
+
+    p = sub.add_parser("analyze", help="print statistics of a saved index")
+    p.add_argument("index_path", help="an .idx/.ridx file or a replica "
+                   "directory")
+    p.add_argument("--top", type=int, default=10,
+                   help="number of heavy-hitter terms to list")
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser(
+        "refresh",
+        help="incrementally update a saved index after file changes",
+    )
+    p.add_argument("directory", help="the indexed corpus directory")
+    p.add_argument("--index", required=True,
+                   help="index file (.idx); created on first run")
+    p.add_argument("--state", required=True,
+                   help="snapshot state file (JSON); created on first run")
+    p.set_defaults(func=_cmd_refresh)
+
+    p = sub.add_parser("simulate", help="simulate one run on a paper platform")
+    p.add_argument("--platform", default="quad-core",
+                   choices=[pl.name for pl in ALL_PLATFORMS])
+    p.add_argument("--implementation", "-i", type=int, choices=(1, 2, 3), default=3)
+    p.add_argument("-x", "--extractors", type=int, default=3)
+    p.add_argument("-y", "--updaters", type=int, default=2)
+    p.add_argument("-z", "--joiners", type=int, default=0)
+    p.add_argument("--sequential", action="store_true")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="workload scale relative to the paper benchmark")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("tune", help="auto-tune thread counts on a platform")
+    p.add_argument("--platform", default="quad-core",
+                   choices=[pl.name for pl in ALL_PLATFORMS])
+    p.add_argument("--implementation", "-i", type=int, choices=(1, 2, 3), default=3)
+    p.add_argument("--strategy", choices=("exhaustive", "random", "hill"),
+                   default="hill")
+    p.add_argument("--budget", type=int, default=40,
+                   help="evaluation budget for random/hill strategies")
+    p.set_defaults(func=_cmd_tune)
+
+    p = sub.add_parser("tables", help="regenerate the paper's tables")
+    p.add_argument("--fast", action="store_true",
+                   help="coarser simulation and a narrower sweep (~6x faster)")
+    p.add_argument("--markdown", metavar="FILE",
+                   help="additionally write a paper-vs-measured markdown "
+                   "report to FILE")
+    p.set_defaults(func=_cmd_tables)
+
+    return parser
+
+
+def _config_from(args: argparse.Namespace) -> ThreadConfig:
+    return ThreadConfig(args.extractors, args.updaters, args.joiners)
+
+
+def _cmd_generate_corpus(args: argparse.Namespace) -> int:
+    profile = PAPER_PROFILE.scaled(args.scale)
+    if args.seed != 42:
+        from dataclasses import replace
+
+        profile = replace(profile, seed=args.seed)
+    print(f"generating {profile.file_count} files, "
+          f"{profile.total_bytes / 1e6:.1f} MB ...")
+    if args.mixed:
+        from repro.formats.mixed import generate_mixed_corpus
+
+        mixed = generate_mixed_corpus(profile)
+        count = materialize(mixed.fs, args.destination)
+        breakdown = ", ".join(
+            f"{name}: {n}" for name, n in sorted(mixed.format_counts.items())
+        )
+        print(f"wrote {count} files under {args.destination} ({breakdown})")
+    else:
+        corpus = CorpusGenerator(profile).generate()
+        count = materialize(corpus.fs, args.destination)
+        print(f"wrote {count} files under {args.destination}")
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    from repro.formats import default_registry
+
+    fs = OsFileSystem(args.directory)
+    registry = default_registry() if args.formats else None
+    if args.sequential:
+        report = SequentialIndexer(fs, registry=registry).build()
+    else:
+        implementation = Implementation(args.implementation)
+        config = _config_from(args)
+        try:
+            config.validate_for(implementation)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        report = IndexGenerator(
+            fs, registry=registry, dynamic=args.dynamic
+        ).build(implementation, config)
+    print(report.summary())
+    if args.save:
+        if isinstance(report.index, MultiIndex):
+            if args.binary:
+                print("error: --binary supports single-index "
+                      "implementations (1 and 2)", file=sys.stderr)
+                return 2
+            save_multi_index(report.index, args.save)
+        elif args.binary:
+            from repro.index import save_index_binary
+
+            written = save_index_binary(report.index, args.save)
+            print(f"binary index saved to {args.save} ({written} bytes)")
+            return 0
+        else:
+            save_index(report.index, args.save)
+        print(f"index saved to {args.save}")
+    return 0
+
+
+def _load_any_index(path: str):
+    import os
+
+    if os.path.isdir(path):
+        return load_multi_index(path)
+    if path.endswith(".ridx"):
+        from repro.index import load_index_binary
+
+        return load_index_binary(path)
+    return load_index(path)
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    index = _load_any_index(args.index_path)
+    engine = QueryEngine(index)
+    if args.ranked:
+        from repro.query import FrequencyIndex, TfIdfRanker, search_ranked
+
+        frequencies = FrequencyIndex.from_fs(OsFileSystem(args.ranked))
+        hits = search_ranked(
+            engine, TfIdfRanker(frequencies), args.query, parallel=args.parallel
+        )
+        for hit in hits:
+            print(f"{hit.score:8.3f}  {hit.path}")
+        print(f"-- {len(hits)} file(s)", file=sys.stderr)
+        return 0
+    paths = engine.search(args.query, parallel=args.parallel)
+    for path in paths:
+        print(path)
+    print(f"-- {len(paths)} file(s)", file=sys.stderr)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.index.analysis import (
+        analyze,
+        estimate_memory_bytes,
+        postings_histogram,
+        top_terms,
+    )
+
+    index = _load_any_index(args.index_path)
+    stats = analyze(index)
+    print(f"terms:            {stats.term_count}")
+    print(f"postings:         {stats.posting_count}")
+    print(f"postings/term:    mean {stats.mean_postings:.2f}, "
+          f"median {stats.median_postings:.1f}, max {stats.max_postings}")
+    print(f"singleton terms:  {stats.singleton_terms} "
+          f"({stats.singleton_fraction:.0%})")
+    print(f"est. memory:      {estimate_memory_bytes(index) / 1e6:.2f} MB")
+    print(f"top {args.top} terms by document frequency:")
+    for term, count in top_terms(index, args.top):
+        print(f"  {count:>8}  {term}")
+    print("postings-length histogram (log2 buckets):")
+    for low, high, count in postings_histogram(index):
+        label = f"{low}..{high}" if high != -1 else f"{low}+"
+        print(f"  {label:>12}: {count}")
+    return 0
+
+
+def _cmd_refresh(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.index import IncrementalIndexer
+    from repro.index.incremental import IncrementalIndex
+
+    fs = OsFileSystem(args.directory)
+    if os.path.exists(args.index) and os.path.exists(args.state):
+        index = IncrementalIndex.from_inverted(load_index(args.index))
+        with open(args.state, "r", encoding="utf-8") as fh:
+            snapshot = {
+                path: tuple(entry) for path, entry in json.load(fh).items()
+            }
+        indexer = IncrementalIndexer(fs, index=index, snapshot=snapshot)
+    else:
+        indexer = IncrementalIndexer(fs)
+
+    report = indexer.refresh()
+    print(f"refresh: +{len(report.added)} added, "
+          f"-{len(report.removed)} removed, "
+          f"~{len(report.modified)} modified")
+
+    if os.path.exists(args.index):
+        os.remove(args.index)
+    save_index(indexer.index.index, args.index)
+    with open(args.state, "w", encoding="utf-8") as fh:
+        json.dump({p: list(e) for p, e in indexer.snapshot.items()}, fh)
+    print(f"index: {args.index}, state: {args.state}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    platform = platform_by_name(args.platform)
+    workload = _workload_at_scale(args.scale)
+    pipeline = SimPipeline(platform, workload)
+    if args.sequential:
+        result = pipeline.run_sequential()
+    else:
+        implementation = Implementation(args.implementation)
+        config = _config_from(args)
+        try:
+            config.validate_for(implementation)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        result = pipeline.run(implementation, config)
+    print(result.summary())
+    print(f"  disk utilization {result.disk_utilization:.0%}, "
+          f"cpu utilization {result.cpu_utilization:.0%}")
+    if result.lock_acquires:
+        print(f"  index lock: {result.lock_acquires} acquires, "
+              f"{result.lock_contended} contended, "
+              f"{result.lock_wait_s:.1f}s total wait")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    platform = platform_by_name(args.platform)
+    implementation = Implementation(args.implementation)
+    workload = _workload_at_scale(1.0)
+    pipeline = SimPipeline(platform, workload)
+    space = ConfigurationSpace(implementation)
+    strategies = {
+        "exhaustive": ExhaustiveSearch(),
+        "random": RandomSearch(budget=args.budget),
+        "hill": HillClimbing(restarts=3, budget=args.budget),
+    }
+    result = strategies[args.strategy].run(
+        space, lambda config: pipeline.run(implementation, config).total_s
+    )
+    print(f"{implementation.paper_name} on {platform.name}: "
+          f"best {result.best_config} -> {result.best_value:.1f}s "
+          f"({result.evaluations} evaluations)")
+    for config, value in result.top(5):
+        print(f"  {config}: {value:.1f}s")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    workload = _workload_at_scale(1.0)
+    sweep = (
+        dict(max_extractors=8, max_updaters=4, batches_per_extractor=60)
+        if args.fast
+        else {}
+    )
+    table1_rows = run_table1(workload)
+    print(render_table1(table1_rows))
+    results = {"table1": table1_rows}
+    for platform in ALL_PLATFORMS:
+        table = run_best_config_table(platform, workload, **sweep)
+        results[platform.name] = table
+        print()
+        print(render_best_config_table(table))
+    if args.markdown:
+        from repro.experiments import comparison_report
+
+        with open(args.markdown, "w", encoding="utf-8") as fh:
+            fh.write(comparison_report(results) + "\n")
+        print(f"\nmarkdown report written to {args.markdown}")
+    return 0
+
+
+def _workload_at_scale(scale: float) -> Workload:
+    if scale == 1.0:
+        return Workload.synthesize()
+    profile = PAPER_PROFILE.scaled(scale)
+    return Workload.synthesize(WorkloadSpec(profile=profile))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

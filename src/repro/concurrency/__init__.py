@@ -1,0 +1,16 @@
+"""Concurrency primitives used by the threaded engine.
+
+* :class:`BoundedBuffer` — the buffer between extractors and separate
+  updater threads ("a separate process for index update that received
+  sets of terms via a buffer");
+* :class:`ReusableBarrier` — the barrier before the join operation in
+  Implementation 2;
+* :class:`ShardedLock` — a lock striped over key hashes, provided as an
+  extension point beyond the paper's single index lock.
+"""
+
+from repro.concurrency.barrier import ReusableBarrier
+from repro.concurrency.buffers import BoundedBuffer, Closed
+from repro.concurrency.sharded import ShardedLock
+
+__all__ = ["BoundedBuffer", "Closed", "ReusableBarrier", "ShardedLock"]

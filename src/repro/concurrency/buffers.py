@@ -1,0 +1,76 @@
+"""A bounded, closable producer/consumer buffer.
+
+``queue.Queue`` has no close semantics, and the engine needs them: when
+the last extractor finishes, updaters must drain the buffer and exit.
+``BoundedBuffer`` provides blocking put/get with a capacity bound,
+close-on-producer-exit, and lock-operation accounting (the quantity the
+paper blames for the inefficiency of pipelined stage 1).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class Closed(Exception):
+    """Raised by :meth:`BoundedBuffer.get` after drain-and-close."""
+
+
+class BoundedBuffer(Generic[T]):
+    """Blocking bounded FIFO with close semantics."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be at least 1, got {capacity}")
+        self.capacity = capacity
+        self._items: Deque[T] = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self.lock_operations = 0
+
+    def put(self, item: T) -> None:
+        """Block until there is room, then enqueue ``item``."""
+        with self._not_full:
+            self.lock_operations += 1
+            while len(self._items) >= self.capacity and not self._closed:
+                self._not_full.wait()
+            if self._closed:
+                raise Closed("buffer is closed")
+            self._items.append(item)
+            self._not_empty.notify()
+
+    def get(self) -> T:
+        """Block until an item arrives; raise :class:`Closed` when the
+        buffer has been closed and fully drained."""
+        with self._not_empty:
+            self.lock_operations += 1
+            while not self._items and not self._closed:
+                self._not_empty.wait()
+            if self._items:
+                item = self._items.popleft()
+                self._not_full.notify()
+                return item
+            raise Closed("buffer drained and closed")
+
+    def close(self) -> None:
+        """No more puts; pending gets drain the remaining items."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called."""
+        with self._lock:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)

@@ -1,0 +1,33 @@
+"""Synthetic benchmark corpus generation.
+
+The paper's benchmark is a private set of ~51,000 ASCII text files
+(~869 MB; many small files plus five large ones) converted from
+word-processor documents.  We cannot have that data, so this package
+generates a statistically equivalent corpus: seeded Zipfian text over a
+synthetic vocabulary, laid out in a directory tree with the same
+many-small-plus-five-large size profile, at any scale from a few KB
+(unit tests) to the full 869 MB.
+"""
+
+from repro.corpus.generator import CorpusGenerator, GeneratedCorpus
+from repro.corpus.profiles import (
+    PAPER_PROFILE,
+    SMALL_PROFILE,
+    TINY_PROFILE,
+    CorpusProfile,
+)
+from repro.corpus.vocabulary import Vocabulary
+from repro.corpus.writer import materialize
+from repro.corpus.zipf import ZipfSampler
+
+__all__ = [
+    "CorpusGenerator",
+    "CorpusProfile",
+    "GeneratedCorpus",
+    "PAPER_PROFILE",
+    "SMALL_PROFILE",
+    "TINY_PROFILE",
+    "Vocabulary",
+    "ZipfSampler",
+    "materialize",
+]

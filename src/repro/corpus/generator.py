@@ -1,0 +1,125 @@
+"""Benchmark corpus builder.
+
+``CorpusGenerator`` turns a :class:`~repro.corpus.profiles.CorpusProfile`
+into a populated :class:`~repro.fsmodel.vfs.VirtualFileSystem`: a
+directory tree of ASCII text files whose term frequencies are Zipfian
+and whose size distribution is many-small-plus-a-few-large, matching the
+paper's benchmark description.  Generation is fully deterministic given
+the profile's seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.corpus.profiles import CorpusProfile
+from repro.corpus.vocabulary import Vocabulary
+from repro.corpus.zipf import ZipfSampler
+from repro.fsmodel.stats import CorpusStats, collect_stats
+from repro.fsmodel.vfs import VirtualFileSystem
+
+_LINE_WIDTH = 72
+
+
+@dataclass
+class GeneratedCorpus:
+    """The output of a generation run: the filesystem plus metadata."""
+
+    fs: VirtualFileSystem
+    profile: CorpusProfile
+    vocabulary: Vocabulary
+
+    def stats(self) -> CorpusStats:
+        """Aggregate size statistics over the generated files."""
+        return collect_stats(self.fs.list_files())
+
+
+class CorpusGenerator:
+    """Generates benchmark corpora from a profile."""
+
+    def __init__(self, profile: CorpusProfile) -> None:
+        self.profile = profile
+        self.vocabulary = Vocabulary(profile.vocabulary_size, seed=profile.seed)
+
+    def generate(self) -> GeneratedCorpus:
+        """Build the full corpus into a fresh virtual filesystem."""
+        profile = self.profile
+        rng = random.Random(profile.seed + 1)
+        sampler = ZipfSampler(
+            len(self.vocabulary), s=profile.zipf_exponent, seed=profile.seed + 2
+        )
+        fs = VirtualFileSystem()
+
+        sizes = self._small_file_sizes(rng)
+        directories = self._make_directories(fs, len(sizes))
+        for i, size in enumerate(sizes):
+            directory = directories[i % len(directories)]
+            fs.write_file(
+                f"{directory}/doc{i:06d}.txt", self._text(sampler, rng, size)
+            )
+
+        fs.mkdir("large")
+        per_large = profile.large_file_bytes // profile.large_file_count
+        for i in range(profile.large_file_count):
+            fs.write_file(
+                f"large/big{i}.txt", self._text(sampler, rng, per_large)
+            )
+        return GeneratedCorpus(fs=fs, profile=profile, vocabulary=self.vocabulary)
+
+    def _small_file_sizes(self, rng: random.Random) -> List[int]:
+        """Log-normal-ish sizes for the small files, normalized to budget.
+
+        Desktop document sizes are heavy-tailed; we draw log-normal sizes
+        and rescale them so the total matches the profile's byte budget.
+        """
+        profile = self.profile
+        mean = profile.mean_small_size
+        raw = [rng.lognormvariate(0.0, 0.8) for _ in range(profile.small_file_count)]
+        scale = mean / (sum(raw) / len(raw))
+        sizes = [max(16, int(r * scale)) for r in raw]
+        # Nudge the last file so the total lands exactly on the budget.
+        drift = profile.small_file_bytes - sum(sizes)
+        sizes[-1] = max(16, sizes[-1] + drift)
+        return sizes
+
+    def _make_directories(self, fs: VirtualFileSystem, n_files: int) -> List[str]:
+        """Create a two-level tree with enough leaves for all files."""
+        profile = self.profile
+        n_leaves = max(1, (n_files + profile.files_per_directory - 1)
+                       // profile.files_per_directory)
+        leaves = []
+        top = 0
+        while len(leaves) < n_leaves:
+            top_name = f"dir{top:03d}"
+            fs.mkdir(top_name)
+            for sub in range(profile.directory_fanout):
+                if len(leaves) >= n_leaves:
+                    break
+                leaf = f"{top_name}/sub{sub:03d}"
+                fs.mkdir(leaf)
+                leaves.append(leaf)
+            top += 1
+        return leaves
+
+    def _text(self, sampler: ZipfSampler, rng: random.Random, size: int) -> bytes:
+        """ASCII prose of approximately ``size`` bytes (never more)."""
+        words = self.vocabulary.words
+        parts: List[str] = []
+        remaining = size
+        column = 0
+        while remaining > 0:
+            word = words[sampler.sample()]
+            needed = len(word) + 1
+            if needed > remaining:
+                break
+            if column + needed > _LINE_WIDTH:
+                parts.append("\n")
+                column = 0
+            elif parts:
+                parts.append(" ")
+            parts.append(word)
+            column += needed
+            remaining -= needed
+        return "".join(parts).encode("ascii")

@@ -1,0 +1,97 @@
+"""Corpus shape profiles.
+
+A :class:`CorpusProfile` pins down everything the generator needs:
+file counts, the total byte budget, how much of it the five large files
+take, directory fan-out, vocabulary size and the Zipf exponent.
+
+``PAPER_PROFILE`` matches the benchmark described in section 3 of the
+paper (51,000 files, 869 MB, five large files).  The scaled-down
+profiles keep the same *shape* (ratio of large-file bytes, mean small
+file size, fan-out) at sizes practical for tests and CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CorpusProfile:
+    """Parameters defining the shape and size of a generated corpus."""
+
+    name: str
+    file_count: int
+    total_bytes: int
+    large_file_count: int = 5
+    large_bytes_fraction: float = 0.35
+    directory_fanout: int = 20
+    files_per_directory: int = 40
+    vocabulary_size: int = 20_000
+    zipf_exponent: float = 1.1
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.file_count <= self.large_file_count:
+            raise ValueError("file_count must exceed large_file_count")
+        if not 0.0 <= self.large_bytes_fraction < 1.0:
+            raise ValueError("large_bytes_fraction must be in [0, 1)")
+        if self.total_bytes < self.file_count:
+            raise ValueError("total_bytes must allow at least 1 byte per file")
+
+    @property
+    def small_file_count(self) -> int:
+        """Number of files outside the five (or so) large ones."""
+        return self.file_count - self.large_file_count
+
+    @property
+    def large_file_bytes(self) -> int:
+        """Byte budget shared by the large files."""
+        return int(self.total_bytes * self.large_bytes_fraction)
+
+    @property
+    def small_file_bytes(self) -> int:
+        """Byte budget shared by the small files."""
+        return self.total_bytes - self.large_file_bytes
+
+    @property
+    def mean_small_size(self) -> float:
+        """Average small-file size in bytes."""
+        return self.small_file_bytes / self.small_file_count
+
+    def scaled(self, factor: float, name: str = "") -> "CorpusProfile":
+        """A profile with file count and bytes scaled by ``factor``.
+
+        The large-file count and all shape ratios are preserved.
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        file_count = max(self.large_file_count + 1, int(self.file_count * factor))
+        total_bytes = max(file_count, int(self.total_bytes * factor))
+        return replace(
+            self,
+            name=name or f"{self.name}-x{factor:g}",
+            file_count=file_count,
+            total_bytes=total_bytes,
+        )
+
+
+# The benchmark of section 3: "about 51.000 ASCII text files, containing
+# many small files and five large text files ... about 869 MB of data".
+PAPER_PROFILE = CorpusProfile(
+    name="paper",
+    file_count=51_000,
+    total_bytes=869_000_000,
+)
+
+# ~1/100 scale: a few seconds to generate, for examples and benchmarks.
+SMALL_PROFILE = PAPER_PROFILE.scaled(0.01, name="small")
+
+# ~1/2000 scale: fast enough for unit tests.
+TINY_PROFILE = CorpusProfile(
+    name="tiny",
+    file_count=60,
+    total_bytes=400_000,
+    vocabulary_size=2_000,
+    directory_fanout=4,
+    files_per_directory=8,
+)

@@ -1,0 +1,61 @@
+"""Synthetic vocabulary generation.
+
+Builds a deterministic list of pronounceable pseudo-words.  Word lengths
+follow the 4-10 character range typical of English prose, so the bytes
+per term (and therefore the scan-cost-per-byte the simulator is
+calibrated with) is realistic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+_CONSONANTS = "bcdfghjklmnprstvwz"
+_VOWELS = "aeiou"
+
+
+class Vocabulary:
+    """A deterministic vocabulary of ``size`` distinct pseudo-words.
+
+    Words are generated as alternating consonant/vowel syllables from a
+    seeded RNG; duplicates are resolved by appending a numeric suffix, so
+    the vocabulary always reaches exactly ``size`` distinct words.
+    """
+
+    def __init__(self, size: int, seed: int = 0) -> None:
+        if size <= 0:
+            raise ValueError(f"vocabulary size must be positive, got {size}")
+        self.seed = seed
+        self.words: List[str] = _generate_words(size, seed)
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def __getitem__(self, rank: int) -> str:
+        return self.words[rank]
+
+    def __iter__(self):
+        return iter(self.words)
+
+    def __contains__(self, word: str) -> bool:
+        # Linear scan is fine: membership is only used in tests.
+        return word in self.words
+
+
+def _generate_words(size: int, seed: int) -> List[str]:
+    rng = random.Random(seed)
+    seen = set()
+    words = []
+    while len(words) < size:
+        syllables = rng.randint(2, 4)
+        word = "".join(
+            rng.choice(_CONSONANTS) + rng.choice(_VOWELS) for _ in range(syllables)
+        )
+        if rng.random() < 0.3:
+            word += rng.choice(_CONSONANTS)
+        if word in seen:
+            word = f"{word}{len(words)}"
+        seen.add(word)
+        words.append(word)
+    return words

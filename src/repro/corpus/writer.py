@@ -1,0 +1,31 @@
+"""Materialize a virtual corpus onto the real filesystem.
+
+Used by the on-disk benchmarks and the CLI's ``generate-corpus``
+subcommand: the same deterministic corpus the tests index in memory can
+be written out and indexed with real file I/O.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.fsmodel.vfs import VirtualFileSystem
+
+
+def materialize(fs: VirtualFileSystem, destination: str) -> int:
+    """Write every file of ``fs`` under ``destination``; returns file count.
+
+    Parent directories are created as needed.  Refuses to write into a
+    non-empty destination to avoid silently mixing corpora.
+    """
+    os.makedirs(destination, exist_ok=True)
+    if os.listdir(destination):
+        raise FileExistsError(f"destination is not empty: {destination}")
+    count = 0
+    for ref in fs.list_files():
+        full = os.path.join(destination, *ref.path.split("/"))
+        os.makedirs(os.path.dirname(full), exist_ok=True)
+        with open(full, "wb") as fh:
+            fh.write(fs.read_file(ref.path))
+        count += 1
+    return count

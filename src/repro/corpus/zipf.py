@@ -1,0 +1,78 @@
+"""Zipfian term sampling.
+
+Term frequencies in natural-language text follow Zipf's law: the
+frequency of the rank-r word is proportional to 1/r^s.  The benchmark
+generator samples terms from this distribution so per-file unique-term
+counts (which drive de-duplication and index-update costs) behave like
+real prose rather than like uniform noise.
+
+Sampling uses the inverse-CDF method over a precomputed cumulative
+table with binary search — O(vocabulary) setup, O(log vocabulary) per
+sample, fully deterministic under a seeded RNG.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List
+
+
+class ZipfSampler:
+    """Samples ranks 0..n-1 with probability proportional to 1/(rank+1)^s."""
+
+    def __init__(self, n: int, s: float = 1.1, seed: int = 0) -> None:
+        if n <= 0:
+            raise ValueError(f"support size must be positive, got {n}")
+        if s <= 0:
+            raise ValueError(f"Zipf exponent must be positive, got {s}")
+        self.n = n
+        self.s = s
+        self._rng = random.Random(seed)
+        self._cdf = _cumulative(n, s)
+
+    def sample(self) -> int:
+        """One rank drawn from the Zipf distribution."""
+        return bisect.bisect_right(self._cdf, self._rng.random())
+
+    def sample_many(self, count: int) -> List[int]:
+        """``count`` independent ranks."""
+        rng = self._rng
+        cdf = self._cdf
+        return [bisect.bisect_right(cdf, rng.random()) for _ in range(count)]
+
+    def probability(self, rank: int) -> float:
+        """Exact probability mass of ``rank``."""
+        if not 0 <= rank < self.n:
+            raise IndexError(rank)
+        low = self._cdf[rank - 1] if rank > 0 else 0.0
+        return self._cdf[rank] - low
+
+
+def _cumulative(n: int, s: float) -> List[float]:
+    weights = [1.0 / (rank + 1) ** s for rank in range(n)]
+    total = sum(weights)
+    cdf = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cdf.append(acc)
+    cdf[-1] = 1.0
+    return cdf
+
+
+def expected_unique_terms(total_terms: int, vocabulary: int, s: float = 1.1) -> float:
+    """Expected distinct terms in a ``total_terms``-long Zipf sample.
+
+    E[unique] = sum over ranks of (1 - (1 - p_rank)^total).  Used by the
+    workload model to estimate per-file unique-term counts without
+    generating text.
+    """
+    cdf = _cumulative(vocabulary, s)
+    expected = 0.0
+    prev = 0.0
+    for value in cdf:
+        p = value - prev
+        prev = value
+        expected += 1.0 - (1.0 - p) ** total_terms
+    return expected

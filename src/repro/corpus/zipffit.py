@@ -1,0 +1,72 @@
+"""Empirical Zipf-exponent estimation.
+
+The workload model's unique-term predictions (and the query study's
+popularity model) rest on the corpus being Zipfian with a known
+exponent.  This module closes the loop: measure the rank-frequency
+distribution of an actual corpus and fit the exponent by least squares
+in log-log space, so tests can assert the generator produces what the
+profile promised.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.text.tokenizer import Tokenizer
+
+
+def rank_frequencies(terms: Iterable[str]) -> List[int]:
+    """Occurrence counts sorted descending (rank 0 first)."""
+    counts: Dict[str, int] = {}
+    for term in terms:
+        counts[term] = counts.get(term, 0) + 1
+    return sorted(counts.values(), reverse=True)
+
+
+def estimate_zipf_exponent(
+    frequencies: List[int], min_rank: int = 1, max_rank: int = 200
+) -> float:
+    """Least-squares slope of log(frequency) against log(rank).
+
+    Under Zipf's law ``f(r) ~ r^-s``, the log-log plot is a line of
+    slope ``-s``; the fit uses ranks ``min_rank..max_rank`` (1-based),
+    skipping rank ranges the data does not cover.  The very first ranks
+    and the singleton tail both deviate from the power law in real
+    text, which is why the window is configurable.
+    """
+    if min_rank < 1 or max_rank <= min_rank:
+        raise ValueError("need 1 <= min_rank < max_rank")
+    window = frequencies[min_rank - 1 : max_rank]
+    if len(window) < 2:
+        raise ValueError("not enough distinct terms to fit an exponent")
+    points: List[Tuple[float, float]] = [
+        (math.log(rank), math.log(freq))
+        for rank, freq in enumerate(window, start=min_rank)
+        if freq > 0
+    ]
+    n = len(points)
+    mean_x = sum(x for x, _ in points) / n
+    mean_y = sum(y for _, y in points) / n
+    covariance = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    variance = sum((x - mean_x) ** 2 for x, _ in points)
+    if variance == 0:
+        raise ValueError("degenerate rank window")
+    return -(covariance / variance)
+
+
+def corpus_zipf_exponent(
+    fs,
+    tokenizer: Optional[Tokenizer] = None,
+    max_rank: int = 200,
+    root: str = "",
+) -> float:
+    """Fit the Zipf exponent of a whole corpus's term stream."""
+    tokenizer = tokenizer or Tokenizer()
+
+    def stream():
+        for ref in fs.list_files(root):
+            yield from tokenizer.iter_terms(fs.read_file(ref.path))
+
+    return estimate_zipf_exponent(rank_frequencies(stream()),
+                                  max_rank=max_rank)

@@ -1,0 +1,26 @@
+"""Work-distribution strategies for handing files to term extractors.
+
+Section 2.1 of the paper lists the options considered: "Work queues,
+round-robin distribution, assignment based on file lengths, or work
+stealing".  All four are implemented here behind one interface so the
+ablation benchmark can compare them.  The paper's finding — and our
+default — is that plain round-robin into private per-extractor vectors
+is fastest, because it needs no synchronization at all.
+"""
+
+from repro.distribute.base import Distribution, DistributionStrategy
+from repro.distribute.roundrobin import RoundRobinStrategy
+from repro.distribute.sizebalanced import SizeBalancedStrategy
+from repro.distribute.workqueue import SharedQueueStrategy, WorkQueue
+from repro.distribute.worksteal import StealingDeque, WorkStealingStrategy
+
+__all__ = [
+    "Distribution",
+    "DistributionStrategy",
+    "RoundRobinStrategy",
+    "SharedQueueStrategy",
+    "SizeBalancedStrategy",
+    "StealingDeque",
+    "WorkStealingStrategy",
+    "WorkQueue",
+]

@@ -1,0 +1,57 @@
+"""Distribution strategy interface.
+
+A strategy splits the stage-1 filename list into ``k`` per-extractor
+work lists up front.  Queue-based strategies additionally expose runtime
+pull semantics, but every strategy can be asked for a static
+:class:`Distribution` — the engines use that to size their threads and
+the tests use it to check balance properties.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.fsmodel.nodes import FileRef
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """The result of statically splitting files among extractors."""
+
+    assignments: List[List[FileRef]]
+
+    @property
+    def worker_count(self) -> int:
+        """Number of extractor work lists."""
+        return len(self.assignments)
+
+    @property
+    def file_count(self) -> int:
+        """Total files across all work lists."""
+        return sum(len(a) for a in self.assignments)
+
+    def bytes_per_worker(self) -> List[int]:
+        """Total bytes assigned to each extractor."""
+        return [sum(ref.size for ref in a) for a in self.assignments]
+
+    def imbalance(self) -> float:
+        """max/mean byte load across workers (1.0 = perfectly balanced)."""
+        loads = self.bytes_per_worker()
+        mean = sum(loads) / len(loads) if loads else 0.0
+        return (max(loads) / mean) if mean else 1.0
+
+
+class DistributionStrategy(abc.ABC):
+    """Splits a filename list into per-extractor work lists."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def distribute(self, files: Sequence[FileRef], workers: int) -> Distribution:
+        """Assign ``files`` to ``workers`` extractors."""
+
+    def _check(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"worker count must be at least 1, got {workers}")

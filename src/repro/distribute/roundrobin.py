@@ -1,0 +1,28 @@
+"""Round-robin distribution — the paper's winner.
+
+"Given k term extractors, the filename generator fills k vectors with
+filenames in round-robin fashion.  Each term extractor then processes
+its private vector of filenames without any interference or
+synchronization."
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.distribute.base import Distribution, DistributionStrategy
+from repro.fsmodel.nodes import FileRef
+
+
+class RoundRobinStrategy(DistributionStrategy):
+    """File i goes to extractor i mod k."""
+
+    name = "round-robin"
+
+    def distribute(self, files: Sequence[FileRef], workers: int) -> Distribution:
+        """Deal files out like cards, preserving traversal order per worker."""
+        self._check(workers)
+        assignments: List[List[FileRef]] = [[] for _ in range(workers)]
+        for i, ref in enumerate(files):
+            assignments[i % workers].append(ref)
+        return Distribution(assignments)

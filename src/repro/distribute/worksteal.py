@@ -1,0 +1,83 @@
+"""Work stealing distribution.
+
+The fourth option from section 2.1: each extractor owns a deque seeded
+round-robin; when it runs dry it steals from the back of the busiest
+victim's deque.  Statically this equals round-robin; the value (and the
+cost — synchronization on every steal) appears at runtime, which the
+threaded engine and the ablation exercise via :class:`StealingDeque`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import List, Optional, Sequence
+
+from repro.distribute.base import Distribution, DistributionStrategy
+from repro.distribute.roundrobin import RoundRobinStrategy
+from repro.fsmodel.nodes import FileRef
+
+
+class StealingDeque:
+    """A deque owned by one worker that others may steal from.
+
+    The owner pops from the front (LIFO locality is irrelevant here:
+    items are files, processed once); thieves steal from the back, which
+    minimizes contention with the owner.  A single lock per deque keeps
+    the implementation obviously correct; steal counts are recorded.
+    """
+
+    def __init__(self, items: Optional[Sequence[FileRef]] = None) -> None:
+        self._items = deque(items or ())
+        self._lock = threading.Lock()
+        self.steals_suffered = 0
+
+    def pop_own(self) -> Optional[FileRef]:
+        """Owner's pop; None when empty."""
+        with self._lock:
+            return self._items.popleft() if self._items else None
+
+    def steal(self) -> Optional[FileRef]:
+        """Thief's pop from the opposite end; None when empty."""
+        with self._lock:
+            if not self._items:
+                return None
+            self.steals_suffered += 1
+            return self._items.pop()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+
+class WorkStealingStrategy(DistributionStrategy):
+    """Round-robin seeding plus runtime stealing support."""
+
+    name = "work-stealing"
+
+    def distribute(self, files: Sequence[FileRef], workers: int) -> Distribution:
+        """Static view: identical to round-robin (stealing is a runtime act)."""
+        return RoundRobinStrategy().distribute(files, workers)
+
+    def make_deques(
+        self, files: Sequence[FileRef], workers: int
+    ) -> List[StealingDeque]:
+        """Seeded deques for a real work-stealing run."""
+        distribution = self.distribute(files, workers)
+        return [StealingDeque(a) for a in distribution.assignments]
+
+    @staticmethod
+    def next_item(deques: List[StealingDeque], owner: int) -> Optional[FileRef]:
+        """Owner's pop, falling back to stealing from the longest victim."""
+        item = deques[owner].pop_own()
+        if item is not None:
+            return item
+        victims = sorted(
+            (i for i in range(len(deques)) if i != owner),
+            key=lambda i: -len(deques[i]),
+        )
+        for victim in victims:
+            item = deques[victim].steal()
+            if item is not None:
+                return item
+        return None

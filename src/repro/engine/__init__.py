@@ -1,0 +1,48 @@
+"""The threaded index generator: the paper's three implementations.
+
+Every implementation runs the same three-stage pipeline on real Python
+threads:
+
+1. a single thread generates the complete filename list in memory
+   (the paper's measured decision for stage 1);
+2. ``x`` term extractors process private round-robin file vectors;
+3. index updates go through one of three designs:
+
+   * **Implementation 1** (:class:`SharedLockedIndexer`) — one shared
+     index protected by a lock;
+   * **Implementation 2** (:class:`ReplicatedJoinedIndexer`) — private
+     index replicas joined after a barrier ("Join Forces");
+   * **Implementation 3** (:class:`ReplicatedUnjoinedIndexer`) — private
+     replicas left unjoined, searched through a
+     :class:`~repro.index.multi.MultiIndex`.
+
+A configuration tuple ``(x, y, z)`` selects ``x`` extractors, ``y``
+updater threads fed through a bounded buffer (``y = 0`` means extractors
+update inline), and ``z`` joiner threads.
+
+Python's GIL means these threads interleave rather than run truly in
+parallel; the timing behaviour of the paper's multicore machines is
+reproduced by :mod:`repro.simengine` instead.  This package proves the
+*logic* — locking, replication, joining, distribution — on real threads.
+"""
+
+from repro.engine.config import Implementation, ThreadConfig
+from repro.engine.impl1 import SharedLockedIndexer
+from repro.engine.impl2 import ReplicatedJoinedIndexer
+from repro.engine.impl3 import ReplicatedUnjoinedIndexer
+from repro.engine.results import BuildReport, StageTimings
+from repro.engine.runner import IndexGenerator, measure_stage_times
+from repro.engine.sequential import SequentialIndexer
+
+__all__ = [
+    "BuildReport",
+    "Implementation",
+    "IndexGenerator",
+    "ReplicatedJoinedIndexer",
+    "ReplicatedUnjoinedIndexer",
+    "SequentialIndexer",
+    "SharedLockedIndexer",
+    "StageTimings",
+    "ThreadConfig",
+    "measure_stage_times",
+]

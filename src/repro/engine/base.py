@@ -1,0 +1,260 @@
+"""Shared pipeline machinery for the three threaded implementations.
+
+Stage 1 (single-threaded filename generation into memory), the extractor
+worker loop, and the updater worker loop are identical across the three
+designs; only the *sink* a term block flows into differs.  The base
+class factors them out so each implementation is just a sink policy.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.concurrency.buffers import BoundedBuffer, Closed
+from repro.distribute.base import DistributionStrategy
+from repro.distribute.roundrobin import RoundRobinStrategy
+from repro.engine.config import Implementation, ThreadConfig
+from repro.engine.results import BuildReport, StageTimings
+from repro.fsmodel.nodes import FileRef
+from repro.text.dedup import extract_term_block
+from repro.text.termblock import TermBlock
+from repro.text.tokenizer import Tokenizer
+
+BlockSink = Callable[[int, TermBlock], None]
+
+
+class ThreadedIndexerBase:
+    """Common scaffolding: stage 1, extractors, optional updater stage.
+
+    Subclasses implement :meth:`_build` which wires term blocks into
+    their index design and returns the finished index plus join time.
+    """
+
+    implementation: Implementation
+
+    def __init__(
+        self,
+        fs,
+        tokenizer: Optional[Tokenizer] = None,
+        strategy: Optional[DistributionStrategy] = None,
+        buffer_capacity: int = 256,
+        registry=None,
+        dynamic: Optional[str] = None,
+    ) -> None:
+        self.fs = fs
+        self.tokenizer = tokenizer or Tokenizer()
+        self.strategy = strategy or RoundRobinStrategy()
+        self.buffer_capacity = buffer_capacity
+        # Optional repro.formats.FormatRegistry: when set, stage 2 first
+        # extracts plain text from each file's format (HTML, DocZ, ...)
+        # before tokenizing — the paper's "more file formats" extension.
+        self.registry = registry
+        # Dynamic work acquisition instead of static private vectors:
+        # None (the paper's choice), "steal" (per-extractor deques with
+        # work stealing) or "queue" (one shared synchronized queue) —
+        # the runtime halves of section 2.1's four options.
+        if dynamic not in (None, "steal", "queue"):
+            raise ValueError(
+                f"dynamic must be None, 'steal' or 'queue', got {dynamic!r}"
+            )
+        self.dynamic = dynamic
+
+    # -- public API ------------------------------------------------------
+
+    def build(self, config: ThreadConfig, root: str = "") -> BuildReport:
+        """Run the full pipeline under ``config`` and report the result."""
+        config.validate_for(self.implementation)
+        timings = StageTimings()
+        start = time.perf_counter()
+
+        t0 = time.perf_counter()
+        files = list(self.fs.list_files(root))
+        timings.filename_generation = time.perf_counter() - t0
+
+        index, join_time, update_time, extract_time = self._build(config, files)
+        timings.join = join_time
+        timings.update = update_time
+        timings.extraction = extract_time
+
+        wall = time.perf_counter() - start
+        return BuildReport(
+            implementation=self.implementation,
+            config=config,
+            index=index,
+            wall_time=wall,
+            timings=timings,
+            file_count=len(files),
+            term_count=len(index),
+            posting_count=index.posting_count,
+            extractor_times=list(getattr(self, "last_extractor_times", [])),
+        )
+
+    # -- subclass hook -----------------------------------------------------
+
+    def _build(
+        self, config: ThreadConfig, files: Sequence[FileRef]
+    ) -> Tuple[object, float, float, float]:
+        """Run stages 2+3; returns (index, join_s, update_s, extract_s)."""
+        raise NotImplementedError
+
+    # -- shared stage machinery ---------------------------------------------
+
+    def _extract_file(self, ref: FileRef) -> TermBlock:
+        """Stage 2 for one file: read, (convert,) scan, de-duplicate."""
+        content = self.fs.read_file(ref.path)
+        if self.registry is not None:
+            content = self.registry.extract_text(ref.path, content)
+        return extract_term_block(ref.path, content, self.tokenizer)
+
+    def _run_extractors(
+        self, config: ThreadConfig, files: Sequence[FileRef], sink: BlockSink
+    ) -> float:
+        """Run ``config.extractors`` extractor threads to completion.
+
+        Each extractor acquires work per ``self.dynamic`` — a private
+        static list (the paper's design), a stealing deque, or a shared
+        queue — and pushes every term block into ``sink`` with its own
+        worker id.  Returns elapsed seconds.  Exceptions raised inside
+        workers are re-raised here.
+        """
+        errors: List[BaseException] = []
+        worker = self._make_worker(config.extractors, files, sink, errors)
+        self.last_extractor_times = [0.0] * config.extractors
+
+        def timed_worker(worker_id: int) -> None:
+            started = time.perf_counter()
+            try:
+                worker(worker_id)
+            finally:
+                self.last_extractor_times[worker_id] = (
+                    time.perf_counter() - started
+                )
+
+        t0 = time.perf_counter()
+        threads = [
+            threading.Thread(target=timed_worker, args=(i,), daemon=True)
+            for i in range(config.extractors)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - t0
+        if errors:
+            raise errors[0]
+        return elapsed
+
+    def _make_worker(
+        self,
+        extractors: int,
+        files: Sequence[FileRef],
+        sink: BlockSink,
+        errors: List[BaseException],
+    ) -> Callable[[int], None]:
+        """Build the extractor thread body for the configured work mode."""
+        if self.dynamic == "steal":
+            from repro.distribute.worksteal import WorkStealingStrategy
+
+            deques = WorkStealingStrategy().make_deques(files, extractors)
+
+            def worker(worker_id: int) -> None:
+                try:
+                    while True:
+                        ref = WorkStealingStrategy.next_item(deques, worker_id)
+                        if ref is None:
+                            return
+                        sink(worker_id, self._extract_file(ref))
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            return worker
+
+        if self.dynamic == "queue":
+            from repro.distribute.workqueue import WorkQueue
+
+            queue = WorkQueue(files)
+            queue.close()
+
+            def worker(worker_id: int) -> None:
+                try:
+                    while True:
+                        ref = queue.get()
+                        if ref is None:
+                            return
+                        sink(worker_id, self._extract_file(ref))
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            return worker
+
+        # Static private vectors (the paper's round-robin default).
+        distribution = self.strategy.distribute(files, extractors)
+
+        def worker(worker_id: int) -> None:
+            try:
+                for ref in distribution.assignments[worker_id]:
+                    sink(worker_id, self._extract_file(ref))
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        return worker
+
+    def _run_buffered(
+        self,
+        config: ThreadConfig,
+        files: Sequence[FileRef],
+        update: BlockSink,
+    ) -> Tuple[float, float]:
+        """Extractors -> bounded buffer -> ``config.updaters`` updaters.
+
+        ``update`` receives (updater_id, block).  Returns (extract_s,
+        update_s); the two stages overlap, so their sum exceeds the
+        wall-clock time of this phase.
+
+        Failure handling: a dying updater closes the buffer so blocked
+        extractors cannot deadlock on a full buffer; the updater's
+        original exception (not the extractors' secondary ``Closed``)
+        is what propagates.
+        """
+        buffer: BoundedBuffer[TermBlock] = BoundedBuffer(self.buffer_capacity)
+        errors: List[BaseException] = []
+
+        def updater(updater_id: int) -> None:
+            try:
+                while True:
+                    try:
+                        block = buffer.get()
+                    except Closed:
+                        return
+                    update(updater_id, block)
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                errors.append(exc)
+                buffer.close()  # unblock producers; their puts raise Closed
+
+        t0 = time.perf_counter()
+        updater_threads = [
+            threading.Thread(target=updater, args=(i,), daemon=True)
+            for i in range(config.updaters)
+        ]
+        for thread in updater_threads:
+            thread.start()
+
+        try:
+            extract_elapsed = self._run_extractors(
+                config, files, lambda _w, block: buffer.put(block)
+            )
+        except Closed:
+            # Secondary failure: an updater died and closed the buffer.
+            extract_elapsed = time.perf_counter() - t0
+        buffer.close()
+        for thread in updater_threads:
+            thread.join()
+        update_elapsed = time.perf_counter() - t0
+        if errors:
+            for error in errors:
+                if not isinstance(error, Closed):
+                    raise error
+            raise errors[0]
+        return extract_elapsed, update_elapsed

@@ -1,0 +1,127 @@
+"""Implementation selection and thread-configuration tuples.
+
+The paper describes every run by a tuple ``(x, y, z)``: the number of
+threads used in term extraction, index update, and index join.  A
+``y`` of 0 means the extractors update the index inline rather than
+passing term blocks through a buffer to dedicated updater threads.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+class Implementation(enum.Enum):
+    """The three index-sharing designs compared in the paper."""
+
+    SHARED_LOCKED = 1
+    REPLICATED_JOINED = 2
+    REPLICATED_UNJOINED = 3
+
+    @property
+    def paper_name(self) -> str:
+        """The label used in the paper's tables."""
+        return f"Implementation {self.value}"
+
+    @property
+    def joins(self) -> bool:
+        """Whether this design has a join phase."""
+        return self is Implementation.REPLICATED_JOINED
+
+
+@dataclass(frozen=True)
+class ThreadConfig:
+    """The (x, y, z) thread-count tuple of a run."""
+
+    extractors: int
+    updaters: int = 0
+    joiners: int = 0
+
+    def __post_init__(self) -> None:
+        if self.extractors < 1:
+            raise ValueError("at least one extractor thread is required")
+        if self.updaters < 0 or self.joiners < 0:
+            raise ValueError("thread counts cannot be negative")
+
+    def validate_for(self, implementation: Implementation) -> None:
+        """Reject tuples that make no sense for the given implementation.
+
+        Implementations 1 and 3 never join (z must be 0); Implementation
+        2 must join (z >= 1).  This matches the tuples the paper reports:
+        e.g. (3, 5, 1) for Implementation 2, (3, 2, 0) for 3.
+        """
+        if implementation.joins:
+            if self.joiners < 1:
+                raise ValueError(
+                    f"{implementation.paper_name} joins replicas and needs "
+                    f"at least one joiner thread, got z={self.joiners}"
+                )
+        elif self.joiners != 0:
+            raise ValueError(
+                f"{implementation.paper_name} never joins; z must be 0, "
+                f"got z={self.joiners}"
+            )
+        if (
+            implementation is not Implementation.SHARED_LOCKED
+            and self.replica_count < 2
+        ):
+            raise ValueError(
+                f"{implementation.paper_name} replicates the index and needs "
+                f"at least two replicas; config {self} yields "
+                f"{self.replica_count} (a single-replica run degenerates to "
+                "an unshared single-index build)"
+            )
+
+    @property
+    def replica_count(self) -> int:
+        """Number of index replicas a replicated design builds.
+
+        One per updater thread, or one per extractor when extractors
+        update inline (y = 0).
+        """
+        return self.updaters if self.updaters > 0 else self.extractors
+
+    @property
+    def uses_buffer(self) -> bool:
+        """Whether term blocks flow through a buffer to updater threads."""
+        return self.updaters > 0
+
+    @property
+    def total_threads(self) -> int:
+        """Worker threads across all stages (joiners included)."""
+        return self.extractors + self.updaters + self.joiners
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        """The (x, y, z) tuple as the paper prints it."""
+        return (self.extractors, self.updaters, self.joiners)
+
+    def __str__(self) -> str:
+        return f"({self.extractors}, {self.updaters}, {self.joiners})"
+
+
+def enumerate_configs(
+    implementation: Implementation,
+    max_extractors: int,
+    max_updaters: int,
+    max_joiners: int = 2,
+) -> Iterator[ThreadConfig]:
+    """All valid (x, y, z) tuples within the given bounds.
+
+    This is the configuration space the paper swept ("Any combination of
+    thread counts ... was run 5 times on each system") and the domain of
+    the auto-tuner.
+    """
+    if max_extractors < 1:
+        raise ValueError("max_extractors must be at least 1")
+    joiner_range = range(1, max_joiners + 1) if implementation.joins else (0,)
+    for x in range(1, max_extractors + 1):
+        for y in range(0, max_updaters + 1):
+            for z in joiner_range:
+                config = ThreadConfig(x, y, z)
+                try:
+                    config.validate_for(implementation)
+                except ValueError:
+                    continue
+                yield config

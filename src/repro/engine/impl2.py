@@ -1,0 +1,54 @@
+"""Implementation 2: replicated indices joined at the end ("Join Forces").
+
+Each writer (updater thread, or extractor when ``y = 0``) owns a private
+index replica, so stages 2-3 run with *no* index synchronization at all.
+A barrier separates the build from the join; then ``z`` joiner threads
+merge the replicas into one index (``z = 1``: a single fold; ``z > 1``:
+a pairwise reduction tree with ``z`` threads per level).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Sequence, Tuple
+
+from repro.engine.base import ThreadedIndexerBase
+from repro.engine.config import Implementation, ThreadConfig
+from repro.fsmodel.nodes import FileRef
+from repro.index.inverted import InvertedIndex
+from repro.index.merge import join_indices, join_pairwise_tree
+from repro.text.termblock import TermBlock
+
+
+class ReplicatedJoinedIndexer(ThreadedIndexerBase):
+    """Private replicas per writer, merged after a barrier."""
+
+    implementation = Implementation.REPLICATED_JOINED
+
+    def _build(
+        self, config: ThreadConfig, files: Sequence[FileRef]
+    ) -> Tuple[InvertedIndex, float, float, float]:
+        replicas: List[InvertedIndex] = [
+            InvertedIndex() for _ in range(config.replica_count)
+        ]
+
+        def private_update(worker: int, block: TermBlock) -> None:
+            # No lock: each worker id maps to its own replica.
+            replicas[worker].add_block(block)
+
+        if config.uses_buffer:
+            extract_s, update_s = self._run_buffered(config, files, private_update)
+        else:
+            t0 = time.perf_counter()
+            extract_s = self._run_extractors(config, files, private_update)
+            update_s = time.perf_counter() - t0
+
+        # All writers have completed (thread joins act as the barrier the
+        # paper describes); now the join phase runs.
+        t0 = time.perf_counter()
+        if config.joiners == 1:
+            index = join_indices(replicas)
+        else:
+            index = join_pairwise_tree(replicas, threads_per_level=config.joiners)
+        join_s = time.perf_counter() - t0
+        return index, join_s, update_s, extract_s

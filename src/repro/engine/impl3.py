@@ -1,0 +1,43 @@
+"""Implementation 3: replicated indices, never joined.
+
+Identical to Implementation 2 up to the barrier — then it simply stops,
+"because the search can work with multiple indices in parallel".  The
+result is a :class:`~repro.index.multi.MultiIndex` over the replicas.
+This is the design that wins on the 8- and 32-core machines.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Sequence, Tuple
+
+from repro.engine.base import ThreadedIndexerBase
+from repro.engine.config import Implementation, ThreadConfig
+from repro.fsmodel.nodes import FileRef
+from repro.index.inverted import InvertedIndex
+from repro.index.multi import MultiIndex
+from repro.text.termblock import TermBlock
+
+
+class ReplicatedUnjoinedIndexer(ThreadedIndexerBase):
+    """Private replicas per writer, returned as a multi-index view."""
+
+    implementation = Implementation.REPLICATED_UNJOINED
+
+    def _build(
+        self, config: ThreadConfig, files: Sequence[FileRef]
+    ) -> Tuple[MultiIndex, float, float, float]:
+        replicas: List[InvertedIndex] = [
+            InvertedIndex() for _ in range(config.replica_count)
+        ]
+
+        def private_update(worker: int, block: TermBlock) -> None:
+            replicas[worker].add_block(block)
+
+        if config.uses_buffer:
+            extract_s, update_s = self._run_buffered(config, files, private_update)
+        else:
+            t0 = time.perf_counter()
+            extract_s = self._run_extractors(config, files, private_update)
+            update_s = time.perf_counter() - t0
+        return MultiIndex(replicas), 0.0, update_s, extract_s

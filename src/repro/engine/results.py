@@ -1,0 +1,92 @@
+"""Build reports: what a run of the index generator returns.
+
+Besides the index itself, every run records wall-clock stage timings so
+the real engine can produce the same kind of breakdown as Table 1 and
+the same per-configuration comparisons as Tables 2-4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.engine.config import Implementation, ThreadConfig
+from repro.index.inverted import InvertedIndex
+from repro.index.multi import MultiIndex
+
+
+@dataclass
+class StageTimings:
+    """Wall-clock seconds spent per pipeline stage."""
+
+    filename_generation: float = 0.0
+    extraction: float = 0.0
+    update: float = 0.0
+    join: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Sum over stages; for concurrent stages this exceeds wall time."""
+        return self.filename_generation + self.extraction + self.update + self.join
+
+
+@dataclass
+class BuildReport:
+    """Everything a build run produced."""
+
+    implementation: Implementation
+    config: ThreadConfig
+    index: Union[InvertedIndex, MultiIndex]
+    wall_time: float
+    timings: StageTimings = field(default_factory=StageTimings)
+    file_count: int = 0
+    term_count: int = 0
+    posting_count: int = 0
+    # Wall-clock seconds each extractor thread was alive, by worker id —
+    # the per-thread measurement behind the paper's balance discussion.
+    extractor_times: List[float] = field(default_factory=list)
+
+    @property
+    def extractor_imbalance(self) -> float:
+        """max/mean extractor lifetime (1.0 = perfectly balanced)."""
+        if not self.extractor_times:
+            return 1.0
+        mean = sum(self.extractor_times) / len(self.extractor_times)
+        return max(self.extractor_times) / mean if mean else 1.0
+
+    def lookup(self, term: str) -> List[str]:
+        """Search the produced index (works for single and multi)."""
+        return self.index.lookup(term)
+
+    def speedup_over(self, sequential_time: float) -> float:
+        """Speed-up relative to a sequential baseline time."""
+        if self.wall_time <= 0:
+            raise ValueError("wall_time must be positive to compute speed-up")
+        return sequential_time / self.wall_time
+
+    def summary(self) -> str:
+        """One-line human-readable result, echoing the paper's tables."""
+        return (
+            f"{self.implementation.paper_name} {self.config}: "
+            f"{self.wall_time:.3f}s, {self.file_count} files, "
+            f"{self.term_count} terms, {self.posting_count} postings"
+        )
+
+
+def checked_replica_paths(replicas: List[InvertedIndex]) -> Optional[str]:
+    """Sanity check that replicas are disjoint per file.
+
+    Returns the first path found in more than one replica, or None if
+    the en-bloc invariant (each file indexed exactly once) holds.  Used
+    by integration tests and debug assertions.
+    """
+    seen = set()
+    for replica in replicas:
+        replica_paths = set()
+        for _, postings in replica.items():
+            replica_paths.update(postings)
+        overlap = seen & replica_paths
+        if overlap:
+            return next(iter(overlap))
+        seen |= replica_paths
+    return None

@@ -1,0 +1,63 @@
+"""Experiment drivers that regenerate the paper's tables.
+
+One driver per table:
+
+* :func:`run_table1` — sequential stage times on all three platforms;
+* :func:`run_best_config_table` — the best configuration, execution
+  time, speed-up and variance-vs-Implementation-1 for each of the three
+  implementations on one platform (Tables 2, 3, 4 are this driver on
+  the three calibrated platforms);
+* :func:`run_all_tables` — everything, plus a paper-vs-simulated
+  comparison report.
+
+The paper's reported numbers live in :mod:`repro.experiments.paper` so
+the comparison (and the test suite's shape assertions) have a single
+source of truth.
+"""
+
+from repro.experiments.paper import (
+    PAPER_BEST,
+    PAPER_SEQUENTIAL,
+    PAPER_STAGE_TIMES,
+    PaperBestEntry,
+)
+from repro.experiments.runner import (
+    BestConfigRow,
+    BestConfigTable,
+    Table1Row,
+    run_all_tables,
+    run_best_config_table,
+    run_table1,
+)
+from repro.experiments.report import (
+    best_config_markdown,
+    comparison_report,
+    table1_markdown,
+)
+from repro.experiments.sensitivity import (
+    SensitivityReport,
+    render_sensitivity,
+    sweep_parameter,
+)
+from repro.experiments.tables import render_best_config_table, render_table1
+
+__all__ = [
+    "SensitivityReport",
+    "best_config_markdown",
+    "comparison_report",
+    "render_sensitivity",
+    "sweep_parameter",
+    "table1_markdown",
+    "BestConfigRow",
+    "BestConfigTable",
+    "PAPER_BEST",
+    "PAPER_SEQUENTIAL",
+    "PAPER_STAGE_TIMES",
+    "PaperBestEntry",
+    "Table1Row",
+    "render_best_config_table",
+    "render_table1",
+    "run_all_tables",
+    "run_best_config_table",
+    "run_table1",
+]

@@ -1,0 +1,80 @@
+"""The paper's reported numbers (Tables 1-4), as data.
+
+Single source of truth for the comparison reports in EXPERIMENTS.md and
+for the test suite's shape assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.engine.config import Implementation, ThreadConfig
+
+#: Table 1 — sequential stage execution times in seconds:
+#: (filename generation, read files, read files + extract terms, index update)
+PAPER_STAGE_TIMES: Dict[str, Tuple[float, float, float, float]] = {
+    "quad-core": (5.0, 77.0, 88.0, 22.0),
+    "octo-core": (4.0, 47.0, 61.0, 29.0),
+    "manycore-32": (5.0, 73.0, 80.0, 28.0),
+}
+
+#: Sequential implementation totals quoted in section 4.
+PAPER_SEQUENTIAL: Dict[str, float] = {
+    "quad-core": 220.0,
+    "octo-core": 105.0,
+    "manycore-32": 90.0,
+}
+
+
+@dataclass(frozen=True)
+class PaperBestEntry:
+    """One row of Tables 2-4."""
+
+    config: ThreadConfig
+    exec_time_s: float
+    speedup: float
+    variance_vs_impl1_pct: float
+
+
+#: Tables 2-4 — best configuration per (platform, implementation).
+PAPER_BEST: Dict[str, Dict[Implementation, PaperBestEntry]] = {
+    "quad-core": {
+        Implementation.SHARED_LOCKED: PaperBestEntry(
+            ThreadConfig(3, 1, 0), 46.7, 4.71, 0.0
+        ),
+        Implementation.REPLICATED_JOINED: PaperBestEntry(
+            ThreadConfig(3, 5, 1), 46.9, 4.70, -0.21
+        ),
+        Implementation.REPLICATED_UNJOINED: PaperBestEntry(
+            ThreadConfig(3, 2, 0), 46.4, 4.74, 0.85
+        ),
+    },
+    "octo-core": {
+        Implementation.SHARED_LOCKED: PaperBestEntry(
+            ThreadConfig(3, 2, 0), 59.5, 1.76, 0.0
+        ),
+        Implementation.REPLICATED_JOINED: PaperBestEntry(
+            ThreadConfig(6, 2, 1), 57.7, 1.82, 3.4
+        ),
+        Implementation.REPLICATED_UNJOINED: PaperBestEntry(
+            ThreadConfig(6, 2, 0), 49.5, 2.12, 16.5
+        ),
+    },
+    "manycore-32": {
+        Implementation.SHARED_LOCKED: PaperBestEntry(
+            ThreadConfig(8, 4, 0), 45.9, 1.96, 0.0
+        ),
+        Implementation.REPLICATED_JOINED: PaperBestEntry(
+            ThreadConfig(8, 4, 1), 36.4, 2.47, 26.0
+        ),
+        Implementation.REPLICATED_UNJOINED: PaperBestEntry(
+            ThreadConfig(9, 4, 0), 25.7, 3.50, 78.6
+        ),
+    },
+}
+
+#: The paper's benchmark description (section 3).
+PAPER_BENCHMARK_FILES = 51_000
+PAPER_BENCHMARK_MEGABYTES = 869.0
+PAPER_BENCHMARK_LARGE_FILES = 5

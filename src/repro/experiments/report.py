@@ -1,0 +1,135 @@
+"""Markdown comparison reports: paper vs. this reproduction.
+
+:func:`comparison_report` renders the output of
+:func:`repro.experiments.runner.run_all_tables` into the
+paper-vs-measured markdown that EXPERIMENTS.md embeds, so the document
+can be regenerated from a fresh run (CLI: ``tables --markdown``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.paper import (
+    PAPER_BEST,
+    PAPER_SEQUENTIAL,
+    PAPER_STAGE_TIMES,
+)
+from repro.experiments.runner import BestConfigTable, Table1Row
+
+
+def table1_markdown(rows: List[Table1Row]) -> str:
+    """Table 1 as a markdown paper-vs-measured table."""
+    lines = [
+        "| platform | stage | paper (s) | measured (s) |",
+        "|---|---|---:|---:|",
+    ]
+    stages = (
+        ("filename generation", "filename_generation", 0),
+        ("read files", "read_files", 1),
+        ("read + extract", "read_and_extract", 2),
+        ("index update", "index_update", 3),
+    )
+    for row in rows:
+        paper = PAPER_STAGE_TIMES.get(row.platform)
+        for label, attribute, paper_idx in stages:
+            paper_value = f"{paper[paper_idx]:.1f}" if paper else "-"
+            lines.append(
+                f"| {row.platform} | {label} | {paper_value} "
+                f"| {getattr(row, attribute):.1f} |"
+            )
+    return "\n".join(lines)
+
+
+def best_config_markdown(table: BestConfigTable) -> str:
+    """One best-config table as markdown, with the paper columns."""
+    paper = PAPER_BEST.get(table.platform, {})
+    paper_seq = PAPER_SEQUENTIAL.get(table.platform)
+    header = (
+        f"Sequential baseline: paper "
+        f"{paper_seq:.1f} s, measured {table.sequential_s:.1f} s."
+        if paper_seq is not None
+        else f"Sequential baseline: {table.sequential_s:.1f} s."
+    )
+    lines = [
+        header,
+        "",
+        "| implementation | paper config | paper time | paper speed-up "
+        "| measured config | measured time | measured speed-up |",
+        "|---|---|---:|---:|---|---:|---:|",
+    ]
+    for row in table.rows:
+        entry = paper.get(row.implementation)
+        paper_cells = (
+            f"| {entry.config} | {entry.exec_time_s:.1f} | {entry.speedup:.2f} "
+            if entry
+            else "| - | - | - "
+        )
+        lines.append(
+            f"| {row.implementation.paper_name} "
+            + paper_cells
+            + f"| {row.config} | {row.exec_time_s:.1f} "
+            f"| {row.speedup:.2f} |"
+        )
+    return "\n".join(lines)
+
+
+def comparison_report(results: Dict[str, object]) -> str:
+    """Full markdown report from :func:`run_all_tables` output."""
+    sections = [
+        "# Reproduction report: paper vs. measured",
+        "",
+        "## Table 1 — sequential stage times",
+        "",
+        table1_markdown(results["table1"]),
+    ]
+    table_number = 2
+    for key, value in results.items():
+        if key == "table1":
+            continue
+        sections += [
+            "",
+            f"## Table {table_number} — best configurations on {key}",
+            "",
+            best_config_markdown(value),
+        ]
+        table_number += 1
+    sections += [
+        "",
+        "## Verdict",
+        "",
+        _verdict(results),
+    ]
+    return "\n".join(sections)
+
+
+def _verdict(results: Dict[str, object]) -> str:
+    """One-paragraph automatic pass/fail summary."""
+    worst = 0.0
+    orderings_ok = True
+    for key, value in results.items():
+        if key == "table1" or key not in PAPER_BEST:
+            continue
+        table: BestConfigTable = value
+        speedups = {}
+        for row in table.rows:
+            entry = PAPER_BEST[key][row.implementation]
+            worst = max(worst, abs(row.speedup / entry.speedup - 1.0))
+            speedups[row.implementation] = row.speedup
+        paper_order = sorted(
+            PAPER_BEST[key], key=lambda impl: PAPER_BEST[key][impl].speedup
+        )
+        measured_order = sorted(speedups, key=lambda impl: speedups[impl])
+        # The 4-core machine is a statistical tie in the paper itself,
+        # so ordering is only meaningful where the paper's gaps are.
+        if key != "quad-core" and paper_order != measured_order:
+            orderings_ok = False
+    ordering_text = (
+        "All implementation orderings match the paper."
+        if orderings_ok
+        else "WARNING: at least one implementation ordering deviates."
+    )
+    return (
+        f"{ordering_text} The largest speed-up deviation from the paper "
+        f"is {worst * 100:.1f} %."
+    )

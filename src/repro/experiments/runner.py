@@ -1,0 +1,151 @@
+"""Experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.autotune import ConfigurationSpace, ExhaustiveSearch
+from repro.engine.config import Implementation, ThreadConfig
+from repro.platforms import ALL_PLATFORMS, PlatformProfile
+from repro.simengine import SimPipeline, Workload
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One platform's sequential stage times."""
+
+    platform: str
+    filename_generation: float
+    read_files: float
+    read_and_extract: float
+    index_update: float
+
+
+@dataclass(frozen=True)
+class BestConfigRow:
+    """One implementation's best result on a platform (Tables 2-4)."""
+
+    implementation: Implementation
+    config: ThreadConfig
+    exec_time_s: float
+    speedup: float
+    variance_vs_impl1_pct: float
+
+
+@dataclass
+class BestConfigTable:
+    """A full Table 2/3/4: sequential baseline plus the three rows."""
+
+    platform: str
+    sequential_s: float
+    rows: List[BestConfigRow] = field(default_factory=list)
+
+    def row_for(self, implementation: Implementation) -> BestConfigRow:
+        """The row of the given implementation."""
+        for row in self.rows:
+            if row.implementation is implementation:
+                return row
+        raise KeyError(implementation)
+
+
+def default_workload() -> Workload:
+    """The paper-scale synthetic workload (51,000 files / 869 MB)."""
+    return Workload.synthesize()
+
+
+def run_table1(
+    workload: Optional[Workload] = None,
+    platforms: Sequence[PlatformProfile] = ALL_PLATFORMS,
+) -> List[Table1Row]:
+    """Regenerate Table 1: isolated sequential stage times per platform."""
+    workload = workload or default_workload()
+    rows = []
+    for platform in platforms:
+        times = SimPipeline(platform, workload).stage_times()
+        rows.append(
+            Table1Row(
+                platform=platform.name,
+                filename_generation=times.filename_generation,
+                read_files=times.read_files,
+                read_and_extract=times.read_and_extract,
+                index_update=times.index_update,
+            )
+        )
+    return rows
+
+
+def run_best_config_table(
+    platform: PlatformProfile,
+    workload: Optional[Workload] = None,
+    max_extractors: int = 12,
+    max_updaters: int = 6,
+    max_joiners: int = 2,
+    batches_per_extractor: int = 200,
+) -> BestConfigTable:
+    """Regenerate one of Tables 2-4 for ``platform``.
+
+    Follows the paper's methodology: run every valid thread-count
+    combination for each implementation (exhaustive sweep — the
+    simulator is deterministic, so the paper's 5-run averaging is not
+    needed) and report the best, with speed-ups against the naive
+    sequential implementation and the variance-vs-Implementation-1
+    column the paper prints.
+    """
+    workload = workload or default_workload()
+    pipeline = SimPipeline(
+        platform, workload, batches_per_extractor=batches_per_extractor
+    )
+    sequential_s = pipeline.run_sequential(naive=True).total_s
+
+    table = BestConfigTable(platform=platform.name, sequential_s=sequential_s)
+    search = ExhaustiveSearch()
+    best: Dict[Implementation, BestConfigRow] = {}
+    for implementation in Implementation:
+        space = ConfigurationSpace(
+            implementation,
+            max_extractors=max_extractors,
+            max_updaters=max_updaters,
+            max_joiners=max_joiners,
+        )
+        result = search.run(
+            space,
+            lambda config, impl=implementation: pipeline.run(impl, config).total_s,
+        )
+        best[implementation] = BestConfigRow(
+            implementation=implementation,
+            config=result.best_config,
+            exec_time_s=result.best_value,
+            speedup=sequential_s / result.best_value,
+            variance_vs_impl1_pct=0.0,
+        )
+
+    impl1_speedup = best[Implementation.SHARED_LOCKED].speedup
+    for implementation in Implementation:
+        row = best[implementation]
+        variance = (row.speedup / impl1_speedup - 1.0) * 100.0
+        table.rows.append(
+            BestConfigRow(
+                implementation=row.implementation,
+                config=row.config,
+                exec_time_s=row.exec_time_s,
+                speedup=row.speedup,
+                variance_vs_impl1_pct=variance,
+            )
+        )
+    return table
+
+
+def run_all_tables(
+    workload: Optional[Workload] = None,
+    platforms: Sequence[PlatformProfile] = ALL_PLATFORMS,
+    **sweep_kwargs,
+) -> Dict[str, object]:
+    """Regenerate every table; returns {'table1': [...], '<platform>': table}."""
+    workload = workload or default_workload()
+    results: Dict[str, object] = {"table1": run_table1(workload, platforms)}
+    for platform in platforms:
+        results[platform.name] = run_best_config_table(
+            platform, workload, **sweep_kwargs
+        )
+    return results

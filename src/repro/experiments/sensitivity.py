@@ -1,0 +1,144 @@
+"""Sensitivity analysis of the fitted platform parameters.
+
+Table 1 pins most of each platform model down, but a handful of
+parameters (aggregate disk bandwidth, coherence penalty, lock handoff,
+thrash, join rate) were *fitted* to Tables 2-4.  A reproduction whose
+conclusions only hold at the exact fitted values would be fragile; this
+module perturbs one parameter at a time, re-runs the configuration
+sweep, and reports whether the paper's qualitative conclusions (the
+implementation ordering, the win factors) survive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.engine.config import Implementation
+from repro.experiments.runner import run_best_config_table
+from repro.platforms import PlatformProfile, hypothetical
+from repro.simengine import Workload
+
+#: The fitted parameters worth perturbing.
+FITTED_PARAMETERS = (
+    "aggregate_mbps",
+    "shared_coherence",
+    "lock_handoff_us",
+    "disk_thrash",
+    "join_mpairs_per_s",
+)
+
+
+@dataclass
+class SensitivityPoint:
+    """The sweep outcome at one perturbed parameter value."""
+
+    parameter: str
+    scale: float
+    value: float
+    speedups: Dict[Implementation, float] = field(default_factory=dict)
+
+    def ordering(self) -> List[Implementation]:
+        """Implementations from slowest to fastest."""
+        return sorted(self.speedups, key=lambda impl: self.speedups[impl])
+
+
+@dataclass
+class SensitivityReport:
+    """All points for one (platform, parameter) study."""
+
+    platform: str
+    parameter: str
+    baseline_value: float
+    points: List[SensitivityPoint] = field(default_factory=list)
+
+    def ordering_stable(self) -> bool:
+        """Whether every perturbation preserves the baseline ordering."""
+        orderings = {tuple(point.ordering()) for point in self.points}
+        return len(orderings) == 1
+
+    def speedup_range(self, implementation: Implementation) -> float:
+        """Max minus min speed-up of one implementation across points."""
+        values = [point.speedups[implementation] for point in self.points]
+        return max(values) - min(values)
+
+
+def sweep_parameter(
+    platform: PlatformProfile,
+    workload: Workload,
+    parameter: str,
+    scales: Sequence[float] = (0.5, 0.75, 1.0, 1.5, 2.0),
+    max_extractors: int = 8,
+    max_updaters: int = 4,
+    batches_per_extractor: int = 60,
+) -> SensitivityReport:
+    """Perturb one fitted parameter multiplicatively and re-sweep.
+
+    ``scales`` multiply the baseline value; each point re-runs the full
+    best-configuration search, so optima may move — the question is
+    whether the *conclusions* move.
+    """
+    if parameter not in FITTED_PARAMETERS:
+        raise ValueError(
+            f"{parameter!r} is not a fitted parameter; "
+            f"one of {FITTED_PARAMETERS}"
+        )
+    baseline = getattr(platform, parameter)
+    report = SensitivityReport(
+        platform=platform.name, parameter=parameter, baseline_value=baseline
+    )
+    for scale in scales:
+        value = baseline * scale
+        variant = _perturbed(platform, parameter, value)
+        table = run_best_config_table(
+            variant,
+            workload,
+            max_extractors=max_extractors,
+            max_updaters=max_updaters,
+            batches_per_extractor=batches_per_extractor,
+        )
+        point = SensitivityPoint(parameter=parameter, scale=scale, value=value)
+        for row in table.rows:
+            point.speedups[row.implementation] = row.speedup
+        report.points.append(point)
+    return report
+
+
+def _perturbed(
+    platform: PlatformProfile, parameter: str, value: float
+) -> PlatformProfile:
+    overrides = {parameter: value}
+    # Keep the profile valid: the aggregate can never fall below the
+    # single-stream bandwidth.
+    if parameter == "aggregate_mbps" and value < platform.per_stream_mbps:
+        overrides[parameter] = platform.per_stream_mbps
+    return hypothetical(platform, **overrides)
+
+
+def render_sensitivity(report: SensitivityReport) -> str:
+    """A plain-text table of the study."""
+    lines = [
+        f"Sensitivity of {report.platform} to {report.parameter} "
+        f"(baseline {report.baseline_value:g})",
+        f"{'scale':>7}{'value':>10}"
+        + "".join(f"{impl.paper_name:>19}" for impl in Implementation)
+        + f"{'ordering':>26}",
+    ]
+    for point in report.points:
+        ordering = "<".join(
+            str(impl.value) for impl in point.ordering()
+        )
+        lines.append(
+            f"{point.scale:>6.2f}x{point.value:>10.2f}"
+            + "".join(
+                f"{point.speedups[impl]:>18.2f}x" for impl in Implementation
+            )
+            + f"{ordering:>26}"
+        )
+    verdict = (
+        "ordering stable across all perturbations"
+        if report.ordering_stable()
+        else "ORDERING CHANGES under perturbation"
+    )
+    lines.append(f"-> {verdict}")
+    return "\n".join(lines)

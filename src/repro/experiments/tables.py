@@ -1,0 +1,60 @@
+"""Rendering of experiment results in the paper's table style."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.engine.config import Implementation
+from repro.experiments.paper import PAPER_BEST, PAPER_STAGE_TIMES, PaperBestEntry
+from repro.experiments.runner import BestConfigTable, Table1Row
+
+
+def render_table1(rows: List[Table1Row], compare: bool = True) -> str:
+    """Table 1 as text, optionally with the paper's numbers alongside."""
+    lines = [
+        "Table 1. Execution times for sequential index generation (seconds)",
+        f"{'platform':<14}{'filename':>10}{'read':>8}{'read+ext':>10}{'update':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.platform:<14}{row.filename_generation:>10.1f}"
+            f"{row.read_files:>8.1f}{row.read_and_extract:>10.1f}"
+            f"{row.index_update:>8.1f}"
+        )
+        if compare and row.platform in PAPER_STAGE_TIMES:
+            f, r, e, u = PAPER_STAGE_TIMES[row.platform]
+            lines.append(
+                f"{'  (paper)':<14}{f:>10.1f}{r:>8.1f}{e:>10.1f}{u:>8.1f}"
+            )
+    return "\n".join(lines)
+
+
+def render_best_config_table(
+    table: BestConfigTable, compare: bool = True
+) -> str:
+    """A Table 2/3/4 as text, optionally with the paper alongside."""
+    paper: Optional[Dict[Implementation, PaperBestEntry]] = (
+        PAPER_BEST.get(table.platform) if compare else None
+    )
+    lines = [
+        f"Best configurations on {table.platform} "
+        f"(sequential: {table.sequential_s:.1f}s)",
+        f"{'':<18}{'best config.':>14}{'exec time (s)':>15}"
+        f"{'speed-up':>10}{'variance':>10}",
+        f"{'Sequential':<18}{'-':>14}{table.sequential_s:>15.1f}"
+        f"{'-':>10}{'-':>10}",
+    ]
+    for row in table.rows:
+        lines.append(
+            f"{row.implementation.paper_name:<18}{str(row.config):>14}"
+            f"{row.exec_time_s:>15.1f}{row.speedup:>10.2f}"
+            f"{row.variance_vs_impl1_pct:>+9.1f}%"
+        )
+        if paper is not None:
+            entry = paper[row.implementation]
+            lines.append(
+                f"{'  (paper)':<18}{str(entry.config):>14}"
+                f"{entry.exec_time_s:>15.1f}{entry.speedup:>10.2f}"
+                f"{entry.variance_vs_impl1_pct:>+9.1f}%"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Terminal plotting for the studies.
+
+The paper has no figures, but the extension studies (core-count
+scaling, sensitivity, query serving) are naturally curves.  This module
+renders them as dependency-free ASCII charts: a multi-series line chart
+and a labelled horizontal bar chart, both used by the examples and the
+benchmark result files.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+_MARKERS = "ox+*#@%&"
+
+
+def line_chart(
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Plot one or more (x, y) series as an ASCII chart.
+
+    Each series gets a marker from ``o x + * ...``; the legend maps
+    markers to names.  Axes are linear; points are nearest-cell plotted
+    (later series overwrite earlier ones on collisions).
+    """
+    if not series or all(not points for points in series.values()):
+        return "(no data)"
+    if width < 10 or height < 4:
+        raise ValueError("chart too small")
+    points_all = [p for points in series.values() for p in points]
+    x_low = min(x for x, _ in points_all)
+    x_high = max(x for x, _ in points_all)
+    y_low = min(y for _, y in points_all)
+    y_high = max(y for _, y in points_all)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for i, (name, points) in enumerate(series.items()):
+        marker = _MARKERS[i % len(_MARKERS)]
+        for x, y in points:
+            column = int((x - x_low) / x_span * (width - 1))
+            row = height - 1 - int((y - y_low) / y_span * (height - 1))
+            grid[row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_high:g}"
+    bottom_label = f"{y_low:g}"
+    gutter = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label
+        elif row_index == height - 1:
+            label = bottom_label
+        else:
+            label = ""
+        lines.append(f"{label:>{gutter}} |" + "".join(row))
+    lines.append(" " * gutter + " +" + "-" * width)
+    x_axis = f"{x_low:g}" + " " * max(1, width - len(f"{x_low:g}{x_high:g}") - 1) + f"{x_high:g}"
+    lines.append(" " * gutter + "  " + x_axis)
+    if x_label or y_label:
+        lines.append(" " * gutter + f"  x: {x_label}   y: {y_label}".rstrip())
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * gutter + "  " + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Sequence[Tuple[str, float]],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart of (label, value) pairs."""
+    if not values:
+        return "(no data)"
+    if width < 5:
+        raise ValueError("chart too small")
+    peak = max(value for _, value in values)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(label) for label, _ in values)
+    lines = [title] if title else []
+    for label, value in values:
+        bar = "#" * max(0, int(value / peak * width))
+        lines.append(f"{label:<{label_width}} |{bar} {value:g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Document format handling — the paper's first-named extension.
+
+Section 3 of the paper: the benchmark was converted to plain text
+because "handling complex word processor formats directly in the term
+extractor would have been too distracting at the time, even though it
+would be an interesting extension now"; "more file formats" is listed
+as future work.  This package is that extension:
+
+* a :class:`FormatRegistry` that detects a file's format from its
+  extension and leading bytes (magic);
+* extractors that turn each format's bytes into plain text for the
+  tokenizer: plain text (identity), HTML (from-scratch tag stripper
+  with entity decoding), Markdown (markup stripper), CSV (cell
+  extraction), and DocZ — a synthetic "word processor" container
+  format, with both a writer and a reader, standing in for the
+  proprietary formats we cannot ship;
+* corpus support for mixed-format benchmarks
+  (:func:`repro.formats.mixed.generate_mixed_corpus`).
+
+Format extraction plugs into the engine as a preprocessing step of
+stage 2: scanning complex formats costs more CPU, exactly the "this
+part would take longer" effect the paper predicts, which the
+format-cost ablation quantifies.
+"""
+
+from repro.formats.base import DocumentFormat, FormatRegistry, default_registry
+from repro.formats.html import HtmlFormat, strip_html
+from repro.formats.markdown import MarkdownFormat, strip_markdown
+from repro.formats.csvfmt import CsvFormat, extract_csv_text
+from repro.formats.docz import DoczFormat, read_docz, write_docz
+from repro.formats.plain import PlainTextFormat
+
+__all__ = [
+    "CsvFormat",
+    "DoczFormat",
+    "DocumentFormat",
+    "FormatRegistry",
+    "HtmlFormat",
+    "MarkdownFormat",
+    "PlainTextFormat",
+    "default_registry",
+    "extract_csv_text",
+    "read_docz",
+    "strip_html",
+    "strip_markdown",
+    "write_docz",
+]

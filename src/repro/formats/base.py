@@ -1,0 +1,102 @@
+"""Format protocol and registry."""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Tuple
+
+
+class DocumentFormat(abc.ABC):
+    """One document format: detection plus text extraction.
+
+    ``extract_text`` must be total: malformed input degrades to
+    best-effort text, never an exception — a desktop indexer cannot
+    afford to die on one corrupt file.
+    """
+
+    #: Short identifier, e.g. ``"html"``.
+    name: str = "abstract"
+    #: Filename extensions (lower-case, with dot) this format claims.
+    extensions: Tuple[str, ...] = ()
+    #: Leading byte signature, if the format has one.
+    magic: Optional[bytes] = None
+
+    @abc.abstractmethod
+    def extract_text(self, content: bytes) -> bytes:
+        """Plain text (ASCII/UTF-8 bytes) extracted from ``content``."""
+
+    def matches_magic(self, content: bytes) -> bool:
+        """Whether ``content`` starts with this format's signature."""
+        return self.magic is not None and content.startswith(self.magic)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FormatRegistry:
+    """Maps files to formats by extension first, then magic bytes.
+
+    Extension lookup is the fast path (the common case on a desktop);
+    magic sniffing covers misnamed files.  Unknown files fall back to
+    the registry's default format (plain text), matching the indexing
+    policy "index everything readable".
+    """
+
+    def __init__(self, formats: List[DocumentFormat], default: DocumentFormat):
+        self._by_extension: Dict[str, DocumentFormat] = {}
+        self._formats = list(formats)
+        self.default = default
+        for fmt in formats:
+            for extension in fmt.extensions:
+                if extension in self._by_extension:
+                    raise ValueError(
+                        f"extension {extension!r} claimed by both "
+                        f"{self._by_extension[extension].name} and {fmt.name}"
+                    )
+                self._by_extension[extension.lower()] = fmt
+
+    @property
+    def formats(self) -> List[DocumentFormat]:
+        """All registered formats (default included if registered)."""
+        return list(self._formats)
+
+    def by_name(self, name: str) -> DocumentFormat:
+        """Look up a registered format by its name."""
+        for fmt in self._formats:
+            if fmt.name == name:
+                return fmt
+        if self.default.name == name:
+            return self.default
+        raise KeyError(name)
+
+    def detect(self, path: str, content: bytes = b"") -> DocumentFormat:
+        """The format responsible for ``path`` (extension, magic, default)."""
+        dot = path.rfind(".")
+        if dot != -1:
+            fmt = self._by_extension.get(path[dot:].lower())
+            if fmt is not None:
+                return fmt
+        if content:
+            for fmt in self._formats:
+                if fmt.matches_magic(content):
+                    return fmt
+        return self.default
+
+    def extract_text(self, path: str, content: bytes) -> bytes:
+        """Detect the format and extract plain text in one step."""
+        return self.detect(path, content).extract_text(content)
+
+
+def default_registry() -> FormatRegistry:
+    """The standard registry: plain text, HTML, Markdown, CSV, DocZ."""
+    from repro.formats.csvfmt import CsvFormat
+    from repro.formats.docz import DoczFormat
+    from repro.formats.html import HtmlFormat
+    from repro.formats.markdown import MarkdownFormat
+    from repro.formats.plain import PlainTextFormat
+
+    plain = PlainTextFormat()
+    return FormatRegistry(
+        [HtmlFormat(), MarkdownFormat(), CsvFormat(), DoczFormat(), plain],
+        default=plain,
+    )

@@ -1,0 +1,70 @@
+"""CSV text extraction.
+
+A small from-scratch CSV reader (quoted fields, embedded commas,
+doubled quotes, CRLF) that joins cells with spaces so every cell value
+is independently searchable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.formats.base import DocumentFormat
+
+
+def parse_csv(content: bytes) -> List[List[bytes]]:
+    """Rows of cells; tolerant of malformed quoting (best effort)."""
+    rows: List[List[bytes]] = []
+    row: List[bytes] = []
+    cell = bytearray()
+    in_quotes = False
+    i = 0
+    n = len(content)
+    while i < n:
+        byte = content[i]
+        if in_quotes:
+            if byte == 0x22:  # '"'
+                if content[i + 1 : i + 2] == b'"':  # doubled quote
+                    cell.append(0x22)
+                    i += 2
+                    continue
+                in_quotes = False
+                i += 1
+            else:
+                cell.append(byte)
+                i += 1
+        elif byte == 0x22 and not cell:
+            in_quotes = True
+            i += 1
+        elif byte == 0x2C:  # ","
+            row.append(bytes(cell))
+            cell = bytearray()
+            i += 1
+        elif byte == 0x0A:  # "\n"
+            row.append(bytes(cell.rstrip(b"\r")))
+            rows.append(row)
+            row = []
+            cell = bytearray()
+            i += 1
+        else:
+            cell.append(byte)
+            i += 1
+    if cell or row:
+        row.append(bytes(cell.rstrip(b"\r")))
+        rows.append(row)
+    return rows
+
+
+def extract_csv_text(content: bytes) -> bytes:
+    """All cell values, space-separated within rows, newline between."""
+    return b"\n".join(b" ".join(row) for row in parse_csv(content))
+
+
+class CsvFormat(DocumentFormat):
+    """Comma-separated value files."""
+
+    name = "csv"
+    extensions: Tuple[str, ...] = (".csv", ".tsv")
+
+    def extract_text(self, content: bytes) -> bytes:
+        return extract_csv_text(content)

@@ -1,0 +1,106 @@
+"""HTML text extraction — a from-scratch streaming tag stripper.
+
+Not a general HTML parser: desktop search only needs the *text*, so the
+stripper removes tags, drops ``<script>``/``<style>`` bodies entirely,
+decodes the common character entities, and collapses markup boundaries
+into whitespace (so ``a<b>b</b>`` tokenizes as two terms, not one).
+Malformed input (unterminated tags, stray ``<``) degrades gracefully.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.formats.base import DocumentFormat
+
+_ENTITIES = {
+    b"amp": b"&",
+    b"lt": b"<",
+    b"gt": b">",
+    b"quot": b'"',
+    b"apos": b"'",
+    b"nbsp": b" ",
+}
+
+_SKIP_CONTENT_TAGS = (b"script", b"style")
+
+
+def strip_html(content: bytes) -> bytes:
+    """Extract visible text from HTML bytes."""
+    out = bytearray()
+    i = 0
+    n = len(content)
+    skip_until: bytes = b""  # closing tag whose content is being skipped
+    while i < n:
+        byte = content[i]
+        if byte == 0x3C:  # "<"
+            end = content.find(b">", i + 1)
+            if end == -1:
+                break  # unterminated tag: drop the tail
+            tag = content[i + 1 : end].strip()
+            tag_name = _tag_name(tag)
+            if skip_until:
+                if tag.startswith(b"/") and tag_name == skip_until:
+                    skip_until = b""
+            elif tag_name in _SKIP_CONTENT_TAGS and not tag.endswith(b"/"):
+                skip_until = tag_name
+            out.append(0x20)  # tags separate words
+            i = end + 1
+        elif skip_until:
+            i += 1
+        elif byte == 0x26:  # "&"
+            semicolon = content.find(b";", i + 1, i + 10)
+            if semicolon != -1:
+                entity = content[i + 1 : semicolon]
+                if entity in _ENTITIES:
+                    out.extend(_ENTITIES[entity])
+                    i = semicolon + 1
+                    continue
+                if entity.startswith(b"#"):
+                    decoded = _decode_numeric(entity[1:])
+                    if decoded is not None:
+                        out.extend(decoded)
+                        i = semicolon + 1
+                        continue
+            out.append(byte)
+            i += 1
+        else:
+            out.append(byte)
+            i += 1
+    return bytes(out)
+
+
+def _tag_name(tag: bytes) -> bytes:
+    stripped = tag.lstrip(b"/")
+    for j, byte in enumerate(stripped):
+        if byte in b" \t\r\n>/":
+            return stripped[:j].lower()
+    return stripped.lower()
+
+
+def _decode_numeric(digits: bytes) -> bytes:
+    try:
+        if digits[:1] in (b"x", b"X"):
+            code = int(digits[1:], 16)
+        else:
+            code = int(digits)
+    except ValueError:
+        return None
+    if 0 < code < 0x110000:
+        return chr(code).encode("utf-8")
+    return None
+
+
+class HtmlFormat(DocumentFormat):
+    """HTML documents (detected by extension or the usual signatures)."""
+
+    name = "html"
+    extensions: Tuple[str, ...] = (".html", ".htm", ".xhtml")
+    magic = b"<!DOCTYPE"
+
+    def extract_text(self, content: bytes) -> bytes:
+        return strip_html(content)
+
+    def matches_magic(self, content: bytes) -> bool:
+        head = content[:256].lstrip().lower()
+        return head.startswith(b"<!doctype") or head.startswith(b"<html")

@@ -1,0 +1,76 @@
+"""Markdown text extraction.
+
+Strips the markup that would otherwise pollute the index (link URLs,
+code fences, emphasis markers, heading hashes) while keeping all prose
+— link *labels* stay, link targets go.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.formats.base import DocumentFormat
+
+
+def strip_markdown(content: bytes) -> bytes:
+    """Extract prose from Markdown bytes."""
+    out = []
+    in_code_fence = False
+    for line in content.split(b"\n"):
+        stripped = line.strip()
+        if stripped.startswith(b"```") or stripped.startswith(b"~~~"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        out.append(_strip_inline(_strip_line_prefix(line)))
+    return b"\n".join(out)
+
+
+def _strip_line_prefix(line: bytes) -> bytes:
+    """Remove heading hashes, blockquote markers and list bullets."""
+    stripped = line.lstrip()
+    while stripped[:1] in (b"#", b">"):
+        stripped = stripped[1:].lstrip()
+    if stripped[:2] in (b"- ", b"* ", b"+ "):
+        stripped = stripped[2:]
+    return stripped
+
+
+def _strip_inline(line: bytes) -> bytes:
+    """Drop emphasis markers, inline code ticks and link targets."""
+    out = bytearray()
+    i = 0
+    n = len(line)
+    while i < n:
+        byte = line[i]
+        if byte in b"*_`":
+            out.append(0x20)
+            i += 1
+        elif byte == 0x5B:  # "[" — keep the label
+            i += 1
+        elif byte == 0x5D and i + 1 < n and line[i + 1 : i + 2] == b"(":
+            # "](url)" — drop the target
+            close = line.find(b")", i + 2)
+            if close == -1:
+                out.append(byte)
+                i += 1
+            else:
+                out.append(0x20)
+                i = close + 1
+        elif byte == 0x21 and line[i + 1 : i + 2] == b"[":  # image "!["
+            i += 1
+        else:
+            out.append(byte)
+            i += 1
+    return bytes(out)
+
+
+class MarkdownFormat(DocumentFormat):
+    """Markdown documents."""
+
+    name = "markdown"
+    extensions: Tuple[str, ...] = (".md", ".markdown")
+
+    def extract_text(self, content: bytes) -> bytes:
+        return strip_markdown(content)

@@ -1,0 +1,154 @@
+"""Mixed-format benchmark corpora.
+
+Takes the plain-text corpus the generator produces and re-encodes a
+seeded fraction of the files into richer formats (HTML, Markdown, CSV,
+DocZ), producing the "more file formats, larger benchmarks" workload of
+the paper's future-work list.  Encoding preserves the terms: extracting
+text back out of any format and tokenizing yields the same term set as
+the original plain text, which the round-trip tests assert.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.corpus.generator import CorpusGenerator
+from repro.corpus.profiles import CorpusProfile
+from repro.formats.docz import write_docz
+from repro.fsmodel.vfs import VirtualFileSystem
+
+#: Default composition of a mixed corpus (fractions sum to 1).
+DEFAULT_MIX: Dict[str, float] = {
+    "plain": 0.40,
+    "html": 0.25,
+    "markdown": 0.15,
+    "csv": 0.10,
+    "docz": 0.10,
+}
+
+_EXTENSION = {
+    "plain": ".txt",
+    "html": ".html",
+    "markdown": ".md",
+    "csv": ".csv",
+    "docz": ".docz",
+}
+
+
+@dataclass
+class MixedCorpus:
+    """A generated corpus whose files span several formats."""
+
+    fs: VirtualFileSystem
+    profile: CorpusProfile
+    format_counts: Dict[str, int] = field(default_factory=dict)
+
+
+def generate_mixed_corpus(
+    profile: CorpusProfile, mix: Dict[str, float] = None
+) -> MixedCorpus:
+    """Generate a corpus and re-encode files per the format ``mix``."""
+    mix = dict(DEFAULT_MIX if mix is None else mix)
+    unknown = set(mix) - set(_EXTENSION)
+    if unknown:
+        raise ValueError(f"unknown formats in mix: {sorted(unknown)}")
+    total = sum(mix.values())
+    if total <= 0:
+        raise ValueError("mix weights must sum to a positive value")
+
+    plain = CorpusGenerator(profile).generate()
+    rng = random.Random(profile.seed + 99)
+    names = sorted(mix)
+    weights = [mix[name] / total for name in names]
+
+    fs = VirtualFileSystem()
+    counts = {name: 0 for name in names}
+    for ref in plain.fs.list_files():
+        text = plain.fs.read_file(ref.path)
+        fmt = rng.choices(names, weights)[0]
+        counts[fmt] += 1
+        new_path = _swap_extension(ref.path, _EXTENSION[fmt])
+        _ensure_parents(fs, new_path)
+        fs.write_file(new_path, _ENCODERS[fmt](text, rng))
+    return MixedCorpus(fs=fs, profile=profile, format_counts=counts)
+
+
+# -- per-format encoders (plain text -> format bytes) -----------------------
+
+
+def _encode_plain(text: bytes, rng: random.Random) -> bytes:
+    return text
+
+
+def _encode_html(text: bytes, rng: random.Random) -> bytes:
+    paragraphs = b"\n".join(
+        b"<p>" + line + b"</p>" for line in text.split(b"\n") if line
+    )
+    return (
+        b"<!DOCTYPE html>\n<html>\n<head>\n"
+        b"<title>generated document</title>\n"
+        b"<style>p { margin: 0 } b { color: red }</style>\n"
+        b"<script>var ignored = 1;</script>\n"
+        b"</head>\n<body>\n" + paragraphs + b"\n</body>\n</html>\n"
+    )
+
+
+def _encode_markdown(text: bytes, rng: random.Random) -> bytes:
+    lines = [line for line in text.split(b"\n")]
+    out = [b"# generated document", b""]
+    for i, line in enumerate(lines):
+        if line and i % 7 == 3:
+            out.append(b"- " + line)
+        elif line and i % 11 == 5:
+            out.append(b"**" + line + b"**")
+        else:
+            out.append(line)
+    return b"\n".join(out)
+
+
+def _encode_csv(text: bytes, rng: random.Random) -> bytes:
+    # Words become cells, 6 per row; some quoted.
+    words = text.split()
+    rows = []
+    for start in range(0, len(words), 6):
+        cells = []
+        for word in words[start : start + 6]:
+            if rng.random() < 0.1:
+                cells.append(b'"' + word + b'"')
+            else:
+                cells.append(word)
+        rows.append(b",".join(cells))
+    return b"\n".join(rows)
+
+
+def _encode_docz(text: bytes, rng: random.Random) -> bytes:
+    # Split the text into a handful of styled runs.
+    lines = [line for line in text.split(b"\n") if line]
+    runs = [(rng.randint(0, 7), line) for line in lines] or [(0, b"")]
+    return write_docz(runs, metadata={"generator": "repro", "kind": "benchmark"})
+
+
+_ENCODERS = {
+    "plain": _encode_plain,
+    "html": _encode_html,
+    "markdown": _encode_markdown,
+    "csv": _encode_csv,
+    "docz": _encode_docz,
+}
+
+
+def _swap_extension(path: str, extension: str) -> str:
+    dot = path.rfind(".")
+    base = path[:dot] if dot > path.rfind("/") else path
+    return base + extension
+
+
+def _ensure_parents(fs: VirtualFileSystem, path: str) -> None:
+    parts = path.split("/")[:-1]
+    prefix = ""
+    for part in parts:
+        prefix = f"{prefix}/{part}" if prefix else part
+        if not fs.exists(prefix):
+            fs.mkdir(prefix)

@@ -1,0 +1,17 @@
+"""Plain text: the identity format (and the registry default)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.formats.base import DocumentFormat
+
+
+class PlainTextFormat(DocumentFormat):
+    """Bytes in, same bytes out — the paper's benchmark format."""
+
+    name = "plain"
+    extensions: Tuple[str, ...] = (".txt", ".log", ".text")
+
+    def extract_text(self, content: bytes) -> bytes:
+        return content

@@ -1,0 +1,33 @@
+"""Filesystem substrate for the index generator.
+
+The paper's stage 1 traverses a directory hierarchy to generate the set
+of filenames to index.  This package provides two interchangeable
+filesystem backends behind one protocol:
+
+* :class:`VirtualFileSystem` — an in-memory directory tree used by the
+  corpus generator, the tests, and the simulated engine (it carries the
+  file-size metadata the cost model needs without touching the disk);
+* :class:`OsFileSystem` — a thin adapter over the real OS filesystem so
+  the threaded engine can index actual directories.
+
+Traversal (iterative depth-first and breadth-first walkers) and corpus
+statistics live here too.
+"""
+
+from repro.fsmodel.nodes import FileRef, VirtualDirectory, VirtualFile
+from repro.fsmodel.realfs import OsFileSystem
+from repro.fsmodel.stats import CorpusStats, collect_stats
+from repro.fsmodel.traversal import walk_breadth_first, walk_depth_first
+from repro.fsmodel.vfs import VirtualFileSystem
+
+__all__ = [
+    "CorpusStats",
+    "FileRef",
+    "OsFileSystem",
+    "VirtualDirectory",
+    "VirtualFile",
+    "VirtualFileSystem",
+    "collect_stats",
+    "walk_breadth_first",
+    "walk_depth_first",
+]

@@ -1,0 +1,58 @@
+"""Corpus statistics.
+
+``CorpusStats`` summarizes a file set the way the paper describes its
+benchmark ("about 51.000 ASCII text files ... about 869 MB of data ...
+many small files and five large text files") and is what the simulated
+engine's workload model is derived from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.fsmodel.nodes import FileRef
+
+
+@dataclass(frozen=True)
+class CorpusStats:
+    """Aggregate statistics over a set of files."""
+
+    file_count: int
+    total_bytes: int
+    min_size: int
+    max_size: int
+
+    @property
+    def mean_size(self) -> float:
+        """Average file size in bytes (0.0 for an empty corpus)."""
+        return self.total_bytes / self.file_count if self.file_count else 0.0
+
+    @property
+    def total_megabytes(self) -> float:
+        """Total size in MB (10^6 bytes, as the paper reports sizes)."""
+        return self.total_bytes / 1_000_000
+
+
+def collect_stats(files: Iterable[FileRef]) -> CorpusStats:
+    """Aggregate :class:`CorpusStats` over an iterable of file refs."""
+    count = 0
+    total = 0
+    smallest = None
+    largest = 0
+    for ref in files:
+        count += 1
+        total += ref.size
+        largest = max(largest, ref.size)
+        smallest = ref.size if smallest is None else min(smallest, ref.size)
+    return CorpusStats(
+        file_count=count,
+        total_bytes=total,
+        min_size=smallest or 0,
+        max_size=largest,
+    )
+
+
+def largest_files(files: Iterable[FileRef], n: int) -> List[FileRef]:
+    """The ``n`` largest files, biggest first (ties broken by path)."""
+    return sorted(files, key=lambda ref: (-ref.size, ref.path))[:n]

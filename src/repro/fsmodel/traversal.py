@@ -1,0 +1,61 @@
+"""Iterative traversals over a virtual directory tree.
+
+Directory trees on real desktops are deep and unbalanced (one of the
+paper's arguments against parallelizing stage 1), so both walkers are
+iterative rather than recursive and make the visit order explicit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, List, Tuple
+
+from repro.fsmodel.nodes import VirtualDirectory, VirtualFile
+
+
+def walk_depth_first(
+    root: VirtualDirectory, prefix: str = ""
+) -> Iterator[Tuple[str, VirtualFile]]:
+    """Yield (path, file) pairs depth-first, left subtree first."""
+    stack: List[Tuple[str, VirtualDirectory]] = [(prefix, root)]
+    while stack:
+        base, directory = stack.pop()
+        subdirs = []
+        for name, node in directory.entries.items():
+            path = f"{base}/{name}" if base else name
+            if isinstance(node, VirtualFile):
+                yield path, node
+            else:
+                subdirs.append((path, node))
+        stack.extend(reversed(subdirs))
+
+
+def walk_breadth_first(
+    root: VirtualDirectory, prefix: str = ""
+) -> Iterator[Tuple[str, VirtualFile]]:
+    """Yield (path, file) pairs level by level."""
+    queue: deque = deque([(prefix, root)])
+    while queue:
+        base, directory = queue.popleft()
+        for name, node in directory.entries.items():
+            path = f"{base}/{name}" if base else name
+            if isinstance(node, VirtualFile):
+                yield path, node
+            else:
+                queue.append((path, node))
+
+
+def count_nodes(root: VirtualDirectory) -> Tuple[int, int]:
+    """(number of directories, number of files) under ``root`` inclusive."""
+    directories = 1
+    files = 0
+    stack = [root]
+    while stack:
+        directory = stack.pop()
+        for node in directory.entries.values():
+            if isinstance(node, VirtualFile):
+                files += 1
+            else:
+                directories += 1
+                stack.append(node)
+    return directories, files

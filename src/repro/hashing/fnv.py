@@ -1,0 +1,108 @@
+"""Fowler-Noll-Vo hash functions (FNV-1 and FNV-1a, 32- and 64-bit).
+
+FNV hashes a byte stream by repeatedly multiplying an accumulator by a
+magic prime and XOR-ing in the next byte.  FNV-1 multiplies first and
+XORs second; FNV-1a reverses the two steps, which gives slightly better
+avalanche behaviour on short keys.  The constants below are the official
+ones from Noll's reference page.
+
+The functions accept ``str`` (hashed as UTF-8) or ``bytes`` and return a
+non-negative int that fits the requested width, making them directly
+usable as bucket hashes in :mod:`repro.adt`.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+FNV_32_PRIME = 0x01000193
+FNV1_32_INIT = 0x811C9DC5
+FNV_64_PRIME = 0x100000001B3
+FNV1_64_INIT = 0xCBF29CE484222325
+
+_MASK_32 = 0xFFFFFFFF
+_MASK_64 = 0xFFFFFFFFFFFFFFFF
+
+HashInput = Union[str, bytes, bytearray, memoryview]
+
+
+def _as_bytes(data: HashInput) -> bytes:
+    """Normalize hashable input to bytes (str is encoded as UTF-8)."""
+    if isinstance(data, str):
+        return data.encode("utf-8")
+    if isinstance(data, (bytearray, memoryview)):
+        return bytes(data)
+    if isinstance(data, bytes):
+        return data
+    raise TypeError(f"cannot hash object of type {type(data).__name__}")
+
+
+def fnv1_32(data: HashInput) -> int:
+    """32-bit FNV-1 hash (multiply, then XOR) of ``data``."""
+    h = FNV1_32_INIT
+    for byte in _as_bytes(data):
+        h = (h * FNV_32_PRIME) & _MASK_32
+        h ^= byte
+    return h
+
+
+def fnv1a_32(data: HashInput) -> int:
+    """32-bit FNV-1a hash (XOR, then multiply) of ``data``."""
+    h = FNV1_32_INIT
+    for byte in _as_bytes(data):
+        h ^= byte
+        h = (h * FNV_32_PRIME) & _MASK_32
+    return h
+
+
+def fnv1_64(data: HashInput) -> int:
+    """64-bit FNV-1 hash (multiply, then XOR) of ``data``."""
+    h = FNV1_64_INIT
+    for byte in _as_bytes(data):
+        h = (h * FNV_64_PRIME) & _MASK_64
+        h ^= byte
+    return h
+
+
+def fnv1a_64(data: HashInput) -> int:
+    """64-bit FNV-1a hash (XOR, then multiply) of ``data``."""
+    h = FNV1_64_INIT
+    for byte in _as_bytes(data):
+        h ^= byte
+        h = (h * FNV_64_PRIME) & _MASK_64
+    return h
+
+
+class IncrementalFnv1a:
+    """Incrementally feedable 64-bit FNV-1a hasher.
+
+    Useful when a key arrives in chunks (e.g. while scanning a file byte
+    by byte) and re-materializing it just to hash would be wasteful::
+
+        hasher = IncrementalFnv1a()
+        hasher.update(b"hello ")
+        hasher.update(b"world")
+        assert hasher.digest() == fnv1a_64(b"hello world")
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self) -> None:
+        self._state = FNV1_64_INIT
+
+    def update(self, data: HashInput) -> "IncrementalFnv1a":
+        """Feed more bytes; returns self so calls can be chained."""
+        h = self._state
+        for byte in _as_bytes(data):
+            h ^= byte
+            h = (h * FNV_64_PRIME) & _MASK_64
+        self._state = h
+        return self
+
+    def digest(self) -> int:
+        """Current hash value; the hasher may keep being updated after."""
+        return self._state
+
+    def reset(self) -> None:
+        """Restore the initial basis so the hasher can be reused."""
+        self._state = FNV1_64_INIT

@@ -1,0 +1,57 @@
+"""The inverted index (stage 3) and its merge operations.
+
+An :class:`InvertedIndex` maps each term to the postings list of files
+containing it, stored in an FNV-hashed hash map as in the paper's C++
+implementation.  Two update paths exist:
+
+* :meth:`InvertedIndex.add_block` — the en-bloc path the paper adopts:
+  a file's de-duplicated term block is appended in one call, no
+  duplicate check needed;
+* :meth:`InvertedIndex.add_term_naive` — the rejected design the paper
+  analyses: per-occurrence insertion with a linear (term, file)
+  duplicate search.  Kept because the sequential baseline (and one of
+  our ablations) exercises it.
+
+Join ("Join Forces" pattern, Implementation 2) lives in
+:mod:`repro.index.merge`; the multi-index search view that legitimizes
+Implementation 3 lives in :mod:`repro.index.multi`.
+"""
+
+from repro.index.binfmt import load_index_binary, save_index_binary
+from repro.index.incremental import (
+    ChangeReport,
+    IncrementalIndex,
+    IncrementalIndexer,
+)
+from repro.index.inverted import InvertedIndex
+from repro.index.merge import join_indices, join_pairwise_tree, merge_into
+from repro.index.multi import MultiIndex
+from repro.index.positional import PositionalIndex
+from repro.index.postings import PostingsList
+from repro.index.serialize import (
+    load_index,
+    load_multi_index,
+    save_index,
+    save_multi_index,
+)
+from repro.index.sharded import ShardedInvertedIndex
+
+__all__ = [
+    "ChangeReport",
+    "IncrementalIndex",
+    "IncrementalIndexer",
+    "InvertedIndex",
+    "MultiIndex",
+    "PositionalIndex",
+    "PostingsList",
+    "ShardedInvertedIndex",
+    "join_indices",
+    "join_pairwise_tree",
+    "load_index",
+    "load_index_binary",
+    "load_multi_index",
+    "merge_into",
+    "save_index",
+    "save_index_binary",
+    "save_multi_index",
+]

@@ -1,0 +1,107 @@
+"""Index statistics and diagnostics.
+
+Step 1 of the paper's recommended process is measurement; these helpers
+summarize what a built index actually contains — term/postings
+distributions, heavy hitters, memory estimates — which the examples and
+the sizing discussions in the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
+
+from repro.index.inverted import InvertedIndex
+from repro.index.multi import MultiIndex
+
+AnyIndex = Union[InvertedIndex, MultiIndex]
+
+
+@dataclass(frozen=True)
+class IndexStatistics:
+    """Aggregate shape of an index."""
+
+    term_count: int
+    posting_count: int
+    max_postings: int
+    mean_postings: float
+    median_postings: float
+    singleton_terms: int  # terms occurring in exactly one file
+
+    @property
+    def singleton_fraction(self) -> float:
+        """Share of terms that occur in a single file (Zipf tail)."""
+        return self.singleton_terms / self.term_count if self.term_count else 0.0
+
+
+def analyze(index: AnyIndex) -> IndexStatistics:
+    """Compute :class:`IndexStatistics` for a single or multi index."""
+    lengths = sorted(_posting_lengths(index).values())
+    if not lengths:
+        return IndexStatistics(0, 0, 0, 0.0, 0.0, 0)
+    total = sum(lengths)
+    n = len(lengths)
+    median = (
+        lengths[n // 2]
+        if n % 2
+        else (lengths[n // 2 - 1] + lengths[n // 2]) / 2.0
+    )
+    return IndexStatistics(
+        term_count=n,
+        posting_count=total,
+        max_postings=lengths[-1],
+        mean_postings=total / n,
+        median_postings=float(median),
+        singleton_terms=sum(1 for length in lengths if length == 1),
+    )
+
+
+def top_terms(index: AnyIndex, n: int = 10) -> List[Tuple[str, int]]:
+    """The ``n`` terms with the longest postings, descending."""
+    lengths = _posting_lengths(index)
+    return sorted(lengths.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+
+
+def postings_histogram(
+    index: AnyIndex, buckets: int = 8
+) -> List[Tuple[int, int, int]]:
+    """(lower bound, upper bound, term count) per log2 length bucket."""
+    if buckets < 1:
+        raise ValueError("buckets must be positive")
+    counts = [0] * buckets
+    for length in _posting_lengths(index).values():
+        bucket = min(buckets - 1, int(math.log2(length)) if length else 0)
+        counts[bucket] += 1
+    return [
+        (2**i, 2 ** (i + 1) - 1 if i < buckets - 1 else -1, counts[i])
+        for i in range(buckets)
+    ]
+
+
+def estimate_memory_bytes(index: AnyIndex) -> int:
+    """Rough in-memory footprint: strings + postings references.
+
+    Counts term bytes, path bytes per posting reference (8 bytes) and
+    hash-table overhead (~48 bytes per term entry) — an estimate for
+    capacity planning, not an exact measurement.
+    """
+    total = 0
+    for term, postings in _items(index):
+        total += len(term) + 48 + 8 * len(postings)
+    return total
+
+
+def _items(index: AnyIndex):
+    if isinstance(index, MultiIndex):
+        for replica in index.replicas:
+            yield from replica.items()
+    else:
+        yield from index.items()
+
+
+def _posting_lengths(index: AnyIndex) -> Dict[str, int]:
+    lengths: Dict[str, int] = {}
+    for term, postings in _items(index):
+        lengths[term] = lengths.get(term, 0) + len(postings)
+    return lengths

@@ -1,0 +1,151 @@
+"""Compact binary index persistence.
+
+The JSON-lines format (:mod:`repro.index.serialize`) is transparent but
+large; real search engines store postings as delta-compressed integer
+lists.  This module implements that, from scratch:
+
+* LEB128 varints (:func:`encode_varint` / :func:`decode_varint`);
+* a document dictionary mapping paths to dense integer ids;
+* per-term postings stored as **gap-encoded sorted doc ids**: ids are
+  sorted, consecutive differences are varint-coded, so dense postings
+  cost ~1 byte per entry.
+
+Layout::
+
+    magic   "RIDX1"
+    docs    varint count, then per doc: varint path length, path bytes
+    terms   varint count, then per term:
+              varint term length, term bytes
+              varint postings count
+              gap-encoded doc ids (varints)
+
+The format canonicalizes postings order (sorted by doc id); index
+equality is order-insensitive, so round-trips preserve equality.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.index.inverted import InvertedIndex
+from repro.index.postings import PostingsList
+
+MAGIC = b"RIDX1"
+
+
+def encode_varint(value: int) -> bytes:
+    """LEB128-encode a non-negative integer."""
+    if value < 0:
+        raise ValueError(f"varints are unsigned, got {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, offset: int) -> Tuple[int, int]:
+    """Decode one varint at ``offset``; returns (value, next offset)."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise ValueError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 63:
+            raise ValueError("varint too long")
+
+
+def encode_gaps(sorted_ids: List[int]) -> bytes:
+    """Gap-encode a strictly increasing id list as varints."""
+    out = bytearray()
+    previous = -1
+    for doc_id in sorted_ids:
+        if doc_id <= previous:
+            raise ValueError("doc ids must be strictly increasing")
+        out += encode_varint(doc_id - previous - 1)
+        previous = doc_id
+    return bytes(out)
+
+
+def decode_gaps(data: bytes, offset: int, count: int) -> Tuple[List[int], int]:
+    """Decode ``count`` gap-encoded ids starting at ``offset``."""
+    ids = []
+    previous = -1
+    for _ in range(count):
+        gap, offset = decode_varint(data, offset)
+        previous = previous + gap + 1
+        ids.append(previous)
+    return ids, offset
+
+
+def dump_index_bytes(index: InvertedIndex) -> bytes:
+    """Serialize an index into the binary format."""
+    # Dense doc ids in sorted-path order make gap coding effective and
+    # the output canonical.
+    paths = sorted({p for _, postings in index.items() for p in postings})
+    path_id = {path: i for i, path in enumerate(paths)}
+
+    out = bytearray(MAGIC)
+    out += encode_varint(len(paths))
+    for path in paths:
+        encoded = path.encode("utf-8")
+        out += encode_varint(len(encoded)) + encoded
+
+    terms = sorted(index.terms())
+    out += encode_varint(len(terms))
+    for term in terms:
+        encoded = term.encode("utf-8")
+        out += encode_varint(len(encoded)) + encoded
+        ids = sorted(path_id[p] for p in index.lookup(term))
+        out += encode_varint(len(ids))
+        out += encode_gaps(ids)
+    return bytes(out)
+
+
+def load_index_bytes(data: bytes) -> InvertedIndex:
+    """Deserialize binary-format bytes into an index."""
+    if not data.startswith(MAGIC):
+        raise ValueError("not a RIDX1 binary index")
+    offset = len(MAGIC)
+
+    doc_count, offset = decode_varint(data, offset)
+    paths: List[str] = []
+    for _ in range(doc_count):
+        length, offset = decode_varint(data, offset)
+        paths.append(data[offset : offset + length].decode("utf-8"))
+        offset += length
+
+    term_count, offset = decode_varint(data, offset)
+    index = InvertedIndex()
+    for _ in range(term_count):
+        length, offset = decode_varint(data, offset)
+        term = data[offset : offset + length].decode("utf-8")
+        offset += length
+        postings_count, offset = decode_varint(data, offset)
+        ids, offset = decode_gaps(data, offset, postings_count)
+        index._map[term] = PostingsList(paths[i] for i in ids)
+    return index
+
+
+def save_index_binary(index: InvertedIndex, path: str) -> int:
+    """Write the binary format to ``path``; returns bytes written."""
+    data = dump_index_bytes(index)
+    with open(path, "wb") as fh:
+        fh.write(data)
+    return len(data)
+
+
+def load_index_binary(path: str) -> InvertedIndex:
+    """Read an index written by :func:`save_index_binary`."""
+    with open(path, "rb") as fh:
+        return load_index_bytes(fh.read())

@@ -1,0 +1,101 @@
+"""The inverted index.
+
+Maps term -> :class:`~repro.index.postings.PostingsList` inside an
+:class:`~repro.adt.FnvHashMap`.  The index itself is *not* thread-safe;
+concurrency policy (a shared lock, replication, buffering) is exactly
+what the three implementations in :mod:`repro.engine` differ in, so it
+is layered on top rather than baked in.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.adt import FnvHashMap
+from repro.index.postings import PostingsList
+from repro.text.termblock import TermBlock
+
+
+class InvertedIndex:
+    """Term -> postings mapping with en-bloc and naive update paths."""
+
+    def __init__(self) -> None:
+        self._map: FnvHashMap[PostingsList] = FnvHashMap()
+        self._block_count = 0
+
+    # -- update paths ---------------------------------------------------
+
+    def add_block(self, block: TermBlock) -> None:
+        """En-bloc update: append ``block.path`` to each term's postings.
+
+        Because the block is de-duplicated and every file is scanned
+        exactly once, no (term, file) duplicate check is performed —
+        this is the paper's chosen design.
+        """
+        for term in block.terms:
+            self._map.setdefault(term, PostingsList()).append(block.path)
+        self._block_count += 1
+
+    def add_term_naive(self, term: str, path: str) -> bool:
+        """Naive per-occurrence update with a linear duplicate search.
+
+        Returns True when the (term, path) pair was new.  This is the
+        rejected design the paper analyses (and the code path its slow
+        sequential baseline pays for): every occurrence re-searches the
+        postings list for the file.
+        """
+        postings = self._map.setdefault(term, PostingsList())
+        if postings.contains(path):
+            return False
+        postings.append(path)
+        return True
+
+    # -- queries ---------------------------------------------------------
+
+    def lookup(self, term: str) -> List[str]:
+        """Paths of the files containing ``term`` (empty list if none)."""
+        postings = self._map.get(term)
+        return postings.paths() if postings is not None else []
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._map
+
+    def __len__(self) -> int:
+        """Number of distinct terms."""
+        return len(self._map)
+
+    def terms(self) -> Iterator[str]:
+        """All distinct terms (bucket order)."""
+        return self._map.keys()
+
+    def items(self) -> Iterator[Tuple[str, PostingsList]]:
+        """All (term, postings) pairs (bucket order)."""
+        return self._map.items()
+
+    @property
+    def block_count(self) -> int:
+        """Number of term blocks added via the en-bloc path."""
+        return self._block_count
+
+    @property
+    def posting_count(self) -> int:
+        """Total number of (term, file) pairs stored."""
+        return sum(len(p) for p in self._map.values())
+
+    def __eq__(self, other: object) -> bool:
+        """Content equality: same terms with the same posting sets."""
+        if not isinstance(other, InvertedIndex):
+            return NotImplemented
+        if len(self) != len(other):
+            return False
+        for term, postings in self.items():
+            theirs = other._map.get(term)
+            if theirs is None or postings != theirs:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"InvertedIndex(terms={len(self)}, postings={self.posting_count}, "
+            f"blocks={self._block_count})"
+        )

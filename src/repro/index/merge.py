@@ -1,0 +1,102 @@
+"""Index joining — the "Join Forces" pattern (Implementation 2).
+
+Each updater thread builds a private index replica; at the end the
+replicas are merged.  Because every file's block went to exactly one
+replica, the replicas' posting sets are disjoint per (term, file) pair
+and the merge is a plain postings concatenation per term.
+
+Two strategies, matching the paper's question "Would it be enough to
+join the indices with a single thread, or should a parallel reduction
+setup with multiple joining processes be used?":
+
+* :func:`join_indices` — a single joiner folds all replicas into one;
+* :func:`join_pairwise_tree` — a reduction tree that merges pairs level
+  by level, optionally with real threads per level.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Sequence
+
+from repro.index.inverted import InvertedIndex
+from repro.index.postings import PostingsList
+
+
+def merge_into(
+    target: InvertedIndex, source: InvertedIndex, copy: bool = False
+) -> InvertedIndex:
+    """Fold ``source`` into ``target`` (postings concatenated per term).
+
+    With ``copy=False`` (the default), postings lists are *moved*: the
+    target may alias the source's postings objects, so the source must
+    not be used afterwards — this is the cheap path the reduction tree
+    takes, since it discards its inputs.  Pass ``copy=True`` to leave
+    the source untouched.
+    """
+    for term, postings in source.items():
+        existing = target._map.get(term)
+        if existing is None:
+            target._map[term] = PostingsList(postings) if copy else postings
+        else:
+            existing.extend(postings)
+    target._block_count += source.block_count
+    return target
+
+
+def join_indices(replicas: Sequence[InvertedIndex]) -> InvertedIndex:
+    """Single-joiner merge of all ``replicas`` into a fresh index.
+
+    Non-destructive: the replicas remain valid (Implementation 3 users
+    may join a snapshot while continuing to search the replicas).
+    """
+    result = InvertedIndex()
+    for replica in replicas:
+        merge_into(result, replica, copy=True)
+    return result
+
+
+def join_pairwise_tree(
+    replicas: Sequence[InvertedIndex], threads_per_level: int = 1
+) -> InvertedIndex:
+    """Parallel-reduction merge: pair replicas and merge level by level.
+
+    With ``threads_per_level > 1`` each level's pair merges run on real
+    threads (bounded by the requested count).  Consumes the replicas:
+    postings objects are moved, not copied.
+    """
+    if not replicas:
+        return InvertedIndex()
+    if threads_per_level < 1:
+        raise ValueError("threads_per_level must be at least 1")
+    level: List[InvertedIndex] = list(replicas)
+    while len(level) > 1:
+        pairs = [
+            (level[i], level[i + 1]) for i in range(0, len(level) - 1, 2)
+        ]
+        carry = [level[-1]] if len(level) % 2 else []
+        if threads_per_level == 1:
+            merged = [merge_into(a, b) for a, b in pairs]
+        else:
+            merged = _merge_pairs_threaded(pairs, threads_per_level)
+        level = merged + carry
+    return level[0]
+
+
+def _merge_pairs_threaded(pairs, thread_limit: int) -> List[InvertedIndex]:
+    results: List[InvertedIndex] = [None] * len(pairs)  # type: ignore[list-item]
+    semaphore = threading.Semaphore(thread_limit)
+
+    def work(i: int, a: InvertedIndex, b: InvertedIndex) -> None:
+        with semaphore:
+            results[i] = merge_into(a, b)
+
+    threads = [
+        threading.Thread(target=work, args=(i, a, b), daemon=True)
+        for i, (a, b) in enumerate(pairs)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results

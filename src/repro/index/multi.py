@@ -1,0 +1,68 @@
+"""Multi-index search view (what makes Implementation 3 legitimate).
+
+Implementation 3 never joins the replicas "because the search can work
+with multiple indices in parallel".  :class:`MultiIndex` is that search
+side: a read-only view over several replicas whose lookup unions the
+per-replica postings, optionally with one thread per replica.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Sequence
+
+from repro.index.inverted import InvertedIndex
+
+
+class MultiIndex:
+    """Read-only union view over index replicas."""
+
+    def __init__(self, replicas: Sequence[InvertedIndex]) -> None:
+        if not replicas:
+            raise ValueError("MultiIndex needs at least one replica")
+        self.replicas = list(replicas)
+
+    def lookup(self, term: str) -> List[str]:
+        """Union of the term's postings across all replicas (sequential)."""
+        paths: List[str] = []
+        for replica in self.replicas:
+            paths.extend(replica.lookup(term))
+        return paths
+
+    def lookup_parallel(self, term: str) -> List[str]:
+        """Same union, one thread per replica (the paper's future work)."""
+        results: List[List[str]] = [[] for _ in self.replicas]
+
+        def work(i: int, replica: InvertedIndex) -> None:
+            results[i] = replica.lookup(term)
+
+        threads = [
+            threading.Thread(target=work, args=(i, r), daemon=True)
+            for i, r in enumerate(self.replicas)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return [path for chunk in results for path in chunk]
+
+    def __contains__(self, term: str) -> bool:
+        return any(term in replica for replica in self.replicas)
+
+    def terms(self):
+        """Distinct terms across all replicas (arbitrary order)."""
+        seen = set()
+        for replica in self.replicas:
+            for term in replica.terms():
+                if term not in seen:
+                    seen.add(term)
+                    yield term
+
+    def __len__(self) -> int:
+        """Number of distinct terms across all replicas."""
+        return len({t for replica in self.replicas for t in replica.terms()})
+
+    @property
+    def posting_count(self) -> int:
+        """Total (term, file) pairs across all replicas."""
+        return sum(replica.posting_count for replica in self.replicas)

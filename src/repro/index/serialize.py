@@ -1,0 +1,80 @@
+"""Index persistence.
+
+A desktop-search index must outlive the process; this module provides a
+simple, dependency-free JSON-lines format:
+
+* line 1: a header with a format tag and counts;
+* every further line: one ``[term, [path, ...]]`` posting entry.
+
+A :class:`~repro.index.multi.MultiIndex` is saved as one file per
+replica inside a directory, so Implementation 3's unjoined output can
+be persisted and searched later without ever paying the join.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List
+
+from repro.index.inverted import InvertedIndex
+from repro.index.multi import MultiIndex
+from repro.index.postings import PostingsList
+
+_FORMAT = "repro-index-v1"
+
+
+def save_index(index: InvertedIndex, path: str) -> None:
+    """Write ``index`` to ``path`` in JSON-lines format."""
+    with open(path, "w", encoding="utf-8") as fh:
+        header = {
+            "format": _FORMAT,
+            "terms": len(index),
+            "postings": index.posting_count,
+            "blocks": index.block_count,
+        }
+        fh.write(json.dumps(header) + "\n")
+        for term, postings in index.items():
+            fh.write(json.dumps([term, postings.paths()]) + "\n")
+
+
+def load_index(path: str) -> InvertedIndex:
+    """Read an index previously written by :func:`save_index`."""
+    index = InvertedIndex()
+    with open(path, "r", encoding="utf-8") as fh:
+        header = json.loads(fh.readline())
+        if header.get("format") != _FORMAT:
+            raise ValueError(f"{path}: not a {_FORMAT} file")
+        for line in fh:
+            term, paths = json.loads(line)
+            index._map[term] = PostingsList(paths)
+        index._block_count = header.get("blocks", 0)
+    if len(index) != header["terms"]:
+        raise ValueError(
+            f"{path}: header says {header['terms']} terms, "
+            f"found {len(index)}"
+        )
+    return index
+
+
+def save_multi_index(multi: MultiIndex, directory: str) -> None:
+    """Write each replica of ``multi`` as ``replica-NNN.idx`` in a dir."""
+    os.makedirs(directory, exist_ok=True)
+    existing = [n for n in os.listdir(directory) if n.endswith(".idx")]
+    if existing:
+        raise FileExistsError(
+            f"{directory} already contains index files: {existing[:3]}"
+        )
+    for i, replica in enumerate(multi.replicas):
+        save_index(replica, os.path.join(directory, f"replica-{i:03d}.idx"))
+
+
+def load_multi_index(directory: str) -> MultiIndex:
+    """Read a directory written by :func:`save_multi_index`."""
+    names = sorted(n for n in os.listdir(directory) if n.endswith(".idx"))
+    if not names:
+        raise FileNotFoundError(f"no .idx files in {directory}")
+    replicas: List[InvertedIndex] = [
+        load_index(os.path.join(directory, name)) for name in names
+    ]
+    return MultiIndex(replicas)

@@ -1,0 +1,37 @@
+"""Platform models of the paper's three Intel machines.
+
+A :class:`PlatformProfile` collects everything the simulator needs to
+behave like one machine: core count, disk bandwidths, per-stage CPU
+costs, and contention coefficients.  The three calibrated profiles in
+:mod:`repro.platforms.calibrated` are derived directly from the paper's
+Table 1 stage times and sequential totals; the handful of parameters
+Table 1 does not pin down (aggregate disk bandwidth, cache-coherence
+penalty, join rate) are fitted so the configuration sweep lands on the
+paper's Tables 2-4.
+"""
+
+from repro.platforms.calibrated import (
+    ALL_PLATFORMS,
+    MANYCORE_32,
+    OCTO_CORE,
+    QUAD_CORE,
+    platform_by_name,
+)
+from repro.platforms.calibration import (
+    StageMeasurements,
+    derive_profile,
+    hypothetical,
+)
+from repro.platforms.profile import PlatformProfile
+
+__all__ = [
+    "ALL_PLATFORMS",
+    "MANYCORE_32",
+    "OCTO_CORE",
+    "PlatformProfile",
+    "QUAD_CORE",
+    "StageMeasurements",
+    "derive_profile",
+    "hypothetical",
+    "platform_by_name",
+]

@@ -1,0 +1,122 @@
+"""The three calibrated platforms.
+
+Derivations from the paper (benchmark: 51,000 files, 869 MB):
+
+========================  ========  ========  =========
+quantity                  4-core    8-core    32-core
+========================  ========  ========  =========
+filename generation (s)     5.0       4.0       5.0
+read files (s)             77.0      47.0      73.0
+read + extract (s)         88.0      61.0      80.0
+index update (s)           22.0      29.0      28.0
+sequential total (s)      220.0     105.0      90.0
+========================  ========  ========  =========
+
+* per-stream bandwidth = 869 MB / (read time − seek time), with seeks
+  at 0.05 ms × 51,000 files ≈ 2.55 s;
+* scan CPU = read+extract − read;
+* en-bloc update = Table 1's index update, split 50/50 into
+  parallelizable preparation and lock-serialized mutation;
+* naive update = sequential total − filename generation − read+extract.
+  (On the 32-core machine this comes out *smaller* than the en-bloc
+  update — an internal inconsistency of the paper's Table 1 vs. its
+  quoted sequential totals, almost certainly OS-cache state; we keep
+  the value because the speed-ups of Table 4 are quoted against it.)
+
+The fitted fields (aggregate bandwidth, coherence, lock/buffer costs,
+join rate) were chosen by sweeping the full configuration space and
+matching Tables 2-4; see ``benchmarks/`` and EXPERIMENTS.md for the
+resulting paper-vs-simulated comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.platforms.profile import PlatformProfile
+
+QUAD_CORE = PlatformProfile(
+    name="quad-core",
+    cores=4,
+    clock_ghz=2.4,
+    description="Intel Core2Quad Q6600, 2.4 GHz, 4 GB RAM, Windows 7 64 bit",
+    filename_gen_s=5.0,
+    per_stream_mbps=12.84,  # 869 * 1.10 / (77.0 - 2.55), see CostModel.read_cpu
+    scan_cpu_s=11.0,  # 88 - 77
+    update_prep_s=11.0,
+    update_critical_s=11.0,
+    naive_update_s=127.0,  # 220 - 5 - 88
+    sequential_total_s=220.0,
+    aggregate_mbps=23.0,
+    read_cpu_fraction=0.10,
+    shared_coherence=0.20,
+    lock_op_us=8.0,
+    buffer_op_us=25.0,
+    join_mpairs_per_s=60.0,
+    disk_thrash=0.13,
+    lock_handoff_us=40.0,
+)
+
+OCTO_CORE = PlatformProfile(
+    name="octo-core",
+    cores=8,
+    clock_ghz=1.86,
+    description="Intel Xeon E5320, 1.86 GHz, 8 GB RAM, Ubuntu 8.10 64 bit",
+    filename_gen_s=4.0,
+    per_stream_mbps=21.65,  # 869 * 1.12 / (47.0 - 2.04)
+    scan_cpu_s=14.0,  # 61 - 47
+    update_prep_s=14.5,
+    update_critical_s=14.5,
+    naive_update_s=40.0,  # 105 - 4 - 61
+    sequential_total_s=105.0,
+    # A single stream nearly saturates this disk: parallel reads barely
+    # help, which is why the 8-core machine's best speed-up is only ~2.
+    aggregate_mbps=22.5,
+    read_cpu_fraction=0.12,
+    # FSB-based Clovertown: cache lines bounce through the front-side
+    # bus, so the shared index's critical section degrades quickly.
+    shared_coherence=0.60,
+    lock_op_us=12.0,
+    buffer_op_us=30.0,
+    join_mpairs_per_s=2.3,
+    seek_ms=0.04,
+    disk_thrash=0.48,
+    lock_handoff_us=150.0,
+)
+
+MANYCORE_32 = PlatformProfile(
+    name="manycore-32",
+    cores=32,
+    clock_ghz=2.27,
+    description="Intel Xeon X7560, 2.27 GHz, 8 GB RAM, RHEL 4 64 bit "
+    "(Intel Manycore Testing Lab)",
+    filename_gen_s=5.0,
+    per_stream_mbps=13.57,  # 869 * 1.10 / (73.0 - 2.55)
+    scan_cpu_s=7.0,  # 80 - 73
+    update_prep_s=14.0,
+    update_critical_s=14.0,
+    naive_update_s=5.0,  # 90 - 5 - 80 (see module docstring)
+    sequential_total_s=90.0,
+    aggregate_mbps=46.5,
+    read_cpu_fraction=0.10,
+    shared_coherence=0.155,
+    lock_op_us=10.0,
+    buffer_op_us=28.0,
+    join_mpairs_per_s=2.0,
+    seek_ms=0.05,
+    disk_thrash=0.08,
+    lock_handoff_us=220.0,
+)
+
+ALL_PLATFORMS: Tuple[PlatformProfile, ...] = (QUAD_CORE, OCTO_CORE, MANYCORE_32)
+
+_BY_NAME: Dict[str, PlatformProfile] = {p.name: p for p in ALL_PLATFORMS}
+
+
+def platform_by_name(name: str) -> PlatformProfile:
+    """Look up a calibrated platform by its name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown platform {name!r}; known: {known}") from None

@@ -1,0 +1,136 @@
+"""Deriving platform profiles from measurements — "more platforms".
+
+The paper's future work includes running on more platforms.  This
+module packages the calibration procedure used for the three built-in
+machines so a new platform needs only the paper's own methodology:
+
+1. measure the four Table-1 stage times and the sequential total on the
+   target machine (the real engine's
+   :func:`repro.engine.runner.measure_stage_times` produces exactly
+   these four numbers);
+2. call :func:`derive_profile` with them plus the machine's core count
+   and clock;
+3. optionally tune the fitted contention parameters against observed
+   parallel runs (they default to mid-range values).
+
+:func:`hypothetical` additionally spins variants of an existing profile
+(different core counts, faster disks) for what-if studies like the
+core-count scaling benchmark.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.platforms.profile import PlatformProfile
+
+_MB = 1_000_000.0
+
+
+@dataclass(frozen=True)
+class StageMeasurements:
+    """The five measured inputs of a calibration (all in seconds)."""
+
+    filename_generation: float
+    read_files: float
+    read_and_extract: float
+    index_update: float
+    sequential_total: float
+
+    def __post_init__(self) -> None:
+        if self.read_and_extract < self.read_files:
+            raise ValueError(
+                "read+extract cannot be faster than reading alone"
+            )
+        if min(
+            self.filename_generation,
+            self.read_files,
+            self.index_update,
+            self.sequential_total,
+        ) <= 0:
+            raise ValueError("all measurements must be positive")
+
+
+def derive_profile(
+    name: str,
+    cores: int,
+    clock_ghz: float,
+    measurements: StageMeasurements,
+    corpus_megabytes: float = 869.0,
+    file_count: int = 51_000,
+    seek_ms: float = 0.05,
+    read_cpu_fraction: float = 0.10,
+    # fitted parameters: mid-range defaults, tune against parallel runs
+    aggregate_ratio: float = 2.0,
+    shared_coherence: float = 0.3,
+    lock_op_us: float = 10.0,
+    lock_handoff_us: float = 100.0,
+    buffer_op_us: float = 30.0,
+    join_mpairs_per_s: float = 5.0,
+    disk_thrash: float = 0.2,
+    description: str = "",
+) -> PlatformProfile:
+    """Build a :class:`PlatformProfile` from stage measurements.
+
+    The derivations mirror ``repro.platforms.calibrated``:
+    single-stream bandwidth comes from the read time net of seeks and
+    inflated by the read-CPU share; scan CPU is the read+extract delta;
+    the en-bloc update splits evenly into preparation and critical
+    work; the naive sequential update is the residual of the
+    sequential total.
+    """
+    if cores < 1:
+        raise ValueError("cores must be at least 1")
+    seeks_s = file_count * seek_ms / 1000.0
+    transfer_s = measurements.read_files - seeks_s
+    if transfer_s <= 0:
+        raise ValueError(
+            "seek time exceeds the whole read time; lower seek_ms"
+        )
+    per_stream = corpus_megabytes * (1.0 + read_cpu_fraction) / transfer_s
+
+    scan_cpu = measurements.read_and_extract - measurements.read_files
+    naive = measurements.sequential_total - (
+        measurements.filename_generation + measurements.read_and_extract
+    )
+    if naive <= 0:
+        raise ValueError(
+            "sequential total is not larger than the stage sum; "
+            "measure the naive sequential implementation"
+        )
+    return PlatformProfile(
+        name=name,
+        cores=cores,
+        clock_ghz=clock_ghz,
+        description=description,
+        filename_gen_s=measurements.filename_generation,
+        per_stream_mbps=round(per_stream, 2),
+        scan_cpu_s=scan_cpu,
+        update_prep_s=measurements.index_update / 2.0,
+        update_critical_s=measurements.index_update / 2.0,
+        naive_update_s=naive,
+        sequential_total_s=measurements.sequential_total,
+        aggregate_mbps=round(per_stream * max(1.0, aggregate_ratio), 2),
+        read_cpu_fraction=read_cpu_fraction,
+        shared_coherence=shared_coherence,
+        lock_op_us=lock_op_us,
+        lock_handoff_us=lock_handoff_us,
+        buffer_op_us=buffer_op_us,
+        join_mpairs_per_s=join_mpairs_per_s,
+        seek_ms=seek_ms,
+        disk_thrash=disk_thrash,
+    )
+
+
+def hypothetical(base: PlatformProfile, name: str = "", **overrides) -> PlatformProfile:
+    """A variant of ``base`` with fields overridden (what-if studies).
+
+    Example: ``hypothetical(MANYCORE_32, cores=64)`` asks how the
+    paper's 32-core machine would behave with twice the cores and the
+    same disk — the question behind the scaling benchmark.
+    """
+    if not name:
+        parts = [f"{key}={value}" for key, value in sorted(overrides.items())]
+        name = f"{base.name}[{', '.join(parts)}]"
+    return dataclasses.replace(base, name=name, **overrides)

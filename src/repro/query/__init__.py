@@ -1,0 +1,50 @@
+"""Search queries over the generated index.
+
+The paper's index generator exists to serve desktop search: "In its
+simplest form, it returns a list of files that contain a given
+combination of search terms."  Its stated future work is integrating
+and parallelizing query evaluation, "for instance by using multiple
+indices" — which is exactly what makes Implementation 3 viable.
+
+This package implements that search side: a boolean query language
+(terms, AND/OR/NOT, parentheses, implicit AND), an evaluator over a
+single index, and a parallel evaluator over the replicas of an unjoined
+multi-index.
+"""
+
+from repro.query.ast import And, Not, Or, Phrase, Prefix, Query, Term
+from repro.query.cache import CachingQueryEngine, QueryCache
+from repro.query.evaluator import QueryEngine
+from repro.query.optimizer import node_count, optimize
+from repro.query.parser import ParseError, parse_query
+from repro.query.ranking import (
+    FrequencyIndex,
+    RankedHit,
+    TfIdfRanker,
+    search_ranked,
+)
+from repro.query.wildcard import PrefixDictionary, expand_prefixes, has_prefixes
+
+__all__ = [
+    "And",
+    "CachingQueryEngine",
+    "FrequencyIndex",
+    "Not",
+    "Or",
+    "ParseError",
+    "Phrase",
+    "Prefix",
+    "PrefixDictionary",
+    "Query",
+    "QueryEngine",
+    "RankedHit",
+    "Term",
+    "TfIdfRanker",
+    "QueryCache",
+    "expand_prefixes",
+    "has_prefixes",
+    "node_count",
+    "optimize",
+    "parse_query",
+    "search_ranked",
+]

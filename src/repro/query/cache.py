@@ -1,0 +1,94 @@
+"""Query result caching with invalidation.
+
+Desktop-search users repeat queries (retyping, paging, live-search
+keystrokes), and the index between refreshes is immutable — ideal
+caching conditions.  :class:`QueryCache` is a from-scratch LRU keyed by
+(normalized query, parallel flag); :class:`CachingQueryEngine` wraps a
+:class:`~repro.query.evaluator.QueryEngine` with it and exposes
+:meth:`~CachingQueryEngine.invalidate` for the moment the index changes
+(e.g. after an :meth:`~repro.index.incremental.IncrementalIndexer.refresh`).
+
+Normalization runs the query optimizer first, so ``a AND a`` and ``a``
+share a cache entry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.query.evaluator import QueryEngine
+from repro.query.optimizer import optimize
+from repro.query.parser import parse_query
+
+
+class QueryCache:
+    """A fixed-capacity LRU cache of query results."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be at least 1, got {capacity}")
+        self.capacity = capacity
+        # dict preserves insertion order; recency = reinsertion order.
+        self._entries: Dict[Tuple[str, bool], List[str]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Tuple[str, bool]) -> Optional[List[str]]:
+        """Cached result for ``key`` (refreshing recency), else None."""
+        if key not in self._entries:
+            self.misses += 1
+            return None
+        self.hits += 1
+        value = self._entries.pop(key)
+        self._entries[key] = value
+        return list(value)
+
+    def put(self, key: Tuple[str, bool], value: List[str]) -> None:
+        """Insert a result, evicting the least recently used if full."""
+        if key in self._entries:
+            self._entries.pop(key)
+        elif len(self._entries) >= self.capacity:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        self._entries[key] = list(value)
+
+    def clear(self) -> None:
+        """Drop every entry (the index changed)."""
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """hits / (hits + misses), 0.0 before any lookup."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CachingQueryEngine:
+    """A :class:`QueryEngine` front end with LRU result caching."""
+
+    def __init__(self, engine: QueryEngine, capacity: int = 128) -> None:
+        self.engine = engine
+        self.cache = QueryCache(capacity)
+
+    def search(self, query_text: str, parallel: bool = False) -> List[str]:
+        """Like :meth:`QueryEngine.search`, memoized on the normalized
+        query."""
+        key = (self._normalize(query_text), parallel)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        result = self.engine.search(query_text, parallel=parallel)
+        self.cache.put(key, result)
+        return result
+
+    def invalidate(self) -> None:
+        """Call whenever the underlying index changes."""
+        self.cache.clear()
+
+    @staticmethod
+    def _normalize(query_text: str) -> str:
+        """Canonical string of the optimized AST."""
+        return str(optimize(parse_query(query_text)))

@@ -1,0 +1,109 @@
+"""Boolean query parser.
+
+Grammar (standard precedence NOT > AND > OR; adjacency is implicit AND)::
+
+    query   := or_expr
+    or_expr := and_expr ( OR and_expr )*
+    and_expr:= not_expr ( [AND] not_expr )*
+    not_expr:= NOT not_expr | atom
+    atom    := '(' or_expr ')' | TERM | PREFIX* | "PHRASE WORDS"
+
+Operators are case-insensitive keywords; terms are lower-cased to match
+the tokenizer's normalization.  A trailing ``*`` makes a term a prefix
+(wildcard) query, e.g. ``inter*``; double quotes make a phrase, e.g.
+``"parallel software design"`` (a one-word phrase is just a term).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.query.ast import And, Not, Or, Phrase, Prefix, Query, Term
+
+_TOKEN = re.compile(r"\(|\)|\"[^\"]*\"|[A-Za-z0-9]+\*?")
+_WORD = re.compile(r"[A-Za-z0-9]+")
+
+
+class ParseError(ValueError):
+    """Raised for malformed query strings."""
+
+
+def parse_query(text: str) -> Query:
+    """Parse ``text`` into a query AST."""
+    tokens = _TOKEN.findall(text)
+    if not tokens:
+        raise ParseError("empty query")
+    parser = _Parser(tokens)
+    query = parser.parse_or()
+    if parser.remaining():
+        raise ParseError(f"unexpected token: {parser.peek()!r}")
+    return query
+
+
+class _Parser:
+    def __init__(self, tokens: List[str]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self) -> str:
+        return self._tokens[self._pos] if self.remaining() else ""
+
+    def remaining(self) -> bool:
+        return self._pos < len(self._tokens)
+
+    def _advance(self) -> str:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def parse_or(self) -> Query:
+        operands = [self.parse_and()]
+        while self.remaining() and self.peek().upper() == "OR":
+            self._advance()
+            operands.append(self.parse_and())
+        return operands[0] if len(operands) == 1 else Or(tuple(operands))
+
+    def parse_and(self) -> Query:
+        operands = [self.parse_not()]
+        while self.remaining():
+            token = self.peek()
+            if token.upper() == "AND":
+                self._advance()
+                operands.append(self.parse_not())
+            elif token.upper() == "OR" or token == ")":
+                break
+            else:
+                # Adjacency: "cat dog" means "cat AND dog".
+                operands.append(self.parse_not())
+        return operands[0] if len(operands) == 1 else And(tuple(operands))
+
+    def parse_not(self) -> Query:
+        if self.remaining() and self.peek().upper() == "NOT":
+            self._advance()
+            return Not(self.parse_not())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Query:
+        if not self.remaining():
+            raise ParseError("unexpected end of query")
+        token = self._advance()
+        if token == "(":
+            inner = self.parse_or()
+            if not self.remaining() or self._advance() != ")":
+                raise ParseError("missing closing parenthesis")
+            return inner
+        if token == ")":
+            raise ParseError("unexpected closing parenthesis")
+        if token.startswith('"'):
+            words = [w.lower() for w in _WORD.findall(token)]
+            if not words:
+                raise ParseError("empty phrase")
+            if len(words) == 1:
+                return Term(words[0])
+            return Phrase(tuple(words))
+        if token.upper() in ("AND", "OR", "NOT"):
+            raise ParseError(f"operator {token!r} used where a term is expected")
+        if token.endswith("*"):
+            return Prefix(token[:-1].lower())
+        return Term(token.lower())

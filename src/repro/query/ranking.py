@@ -1,0 +1,129 @@
+"""Ranked retrieval: tf-idf scoring on top of boolean matching.
+
+The paper's index is boolean (term -> files); a usable desktop search
+also ranks hits.  :class:`FrequencyIndex` keeps what boolean postings
+drop — per-(term, file) occurrence counts — and :class:`TfIdfRanker`
+orders a boolean result set by the classic
+
+    score(file) = sum over query terms of tf(term, file) * idf(term)
+
+with log-scaled term frequency and smoothed inverse document frequency.
+The frequency index is an optional sidecar: the boolean engines stay
+exactly as the paper describes them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.adt import FnvHashMap
+from repro.query.parser import parse_query
+from repro.text.tokenizer import Tokenizer
+
+
+class FrequencyIndex:
+    """term -> {path: occurrence count}, plus document statistics."""
+
+    def __init__(self) -> None:
+        self._counts: FnvHashMap[Dict[str, int]] = FnvHashMap()
+        self._document_lengths: FnvHashMap[int] = FnvHashMap()
+
+    @property
+    def document_count(self) -> int:
+        """Number of indexed documents."""
+        return len(self._document_lengths)
+
+    def add_document(self, path: str, terms: Iterable[str]) -> None:
+        """Index a document from its term *occurrences* (with duplicates)."""
+        if path in self._document_lengths:
+            raise ValueError(f"{path!r} already indexed")
+        length = 0
+        for term in terms:
+            length += 1
+            per_doc = self._counts.setdefault(term, {})
+            per_doc[path] = per_doc.get(path, 0) + 1
+        self._document_lengths[path] = length
+
+    def tf(self, term: str, path: str) -> int:
+        """Occurrences of ``term`` in ``path`` (0 if absent)."""
+        per_doc = self._counts.get(term)
+        return per_doc.get(path, 0) if per_doc else 0
+
+    def df(self, term: str) -> int:
+        """Number of documents containing ``term``."""
+        per_doc = self._counts.get(term)
+        return len(per_doc) if per_doc else 0
+
+    def document_length(self, path: str) -> int:
+        """Total term occurrences in ``path``."""
+        return self._document_lengths.get(path, 0)
+
+    @classmethod
+    def from_fs(cls, fs, tokenizer: Optional[Tokenizer] = None,
+                registry=None, root: str = "") -> "FrequencyIndex":
+        """Build a frequency index by scanning a filesystem."""
+        tokenizer = tokenizer or Tokenizer()
+        index = cls()
+        for ref in fs.list_files(root):
+            content = fs.read_file(ref.path)
+            if registry is not None:
+                content = registry.extract_text(ref.path, content)
+            index.add_document(ref.path, tokenizer.iter_terms(content))
+        return index
+
+
+@dataclass(frozen=True)
+class RankedHit:
+    """One scored search result."""
+
+    path: str
+    score: float
+
+
+class TfIdfRanker:
+    """Scores boolean hits with log-tf x smoothed-idf."""
+
+    def __init__(self, frequencies: FrequencyIndex) -> None:
+        self.frequencies = frequencies
+
+    def idf(self, term: str) -> float:
+        """Smoothed inverse document frequency of ``term``."""
+        n = self.frequencies.document_count
+        df = self.frequencies.df(term)
+        return math.log((n + 1) / (df + 1)) + 1.0
+
+    def score(self, path: str, terms: Sequence[str]) -> float:
+        """tf-idf score of one document against the query terms."""
+        total = 0.0
+        for term in terms:
+            tf = self.frequencies.tf(term, path)
+            if tf:
+                total += (1.0 + math.log(tf)) * self.idf(term)
+        return total
+
+    def rank(self, paths: Iterable[str], terms: Sequence[str]) -> List[RankedHit]:
+        """Hits ordered by descending score (ties broken by path)."""
+        hits = [RankedHit(path, self.score(path, terms)) for path in paths]
+        hits.sort(key=lambda hit: (-hit.score, hit.path))
+        return hits
+
+
+def search_ranked(
+    engine, ranker: TfIdfRanker, query_text: str, parallel: bool = False
+) -> List[RankedHit]:
+    """Boolean match via ``engine``, then tf-idf ordering via ``ranker``.
+
+    The query's positive terms drive the scoring; operators only decide
+    the match set (a NOT-ed term contributes no score to survivors).
+    Wildcards are expanded against the engine's term dictionary so
+    their concrete matches are scored too.
+    """
+    from repro.query.wildcard import expand_prefixes, has_prefixes
+
+    paths = engine.search(query_text, parallel=parallel)
+    query = parse_query(query_text)
+    if has_prefixes(query):
+        query = expand_prefixes(query, engine.prefix_dictionary())
+    return ranker.rank(paths, sorted(query.terms()))

@@ -1,0 +1,59 @@
+"""A discrete-event simulator for multicore execution.
+
+This is the substitution for the hardware we do not have: the paper's
+4-, 8- and 32-core Intel machines.  The simulator executes
+generator-based *processes* (simulated threads) against *fluid*
+processor-sharing resources:
+
+* a CPU with ``cores`` cores — when more processes compute than there
+  are cores, each advances at ``cores / runnable`` of full speed (OS
+  time slicing);
+* a disk whose streams share an aggregate bandwidth under a per-stream
+  cap — the two regimes behind the paper's platforms (a disk one reader
+  already saturates vs. one with parallel headroom);
+* FIFO locks with contention accounting, bounded buffers with close
+  semantics, and barriers.
+
+Processes yield request objects (:class:`Use`, :class:`Delay`,
+:class:`Acquire`, :class:`Release`, :class:`Put`, :class:`Get`,
+:class:`Close`, :class:`WaitBarrier`); the :class:`Kernel` advances
+virtual time to the next completion and resumes them.  Everything is
+deterministic: the same program yields the same virtual timings.
+"""
+
+from repro.sim.errors import DeadlockError, SimulationError
+from repro.sim.events import (
+    BUFFER_CLOSED,
+    Acquire,
+    Close,
+    Delay,
+    Get,
+    Put,
+    Release,
+    Use,
+    WaitBarrier,
+)
+from repro.sim.kernel import Kernel
+from repro.sim.process import Process, ProcessState
+from repro.sim.resources import FairShareResource, SimBarrier, SimBuffer, SimLock
+
+__all__ = [
+    "Acquire",
+    "BUFFER_CLOSED",
+    "Close",
+    "DeadlockError",
+    "Delay",
+    "FairShareResource",
+    "Get",
+    "Kernel",
+    "Process",
+    "ProcessState",
+    "Put",
+    "Release",
+    "SimBarrier",
+    "SimBuffer",
+    "SimLock",
+    "SimulationError",
+    "Use",
+    "WaitBarrier",
+]

@@ -1,0 +1,19 @@
+"""Simulator error types."""
+
+from __future__ import annotations
+
+
+class SimulationError(RuntimeError):
+    """A process violated the simulator's protocol (e.g. released a lock
+    it does not hold, or put into a closed buffer)."""
+
+
+class DeadlockError(SimulationError):
+    """Virtual time cannot advance but processes are still blocked."""
+
+    def __init__(self, blocked_names):
+        self.blocked_names = list(blocked_names)
+        super().__init__(
+            "simulation deadlocked; blocked processes: "
+            + ", ".join(self.blocked_names)
+        )

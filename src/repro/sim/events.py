@@ -1,0 +1,88 @@
+"""Request objects simulated processes yield to the kernel.
+
+A simulated thread is a Python generator; each ``yield`` hands the
+kernel one of these requests and suspends the process until the kernel
+completes it.  ``Get`` is the only request whose completion carries a
+value (the item, or :data:`BUFFER_CLOSED` after drain-and-close).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.sim.resources import FairShareResource, SimBarrier, SimBuffer, SimLock
+
+#: Sentinel a blocked ``Get`` receives once the buffer is closed and drained.
+BUFFER_CLOSED = object()
+
+
+@dataclass(frozen=True)
+class Use:
+    """Consume ``amount`` of a fair-share resource (CPU work or disk bytes)."""
+
+    resource: "FairShareResource"
+    amount: float
+
+    def __post_init__(self) -> None:
+        if self.amount < 0:
+            raise ValueError(f"amount must be non-negative, got {self.amount}")
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Suspend for a fixed span of virtual time (e.g. a disk seek)."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError(f"delay must be non-negative, got {self.seconds}")
+
+
+@dataclass(frozen=True)
+class Acquire:
+    """Block until the FIFO lock is granted to this process."""
+
+    lock: "SimLock"
+
+
+@dataclass(frozen=True)
+class Release:
+    """Release a held lock, waking the next waiter if any."""
+
+    lock: "SimLock"
+
+
+@dataclass(frozen=True)
+class Put:
+    """Enqueue ``item`` into a bounded buffer, blocking while full."""
+
+    buffer: "SimBuffer"
+    item: Any
+
+
+@dataclass(frozen=True)
+class Get:
+    """Dequeue from a bounded buffer, blocking while empty.
+
+    Completion value is the item, or :data:`BUFFER_CLOSED` when the
+    buffer has been closed and fully drained.
+    """
+
+    buffer: "SimBuffer"
+
+
+@dataclass(frozen=True)
+class Close:
+    """Close a buffer: no further puts; blocked getters drain then wake."""
+
+    buffer: "SimBuffer"
+
+
+@dataclass(frozen=True)
+class WaitBarrier:
+    """Block until all of the barrier's parties have arrived."""
+
+    barrier: "SimBarrier"

@@ -1,0 +1,268 @@
+"""The discrete-event kernel.
+
+Drives simulated processes (generators yielding request objects) over
+fair-share resources, locks, buffers and barriers in virtual time.  The
+loop alternates two phases:
+
+1. *drain* — step every ready process until it suspends on a request;
+   stepping costs no virtual time;
+2. *advance* — jump virtual time to the earliest of: the next timer
+   expiry, the next fair-share job completion; complete it and mark the
+   affected processes ready.
+
+If neither phase can make progress while unfinished processes remain,
+the run raises :class:`~repro.sim.errors.DeadlockError` naming them.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from typing import Any, Deque, Generator, List, Optional, Tuple
+
+from repro.sim.errors import DeadlockError, SimulationError
+from repro.sim.events import (
+    BUFFER_CLOSED,
+    Acquire,
+    Close,
+    Delay,
+    Get,
+    Put,
+    Release,
+    Use,
+    WaitBarrier,
+)
+from repro.sim.process import Process, ProcessState
+from repro.sim.resources import FairShareResource, SimBarrier, SimBuffer
+
+_EPS = 1e-9
+
+
+class Kernel:
+    """A deterministic discrete-event simulation kernel.
+
+    Pass a :class:`repro.sim.trace.Tracer` to record every request each
+    process issues (see :func:`repro.sim.trace.render_timeline`).
+    """
+
+    def __init__(self, tracer=None) -> None:
+        self.now = 0.0
+        self.tracer = tracer
+        self._resources: List[FairShareResource] = []
+        self._processes: List[Process] = []
+        self._ready: Deque[Tuple[Process, Any]] = deque()
+        self._timers: List[Tuple[float, int, Process]] = []
+        self._timer_seq = 0
+
+    # -- construction -----------------------------------------------------
+
+    def resource(
+        self, name: str, total_rate: float, per_job_cap: Optional[float] = None
+    ) -> FairShareResource:
+        """Create and register a fair-share resource."""
+        res = FairShareResource(name, total_rate, per_job_cap)
+        res._last_advance = self.now
+        self._resources.append(res)
+        return res
+
+    def spawn(self, name: str, generator: Generator) -> Process:
+        """Register a process; it takes its first step when `run` drains."""
+        process = Process(name, generator, started_at=self.now)
+        self._processes.append(process)
+        self._ready.append((process, None))
+        return process
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run to completion (or ``until``); returns the final virtual time."""
+        stalled_iterations = 0
+        while True:
+            self._drain_ready()
+            next_time = self._next_event_time()
+            if next_time is math.inf:
+                self._check_deadlock()
+                return self.now
+            if until is not None and next_time > until:
+                self._advance_resources(until)
+                self.now = until
+                return self.now
+            self._advance_resources(next_time)
+            self.now = next_time
+            self._complete_resource_jobs()
+            self._fire_timers()
+            # Guard against numerical stalls: every iteration must either
+            # advance time or make a process ready.
+            if self._ready:
+                stalled_iterations = 0
+            else:
+                stalled_iterations += 1
+                if stalled_iterations > 1000:
+                    raise SimulationError(
+                        f"kernel made no progress at t={self.now}; "
+                        "a resource job is numerically stuck"
+                    )
+
+    @property
+    def unfinished(self) -> List[Process]:
+        """Processes that have not yet returned."""
+        return [p for p in self._processes if p.state is not ProcessState.FINISHED]
+
+    # -- main-loop pieces ---------------------------------------------------
+
+    def _next_event_time(self) -> float:
+        candidates = [self._timers[0][0]] if self._timers else []
+        for res in self._resources:
+            rel = res.next_completion_in()
+            if rel is not math.inf:
+                candidates.append(self.now + rel)
+        return min(candidates) if candidates else math.inf
+
+    def _advance_resources(self, now: float) -> None:
+        for res in self._resources:
+            res.advance(now)
+
+    def _complete_resource_jobs(self) -> None:
+        for res in self._resources:
+            for process in res.pop_completed():
+                process.state = ProcessState.READY
+                self._ready.append((process, None))
+
+    def _fire_timers(self) -> None:
+        while self._timers and self._timers[0][0] <= self.now + _EPS:
+            _, _, process = heapq.heappop(self._timers)
+            process.mark_unblocked(self.now)
+            self._ready.append((process, None))
+
+    def _drain_ready(self) -> None:
+        while self._ready:
+            process, value = self._ready.popleft()
+            self._step(process, value)
+
+    def _check_deadlock(self) -> None:
+        blocked = [
+            p for p in self._processes if p.state is ProcessState.BLOCKED
+        ]
+        if blocked:
+            raise DeadlockError(p.name for p in blocked)
+
+    # -- stepping and request dispatch ---------------------------------------
+
+    def _step(self, process: Process, value: Any) -> None:
+        try:
+            request = process.generator.send(value)
+        except StopIteration:
+            process.state = ProcessState.FINISHED
+            process.finish_time = self.now
+            if self.tracer is not None:
+                self.tracer.record(self.now, process.name, "Finish")
+            return
+        if self.tracer is not None:
+            self.tracer.record(
+                self.now, process.name, type(request).__name__
+            )
+        self._dispatch(process, request)
+
+    def _dispatch(self, process: Process, request: Any) -> None:
+        if isinstance(request, Use):
+            if request.amount <= 0:
+                self._ready.append((process, None))
+                return
+            process.state = ProcessState.RUNNING
+            request.resource.add_job(process, request.amount)
+        elif isinstance(request, Delay):
+            if request.seconds <= 0:
+                self._ready.append((process, None))
+                return
+            process.mark_blocked(self.now)
+            self._timer_seq += 1
+            heapq.heappush(
+                self._timers,
+                (self.now + request.seconds, self._timer_seq, process),
+            )
+        elif isinstance(request, Acquire):
+            if request.lock.try_acquire(process, self.now):
+                self._ready.append((process, None))
+            else:
+                process.mark_blocked(self.now)
+        elif isinstance(request, Release):
+            woken = request.lock.release(process, self.now)
+            self._ready.append((process, None))
+            if woken is not None:
+                woken.mark_unblocked(self.now)
+                self._ready.append((woken, None))
+        elif isinstance(request, Put):
+            self._do_put(process, request.buffer, request.item)
+        elif isinstance(request, Get):
+            self._do_get(process, request.buffer)
+        elif isinstance(request, Close):
+            self._do_close(process, request.buffer)
+        elif isinstance(request, WaitBarrier):
+            self._do_barrier(process, request.barrier)
+        else:
+            raise SimulationError(
+                f"{process.name} yielded an unknown request: {request!r}"
+            )
+
+    # -- buffer operations ----------------------------------------------------
+
+    def _do_put(self, process: Process, buffer: SimBuffer, item: Any) -> None:
+        if buffer.closed:
+            raise SimulationError(
+                f"{process.name} put into closed buffer {buffer.name!r}"
+            )
+        buffer.puts += 1
+        if buffer.blocked_getters:
+            getter = buffer.blocked_getters.popleft()
+            getter.mark_unblocked(self.now)
+            self._ready.append((getter, item))
+            self._ready.append((process, None))
+        elif len(buffer.items) < buffer.capacity:
+            buffer.items.append(item)
+            buffer.note_occupancy()
+            self._ready.append((process, None))
+        else:
+            process.mark_blocked(self.now)
+            buffer.blocked_putters.append((process, item))
+
+    def _do_get(self, process: Process, buffer: SimBuffer) -> None:
+        buffer.gets += 1
+        if buffer.items:
+            item = buffer.items.popleft()
+            if buffer.blocked_putters:
+                putter, pending = buffer.blocked_putters.popleft()
+                buffer.items.append(pending)
+                putter.mark_unblocked(self.now)
+                self._ready.append((putter, None))
+            self._ready.append((process, item))
+        elif buffer.closed:
+            self._ready.append((process, BUFFER_CLOSED))
+        else:
+            process.mark_blocked(self.now)
+            buffer.blocked_getters.append(process)
+
+    def _do_close(self, process: Process, buffer: SimBuffer) -> None:
+        if buffer.blocked_putters:
+            names = ", ".join(p.name for p, _ in buffer.blocked_putters)
+            raise SimulationError(
+                f"buffer {buffer.name!r} closed while putters blocked: {names}"
+            )
+        buffer.closed = True
+        while buffer.blocked_getters:
+            getter = buffer.blocked_getters.popleft()
+            getter.mark_unblocked(self.now)
+            self._ready.append((getter, BUFFER_CLOSED))
+        self._ready.append((process, None))
+
+    def _do_barrier(self, process: Process, barrier: SimBarrier) -> None:
+        barrier.waiting.append(process)
+        if len(barrier.waiting) >= barrier.parties:
+            barrier.generations += 1
+            for waiter in barrier.waiting:
+                if waiter is not process:
+                    waiter.mark_unblocked(self.now)
+                self._ready.append((waiter, None))
+            barrier.waiting = []
+        else:
+            process.mark_blocked(self.now)

@@ -1,0 +1,59 @@
+"""Simulated process records."""
+
+from __future__ import annotations
+
+import enum
+from typing import Generator, Optional
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of a simulated process."""
+
+    READY = "ready"
+    RUNNING = "running"  # active inside a fair-share resource
+    BLOCKED = "blocked"  # waiting on a lock, buffer, barrier or timer
+    FINISHED = "finished"
+
+
+class Process:
+    """A simulated thread: a generator plus bookkeeping.
+
+    ``finish_time`` is the virtual time the generator returned;
+    ``blocked_time`` accumulates time spent waiting on locks, buffers
+    and barriers (not on resources), which the experiment reports use to
+    attribute slowdowns to contention.
+    """
+
+    __slots__ = (
+        "name",
+        "generator",
+        "state",
+        "started_at",
+        "finish_time",
+        "blocked_time",
+        "_blocked_since",
+    )
+
+    def __init__(self, name: str, generator: Generator, started_at: float) -> None:
+        self.name = name
+        self.generator = generator
+        self.state = ProcessState.READY
+        self.started_at = started_at
+        self.finish_time: Optional[float] = None
+        self.blocked_time = 0.0
+        self._blocked_since: Optional[float] = None
+
+    def mark_blocked(self, now: float) -> None:
+        """Record the start of a blocking wait."""
+        self.state = ProcessState.BLOCKED
+        self._blocked_since = now
+
+    def mark_unblocked(self, now: float) -> None:
+        """Record the end of a blocking wait, accumulating the span."""
+        if self._blocked_since is not None:
+            self.blocked_time += now - self._blocked_since
+            self._blocked_since = None
+        self.state = ProcessState.READY
+
+    def __repr__(self) -> str:
+        return f"Process({self.name!r}, {self.state.value})"

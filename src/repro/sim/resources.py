@@ -1,0 +1,203 @@
+"""Simulated resources: fair-share devices, locks, buffers, barriers.
+
+The fair-share resource is a fluid model: all active jobs progress
+simultaneously at ``min(per_job_cap, total_rate / n_jobs)``.  With
+``total_rate = cores * clock`` and ``per_job_cap = clock`` it models an
+OS time-slicing ``n`` runnable threads over ``cores`` cores; with
+``total_rate = aggregate_bw`` and ``per_job_cap = stream_bw`` it models
+a disk whose concurrent streams share platter bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.sim.errors import SimulationError
+from repro.sim.process import Process
+
+_EPS = 1e-9
+
+
+class FairShareResource:
+    """A fluid processor-sharing resource."""
+
+    def __init__(
+        self, name: str, total_rate: float, per_job_cap: Optional[float] = None
+    ) -> None:
+        if total_rate <= 0:
+            raise ValueError(f"total_rate must be positive, got {total_rate}")
+        if per_job_cap is not None and per_job_cap <= 0:
+            raise ValueError(f"per_job_cap must be positive, got {per_job_cap}")
+        self.name = name
+        self.total_rate = total_rate
+        self.per_job_cap = per_job_cap
+        self._jobs: Dict[Process, float] = {}
+        self._last_advance = 0.0
+        self.work_done = 0.0
+        self.peak_concurrency = 0
+
+    # -- kernel interface -------------------------------------------------
+
+    def add_job(self, process: Process, amount: float) -> None:
+        """Admit a job with ``amount`` units of demand."""
+        if process in self._jobs:
+            raise SimulationError(
+                f"{process.name} already has a job on resource {self.name}"
+            )
+        self._jobs[process] = amount
+        self.peak_concurrency = max(self.peak_concurrency, len(self._jobs))
+
+    def current_rate(self) -> float:
+        """Per-job progress rate at the current job count (0 when idle)."""
+        n = len(self._jobs)
+        if n == 0:
+            return 0.0
+        rate = self.total_rate / n
+        if self.per_job_cap is not None:
+            rate = min(rate, self.per_job_cap)
+        return rate
+
+    def next_completion_in(self) -> float:
+        """Seconds from the last advance until the earliest job finishes."""
+        if not self._jobs:
+            return math.inf
+        return min(self._jobs.values()) / self.current_rate()
+
+    def advance(self, now: float) -> None:
+        """Progress every active job up to virtual time ``now``."""
+        dt = now - self._last_advance
+        self._last_advance = now
+        if dt <= 0 or not self._jobs:
+            return
+        rate = self.current_rate()
+        progress = rate * dt
+        for process in self._jobs:
+            done = min(progress, self._jobs[process])
+            self._jobs[process] -= done
+            self.work_done += done
+
+    def pop_completed(self, time_epsilon: float = 1e-9) -> List[Process]:
+        """Remove and return jobs that are done to within ``time_epsilon``
+        seconds of service.
+
+        The threshold is *time*-based (remaining demand divided by the
+        current rate) rather than demand-based: demands span many orders
+        of magnitude (CPU seconds vs. disk bytes), and a leftover demand
+        smaller than one representable tick of virtual time would
+        otherwise stall the clock forever.
+        """
+        if not self._jobs:
+            return []
+        threshold = max(_EPS, self.current_rate() * time_epsilon)
+        finished = [
+            p for p, remaining in self._jobs.items() if remaining <= threshold
+        ]
+        for process in finished:
+            del self._jobs[process]
+        return finished
+
+    @property
+    def active_jobs(self) -> int:
+        """Number of jobs currently in service."""
+        return len(self._jobs)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of total capacity used over ``elapsed`` seconds."""
+        if elapsed <= 0:
+            return 0.0
+        return self.work_done / (self.total_rate * elapsed)
+
+    def __repr__(self) -> str:
+        return (
+            f"FairShareResource({self.name!r}, rate={self.total_rate}, "
+            f"cap={self.per_job_cap}, active={len(self._jobs)})"
+        )
+
+
+class SimLock:
+    """A FIFO mutex with contention statistics.
+
+    ``acquires`` counts all grants; ``contended_acquires`` counts those
+    that had to wait; ``total_wait_time`` integrates the waiting —
+    the quantities that explain Implementation 1's scaling collapse.
+    """
+
+    def __init__(self, name: str = "lock") -> None:
+        self.name = name
+        self._owner: Optional[Process] = None
+        self._waiters: Deque[Tuple[Process, float]] = deque()
+        self.acquires = 0
+        self.contended_acquires = 0
+        self.total_wait_time = 0.0
+        self.max_queue_length = 0
+
+    @property
+    def owner(self) -> Optional[Process]:
+        """The process currently holding the lock (None when free)."""
+        return self._owner
+
+    @property
+    def queue_length(self) -> int:
+        """Processes currently waiting."""
+        return len(self._waiters)
+
+    def try_acquire(self, process: Process, now: float) -> bool:
+        """Grant immediately if free; otherwise enqueue.  Returns granted."""
+        if self._owner is None:
+            self._owner = process
+            self.acquires += 1
+            return True
+        self._waiters.append((process, now))
+        self.contended_acquires += 1
+        self.max_queue_length = max(self.max_queue_length, len(self._waiters))
+        return False
+
+    def release(self, process: Process, now: float) -> Optional[Process]:
+        """Release; returns the next owner to wake (None if none waited)."""
+        if self._owner is not process:
+            raise SimulationError(
+                f"{process.name} released lock {self.name!r} it does not hold"
+            )
+        if self._waiters:
+            next_owner, enqueued_at = self._waiters.popleft()
+            self.total_wait_time += now - enqueued_at
+            self._owner = next_owner
+            self.acquires += 1
+            return next_owner
+        self._owner = None
+        return None
+
+
+class SimBuffer:
+    """A bounded FIFO between simulated producers and consumers."""
+
+    def __init__(self, name: str = "buffer", capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be at least 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self.blocked_putters: Deque[Tuple[Process, Any]] = deque()
+        self.blocked_getters: Deque[Process] = deque()
+        self.closed = False
+        self.puts = 0
+        self.gets = 0
+        self.peak_occupancy = 0
+
+    def note_occupancy(self) -> None:
+        """Record the high-water mark (kernel calls after mutations)."""
+        self.peak_occupancy = max(self.peak_occupancy, len(self.items))
+
+
+class SimBarrier:
+    """All ``parties`` processes block until the last one arrives."""
+
+    def __init__(self, parties: int, name: str = "barrier") -> None:
+        if parties < 1:
+            raise ValueError(f"parties must be at least 1, got {parties}")
+        self.name = name
+        self.parties = parties
+        self.waiting: List[Process] = []
+        self.generations = 0

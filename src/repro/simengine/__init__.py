@@ -1,0 +1,36 @@
+"""The simulated index generator.
+
+Mirrors :mod:`repro.engine`'s pipeline (stage-1 prefetch, round-robin
+extractors, optional buffered updaters, the three index designs, join)
+as processes on the :mod:`repro.sim` kernel, with per-action costs from
+a :class:`~repro.simengine.costmodel.CostModel` built from a
+:class:`~repro.platforms.profile.PlatformProfile` and a
+:class:`~repro.simengine.workload.Workload`.
+
+This is what regenerates the paper's Tables 1-4: the real Python engine
+proves the logic, the simulated engine provides the multicore timing
+behaviour the GIL denies us.
+"""
+
+from repro.simengine.costmodel import CostModel
+from repro.simengine.pipeline import SimPipeline
+from repro.simengine.querysim import (
+    QueryServiceResult,
+    QuerySimulation,
+    QueryWorkloadSpec,
+)
+from repro.simengine.results import SimRunResult, SimStageTimes
+from repro.simengine.workload import FileWork, Workload, WorkloadSpec
+
+__all__ = [
+    "CostModel",
+    "FileWork",
+    "QueryServiceResult",
+    "QuerySimulation",
+    "QueryWorkloadSpec",
+    "SimPipeline",
+    "SimRunResult",
+    "SimStageTimes",
+    "Workload",
+    "WorkloadSpec",
+]

@@ -1,0 +1,102 @@
+"""Cost model: platform + workload -> per-action simulator demands.
+
+Table 1's stage times are *totals over the whole benchmark*, so the
+model converts them to per-byte / per-term / per-pair rates against the
+workload's aggregates, then prices each simulated action:
+
+* reading a file: seek delay + disk bytes + a CPU sliver
+  (``read_cpu_fraction`` of the stream-time equivalent — syscalls and
+  buffer copies that keep the thread off the disk);
+* scanning: bytes x scan rate;
+* en-bloc insert: a parallelizable preparation part (hashing,
+  allocation) and a critical part that a shared-index design executes
+  under the lock, inflated by the coherence multiplier;
+* naive insert: occurrences x naive rate (sequential baseline only);
+* join: pairs moved / join rate;
+* lock and buffer operations: fixed micro-costs.
+"""
+
+from __future__ import annotations
+
+from repro.platforms.profile import PlatformProfile
+from repro.simengine.workload import FileWork, Workload
+
+_MB = 1_000_000.0
+
+
+class CostModel:
+    """Prices pipeline actions for one (platform, workload) pair."""
+
+    def __init__(self, platform: PlatformProfile, workload: Workload) -> None:
+        self.platform = platform
+        self.workload = workload
+        total_bytes = max(1, workload.total_bytes)
+        total_terms = max(1, workload.total_terms)
+        total_pairs = max(1, workload.total_unique_pairs)
+
+        self.scan_cpu_per_byte = platform.scan_cpu_s / total_bytes
+        self.prep_per_pair = platform.update_prep_s / total_pairs
+        self.critical_per_pair = platform.update_critical_s / total_pairs
+        self.naive_per_term = platform.naive_update_s / total_terms
+        # CPU seconds consumed per byte read (fraction of stream time).
+        self.read_cpu_per_byte = platform.read_cpu_fraction / (
+            platform.per_stream_mbps * _MB
+        )
+        self.seek_s = platform.seek_ms / 1_000.0
+        self.lock_op_s = platform.lock_op_us / 1_000_000.0
+        self.lock_handoff_s = platform.lock_handoff_us / 1_000_000.0
+        self.buffer_op_s = platform.buffer_op_us / 1_000_000.0
+
+    # -- per-file demands ---------------------------------------------------
+
+    def read_bytes(self, file: FileWork) -> float:
+        """Disk demand for reading the file, in bytes."""
+        return float(file.size_bytes)
+
+    def read_cpu(self, file: FileWork) -> float:
+        """CPU seconds spent issuing/copying the file's reads."""
+        return file.size_bytes * self.read_cpu_per_byte
+
+    def scan_cpu(self, file: FileWork) -> float:
+        """CPU seconds to tokenize and de-duplicate the file.
+
+        The per-byte rate is calibrated on plain text; rich formats pay
+        their measured multiplier on top (HTML ~2x, CSV ~2.5x, ...).
+        """
+        return file.size_bytes * self.scan_cpu_per_byte * file.scan_multiplier
+
+    def insert_prep_cpu(self, file: FileWork) -> float:
+        """CPU seconds of en-bloc insert work doable outside any lock."""
+        return file.unique_terms * self.prep_per_pair
+
+    def insert_critical_cpu(self, file: FileWork, sharers: int = 1) -> float:
+        """CPU seconds of en-bloc insert work inside the shared lock,
+        inflated by cache coherence when ``sharers`` threads share the
+        index's cache lines."""
+        return (
+            file.unique_terms
+            * self.critical_per_pair
+            * self.platform.coherence_multiplier(sharers)
+        )
+
+    def insert_private_cpu(self, file: FileWork) -> float:
+        """CPU seconds to insert into a thread-private replica (full
+        work, no lock, no coherence)."""
+        return file.unique_terms * (self.prep_per_pair + self.critical_per_pair)
+
+    def naive_update_cpu(self, file: FileWork) -> float:
+        """CPU seconds for the naive per-occurrence insert of the file."""
+        return file.term_count * self.naive_per_term
+
+    # -- aggregate demands -------------------------------------------------
+
+    def join_cpu(self, pairs_moved: float) -> float:
+        """CPU seconds to merge ``pairs_moved`` postings during a join."""
+        return pairs_moved / (self.platform.join_mpairs_per_s * 1e6)
+
+    def sequential_read_s(self) -> float:
+        """Closed-form single-stream read time (sanity checks only)."""
+        return (
+            self.workload.total_bytes / (self.platform.per_stream_mbps * _MB)
+            + len(self.workload.files) * self.seek_s
+        )

@@ -1,0 +1,55 @@
+"""Results of simulated runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.engine.config import Implementation, ThreadConfig
+
+
+@dataclass(frozen=True)
+class SimStageTimes:
+    """Table 1's four columns, as produced by isolated simulated runs."""
+
+    filename_generation: float
+    read_files: float
+    read_and_extract: float
+    index_update: float
+
+
+@dataclass
+class SimRunResult:
+    """One simulated end-to-end index generation run."""
+
+    platform_name: str
+    implementation: Optional[Implementation]
+    config: Optional[ThreadConfig]
+    total_s: float
+    filename_gen_s: float = 0.0
+    build_s: float = 0.0  # extraction + update phase (overlapped)
+    join_s: float = 0.0
+    # contention diagnostics
+    lock_acquires: int = 0
+    lock_contended: int = 0
+    lock_wait_s: float = 0.0
+    buffer_peak: int = 0
+    disk_utilization: float = 0.0
+    cpu_utilization: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    def speedup_over(self, sequential_s: float) -> float:
+        """Speed-up relative to a sequential time."""
+        if self.total_s <= 0:
+            raise ValueError("total_s must be positive")
+        return sequential_s / self.total_s
+
+    def summary(self) -> str:
+        """One line in the style of the paper's tables."""
+        impl = self.implementation.paper_name if self.implementation else "Sequential"
+        config = str(self.config) if self.config else "-"
+        return (
+            f"[{self.platform_name}] {impl} {config}: {self.total_s:.1f}s "
+            f"(build {self.build_s:.1f}s, join {self.join_s:.1f}s, "
+            f"lock wait {self.lock_wait_s:.1f}s)"
+        )

@@ -1,0 +1,224 @@
+"""Workload models: the file statistics the simulated engine runs on.
+
+A :class:`Workload` is a list of :class:`FileWork` records — per file:
+size in bytes, term occurrences, distinct terms.  Two ways to get one:
+
+* :meth:`Workload.from_corpus` scans a generated corpus exactly (used
+  by tests, where corpora are tiny);
+* :meth:`Workload.synthesize` builds the statistics directly from a
+  :class:`WorkloadSpec` without generating any text — this is how the
+  full 51,000-file / 869 MB paper benchmark is modelled in seconds.
+  Term counts come from the mean bytes-per-term of the synthetic
+  vocabulary; distinct-term counts from the exact Zipf expectation
+  E[unique | n draws], interpolated over a logarithmic grid.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.corpus.profiles import PAPER_PROFILE, CorpusProfile
+from repro.corpus.zipf import expected_unique_terms
+
+
+@dataclass(frozen=True)
+class FileWork:
+    """One file's statistics as the cost model sees them.
+
+    ``scan_multiplier`` scales the file's term-extraction CPU relative
+    to plain text: rich formats (HTML, CSV, the DocZ container) cost
+    more to scan, as the paper predicts ("for more complex formats,
+    this part would take longer").  The multipliers used for synthetic
+    mixed workloads come from the format-cost ablation's measurements.
+    """
+
+    path: str
+    size_bytes: int
+    term_count: int
+    unique_terms: int
+    scan_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0 or self.term_count < 0 or self.unique_terms < 0:
+            raise ValueError("file statistics cannot be negative")
+        if self.unique_terms > self.term_count:
+            raise ValueError(
+                f"{self.path}: unique terms ({self.unique_terms}) cannot "
+                f"exceed term occurrences ({self.term_count})"
+            )
+        if self.scan_multiplier <= 0:
+            raise ValueError("scan_multiplier must be positive")
+
+
+#: Scan-cost multipliers per format, from the format-cost ablation
+#: (benchmarks/test_ablation_formats.py on the real code paths).
+FORMAT_SCAN_MULTIPLIERS: dict = {
+    "plain": 1.0,
+    "html": 2.0,
+    "markdown": 2.0,
+    "csv": 2.5,
+    "docz": 1.1,
+}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters for synthesizing a workload without generating text.
+
+    ``format_mix`` (format name -> fraction) assigns each synthetic
+    file a format and the corresponding scan-cost multiplier, modelling
+    a mixed-format corpus; None (the default) is the paper's all-plain
+    benchmark.
+    """
+
+    profile: CorpusProfile = PAPER_PROFILE
+    bytes_per_term: float = 7.0
+    unique_grid_points: int = 28
+    format_mix: Optional[dict] = None
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_term <= 0:
+            raise ValueError("bytes_per_term must be positive")
+        if self.format_mix is not None:
+            unknown = set(self.format_mix) - set(FORMAT_SCAN_MULTIPLIERS)
+            if unknown:
+                raise ValueError(f"unknown formats: {sorted(unknown)}")
+            if sum(self.format_mix.values()) <= 0:
+                raise ValueError("format_mix weights must be positive")
+
+
+class Workload:
+    """An immutable list of per-file statistics plus aggregates."""
+
+    def __init__(self, files: Sequence[FileWork], name: str = "workload") -> None:
+        if not files:
+            raise ValueError("a workload needs at least one file")
+        self.name = name
+        self.files: List[FileWork] = list(files)
+        self.total_bytes = sum(f.size_bytes for f in self.files)
+        self.total_terms = sum(f.term_count for f in self.files)
+        self.total_unique_pairs = sum(f.unique_terms for f in self.files)
+
+    def __len__(self) -> int:
+        return len(self.files)
+
+    def __repr__(self) -> str:
+        return (
+            f"Workload({self.name!r}, files={len(self.files)}, "
+            f"MB={self.total_bytes / 1e6:.1f}, pairs={self.total_unique_pairs})"
+        )
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_corpus(cls, corpus, tokenizer=None) -> "Workload":
+        """Exact statistics by scanning a generated corpus's files."""
+        from repro.text.tokenizer import Tokenizer
+
+        tokenizer = tokenizer or Tokenizer()
+        files = []
+        for ref in corpus.fs.list_files():
+            content = corpus.fs.read_file(ref.path)
+            terms = tokenizer.tokenize(content)
+            files.append(
+                FileWork(
+                    path=ref.path,
+                    size_bytes=ref.size,
+                    term_count=len(terms),
+                    unique_terms=len(set(terms)),
+                )
+            )
+        return cls(files, name=f"corpus-{corpus.profile.name}")
+
+    @classmethod
+    def synthesize(cls, spec: Optional[WorkloadSpec] = None) -> "Workload":
+        """Statistics-only workload matching the spec's corpus profile.
+
+        Mirrors the corpus generator's size model (log-normal small
+        files plus equal-size large files) and converts sizes to term
+        counts via mean term length and to distinct-term counts via the
+        Zipf expectation.
+        """
+        spec = spec or WorkloadSpec()
+        profile = spec.profile
+        rng = random.Random(profile.seed + 1)
+        unique_of = _UniqueInterpolator(
+            profile.vocabulary_size, profile.zipf_exponent, spec.unique_grid_points
+        )
+        format_rng = random.Random(profile.seed + 7)
+        format_names = sorted(spec.format_mix) if spec.format_mix else None
+        format_weights = (
+            [spec.format_mix[name] for name in format_names]
+            if format_names
+            else None
+        )
+
+        def pick_multiplier() -> float:
+            if format_names is None:
+                return 1.0
+            name = format_rng.choices(format_names, format_weights)[0]
+            return FORMAT_SCAN_MULTIPLIERS[name]
+
+        files = []
+        mean = profile.mean_small_size
+        raw = [rng.lognormvariate(0.0, 0.8) for _ in range(profile.small_file_count)]
+        scale = mean / (sum(raw) / len(raw))
+        for i, r in enumerate(raw):
+            size = max(16, int(r * scale))
+            terms = max(1, int(size / spec.bytes_per_term))
+            files.append(
+                FileWork(
+                    path=f"doc{i:06d}.txt",
+                    size_bytes=size,
+                    term_count=terms,
+                    unique_terms=min(terms, unique_of(terms)),
+                    scan_multiplier=pick_multiplier(),
+                )
+            )
+        per_large = profile.large_file_bytes // profile.large_file_count
+        for i in range(profile.large_file_count):
+            terms = max(1, int(per_large / spec.bytes_per_term))
+            files.append(
+                FileWork(
+                    path=f"big{i}.txt",
+                    size_bytes=per_large,
+                    term_count=terms,
+                    unique_terms=min(terms, unique_of(terms)),
+                    scan_multiplier=pick_multiplier(),
+                )
+            )
+        return cls(files, name=f"synthetic-{profile.name}")
+
+
+class _UniqueInterpolator:
+    """log-linear interpolation of E[distinct terms | n Zipf draws].
+
+    The exact expectation is an O(vocabulary) sum per evaluation, too
+    slow for 51,000 files; instead it is evaluated on a logarithmic
+    grid of draw counts once and interpolated in log space.
+    """
+
+    def __init__(self, vocabulary: int, s: float, points: int) -> None:
+        top = 2 ** (points - 1)
+        self._grid = [2**k for k in range(points)]
+        self._values = [
+            expected_unique_terms(n, vocabulary, s) for n in self._grid
+        ]
+        self._log_grid = [math.log(n) for n in self._grid]
+        self._top = top
+        self._vocabulary = vocabulary
+
+    def __call__(self, n: int) -> int:
+        if n <= 1:
+            return 1
+        if n >= self._top:
+            return int(min(self._vocabulary, self._values[-1]))
+        i = bisect.bisect_right(self._grid, n)
+        x0, x1 = self._log_grid[i - 1], self._log_grid[i]
+        y0, y1 = self._values[i - 1], self._values[i]
+        t = (math.log(n) - x0) / (x1 - x0)
+        return int(round(y0 + t * (y1 - y0)))

@@ -1,0 +1,19 @@
+"""The "empty scanner".
+
+The paper's first parallelism probe: read every byte of every file but
+do no term extraction at all.  Comparing its runtime against the full
+extractor separates I/O cost from CPU cost (Table 1's "read files"
+versus "read files and extract terms" columns).
+"""
+
+from __future__ import annotations
+
+
+def empty_scan(content: bytes) -> int:
+    """Touch every byte of ``content``; returns a checksum so the loop
+    cannot be optimized away.  The checksum is the byte sum modulo 2^32.
+    """
+    total = 0
+    for byte in content:
+        total += byte
+    return total & 0xFFFFFFFF

@@ -1,0 +1,56 @@
+"""Stopword derivation.
+
+A stopword is a term so common it matches nearly every file: indexing
+it costs a posting per file and buys no selectivity.  On Zipfian text
+the top handful of terms account for a huge share of all postings —
+:func:`derive_stopwords` finds them empirically (by document frequency
+over a corpus sample), which works for any language or synthetic
+vocabulary, unlike a fixed English list.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from repro.text.tokenizer import Tokenizer
+
+
+def derive_stopwords(
+    fs,
+    top_k: int = 20,
+    min_document_fraction: float = 0.5,
+    tokenizer: Optional[Tokenizer] = None,
+    sample_limit: Optional[int] = None,
+    root: str = "",
+) -> FrozenSet[str]:
+    """Terms appearing in at least ``min_document_fraction`` of files.
+
+    At most the ``top_k`` highest-document-frequency qualifiers are
+    returned, so even a degenerate corpus (every file identical) yields
+    a bounded stopword set.  ``sample_limit`` caps how many files are
+    scanned — document frequency of genuinely common terms converges
+    fast, so a few hundred files suffice on large corpora.
+    """
+    if not 0.0 < min_document_fraction <= 1.0:
+        raise ValueError("min_document_fraction must be in (0, 1]")
+    if top_k < 0:
+        raise ValueError("top_k cannot be negative")
+    tokenizer = tokenizer or Tokenizer()
+    document_frequency: Dict[str, int] = {}
+    scanned = 0
+    for ref in fs.list_files(root):
+        if sample_limit is not None and scanned >= sample_limit:
+            break
+        scanned += 1
+        for term in set(tokenizer.iter_terms(fs.read_file(ref.path))):
+            document_frequency[term] = document_frequency.get(term, 0) + 1
+    if not scanned:
+        return frozenset()
+    threshold = scanned * min_document_fraction
+    qualifying = [
+        (count, term)
+        for term, count in document_frequency.items()
+        if count >= threshold
+    ]
+    qualifying.sort(key=lambda item: (-item[0], item[1]))
+    return frozenset(term for _, term in qualifying[:top_k])

@@ -1,0 +1,39 @@
+"""Per-file term blocks.
+
+The paper's key design decision (section 3): instead of inserting every
+term occurrence into the shared index (and paying a linear (term, file)
+duplicate search per insertion), each extractor builds a condensed,
+duplicate-free word list per file and hands it to the index *en bloc*.
+``TermBlock`` is that unit of transfer between stage 2 and stage 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class TermBlock:
+    """A file's de-duplicated terms, ready for a single index update.
+
+    ``terms`` is a tuple (immutable, hashable) of distinct terms.  Since
+    every file is scanned exactly once, the index may append the file to
+    each term's postings without any duplicate check — the invariant the
+    en-bloc design rests on.
+    """
+
+    path: str
+    terms: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if len(set(self.terms)) != len(self.terms):
+            raise ValueError(f"term block for {self.path!r} contains duplicates")
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __bool__(self) -> bool:
+        # A block for a file with no terms is still a meaningful unit of
+        # work, so truthiness follows "exists", not "has terms".
+        return True

@@ -1,0 +1,69 @@
+"""ASCII term extraction.
+
+A term is a maximal run of letters and digits; everything else is a
+separator.  Terms are lower-cased so searches are case-insensitive, and
+terms shorter than ``min_length`` are dropped (single characters are
+noise in desktop search).  The tokenizer works on bytes because stage 2
+reads raw file content.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+_WORD_BYTES = frozenset(
+    b"abcdefghijklmnopqrstuvwxyz" b"ABCDEFGHIJKLMNOPQRSTUVWXYZ" b"0123456789"
+)
+
+
+class Tokenizer:
+    """Extracts terms from byte content.
+
+    ``min_length`` filters out very short tokens; ``max_length``
+    truncates pathological runs (e.g. base64 blobs in text files) so a
+    single garbage line cannot blow up the index; ``stopwords`` drops
+    the given (lower-case) terms entirely — the classic index-size
+    optimization, since the most frequent terms match nearly every
+    file and carry no selectivity (see
+    :func:`repro.text.stopwords.derive_stopwords`).
+    """
+
+    def __init__(
+        self,
+        min_length: int = 2,
+        max_length: int = 64,
+        stopwords=None,
+    ) -> None:
+        if min_length < 1:
+            raise ValueError("min_length must be at least 1")
+        if max_length < min_length:
+            raise ValueError("max_length must be >= min_length")
+        self.min_length = min_length
+        self.max_length = max_length
+        self.stopwords = frozenset(stopwords) if stopwords else frozenset()
+
+    def tokenize(self, content: bytes) -> List[str]:
+        """All terms of ``content`` in order of appearance (with duplicates)."""
+        return list(self.iter_terms(content))
+
+    def iter_terms(self, content: bytes) -> Iterator[str]:
+        """Lazily yield terms of ``content`` in order of appearance."""
+        word = bytearray()
+        for byte in content:
+            if byte in _WORD_BYTES:
+                word.append(byte)
+            elif word:
+                yield from self._emit(word)
+                word = bytearray()
+        if word:
+            yield from self._emit(word)
+
+    def _emit(self, word: bytearray) -> Iterator[str]:
+        if len(word) >= self.min_length:
+            term = bytes(word[: self.max_length]).decode("ascii").lower()
+            if term not in self.stopwords:
+                yield term
+
+    def count_terms(self, content: bytes) -> int:
+        """Number of terms without materializing them (for workload stats)."""
+        return sum(1 for _ in self.iter_terms(content))

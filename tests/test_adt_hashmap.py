@@ -1,0 +1,145 @@
+"""Tests for FnvHashMap."""
+
+import pytest
+
+from repro.adt import FnvHashMap
+
+
+class TestBasicOperations:
+    def test_empty(self):
+        m = FnvHashMap()
+        assert len(m) == 0
+        assert not m
+        assert "missing" not in m
+
+    def test_set_and_get(self):
+        m = FnvHashMap()
+        m["alpha"] = 1
+        assert m["alpha"] == 1
+        assert "alpha" in m
+        assert len(m) == 1
+
+    def test_overwrite_keeps_size(self):
+        m = FnvHashMap()
+        m["k"] = 1
+        m["k"] = 2
+        assert m["k"] == 2
+        assert len(m) == 1
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            FnvHashMap()["nope"]
+
+    def test_delete(self):
+        m = FnvHashMap()
+        m["k"] = 1
+        del m["k"]
+        assert "k" not in m
+        assert len(m) == 0
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(KeyError):
+            del FnvHashMap()["nope"]
+
+    def test_bytes_keys(self):
+        m = FnvHashMap()
+        m[b"raw"] = 9
+        assert m[b"raw"] == 9
+
+    def test_construct_from_items(self):
+        m = FnvHashMap(iter([("a", 1), ("b", 2)]))
+        assert m["a"] == 1 and m["b"] == 2
+
+    def test_bool_nonempty(self):
+        m = FnvHashMap()
+        m["x"] = 0
+        assert m
+
+    def test_repr_mentions_size(self):
+        m = FnvHashMap()
+        m["x"] = 1
+        assert "size=1" in repr(m)
+
+
+class TestDictProtocolHelpers:
+    def test_get_default(self):
+        m = FnvHashMap()
+        assert m.get("missing") is None
+        assert m.get("missing", 7) == 7
+
+    def test_setdefault_inserts(self):
+        m = FnvHashMap()
+        value = m.setdefault("k", [])
+        value.append(1)
+        assert m["k"] == [1]
+
+    def test_setdefault_preserves_existing(self):
+        m = FnvHashMap()
+        m["k"] = "old"
+        assert m.setdefault("k", "new") == "old"
+        assert m["k"] == "old"
+
+    def test_pop(self):
+        m = FnvHashMap()
+        m["k"] = 3
+        assert m.pop("k") == 3
+        assert "k" not in m
+
+    def test_pop_missing_raises(self):
+        with pytest.raises(KeyError):
+            FnvHashMap().pop("k")
+
+    def test_pop_missing_with_default(self):
+        assert FnvHashMap().pop("k", 42) == 42
+
+    def test_clear(self):
+        m = FnvHashMap()
+        for i in range(100):
+            m[f"k{i}"] = i
+        m.clear()
+        assert len(m) == 0
+        assert m.bucket_count == 16
+
+
+class TestIteration:
+    def test_keys_values_items_consistent(self):
+        m = FnvHashMap()
+        data = {f"key{i}": i for i in range(50)}
+        for k, v in data.items():
+            m[k] = v
+        assert sorted(m.keys()) == sorted(data.keys())
+        assert sorted(m.values()) == sorted(data.values())
+        assert dict(m.items()) == data
+
+    def test_iter_is_keys(self):
+        m = FnvHashMap()
+        m["a"] = 1
+        m["b"] = 2
+        assert sorted(m) == ["a", "b"]
+
+
+class TestRehashing:
+    def test_grows_past_load_factor(self):
+        m = FnvHashMap()
+        for i in range(100):
+            m[f"key{i}"] = i
+        assert m.bucket_count >= 128
+        assert m.load_factor <= 1.0
+
+    def test_contents_survive_growth(self):
+        m = FnvHashMap()
+        n = 1000
+        for i in range(n):
+            m[f"key{i}"] = i * 2
+        assert len(m) == n
+        for i in range(n):
+            assert m[f"key{i}"] == i * 2
+
+    def test_collisions_resolved_by_chaining(self):
+        # Force everything into few buckets by inserting far more keys
+        # than the initial table size before any lookup.
+        m = FnvHashMap()
+        keys = [f"collision-test-{i}" for i in range(64)]
+        for i, key in enumerate(keys):
+            m[key] = i
+        assert all(m[key] == i for i, key in enumerate(keys))

@@ -1,0 +1,89 @@
+"""Tests for FnvHashSet."""
+
+from repro.adt import FnvHashSet
+
+
+class TestBasicOperations:
+    def test_empty(self):
+        s = FnvHashSet()
+        assert len(s) == 0
+        assert not s
+        assert "x" not in s
+
+    def test_add_returns_new_flag(self):
+        s = FnvHashSet()
+        assert s.add("x") is True
+        assert s.add("x") is False
+        assert len(s) == 1
+
+    def test_contains(self):
+        s = FnvHashSet(["a", "b"])
+        assert "a" in s and "b" in s and "c" not in s
+
+    def test_discard(self):
+        s = FnvHashSet(["a"])
+        assert s.discard("a") is True
+        assert s.discard("a") is False
+        assert len(s) == 0
+
+    def test_construct_with_duplicates(self):
+        s = FnvHashSet(["a", "a", "b"])
+        assert len(s) == 2
+
+    def test_bytes_elements(self):
+        s = FnvHashSet()
+        s.add(b"raw")
+        assert b"raw" in s
+
+    def test_clear(self):
+        s = FnvHashSet(str(i) for i in range(100))
+        s.clear()
+        assert len(s) == 0
+        assert s.bucket_count == 16
+
+    def test_iteration_yields_all(self):
+        elements = {f"e{i}" for i in range(50)}
+        s = FnvHashSet(elements)
+        assert set(s) == elements
+
+    def test_repr_mentions_size(self):
+        assert "size=2" in repr(FnvHashSet(["a", "b"]))
+
+
+class TestSetAlgebra:
+    def test_union(self):
+        s = FnvHashSet(["a", "b"]).union(["b", "c"])
+        assert set(s) == {"a", "b", "c"}
+
+    def test_union_leaves_operands_unchanged(self):
+        a = FnvHashSet(["a"])
+        b = FnvHashSet(["b"])
+        a.union(b)
+        assert set(a) == {"a"} and set(b) == {"b"}
+
+    def test_intersection(self):
+        a = FnvHashSet(["a", "b", "c"])
+        b = FnvHashSet(["b", "c", "d"])
+        assert set(a.intersection(b)) == {"b", "c"}
+
+    def test_intersection_commutes(self):
+        a = FnvHashSet(["a", "b", "c"])
+        b = FnvHashSet(["b"])
+        assert a.intersection(b) == b.intersection(a)
+
+    def test_equality(self):
+        assert FnvHashSet(["a", "b"]) == FnvHashSet(["b", "a"])
+        assert FnvHashSet(["a"]) != FnvHashSet(["a", "b"])
+
+    def test_equality_with_non_set(self):
+        assert FnvHashSet() != "not a set"
+
+
+class TestGrowth:
+    def test_grows_and_keeps_elements(self):
+        s = FnvHashSet()
+        for i in range(1000):
+            s.add(f"element{i}")
+        assert len(s) == 1000
+        assert s.bucket_count >= 1024
+        assert all(f"element{i}" in s for i in range(0, 1000, 97))

@@ -1,0 +1,171 @@
+"""Tests for the auto-tuner: space, strategies, memoization."""
+
+import pytest
+
+from repro.autotune import (
+    AutoTuner,
+    ConfigurationSpace,
+    ExhaustiveSearch,
+    HillClimbing,
+    RandomSearch,
+)
+from repro.engine.config import Implementation, ThreadConfig
+
+
+def quadratic_objective(optimum: ThreadConfig):
+    """Convex bowl with its minimum at ``optimum``; easy to climb."""
+
+    def objective(config: ThreadConfig) -> float:
+        return (
+            (config.extractors - optimum.extractors) ** 2
+            + (config.updaters - optimum.updaters) ** 2
+            + (config.joiners - optimum.joiners) ** 2
+        )
+
+    return objective
+
+
+class TestConfigurationSpace:
+    def test_all_configs_valid(self):
+        space = ConfigurationSpace(Implementation.SHARED_LOCKED, 4, 3)
+        for config in space:
+            config.validate_for(Implementation.SHARED_LOCKED)
+
+    def test_size_impl1(self):
+        space = ConfigurationSpace(Implementation.SHARED_LOCKED, 4, 3)
+        assert len(space.configurations()) == 4 * 4  # y in 0..3, z = 0
+
+    def test_impl2_has_joiners(self):
+        space = ConfigurationSpace(Implementation.REPLICATED_JOINED, 4, 3, 2)
+        assert all(c.joiners in (1, 2) for c in space)
+
+    def test_contains(self):
+        space = ConfigurationSpace(Implementation.SHARED_LOCKED, 4, 3)
+        assert space.contains(ThreadConfig(4, 3, 0))
+        assert not space.contains(ThreadConfig(5, 0, 0))
+        assert not space.contains(ThreadConfig(3, 0, 1))  # invalid for impl1
+
+    def test_neighbours_within_space(self):
+        space = ConfigurationSpace(Implementation.SHARED_LOCKED, 4, 3)
+        for neighbour in space.neighbours(ThreadConfig(2, 1, 0)):
+            assert space.contains(neighbour)
+
+    def test_neighbours_are_adjacent(self):
+        space = ConfigurationSpace(Implementation.SHARED_LOCKED, 8, 4)
+        config = ThreadConfig(3, 2, 0)
+        for neighbour in space.neighbours(config):
+            distance = (
+                abs(neighbour.extractors - config.extractors)
+                + abs(neighbour.updaters - config.updaters)
+                + abs(neighbour.joiners - config.joiners)
+            )
+            assert distance == 1
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            ConfigurationSpace(Implementation.SHARED_LOCKED, 0)
+
+
+class TestAutoTuner:
+    def test_memoizes(self):
+        calls = []
+
+        def objective(config):
+            calls.append(config)
+            return 1.0
+
+        tuner = AutoTuner(objective)
+        config = ThreadConfig(1, 0, 0)
+        tuner.evaluate(config)
+        tuner.evaluate(config)
+        assert len(calls) == 1
+        assert tuner.evaluations == 1
+
+    def test_result_before_evaluation_rejected(self):
+        with pytest.raises(RuntimeError):
+            AutoTuner(lambda c: 0.0).result()
+
+    def test_result_best(self):
+        tuner = AutoTuner(lambda c: float(c.extractors))
+        tuner.evaluate(ThreadConfig(3, 0, 0))
+        tuner.evaluate(ThreadConfig(1, 0, 0))
+        result = tuner.result()
+        assert result.best_config == ThreadConfig(1, 0, 0)
+        assert result.best_value == 1.0
+
+    def test_top_sorted(self):
+        tuner = AutoTuner(lambda c: float(c.extractors))
+        for x in (3, 1, 2):
+            tuner.evaluate(ThreadConfig(x, 0, 0))
+        top = tuner.result().top(2)
+        assert [c.extractors for c, _ in top] == [1, 2]
+
+
+class TestStrategies:
+    def test_exhaustive_finds_optimum(self):
+        space = ConfigurationSpace(Implementation.SHARED_LOCKED, 6, 4)
+        optimum = ThreadConfig(4, 2, 0)
+        result = ExhaustiveSearch().run(space, quadratic_objective(optimum))
+        assert result.best_config == optimum
+        assert result.evaluations == len(space.configurations())
+
+    def test_random_respects_budget(self):
+        space = ConfigurationSpace(Implementation.SHARED_LOCKED, 8, 6)
+        result = RandomSearch(budget=10, seed=1).run(
+            space, quadratic_objective(ThreadConfig(3, 3, 0))
+        )
+        assert result.evaluations == 10
+
+    def test_random_deterministic_per_seed(self):
+        space = ConfigurationSpace(Implementation.SHARED_LOCKED, 8, 6)
+        objective = quadratic_objective(ThreadConfig(3, 3, 0))
+        a = RandomSearch(budget=10, seed=5).run(space, objective)
+        b = RandomSearch(budget=10, seed=5).run(space, objective)
+        assert a.best_config == b.best_config
+
+    def test_hill_climbing_finds_convex_optimum(self):
+        space = ConfigurationSpace(Implementation.SHARED_LOCKED, 8, 6)
+        optimum = ThreadConfig(5, 2, 0)
+        result = HillClimbing(restarts=2, seed=0).run(
+            space, quadratic_objective(optimum)
+        )
+        assert result.best_config == optimum
+
+    def test_hill_climbing_cheaper_than_exhaustive(self):
+        space = ConfigurationSpace(Implementation.SHARED_LOCKED, 12, 6)
+        objective = quadratic_objective(ThreadConfig(5, 2, 0))
+        hill = HillClimbing(restarts=2, seed=0).run(space, objective)
+        assert hill.evaluations < len(space.configurations())
+
+    def test_hill_climbing_budget(self):
+        space = ConfigurationSpace(Implementation.SHARED_LOCKED, 12, 6)
+        result = HillClimbing(restarts=10, budget=15, seed=0).run(
+            space, quadratic_objective(ThreadConfig(5, 2, 0))
+        )
+        # Budget may be slightly exceeded while finishing a neighbourhood.
+        assert result.evaluations <= 15 + 6
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RandomSearch(budget=0)
+        with pytest.raises(ValueError):
+            HillClimbing(restarts=0)
+
+
+class TestTunerOnSimulator:
+    def test_tunes_simulated_pipeline(self, tiny_workload):
+        from repro.platforms import QUAD_CORE
+        from repro.simengine import SimPipeline
+
+        pipeline = SimPipeline(QUAD_CORE, tiny_workload, batches_per_extractor=10)
+        space = ConfigurationSpace(
+            Implementation.REPLICATED_UNJOINED, max_extractors=4, max_updaters=2
+        )
+        result = ExhaustiveSearch().run(
+            space,
+            lambda config: pipeline.run(
+                Implementation.REPLICATED_UNJOINED, config
+            ).total_s,
+        )
+        assert space.contains(result.best_config)
+        assert result.best_value > 0

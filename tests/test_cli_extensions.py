@@ -1,0 +1,151 @@
+"""Tests for the extended CLI subcommands (mixed corpora, binary
+persistence, format-aware indexing, ranked search, refresh)."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def mixed_dir(tmp_path_factory):
+    destination = str(tmp_path_factory.mktemp("clix") / "mixed")
+    assert main(["generate-corpus", destination, "--scale", "0.001",
+                 "--mixed"]) == 0
+    return destination
+
+
+class TestMixedGeneration:
+    def test_reports_format_breakdown(self, mixed_dir, capsys):
+        # The fixture already ran; regenerate output via a fresh dir.
+        pass
+
+    def test_mixed_extensions_on_disk(self, mixed_dir):
+        extensions = set()
+        for _, _, files in os.walk(mixed_dir):
+            extensions.update(os.path.splitext(name)[1] for name in files)
+        assert ".txt" in extensions
+        assert len(extensions) >= 3
+
+
+class TestBinaryAndFormats:
+    def test_binary_save_and_search(self, mixed_dir, tmp_path, capsys):
+        save = str(tmp_path / "index.ridx")
+        assert main(["index", mixed_dir, "-i", "1", "-x", "2", "-y", "1",
+                     "--formats", "--binary", "--save", save]) == 0
+        out = capsys.readouterr().out
+        assert "binary index saved" in out
+        from repro.index import load_index_binary
+
+        term = next(iter(load_index_binary(save).terms()))
+        assert main(["search", save, term]) == 0
+
+    def test_binary_rejected_for_multi_index(self, mixed_dir, tmp_path, capsys):
+        save = str(tmp_path / "multi")
+        assert main(["index", mixed_dir, "-i", "3", "-x", "2", "-y", "2",
+                     "--binary", "--save", save]) == 2
+        assert "binary" in capsys.readouterr().err
+
+    def test_dynamic_mode(self, mixed_dir, capsys):
+        assert main(["index", mixed_dir, "-i", "1", "-x", "3",
+                     "--dynamic", "steal"]) == 0
+        assert "Implementation 1" in capsys.readouterr().out
+
+
+class TestRankedSearch:
+    def test_ranked_output_has_scores(self, mixed_dir, tmp_path, capsys):
+        save = str(tmp_path / "r.idx")
+        main(["index", mixed_dir, "-i", "1", "-x", "2", "-y", "1",
+              "--formats", "--save", save])
+        capsys.readouterr()
+        from repro.index import load_index
+
+        term = next(iter(load_index(save).terms()))
+        assert main(["search", save, term, "--ranked", mixed_dir]) == 0
+        out = capsys.readouterr().out
+        first = out.splitlines()[0].split()
+        float(first[0])  # leading column is a score
+
+    def test_wildcard_search(self, mixed_dir, tmp_path, capsys):
+        save = str(tmp_path / "w.idx")
+        main(["index", mixed_dir, "-i", "1", "-x", "2", "-y", "1",
+              "--save", save])
+        capsys.readouterr()
+        from repro.index import load_index
+
+        term = next(iter(load_index(save).terms()))
+        assert main(["search", save, term[:3] + "*"]) == 0
+        assert capsys.readouterr().out.strip()
+
+
+class TestRefresh:
+    def test_refresh_lifecycle(self, tmp_path, capsys):
+        corpus = str(tmp_path / "corpus")
+        main(["generate-corpus", corpus, "--scale", "0.001"])
+        index_file = str(tmp_path / "state.idx")
+        state_file = str(tmp_path / "state.json")
+
+        assert main(["refresh", corpus, "--index", index_file,
+                     "--state", state_file]) == 0
+        out = capsys.readouterr().out
+        assert "+51 added" in out
+
+        # No changes: second refresh is a no-op.
+        assert main(["refresh", corpus, "--index", index_file,
+                     "--state", state_file]) == 0
+        assert "+0 added, -0 removed, ~0 modified" in capsys.readouterr().out
+
+        # Add a file, then find it through the refreshed index.
+        with open(os.path.join(corpus, "novel.txt"), "w") as fh:
+            fh.write("uniquemarkerterm appears here")
+        assert main(["refresh", corpus, "--index", index_file,
+                     "--state", state_file]) == 0
+        assert "+1 added" in capsys.readouterr().out
+        assert main(["search", index_file, "uniquemarkerterm"]) == 0
+        assert "novel.txt" in capsys.readouterr().out
+
+        # The state file is valid JSON with fingerprints.
+        with open(state_file) as fh:
+            state = json.load(fh)
+        assert "novel.txt" in state
+
+    def test_refresh_detects_removal(self, tmp_path, capsys):
+        corpus = str(tmp_path / "corpus2")
+        main(["generate-corpus", corpus, "--scale", "0.001"])
+        index_file = str(tmp_path / "i.idx")
+        state_file = str(tmp_path / "s.json")
+        main(["refresh", corpus, "--index", index_file, "--state", state_file])
+        capsys.readouterr()
+
+        victim = None
+        for root, _, files in os.walk(corpus):
+            if files:
+                victim = os.path.join(root, files[0])
+                break
+        os.remove(victim)
+        assert main(["refresh", corpus, "--index", index_file,
+                     "--state", state_file]) == 0
+        assert "-1 removed" in capsys.readouterr().out
+
+
+class TestAnalyzeCommand:
+    def test_analyze_output(self, mixed_dir, tmp_path, capsys):
+        save = str(tmp_path / "an.idx")
+        main(["index", mixed_dir, "-i", "1", "-x", "2", "-y", "1",
+              "--save", save])
+        capsys.readouterr()
+        assert main(["analyze", save, "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "terms:" in out
+        assert "postings:" in out
+        assert "histogram" in out
+
+    def test_analyze_binary_index(self, mixed_dir, tmp_path, capsys):
+        save = str(tmp_path / "an.ridx")
+        main(["index", mixed_dir, "-i", "1", "-x", "2", "-y", "1",
+              "--binary", "--save", save])
+        capsys.readouterr()
+        assert main(["analyze", save]) == 0
+        assert "est. memory:" in capsys.readouterr().out

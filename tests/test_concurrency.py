@@ -1,0 +1,248 @@
+"""Tests for the bounded buffer, barrier and sharded lock."""
+
+import threading
+import time
+
+import pytest
+
+from repro.concurrency import BoundedBuffer, Closed, ReusableBarrier, ShardedLock
+
+
+class TestBoundedBuffer:
+    def test_fifo_order(self):
+        buffer = BoundedBuffer(capacity=10)
+        for i in range(5):
+            buffer.put(i)
+        assert [buffer.get() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_get_after_close_drains_then_raises(self):
+        buffer = BoundedBuffer(capacity=10)
+        buffer.put("item")
+        buffer.close()
+        assert buffer.get() == "item"
+        with pytest.raises(Closed):
+            buffer.get()
+
+    def test_put_after_close_raises(self):
+        buffer = BoundedBuffer()
+        buffer.close()
+        with pytest.raises(Closed):
+            buffer.put(1)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedBuffer(capacity=0)
+
+    def test_len_and_closed(self):
+        buffer = BoundedBuffer()
+        buffer.put(1)
+        assert len(buffer) == 1
+        assert not buffer.closed
+        buffer.close()
+        assert buffer.closed
+
+    def test_put_blocks_when_full(self):
+        buffer = BoundedBuffer(capacity=1)
+        buffer.put("first")
+        progressed = []
+
+        def producer():
+            buffer.put("second")
+            progressed.append(True)
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        assert not progressed  # blocked on full buffer
+        assert buffer.get() == "first"
+        thread.join(timeout=2)
+        assert progressed
+
+    def test_get_blocks_until_put(self):
+        buffer = BoundedBuffer()
+        result = []
+
+        def consumer():
+            result.append(buffer.get())
+
+        thread = threading.Thread(target=consumer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        assert not result
+        buffer.put("hello")
+        thread.join(timeout=2)
+        assert result == ["hello"]
+
+    def test_close_wakes_blocked_getter(self):
+        buffer = BoundedBuffer()
+        outcome = []
+
+        def consumer():
+            try:
+                buffer.get()
+            except Closed:
+                outcome.append("closed")
+
+        thread = threading.Thread(target=consumer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        buffer.close()
+        thread.join(timeout=2)
+        assert outcome == ["closed"]
+
+    def test_many_producers_many_consumers(self):
+        buffer = BoundedBuffer(capacity=4)
+        produced = list(range(200))
+        consumed = []
+        consumed_lock = threading.Lock()
+
+        def producer(items):
+            for item in items:
+                buffer.put(item)
+
+        def consumer():
+            while True:
+                try:
+                    item = buffer.get()
+                except Closed:
+                    return
+                with consumed_lock:
+                    consumed.append(item)
+
+        producers = [
+            threading.Thread(target=producer, args=(produced[i::4],), daemon=True)
+            for i in range(4)
+        ]
+        consumers = [
+            threading.Thread(target=consumer, daemon=True) for _ in range(3)
+        ]
+        for thread in producers + consumers:
+            thread.start()
+        for thread in producers:
+            thread.join(timeout=5)
+        buffer.close()
+        for thread in consumers:
+            thread.join(timeout=5)
+        assert sorted(consumed) == produced
+
+    def test_lock_operations_counted(self):
+        buffer = BoundedBuffer()
+        buffer.put(1)
+        buffer.get()
+        assert buffer.lock_operations == 2
+
+
+class TestReusableBarrier:
+    def test_single_party_never_blocks(self):
+        barrier = ReusableBarrier(1)
+        assert barrier.wait(timeout=1) == 0
+        assert barrier.generation == 1
+
+    def test_two_parties_meet(self):
+        barrier = ReusableBarrier(2)
+        indices = []
+
+        def participant():
+            indices.append(barrier.wait(timeout=5))
+
+        thread = threading.Thread(target=participant, daemon=True)
+        thread.start()
+        barrier.wait(timeout=5)
+        thread.join(timeout=2)
+        assert sorted(indices + [1 - indices[0]]) == [0, 1]
+
+    def test_reusable_across_generations(self):
+        barrier = ReusableBarrier(2)
+
+        def participant():
+            for _ in range(3):
+                barrier.wait(timeout=5)
+
+        thread = threading.Thread(target=participant, daemon=True)
+        thread.start()
+        for _ in range(3):
+            barrier.wait(timeout=5)
+        thread.join(timeout=2)
+        assert barrier.generation == 3
+
+    def test_timeout(self):
+        barrier = ReusableBarrier(2)
+        with pytest.raises(TimeoutError):
+            barrier.wait(timeout=0.05)
+
+    def test_invalid_parties(self):
+        with pytest.raises(ValueError):
+            ReusableBarrier(0)
+
+    def test_waiting_count(self):
+        barrier = ReusableBarrier(2)
+        thread = threading.Thread(
+            target=lambda: barrier.wait(timeout=5), daemon=True
+        )
+        thread.start()
+        time.sleep(0.05)
+        assert barrier.waiting == 1
+        barrier.wait(timeout=5)  # releases the waiter
+        thread.join(timeout=2)
+        assert barrier.waiting == 0
+
+
+class TestShardedLock:
+    def test_shard_for_stable(self):
+        lock = ShardedLock(shards=8)
+        assert lock.shard_for("key") == lock.shard_for("key")
+        assert 0 <= lock.shard_for("key") < 8
+
+    def test_locked_context(self):
+        lock = ShardedLock(shards=4)
+        with lock.locked("key"):
+            inner = lock._locks[lock.shard_for("key")]
+            assert inner.locked()
+        assert not inner.locked()
+
+    def test_different_shards_independent(self):
+        lock = ShardedLock(shards=64)
+        # Find two keys in different shards.
+        keys = [f"key{i}" for i in range(100)]
+        a = keys[0]
+        b = next(k for k in keys if lock.shard_for(k) != lock.shard_for(a))
+        with lock.locked(a):
+            acquired = []
+
+            def try_b():
+                with lock.locked(b):
+                    acquired.append(True)
+
+            thread = threading.Thread(target=try_b, daemon=True)
+            thread.start()
+            thread.join(timeout=2)
+            assert acquired
+
+    def test_locked_all(self):
+        lock = ShardedLock(shards=4)
+        with lock.locked_all():
+            assert all(inner.locked() for inner in lock._locks)
+        assert not any(inner.locked() for inner in lock._locks)
+
+    def test_invalid_shards(self):
+        with pytest.raises(ValueError):
+            ShardedLock(shards=0)
+
+    def test_parallel_increments_consistent(self):
+        lock = ShardedLock(shards=16)
+        counts = {}
+
+        def work(worker):
+            for i in range(200):
+                key = f"key{i % 20}"
+                with lock.locked(key):
+                    counts[key] = counts.get(key, 0) + 1
+
+        threads = [
+            threading.Thread(target=work, args=(w,), daemon=True) for w in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert sum(counts.values()) == 4 * 200

@@ -1,0 +1,186 @@
+"""Tests for vocabulary, Zipf sampling, profiles and corpus generation."""
+
+import pytest
+
+from repro.corpus import (
+    CorpusGenerator,
+    CorpusProfile,
+    PAPER_PROFILE,
+    TINY_PROFILE,
+    Vocabulary,
+    ZipfSampler,
+    materialize,
+)
+from repro.corpus.zipf import expected_unique_terms
+from repro.fsmodel.stats import largest_files
+
+
+class TestVocabulary:
+    def test_size(self):
+        assert len(Vocabulary(100)) == 100
+
+    def test_distinct(self):
+        vocabulary = Vocabulary(5000, seed=3)
+        assert len(set(vocabulary.words)) == 5000
+
+    def test_deterministic(self):
+        assert Vocabulary(50, seed=1).words == Vocabulary(50, seed=1).words
+
+    def test_seed_changes_words(self):
+        assert Vocabulary(50, seed=1).words != Vocabulary(50, seed=2).words
+
+    def test_words_are_ascii_lowercase(self):
+        for word in Vocabulary(200).words:
+            assert word.isascii()
+            assert word == word.lower()
+
+    def test_indexing(self):
+        vocabulary = Vocabulary(10)
+        assert vocabulary[0] == vocabulary.words[0]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Vocabulary(0)
+
+
+class TestZipfSampler:
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(100, seed=0)
+        for rank in sampler.sample_many(1000):
+            assert 0 <= rank < 100
+
+    def test_deterministic(self):
+        a = ZipfSampler(100, seed=7).sample_many(100)
+        b = ZipfSampler(100, seed=7).sample_many(100)
+        assert a == b
+
+    def test_rank_zero_most_frequent(self):
+        sampler = ZipfSampler(1000, seed=0)
+        counts = {}
+        for rank in sampler.sample_many(20_000):
+            counts[rank] = counts.get(rank, 0) + 1
+        assert counts.get(0, 0) > counts.get(50, 0)
+        assert counts.get(0, 0) > counts.get(500, 0)
+
+    def test_probability_sums_to_one(self):
+        sampler = ZipfSampler(50)
+        assert sum(sampler.probability(r) for r in range(50)) == pytest.approx(1.0)
+
+    def test_probability_decreasing(self):
+        sampler = ZipfSampler(50)
+        probabilities = [sampler.probability(r) for r in range(50)]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(IndexError):
+            ZipfSampler(10).probability(10)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, s=0)
+
+    def test_expected_unique_bounds(self):
+        expected = expected_unique_terms(1000, 200)
+        assert 1.0 < expected <= 200.0
+
+    def test_expected_unique_monotone_in_draws(self):
+        small = expected_unique_terms(10, 100)
+        large = expected_unique_terms(1000, 100)
+        assert small < large
+
+
+class TestProfiles:
+    def test_paper_profile_matches_paper(self):
+        assert PAPER_PROFILE.file_count == 51_000
+        assert PAPER_PROFILE.total_bytes == 869_000_000
+        assert PAPER_PROFILE.large_file_count == 5
+
+    def test_scaled_preserves_shape(self):
+        scaled = PAPER_PROFILE.scaled(0.1)
+        assert scaled.large_file_count == 5
+        assert scaled.file_count == 5_100
+        assert scaled.total_bytes == 86_900_000
+
+    def test_scaled_invalid_factor(self):
+        with pytest.raises(ValueError):
+            PAPER_PROFILE.scaled(0)
+
+    def test_budgets_add_up(self):
+        assert (
+            PAPER_PROFILE.large_file_bytes + PAPER_PROFILE.small_file_bytes
+            == PAPER_PROFILE.total_bytes
+        )
+
+    def test_invalid_profiles_rejected(self):
+        with pytest.raises(ValueError):
+            CorpusProfile(name="bad", file_count=5, total_bytes=100,
+                          large_file_count=5)
+        with pytest.raises(ValueError):
+            CorpusProfile(name="bad", file_count=100, total_bytes=10)
+        with pytest.raises(ValueError):
+            CorpusProfile(name="bad", file_count=100, total_bytes=10_000,
+                          large_bytes_fraction=1.5)
+
+
+class TestGenerator:
+    def test_file_count(self, tiny_corpus):
+        stats = tiny_corpus.stats()
+        assert stats.file_count == TINY_PROFILE.file_count
+
+    def test_total_bytes_near_budget(self, tiny_corpus):
+        stats = tiny_corpus.stats()
+        # Word granularity loses a little per file; within 15 %.
+        assert stats.total_bytes == pytest.approx(
+            TINY_PROFILE.total_bytes, rel=0.15
+        )
+
+    def test_large_files_exist(self, tiny_corpus):
+        refs = list(tiny_corpus.fs.list_files())
+        top = largest_files(refs, TINY_PROFILE.large_file_count)
+        assert all(ref.path.startswith("large/") for ref in top)
+
+    def test_content_is_ascii_words(self, tiny_corpus):
+        fs = tiny_corpus.fs
+        ref = next(iter(fs.list_files()))
+        content = fs.read_file(ref.path)
+        text = content.decode("ascii")
+        assert all(c.isalnum() or c in " \n" for c in text)
+
+    def test_deterministic(self):
+        a = CorpusGenerator(TINY_PROFILE).generate()
+        b = CorpusGenerator(TINY_PROFILE).generate()
+        paths_a = [(r.path, r.size) for r in a.fs.list_files()]
+        paths_b = [(r.path, r.size) for r in b.fs.list_files()]
+        assert paths_a == paths_b
+        sample = paths_a[0][0]
+        assert a.fs.read_file(sample) == b.fs.read_file(sample)
+
+    def test_terms_come_from_vocabulary(self, tiny_corpus, tokenizer):
+        fs = tiny_corpus.fs
+        ref = next(iter(fs.list_files()))
+        words = set(tiny_corpus.vocabulary.words)
+        for term in tokenizer.tokenize(fs.read_file(ref.path))[:50]:
+            assert term in words
+
+
+class TestMaterialize:
+    def test_writes_all_files(self, tiny_corpus, tmp_path):
+        destination = str(tmp_path / "corpus")
+        count = materialize(tiny_corpus.fs, destination)
+        assert count == TINY_PROFILE.file_count
+
+    def test_content_round_trip(self, tiny_corpus, tmp_path):
+        from repro.fsmodel import OsFileSystem
+
+        destination = str(tmp_path / "corpus")
+        materialize(tiny_corpus.fs, destination)
+        on_disk = OsFileSystem(destination)
+        ref = next(iter(tiny_corpus.fs.list_files()))
+        assert on_disk.read_file(ref.path) == tiny_corpus.fs.read_file(ref.path)
+
+    def test_refuses_nonempty_destination(self, tiny_corpus, tmp_path):
+        (tmp_path / "junk.txt").write_text("boo")
+        with pytest.raises(FileExistsError):
+            materialize(tiny_corpus.fs, str(tmp_path))

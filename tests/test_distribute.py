@@ -1,0 +1,189 @@
+"""Tests for the four work-distribution strategies."""
+
+import pytest
+
+from repro.distribute import (
+    RoundRobinStrategy,
+    SharedQueueStrategy,
+    SizeBalancedStrategy,
+    StealingDeque,
+    WorkQueue,
+    WorkStealingStrategy,
+)
+from repro.fsmodel import FileRef
+
+
+def refs(*sizes):
+    return [FileRef(f"f{i}", size) for i, size in enumerate(sizes)]
+
+
+ALL_STRATEGIES = [
+    RoundRobinStrategy,
+    SizeBalancedStrategy,
+    SharedQueueStrategy,
+    WorkStealingStrategy,
+]
+
+
+@pytest.mark.parametrize("strategy_cls", ALL_STRATEGIES)
+class TestPartitionInvariants:
+    """Every strategy must produce an exact partition of the input."""
+
+    def test_all_files_assigned_once(self, strategy_cls):
+        files = refs(*range(1, 40))
+        distribution = strategy_cls().distribute(files, 5)
+        flat = [ref for a in distribution.assignments for ref in a]
+        assert sorted(r.path for r in flat) == sorted(r.path for r in files)
+
+    def test_worker_count(self, strategy_cls):
+        distribution = strategy_cls().distribute(refs(1, 2, 3), 7)
+        assert distribution.worker_count == 7
+
+    def test_single_worker_gets_everything(self, strategy_cls):
+        files = refs(5, 10, 15)
+        distribution = strategy_cls().distribute(files, 1)
+        assert len(distribution.assignments[0]) == 3
+
+    def test_zero_workers_rejected(self, strategy_cls):
+        with pytest.raises(ValueError):
+            strategy_cls().distribute(refs(1), 0)
+
+    def test_empty_input(self, strategy_cls):
+        distribution = strategy_cls().distribute([], 3)
+        assert distribution.file_count == 0
+
+
+class TestRoundRobin:
+    def test_deal_order(self):
+        files = refs(10, 20, 30, 40, 50)
+        distribution = RoundRobinStrategy().distribute(files, 2)
+        assert [r.path for r in distribution.assignments[0]] == ["f0", "f2", "f4"]
+        assert [r.path for r in distribution.assignments[1]] == ["f1", "f3"]
+
+    def test_count_balance(self):
+        distribution = RoundRobinStrategy().distribute(refs(*[1] * 100), 7)
+        counts = [len(a) for a in distribution.assignments]
+        assert max(counts) - min(counts) <= 1
+
+
+class TestSizeBalanced:
+    def test_beats_round_robin_on_skewed_sizes(self):
+        # One huge file plus many small ones: LPT must spread better.
+        files = refs(1000, *[10] * 20)
+        lpt = SizeBalancedStrategy().distribute(files, 3)
+        rr = RoundRobinStrategy().distribute(files, 3)
+        assert lpt.imbalance() <= rr.imbalance()
+
+    def test_big_file_isolated(self):
+        files = refs(1000, 10, 10, 10)
+        distribution = SizeBalancedStrategy().distribute(files, 2)
+        loads = distribution.bytes_per_worker()
+        assert sorted(loads) == [30, 1000]
+
+    def test_lpt_within_4_3_of_optimal_bound(self):
+        files = refs(*range(1, 30))
+        workers = 4
+        distribution = SizeBalancedStrategy().distribute(files, workers)
+        loads = distribution.bytes_per_worker()
+        descending = sorted((r.size for r in files), reverse=True)
+        # LPT guarantee: makespan <= 4/3 OPT; OPT >= mean, biggest item,
+        # and the (m)+(m+1) largest pair (two must share a worker).
+        optimum_bound = max(
+            sum(loads) / workers,
+            descending[0],
+            descending[workers - 1] + descending[workers],
+        )
+        assert max(loads) <= optimum_bound * 4 / 3 + 1e-9
+
+
+class TestSharedQueue:
+    def test_lock_operations_counted(self):
+        strategy = SharedQueueStrategy()
+        files = refs(*[1] * 50)
+        strategy.distribute(files, 4)
+        # One put and one get per filename: the pair of lock operations
+        # the paper blames for pipelined stage 1 being inefficient.
+        assert strategy.lock_operations >= 100
+
+    def test_queue_blocking_close(self):
+        queue = WorkQueue()
+        queue.put(FileRef("a", 1))
+        queue.close()
+        assert queue.get().path == "a"
+        assert queue.get() is None
+
+    def test_queue_rejects_put_after_close(self):
+        queue = WorkQueue()
+        queue.close()
+        with pytest.raises(RuntimeError):
+            queue.put(FileRef("a", 1))
+
+    def test_queue_len(self):
+        queue = WorkQueue(refs(1, 2))
+        assert len(queue) == 2
+
+
+class TestWorkStealing:
+    def test_static_equals_round_robin(self):
+        files = refs(*range(1, 20))
+        ws = WorkStealingStrategy().distribute(files, 3)
+        rr = RoundRobinStrategy().distribute(files, 3)
+        assert [
+            [r.path for r in a] for a in ws.assignments
+        ] == [[r.path for r in a] for a in rr.assignments]
+
+    def test_deque_owner_pops_fifo(self):
+        deque = StealingDeque(refs(1, 2, 3))
+        assert deque.pop_own().path == "f0"
+        assert deque.pop_own().path == "f1"
+
+    def test_deque_thief_steals_from_back(self):
+        deque = StealingDeque(refs(1, 2, 3))
+        assert deque.steal().path == "f2"
+        assert deque.steals_suffered == 1
+
+    def test_empty_deque(self):
+        deque = StealingDeque()
+        assert deque.pop_own() is None
+        assert deque.steal() is None
+
+    def test_next_item_prefers_own(self):
+        deques = WorkStealingStrategy().make_deques(refs(1, 2, 3, 4), 2)
+        item = WorkStealingStrategy.next_item(deques, 0)
+        assert item.path == "f0"
+
+    def test_next_item_steals_when_dry(self):
+        deques = [StealingDeque(), StealingDeque(refs(1, 2))]
+        item = WorkStealingStrategy.next_item(deques, 0)
+        assert item is not None
+        assert deques[1].steals_suffered == 1
+
+    def test_next_item_exhausted(self):
+        deques = [StealingDeque(), StealingDeque()]
+        assert WorkStealingStrategy.next_item(deques, 0) is None
+
+    def test_all_items_consumed_exactly_once(self):
+        files = refs(*range(1, 30))
+        deques = WorkStealingStrategy().make_deques(files, 3)
+        seen = []
+        # Worker 0 consumes everything (others idle), forcing steals.
+        while True:
+            item = WorkStealingStrategy.next_item(deques, 0)
+            if item is None:
+                break
+            seen.append(item.path)
+        assert sorted(seen) == sorted(r.path for r in files)
+
+
+class TestDistributionMetrics:
+    def test_bytes_per_worker(self):
+        distribution = RoundRobinStrategy().distribute(refs(10, 20, 30), 2)
+        assert distribution.bytes_per_worker() == [40, 20]
+
+    def test_imbalance_perfect(self):
+        distribution = RoundRobinStrategy().distribute(refs(10, 10), 2)
+        assert distribution.imbalance() == pytest.approx(1.0)
+
+    def test_imbalance_empty(self):
+        distribution = RoundRobinStrategy().distribute([], 2)
+        assert distribution.imbalance() == 1.0

@@ -1,0 +1,133 @@
+"""Edge-case tests: empty corpora, single files, degenerate shapes."""
+
+import pytest
+
+from repro.engine import (
+    Implementation,
+    IndexGenerator,
+    SequentialIndexer,
+    ThreadConfig,
+)
+from repro.fsmodel import VirtualFileSystem
+from repro.index import InvertedIndex, MultiIndex
+from repro.query import QueryEngine
+from repro.text import TermBlock
+
+
+@pytest.fixture
+def empty_fs():
+    return VirtualFileSystem()
+
+
+@pytest.fixture
+def single_file_fs():
+    fs = VirtualFileSystem()
+    fs.write_file("only.txt", b"a single file with words")
+    return fs
+
+
+class TestEmptyCorpus:
+    def test_sequential(self, empty_fs):
+        report = SequentialIndexer(empty_fs).build()
+        assert report.file_count == 0
+        assert report.term_count == 0
+
+    @pytest.mark.parametrize(
+        "implementation,config",
+        [
+            (Implementation.SHARED_LOCKED, ThreadConfig(3, 1, 0)),
+            (Implementation.REPLICATED_JOINED, ThreadConfig(2, 2, 1)),
+            (Implementation.REPLICATED_UNJOINED, ThreadConfig(3, 2, 0)),
+        ],
+    )
+    def test_parallel(self, empty_fs, implementation, config):
+        report = IndexGenerator(empty_fs).build(implementation, config)
+        assert report.file_count == 0
+        assert report.term_count == 0
+
+    def test_query_over_empty_index(self):
+        engine = QueryEngine(InvertedIndex(), universe=[])
+        assert engine.search("anything") == []
+        assert engine.search("NOT anything") == []
+
+
+class TestSingleFile:
+    def test_more_extractors_than_files(self, single_file_fs):
+        report = IndexGenerator(single_file_fs).build(
+            Implementation.SHARED_LOCKED, ThreadConfig(8, 2, 0)
+        )
+        assert report.file_count == 1
+        assert set(report.lookup("single")) == {"only.txt"}
+
+    def test_replicated_with_one_file(self, single_file_fs):
+        report = IndexGenerator(single_file_fs).build(
+            Implementation.REPLICATED_UNJOINED, ThreadConfig(4, 2, 0)
+        )
+        assert isinstance(report.index, MultiIndex)
+        assert report.posting_count == report.term_count  # one file
+
+    def test_dynamic_modes_with_one_file(self, single_file_fs):
+        for dynamic in ("steal", "queue"):
+            report = IndexGenerator(single_file_fs, dynamic=dynamic).build(
+                Implementation.SHARED_LOCKED, ThreadConfig(4, 0, 0)
+            )
+            assert report.file_count == 1
+
+
+class TestDegenerateContent:
+    def test_empty_file_indexed(self):
+        fs = VirtualFileSystem()
+        fs.write_file("empty.txt", b"")
+        fs.write_file("full.txt", b"words here")
+        report = SequentialIndexer(fs).build()
+        assert report.file_count == 2
+        assert report.lookup("words") == ["full.txt"]
+
+    def test_file_with_only_separators(self):
+        fs = VirtualFileSystem()
+        fs.write_file("seps.txt", b"... --- !!! \n\n\t")
+        report = SequentialIndexer(fs).build()
+        assert report.term_count == 0
+
+    def test_file_with_one_giant_token(self):
+        fs = VirtualFileSystem()
+        fs.write_file("blob.txt", b"x" * 10_000)
+        report = SequentialIndexer(fs).build()
+        # Truncated at the tokenizer's max_length, but indexed.
+        assert report.term_count == 1
+        term = next(iter(report.index.terms()))
+        assert len(term) == 64
+
+    def test_identical_files(self):
+        fs = VirtualFileSystem()
+        fs.write_file("a.txt", b"same content")
+        fs.write_file("b.txt", b"same content")
+        report = IndexGenerator(fs).build(
+            Implementation.REPLICATED_JOINED, ThreadConfig(2, 2, 1)
+        )
+        assert sorted(report.lookup("same")) == ["a.txt", "b.txt"]
+
+
+class TestDegenerateIndexOperations:
+    def test_join_of_empty_replicas(self):
+        from repro.index import join_indices
+
+        assert len(join_indices([InvertedIndex(), InvertedIndex()])) == 0
+
+    def test_multi_index_over_empty_replicas(self):
+        multi = MultiIndex([InvertedIndex()])
+        assert multi.lookup("x") == []
+        assert len(multi) == 0
+
+    def test_block_with_no_terms(self):
+        index = InvertedIndex()
+        index.add_block(TermBlock("empty-file", ()))
+        assert index.block_count == 1
+        assert len(index) == 0
+
+    def test_serialize_empty_index(self, tmp_path):
+        from repro.index import load_index, save_index
+
+        path = str(tmp_path / "empty.idx")
+        save_index(InvertedIndex(), path)
+        assert len(load_index(path)) == 0

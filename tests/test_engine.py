@@ -1,0 +1,214 @@
+"""Tests for the threaded engine: configs, sequential baseline, and the
+three parallel implementations."""
+
+import pytest
+
+from repro.engine import (
+    Implementation,
+    IndexGenerator,
+    SequentialIndexer,
+    ThreadConfig,
+)
+from repro.engine.config import enumerate_configs
+from repro.engine.results import checked_replica_paths
+from repro.engine.runner import measure_stage_times
+from repro.index import MultiIndex
+
+
+class TestThreadConfig:
+    def test_tuple_round_trip(self):
+        config = ThreadConfig(3, 2, 1)
+        assert config.as_tuple() == (3, 2, 1)
+        assert str(config) == "(3, 2, 1)"
+
+    def test_requires_extractor(self):
+        with pytest.raises(ValueError):
+            ThreadConfig(0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadConfig(1, -1, 0)
+
+    def test_replica_count_inline(self):
+        assert ThreadConfig(4, 0, 0).replica_count == 4
+
+    def test_replica_count_buffered(self):
+        assert ThreadConfig(4, 2, 0).replica_count == 2
+
+    def test_uses_buffer(self):
+        assert ThreadConfig(1, 1, 0).uses_buffer
+        assert not ThreadConfig(1, 0, 0).uses_buffer
+
+    def test_total_threads(self):
+        assert ThreadConfig(3, 2, 1).total_threads == 6
+
+    def test_impl1_rejects_joiners(self):
+        with pytest.raises(ValueError):
+            ThreadConfig(3, 1, 1).validate_for(Implementation.SHARED_LOCKED)
+
+    def test_impl2_requires_joiner(self):
+        with pytest.raises(ValueError):
+            ThreadConfig(3, 2, 0).validate_for(Implementation.REPLICATED_JOINED)
+
+    def test_impl3_rejects_joiners(self):
+        with pytest.raises(ValueError):
+            ThreadConfig(3, 2, 1).validate_for(Implementation.REPLICATED_UNJOINED)
+
+    def test_replicated_needs_two_replicas(self):
+        # y=1 (or x=1, y=0) degenerates to a single index: not replication.
+        with pytest.raises(ValueError):
+            ThreadConfig(3, 1, 1).validate_for(Implementation.REPLICATED_JOINED)
+        with pytest.raises(ValueError):
+            ThreadConfig(1, 0, 0).validate_for(Implementation.REPLICATED_UNJOINED)
+
+    def test_impl1_allows_single_updater(self):
+        ThreadConfig(3, 1, 0).validate_for(Implementation.SHARED_LOCKED)
+
+    def test_paper_configs_are_valid(self):
+        ThreadConfig(3, 1, 0).validate_for(Implementation.SHARED_LOCKED)
+        ThreadConfig(3, 5, 1).validate_for(Implementation.REPLICATED_JOINED)
+        ThreadConfig(9, 4, 0).validate_for(Implementation.REPLICATED_UNJOINED)
+
+    def test_enumerate_all_valid(self):
+        for implementation in Implementation:
+            for config in enumerate_configs(implementation, 4, 3, 2):
+                config.validate_for(implementation)  # must not raise
+
+    def test_enumerate_joiner_ranges(self):
+        impl3 = list(enumerate_configs(Implementation.REPLICATED_UNJOINED, 3, 2))
+        assert all(c.joiners == 0 for c in impl3)
+        impl2 = list(enumerate_configs(Implementation.REPLICATED_JOINED, 3, 2))
+        assert all(c.joiners >= 1 for c in impl2)
+
+    def test_implementation_names(self):
+        assert Implementation.SHARED_LOCKED.paper_name == "Implementation 1"
+        assert Implementation.REPLICATED_JOINED.joins
+        assert not Implementation.REPLICATED_UNJOINED.joins
+
+
+class TestSequentialIndexer:
+    def test_naive_build(self, tiny_fs, tiny_reference_index):
+        report = SequentialIndexer(tiny_fs).build()
+        assert report.term_count == len(tiny_reference_index)
+        for term, paths in list(tiny_reference_index.items())[:20]:
+            assert set(report.lookup(term)) == paths
+
+    def test_en_bloc_equals_naive(self, tiny_fs):
+        naive = SequentialIndexer(tiny_fs, naive=True).build()
+        en_bloc = SequentialIndexer(tiny_fs, naive=False).build()
+        assert naive.index == en_bloc.index
+
+    def test_report_counts(self, tiny_fs):
+        report = SequentialIndexer(tiny_fs).build()
+        assert report.file_count == len(list(tiny_fs.list_files()))
+        assert report.posting_count == report.index.posting_count
+        assert report.wall_time > 0
+
+    def test_stage_timings_recorded(self, tiny_fs):
+        report = SequentialIndexer(tiny_fs).build()
+        assert report.timings.extraction > 0
+        assert report.timings.update > 0
+        assert report.timings.total <= report.wall_time * 1.5
+
+
+@pytest.mark.parametrize(
+    "implementation,config",
+    [
+        (Implementation.SHARED_LOCKED, ThreadConfig(1, 0, 0)),
+        (Implementation.SHARED_LOCKED, ThreadConfig(3, 0, 0)),
+        (Implementation.SHARED_LOCKED, ThreadConfig(3, 1, 0)),
+        (Implementation.SHARED_LOCKED, ThreadConfig(2, 3, 0)),
+        (Implementation.REPLICATED_JOINED, ThreadConfig(2, 0, 1)),
+        (Implementation.REPLICATED_JOINED, ThreadConfig(3, 2, 1)),
+        (Implementation.REPLICATED_JOINED, ThreadConfig(3, 4, 2)),
+        (Implementation.REPLICATED_UNJOINED, ThreadConfig(2, 0, 0)),
+        (Implementation.REPLICATED_UNJOINED, ThreadConfig(3, 2, 0)),
+        (Implementation.REPLICATED_UNJOINED, ThreadConfig(4, 3, 0)),
+    ],
+)
+class TestParallelImplementations:
+    def test_matches_reference(
+        self, implementation, config, tiny_fs, tiny_reference_index
+    ):
+        report = IndexGenerator(tiny_fs).build(implementation, config)
+        assert report.term_count == len(tiny_reference_index)
+        for term, paths in list(tiny_reference_index.items())[:15]:
+            assert set(report.lookup(term)) == paths
+
+    def test_posting_count_matches_reference(
+        self, implementation, config, tiny_fs, tiny_reference_index
+    ):
+        report = IndexGenerator(tiny_fs).build(implementation, config)
+        expected = sum(len(paths) for paths in tiny_reference_index.values())
+        assert report.posting_count == expected
+
+
+class TestImplementationSpecifics:
+    def test_impl3_returns_multi_index(self, tiny_fs):
+        report = IndexGenerator(tiny_fs).build(
+            Implementation.REPLICATED_UNJOINED, ThreadConfig(3, 2, 0)
+        )
+        assert isinstance(report.index, MultiIndex)
+        assert len(report.index.replicas) == 2
+
+    def test_impl3_inline_replicas_per_extractor(self, tiny_fs):
+        report = IndexGenerator(tiny_fs).build(
+            Implementation.REPLICATED_UNJOINED, ThreadConfig(4, 0, 0)
+        )
+        assert len(report.index.replicas) == 4
+
+    def test_impl3_replicas_disjoint(self, tiny_fs):
+        report = IndexGenerator(tiny_fs).build(
+            Implementation.REPLICATED_UNJOINED, ThreadConfig(3, 2, 0)
+        )
+        assert checked_replica_paths(report.index.replicas) is None
+
+    def test_impl2_join_time_recorded(self, tiny_fs):
+        report = IndexGenerator(tiny_fs).build(
+            Implementation.REPLICATED_JOINED, ThreadConfig(3, 2, 1)
+        )
+        assert report.timings.join > 0
+
+    def test_invalid_config_rejected(self, tiny_fs):
+        with pytest.raises(ValueError):
+            IndexGenerator(tiny_fs).build(
+                Implementation.SHARED_LOCKED, ThreadConfig(3, 0, 2)
+            )
+
+    def test_speedup_over(self, tiny_fs):
+        report = IndexGenerator(tiny_fs).build(
+            Implementation.SHARED_LOCKED, ThreadConfig(2, 0, 0)
+        )
+        assert report.speedup_over(report.wall_time * 2) == pytest.approx(2.0)
+
+    def test_summary_mentions_config(self, tiny_fs):
+        report = IndexGenerator(tiny_fs).build(
+            Implementation.SHARED_LOCKED, ThreadConfig(2, 1, 0)
+        )
+        assert "(2, 1, 0)" in report.summary()
+
+
+class TestStageTimeMeasurement:
+    def test_all_stages_positive(self, tiny_fs):
+        times = measure_stage_times(tiny_fs)
+        assert times.filename_generation > 0
+        assert times.read_files > 0
+        assert times.read_and_extract > 0
+        assert times.index_update > 0
+
+    def test_extract_costs_more_than_read(self, tiny_fs):
+        times = measure_stage_times(tiny_fs)
+        # Extraction includes tokenization + dedup; reading is a byte loop.
+        # Both read every byte, so extract should not be dramatically
+        # cheaper (they are of the same order of magnitude).
+        assert times.read_and_extract > times.read_files * 0.2
+
+
+class TestWorkDistributionIntegration:
+    def test_size_balanced_strategy_same_index(self, tiny_fs, tiny_reference_index):
+        from repro.distribute import SizeBalancedStrategy
+
+        report = IndexGenerator(tiny_fs, strategy=SizeBalancedStrategy()).build(
+            Implementation.SHARED_LOCKED, ThreadConfig(3, 0, 0)
+        )
+        assert report.term_count == len(tiny_reference_index)

@@ -1,0 +1,131 @@
+"""Tests for the experiment drivers and table rendering (small/fast).
+
+The full-fidelity paper reproduction lives in tests/test_reproduction.py
+and the benchmarks; these tests exercise the machinery on small sweeps.
+"""
+
+import pytest
+
+from repro.corpus.profiles import PAPER_PROFILE
+from repro.engine.config import Implementation, ThreadConfig
+from repro.experiments import (
+    PAPER_BEST,
+    PAPER_SEQUENTIAL,
+    PAPER_STAGE_TIMES,
+    render_best_config_table,
+    render_table1,
+    run_best_config_table,
+    run_table1,
+)
+from repro.platforms import ALL_PLATFORMS, QUAD_CORE
+from repro.simengine import Workload, WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    return Workload.synthesize(
+        WorkloadSpec(profile=PAPER_PROFILE.scaled(0.02, name="exp-test"))
+    )
+
+
+class TestPaperData:
+    def test_all_platforms_covered(self):
+        for platform in ALL_PLATFORMS:
+            assert platform.name in PAPER_STAGE_TIMES
+            assert platform.name in PAPER_SEQUENTIAL
+            assert platform.name in PAPER_BEST
+
+    def test_each_table_has_three_rows(self):
+        for entries in PAPER_BEST.values():
+            assert set(entries) == set(Implementation)
+
+    def test_paper_configs_valid(self):
+        for entries in PAPER_BEST.values():
+            for implementation, entry in entries.items():
+                entry.config.validate_for(implementation)
+
+    def test_impl1_variance_is_reference(self):
+        for entries in PAPER_BEST.values():
+            assert entries[Implementation.SHARED_LOCKED].variance_vs_impl1_pct == 0.0
+
+
+class TestRunTable1:
+    def test_rows_for_each_platform(self, small_workload):
+        rows = run_table1(small_workload)
+        assert [row.platform for row in rows] == [p.name for p in ALL_PLATFORMS]
+
+    def test_single_platform(self, small_workload):
+        rows = run_table1(small_workload, platforms=[QUAD_CORE])
+        assert len(rows) == 1
+
+    def test_extract_time_exceeds_read(self, small_workload):
+        for row in run_table1(small_workload):
+            assert row.read_and_extract > row.read_files
+
+
+class TestRunBestConfigTable:
+    @pytest.fixture(scope="class")
+    def table(self, small_workload):
+        return run_best_config_table(
+            QUAD_CORE,
+            small_workload,
+            max_extractors=4,
+            max_updaters=2,
+            batches_per_extractor=20,
+        )
+
+    def test_three_rows(self, table):
+        assert [row.implementation for row in table.rows] == list(Implementation)
+
+    def test_speedups_positive(self, table):
+        for row in table.rows:
+            assert row.speedup > 1.0
+
+    def test_variance_reference_is_impl1(self, table):
+        assert table.row_for(
+            Implementation.SHARED_LOCKED
+        ).variance_vs_impl1_pct == pytest.approx(0.0)
+
+    def test_variance_consistent_with_speedups(self, table):
+        impl1 = table.row_for(Implementation.SHARED_LOCKED)
+        for row in table.rows:
+            expected = (row.speedup / impl1.speedup - 1.0) * 100
+            assert row.variance_vs_impl1_pct == pytest.approx(expected)
+
+    def test_configs_within_sweep_bounds(self, table):
+        for row in table.rows:
+            assert row.config.extractors <= 4
+            assert row.config.updaters <= 2
+
+    def test_row_for_unknown_raises(self, table):
+        table_copy = type(table)(platform="x", sequential_s=1.0, rows=[])
+        with pytest.raises(KeyError):
+            table_copy.row_for(Implementation.SHARED_LOCKED)
+
+
+class TestRendering:
+    def test_table1_text(self, small_workload):
+        text = render_table1(run_table1(small_workload, platforms=[QUAD_CORE]))
+        assert "Table 1" in text
+        assert "quad-core" in text
+        assert "(paper)" in text
+
+    def test_table1_without_comparison(self, small_workload):
+        text = render_table1(
+            run_table1(small_workload, platforms=[QUAD_CORE]), compare=False
+        )
+        assert "(paper)" not in text
+
+    def test_best_config_text(self, small_workload):
+        table = run_best_config_table(
+            QUAD_CORE,
+            small_workload,
+            max_extractors=3,
+            max_updaters=2,
+            batches_per_extractor=10,
+        )
+        text = render_best_config_table(table)
+        assert "Sequential" in text
+        assert "Implementation 1" in text
+        assert "speed-up" in text
+        assert "(paper)" in text

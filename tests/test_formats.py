@@ -1,0 +1,234 @@
+"""Tests for the document-format subsystem."""
+
+import pytest
+
+from repro.formats import (
+    CsvFormat,
+    DoczFormat,
+    FormatRegistry,
+    HtmlFormat,
+    MarkdownFormat,
+    PlainTextFormat,
+    default_registry,
+    extract_csv_text,
+    read_docz,
+    strip_html,
+    strip_markdown,
+    write_docz,
+)
+from repro.formats.csvfmt import parse_csv
+from repro.text import Tokenizer
+
+
+class TestRegistry:
+    @pytest.fixture
+    def registry(self):
+        return default_registry()
+
+    def test_detect_by_extension(self, registry):
+        assert registry.detect("a/b/page.html").name == "html"
+        assert registry.detect("notes.md").name == "markdown"
+        assert registry.detect("data.csv").name == "csv"
+        assert registry.detect("report.docz").name == "docz"
+        assert registry.detect("readme.txt").name == "plain"
+
+    def test_extension_case_insensitive(self, registry):
+        assert registry.detect("PAGE.HTML").name == "html"
+
+    def test_unknown_extension_falls_back_to_plain(self, registry):
+        assert registry.detect("archive.xyz").name == "plain"
+
+    def test_no_extension_falls_back_to_plain(self, registry):
+        assert registry.detect("Makefile").name == "plain"
+
+    def test_magic_detection_for_misnamed_files(self, registry):
+        assert registry.detect("misnamed", b"<!DOCTYPE html><html>").name == "html"
+        assert registry.detect("misnamed", b"DOCZ\x01rest").name == "docz"
+
+    def test_extension_beats_magic(self, registry):
+        # A .txt file containing HTML is indexed as text (desktop-search
+        # convention: the user named it).
+        assert registry.detect("page.txt", b"<!DOCTYPE html>").name == "plain"
+
+    def test_by_name(self, registry):
+        assert registry.by_name("csv").name == "csv"
+        with pytest.raises(KeyError):
+            registry.by_name("pdf")
+
+    def test_duplicate_extension_rejected(self):
+        with pytest.raises(ValueError):
+            FormatRegistry(
+                [PlainTextFormat(), PlainTextFormat()], PlainTextFormat()
+            )
+
+    def test_extract_text_one_step(self, registry):
+        text = registry.extract_text("f.html", b"<p>hello</p>")
+        assert b"hello" in text
+
+
+class TestHtml:
+    def test_strips_tags(self):
+        assert strip_html(b"<p>hello <b>world</b></p>").split() == [
+            b"hello", b"world",
+        ]
+
+    def test_tags_separate_words(self):
+        # "a</b>b" must not merge into one term.
+        tokens = Tokenizer(min_length=1).tokenize(strip_html(b"a<b>b</b>"))
+        assert tokens == ["a", "b"]
+
+    def test_script_content_dropped(self):
+        text = strip_html(b"<script>var secret = 1;</script><p>visible</p>")
+        assert b"secret" not in text
+        assert b"visible" in text
+
+    def test_style_content_dropped(self):
+        text = strip_html(b"<style>p { color: red }</style>text")
+        assert b"red" not in text
+        assert b"text" in text
+
+    def test_entities_decoded(self):
+        assert strip_html(b"a&amp;b &lt;x&gt; &quot;q&quot;") == b'a&b <x> "q"'
+
+    def test_numeric_entities(self):
+        assert strip_html(b"&#65;&#x42;") == b"AB"
+
+    def test_unknown_entity_kept(self):
+        assert b"&bogus;" in strip_html(b"&bogus;")
+
+    def test_unterminated_tag_dropped(self):
+        assert strip_html(b"before<div unterminated") == b"before"
+
+    def test_attributes_not_indexed(self):
+        text = strip_html(b'<a href="http://example.com/secret">label</a>')
+        assert b"secret" not in text
+        assert b"label" in text
+
+    def test_self_closing_script(self):
+        text = strip_html(b'<script src="x.js"/>after')
+        assert b"after" in text
+
+    def test_magic_variants(self):
+        fmt = HtmlFormat()
+        assert fmt.matches_magic(b"  <!DOCTYPE html>")
+        assert fmt.matches_magic(b"<html><body>")
+        assert not fmt.matches_magic(b"plain text")
+
+
+class TestMarkdown:
+    def test_heading_hashes_removed(self):
+        assert strip_markdown(b"## Heading Text").strip() == b"Heading Text"
+
+    def test_emphasis_markers_removed(self):
+        text = strip_markdown(b"some *bold* and _em_ words")
+        assert b"*" not in text and b"_" not in text
+        assert b"bold" in text and b"em" in text
+
+    def test_link_label_kept_target_dropped(self):
+        text = strip_markdown(b"see [the docs](http://example.com/hidden)")
+        assert b"the docs" in text
+        assert b"hidden" not in text
+
+    def test_image_target_dropped(self):
+        text = strip_markdown(b"![alt text](img.png)")
+        assert b"alt text" in text
+        assert b"img.png" not in text
+
+    def test_code_fence_dropped(self):
+        text = strip_markdown(b"before\n```\ncode_here()\n```\nafter")
+        assert b"code_here" not in text
+        assert b"before" in text and b"after" in text
+
+    def test_list_bullets_removed(self):
+        text = strip_markdown(b"- item one\n* item two")
+        assert b"item one" in text and b"item two" in text
+        assert not text.lstrip().startswith(b"-")
+
+    def test_blockquote_marker_removed(self):
+        assert strip_markdown(b"> quoted words").strip() == b"quoted words"
+
+
+class TestCsv:
+    def test_simple_rows(self):
+        assert parse_csv(b"a,b\nc,d") == [[b"a", b"b"], [b"c", b"d"]]
+
+    def test_quoted_field_with_comma(self):
+        assert parse_csv(b'"a,b",c') == [[b"a,b", b"c"]]
+
+    def test_doubled_quotes(self):
+        assert parse_csv(b'"say ""hi""",x') == [[b'say "hi"', b"x"]]
+
+    def test_crlf(self):
+        assert parse_csv(b"a,b\r\nc,d\r\n") == [[b"a", b"b"], [b"c", b"d"]]
+
+    def test_quoted_newline_preserved(self):
+        assert parse_csv(b'"line1\nline2",x') == [[b"line1\nline2", b"x"]]
+
+    def test_extract_text_joins_cells(self):
+        assert extract_csv_text(b"a,b\nc,d") == b"a b\nc d"
+
+    def test_empty_input(self):
+        assert parse_csv(b"") == []
+
+
+class TestDocz:
+    def test_round_trip(self):
+        runs = [(0, b"plain run"), (1, b"bold run"), (7, b"styled")]
+        metadata = {"author": "tester", "title": "demo"}
+        blob = write_docz(runs, metadata)
+        read_metadata, read_runs = read_docz(blob)
+        assert read_metadata == metadata
+        assert read_runs == runs
+
+    def test_empty_document(self):
+        blob = write_docz([])
+        metadata, runs = read_docz(blob)
+        assert metadata == {} and runs == []
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            read_docz(b"NOTDOCZ")
+
+    def test_truncated_body_tolerated(self):
+        blob = write_docz([(0, b"first"), (0, b"second")])
+        metadata, runs = read_docz(blob[:-10])
+        assert runs and runs[0] == (0, b"first")
+
+    def test_style_flags_validated(self):
+        with pytest.raises(ValueError):
+            write_docz([(256, b"x")])
+
+    def test_extract_text_includes_runs_and_metadata(self):
+        blob = write_docz([(0, b"body words")], {"title": "metaword"})
+        text = DoczFormat().extract_text(blob)
+        assert b"body words" in text
+        assert b"metaword" in text
+
+    def test_extract_garbage_returns_empty(self):
+        assert DoczFormat().extract_text(b"garbage") == b""
+
+
+class TestFormatTotality:
+    """extract_text must never raise, whatever the bytes."""
+
+    GARBAGE = [
+        b"",
+        b"\x00\xff" * 100,
+        b"<<<<>>>>&&&;;;",
+        b'"""unclosed',
+        b"DOCZ\x01\xff\xff",
+        bytes(range(256)),
+    ]
+
+    @pytest.mark.parametrize(
+        "fmt",
+        [PlainTextFormat(), HtmlFormat(), MarkdownFormat(), CsvFormat(),
+         DoczFormat()],
+        ids=lambda f: f.name,
+    )
+    def test_never_raises(self, fmt):
+        for garbage in self.GARBAGE:
+            if fmt.name == "docz":
+                fmt.extract_text(garbage)  # ValueError handled internally
+            else:
+                fmt.extract_text(garbage)

@@ -1,0 +1,111 @@
+"""Tests for the FNV hash functions."""
+
+import pytest
+
+from repro.hashing import (
+    FNV1_32_INIT,
+    FNV1_64_INIT,
+    IncrementalFnv1a,
+    fnv1_32,
+    fnv1_64,
+    fnv1a_32,
+    fnv1a_64,
+)
+
+
+class TestKnownVectors:
+    """Official test vectors from Noll's FNV reference page."""
+
+    def test_fnv1_32_empty(self):
+        assert fnv1_32(b"") == FNV1_32_INIT
+
+    def test_fnv1_64_empty(self):
+        assert fnv1_64(b"") == FNV1_64_INIT
+
+    def test_fnv1a_32_a(self):
+        assert fnv1a_32(b"a") == 0xE40C292C
+
+    def test_fnv1a_32_foobar(self):
+        assert fnv1a_32(b"foobar") == 0xBF9CF968
+
+    def test_fnv1a_64_a(self):
+        assert fnv1a_64(b"a") == 0xAF63DC4C8601EC8C
+
+    def test_fnv1a_64_foobar(self):
+        assert fnv1a_64(b"foobar") == 0x85944171F73967E8
+
+    def test_fnv1_32_a(self):
+        assert fnv1_32(b"a") == 0x050C5D7E
+
+    def test_fnv1_64_a(self):
+        assert fnv1_64(b"a") == 0xAF63BD4C8601B7BE
+
+
+class TestInputHandling:
+    def test_str_hashed_as_utf8(self):
+        assert fnv1a_64("foobar") == fnv1a_64(b"foobar")
+
+    def test_bytearray_accepted(self):
+        assert fnv1a_64(bytearray(b"xyz")) == fnv1a_64(b"xyz")
+
+    def test_memoryview_accepted(self):
+        assert fnv1a_32(memoryview(b"xyz")) == fnv1a_32(b"xyz")
+
+    def test_non_ascii_str(self):
+        assert fnv1a_64("héllo") == fnv1a_64("héllo".encode("utf-8"))
+
+    def test_rejects_int(self):
+        with pytest.raises(TypeError):
+            fnv1a_64(12345)
+
+    def test_rejects_none(self):
+        with pytest.raises(TypeError):
+            fnv1_32(None)
+
+
+class TestRanges:
+    def test_32_bit_output_fits(self):
+        for word in ("", "a", "hello world", "x" * 100):
+            assert 0 <= fnv1_32(word) < 2**32
+            assert 0 <= fnv1a_32(word) < 2**32
+
+    def test_64_bit_output_fits(self):
+        for word in ("", "a", "hello world", "x" * 100):
+            assert 0 <= fnv1_64(word) < 2**64
+            assert 0 <= fnv1a_64(word) < 2**64
+
+    def test_variants_differ_on_nonempty_input(self):
+        assert fnv1_32(b"hello") != fnv1a_32(b"hello")
+        assert fnv1_64(b"hello") != fnv1a_64(b"hello")
+
+
+class TestIncremental:
+    def test_matches_one_shot(self):
+        hasher = IncrementalFnv1a()
+        hasher.update(b"hello ").update(b"world")
+        assert hasher.digest() == fnv1a_64(b"hello world")
+
+    def test_empty_matches_basis(self):
+        assert IncrementalFnv1a().digest() == FNV1_64_INIT
+
+    def test_byte_at_a_time(self):
+        hasher = IncrementalFnv1a()
+        for i in range(len(b"foobar")):
+            hasher.update(b"foobar"[i : i + 1])
+        assert hasher.digest() == 0x85944171F73967E8
+
+    def test_reset(self):
+        hasher = IncrementalFnv1a()
+        hasher.update(b"junk")
+        hasher.reset()
+        assert hasher.digest() == FNV1_64_INIT
+        hasher.update(b"a")
+        assert hasher.digest() == fnv1a_64(b"a")
+
+    def test_digest_does_not_finalize(self):
+        hasher = IncrementalFnv1a()
+        hasher.update(b"foo")
+        mid = hasher.digest()
+        assert mid == fnv1a_64(b"foo")
+        hasher.update(b"bar")
+        assert hasher.digest() == fnv1a_64(b"foobar")

@@ -1,0 +1,217 @@
+"""Tests for incremental index maintenance.
+
+The defining invariant: after any sequence of filesystem changes and
+refreshes, the incremental index equals a from-scratch rebuild.
+"""
+
+import pytest
+
+from repro.corpus import CorpusGenerator, TINY_PROFILE
+from repro.engine import SequentialIndexer
+from repro.index.incremental import (
+    ChangeReport,
+    IncrementalIndex,
+    IncrementalIndexer,
+    diff_snapshots,
+    take_snapshot,
+)
+from repro.text import TermBlock
+
+
+def block(path, *terms):
+    return TermBlock(path, tuple(terms))
+
+
+class TestIncrementalIndex:
+    def test_add_and_lookup(self):
+        index = IncrementalIndex()
+        index.add(block("f1", "cat", "dog"))
+        assert index.lookup("cat") == ["f1"]
+        assert "f1" in index
+        assert len(index) == 1
+
+    def test_duplicate_add_rejected(self):
+        index = IncrementalIndex()
+        index.add(block("f", "x"))
+        with pytest.raises(ValueError):
+            index.add(block("f", "y"))
+
+    def test_remove(self):
+        index = IncrementalIndex()
+        index.add(block("f1", "cat", "dog"))
+        index.add(block("f2", "cat"))
+        assert index.remove("f1") is True
+        assert index.lookup("cat") == ["f2"]
+        assert index.lookup("dog") == []
+        assert "dog" not in index.index  # empty postings pruned
+
+    def test_remove_missing(self):
+        assert IncrementalIndex().remove("ghost") is False
+
+    def test_remove_then_readd(self):
+        index = IncrementalIndex()
+        index.add(block("f", "x"))
+        index.remove("f")
+        index.add(block("f", "y"))
+        assert index.lookup("y") == ["f"]
+        assert index.lookup("x") == []
+
+    def test_update_delta(self):
+        index = IncrementalIndex()
+        index.add(block("f", "keep", "drop"))
+        index.update(block("f", "keep", "gain"))
+        assert index.lookup("keep") == ["f"]
+        assert index.lookup("gain") == ["f"]
+        assert index.lookup("drop") == []
+
+    def test_update_unknown_adds(self):
+        index = IncrementalIndex()
+        index.update(block("f", "x"))
+        assert index.lookup("x") == ["f"]
+
+    def test_update_does_not_duplicate_kept_terms(self):
+        index = IncrementalIndex()
+        index.add(block("f", "stable"))
+        index.update(block("f", "stable", "new"))
+        assert index.lookup("stable") == ["f"]
+        assert index.index.posting_count == 2
+
+    def test_document_paths(self):
+        index = IncrementalIndex()
+        index.add(block("a", "x"))
+        index.add(block("b", "y"))
+        assert sorted(index.document_paths()) == ["a", "b"]
+
+    def test_matches_bulk_rebuild_after_churn(self):
+        """Random-ish churn, then compare against a fresh index."""
+        operations = [
+            ("add", block("f1", "a", "b")),
+            ("add", block("f2", "b", "c")),
+            ("add", block("f3", "a")),
+            ("remove", "f2"),
+            ("update", block("f1", "a", "z")),
+            ("add", block("f4", "c", "z")),
+            ("remove", "f3"),
+            ("update", block("f4", "c")),
+        ]
+        incremental = IncrementalIndex()
+        live = {}
+        for op, arg in operations:
+            if op == "add":
+                incremental.add(arg)
+                live[arg.path] = arg
+            elif op == "remove":
+                incremental.remove(arg)
+                live.pop(arg, None)
+            else:
+                incremental.update(arg)
+                live[arg.path] = arg
+        from repro.index import InvertedIndex
+
+        rebuilt = InvertedIndex()
+        for b in live.values():
+            rebuilt.add_block(b)
+        assert incremental.index == rebuilt
+
+
+class TestSnapshots:
+    def make_fs(self):
+        from repro.fsmodel import VirtualFileSystem
+
+        fs = VirtualFileSystem()
+        fs.write_file("a.txt", b"alpha")
+        fs.write_file("b.txt", b"beta")
+        return fs
+
+    def test_snapshot_covers_all_files(self):
+        snapshot = take_snapshot(self.make_fs())
+        assert set(snapshot) == {"a.txt", "b.txt"}
+
+    def test_no_change(self):
+        fs = self.make_fs()
+        assert diff_snapshots(take_snapshot(fs), take_snapshot(fs)) == (
+            [], [], [],
+        )
+
+    def test_added_detected(self):
+        fs = self.make_fs()
+        old = take_snapshot(fs)
+        fs.write_file("c.txt", b"gamma")
+        added, removed, modified = diff_snapshots(old, take_snapshot(fs))
+        assert added == ["c.txt"] and not removed and not modified
+
+    def test_removed_detected(self):
+        fs = self.make_fs()
+        old = take_snapshot(fs)
+        fs.remove_file("a.txt")
+        added, removed, modified = diff_snapshots(old, take_snapshot(fs))
+        assert removed == ["a.txt"] and not added and not modified
+
+    def test_modified_detected(self):
+        fs = self.make_fs()
+        old = take_snapshot(fs)
+        fs.replace_file("b.txt", b"beta changed")
+        added, removed, modified = diff_snapshots(old, take_snapshot(fs))
+        assert modified == ["b.txt"] and not added and not removed
+
+    def test_same_size_different_content_detected(self):
+        fs = self.make_fs()
+        old = take_snapshot(fs)
+        fs.replace_file("a.txt", b"alphA")  # same length
+        _, _, modified = diff_snapshots(old, take_snapshot(fs))
+        assert modified == ["a.txt"]
+
+
+class TestIncrementalIndexer:
+    @pytest.fixture
+    def fs(self):
+        return CorpusGenerator(TINY_PROFILE).generate().fs
+
+    def test_first_refresh_indexes_everything(self, fs):
+        indexer = IncrementalIndexer(fs)
+        report = indexer.refresh()
+        assert len(report.added) == TINY_PROFILE.file_count
+        assert report.total == len(report.added)
+
+    def test_refresh_idempotent(self, fs):
+        indexer = IncrementalIndexer(fs)
+        indexer.refresh()
+        assert indexer.refresh().total == 0
+
+    def test_matches_bulk_build(self, fs):
+        indexer = IncrementalIndexer(fs)
+        indexer.refresh()
+        bulk = SequentialIndexer(fs, naive=False).build()
+        assert indexer.index.index == bulk.index
+
+    def test_tracks_changes_and_matches_rebuild(self, fs):
+        indexer = IncrementalIndexer(fs)
+        indexer.refresh()
+
+        some_file = next(iter(fs.list_files())).path
+        fs.replace_file(some_file, b"totally new words here")
+        fs.write_file("brand_new.txt", b"fresh content words")
+        victim = [r.path for r in fs.list_files()][3]
+        fs.remove_file(victim)
+
+        report = indexer.refresh()
+        assert report.added == ["brand_new.txt"]
+        assert report.removed == [victim]
+        assert report.modified == [some_file]
+
+        bulk = SequentialIndexer(fs, naive=False).build()
+        assert indexer.index.index == bulk.index
+
+    def test_queries_follow_changes(self, fs):
+        indexer = IncrementalIndexer(fs)
+        indexer.refresh()
+        fs.write_file("needle.txt", b"xyzzyneedle appears here")
+        indexer.refresh()
+        assert indexer.index.lookup("xyzzyneedle") == ["needle.txt"]
+        fs.remove_file("needle.txt")
+        indexer.refresh()
+        assert indexer.index.lookup("xyzzyneedle") == []
+
+    def test_change_report_totals(self):
+        report = ChangeReport(added=["a"], removed=["b", "c"], modified=[])
+        assert report.total == 3

@@ -1,0 +1,79 @@
+"""Stateful property testing of incremental index maintenance.
+
+Hypothesis drives a random interleaving of filesystem operations
+(create, edit, delete) and indexer refreshes against a live
+:class:`~repro.index.incremental.IncrementalIndexer`; after every
+refresh, the incremental index must equal a from-scratch rebuild of the
+current filesystem state, and every lookup must agree with a naive
+reference model.
+"""
+
+import string
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.engine import SequentialIndexer
+from repro.fsmodel import VirtualFileSystem
+from repro.index.incremental import IncrementalIndexer
+
+words = st.lists(
+    st.text(alphabet=string.ascii_lowercase, min_size=2, max_size=6),
+    min_size=0,
+    max_size=6,
+)
+names = st.integers(min_value=0, max_value=9).map(lambda i: f"file{i}.txt")
+
+
+class IncrementalMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.fs = VirtualFileSystem()
+        self.indexer = IncrementalIndexer(self.fs)
+        self.refreshed = True  # empty snapshot == empty fs
+
+    @rule(name=names, content=words)
+    def create_or_edit(self, name, content):
+        data = " ".join(content).encode()
+        if self.fs.exists(name):
+            self.fs.replace_file(name, data)
+        else:
+            self.fs.write_file(name, data)
+        self.refreshed = False
+
+    @rule(name=names)
+    def delete(self, name):
+        if self.fs.exists(name):
+            self.fs.remove_file(name)
+            self.refreshed = False
+
+    @rule()
+    def refresh(self):
+        self.indexer.refresh()
+        self.refreshed = True
+
+    @invariant()
+    def index_matches_rebuild_after_refresh(self):
+        if not self.refreshed:
+            return
+        rebuilt = SequentialIndexer(self.fs, naive=False).build().index
+        assert self.indexer.index.index == rebuilt
+
+    @invariant()
+    def document_store_consistent(self):
+        if not self.refreshed:
+            return
+        live = sorted(ref.path for ref in self.fs.list_files())
+        assert sorted(self.indexer.index.document_paths()) == live
+
+
+TestIncrementalStateful = IncrementalMachine.TestCase
+TestIncrementalStateful.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

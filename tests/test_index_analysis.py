@@ -1,0 +1,111 @@
+"""Tests for index statistics and diagnostics."""
+
+import pytest
+
+from repro.index import InvertedIndex, MultiIndex
+from repro.index.analysis import (
+    analyze,
+    estimate_memory_bytes,
+    postings_histogram,
+    top_terms,
+)
+from repro.text import TermBlock
+
+
+def block(path, *terms):
+    return TermBlock(path, tuple(terms))
+
+
+@pytest.fixture
+def index():
+    idx = InvertedIndex()
+    idx.add_block(block("f1", "common", "rare1"))
+    idx.add_block(block("f2", "common", "rare2"))
+    idx.add_block(block("f3", "common"))
+    return idx
+
+
+class TestAnalyze:
+    def test_counts(self, index):
+        stats = analyze(index)
+        assert stats.term_count == 3
+        assert stats.posting_count == 5
+        assert stats.max_postings == 3
+
+    def test_mean_and_median(self, index):
+        stats = analyze(index)
+        assert stats.mean_postings == pytest.approx(5 / 3)
+        assert stats.median_postings == 1.0
+
+    def test_singletons(self, index):
+        stats = analyze(index)
+        assert stats.singleton_terms == 2
+        assert stats.singleton_fraction == pytest.approx(2 / 3)
+
+    def test_empty_index(self):
+        stats = analyze(InvertedIndex())
+        assert stats.term_count == 0
+        assert stats.singleton_fraction == 0.0
+
+    def test_multi_index_merges_counts(self, index):
+        r2 = InvertedIndex()
+        r2.add_block(block("f4", "common"))
+        multi = MultiIndex([index, r2])
+        stats = analyze(multi)
+        assert stats.max_postings == 4
+        assert stats.posting_count == 6
+
+    def test_real_corpus_zipf_shape(self, tiny_fs):
+        from repro.engine import SequentialIndexer
+
+        idx = SequentialIndexer(tiny_fs, naive=False).build().index
+        stats = analyze(idx)
+        # Zipfian text: most terms are rare, a few are everywhere.
+        assert stats.median_postings < stats.mean_postings
+        assert stats.max_postings > 10 * stats.median_postings
+
+
+class TestTopTerms:
+    def test_ordering(self, index):
+        top = top_terms(index, 2)
+        assert top[0] == ("common", 3)
+        assert top[1][1] == 1
+
+    def test_ties_broken_by_term(self, index):
+        top = top_terms(index, 3)
+        assert [t for t, _ in top[1:]] == ["rare1", "rare2"]
+
+    def test_limit(self, index):
+        assert len(top_terms(index, 1)) == 1
+
+
+class TestHistogram:
+    def test_buckets_cover_all_terms(self, index):
+        histogram = postings_histogram(index, buckets=4)
+        assert sum(count for _, _, count in histogram) == 3
+
+    def test_bucket_bounds(self):
+        histogram = postings_histogram(InvertedIndex(), buckets=3)
+        assert histogram[0][0] == 1
+        assert histogram[-1][1] == -1  # open-ended last bucket
+
+    def test_invalid_buckets(self, index):
+        with pytest.raises(ValueError):
+            postings_histogram(index, buckets=0)
+
+    def test_long_postings_in_high_bucket(self):
+        idx = InvertedIndex()
+        for i in range(40):
+            idx.add_block(block(f"f{i}", "everywhere"))
+        histogram = postings_histogram(idx, buckets=8)
+        assert histogram[5][2] == 1  # 2^5..2^6-1 covers 40
+
+
+class TestMemoryEstimate:
+    def test_grows_with_content(self, index):
+        small = estimate_memory_bytes(index)
+        index.add_block(block("f4", "common", "brand", "new", "terms"))
+        assert estimate_memory_bytes(index) > small
+
+    def test_empty(self):
+        assert estimate_memory_bytes(InvertedIndex()) == 0

@@ -1,0 +1,96 @@
+"""Tests for the platform profiles."""
+
+import pytest
+
+from repro.platforms import (
+    ALL_PLATFORMS,
+    MANYCORE_32,
+    OCTO_CORE,
+    PlatformProfile,
+    QUAD_CORE,
+    platform_by_name,
+)
+
+
+class TestCalibratedProfiles:
+    def test_three_platforms(self):
+        assert len(ALL_PLATFORMS) == 3
+        assert {p.cores for p in ALL_PLATFORMS} == {4, 8, 32}
+
+    def test_lookup_by_name(self):
+        assert platform_by_name("quad-core") is QUAD_CORE
+        assert platform_by_name("octo-core") is OCTO_CORE
+        assert platform_by_name("manycore-32") is MANYCORE_32
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            platform_by_name("pentium-ii")
+
+    def test_paper_clock_speeds(self):
+        assert QUAD_CORE.clock_ghz == 2.4
+        assert OCTO_CORE.clock_ghz == 1.86
+        assert MANYCORE_32.clock_ghz == 2.27
+
+    def test_update_split_matches_table1(self):
+        assert QUAD_CORE.update_total_s == pytest.approx(22.0)
+        assert OCTO_CORE.update_total_s == pytest.approx(29.0)
+        assert MANYCORE_32.update_total_s == pytest.approx(28.0)
+
+    def test_sequential_totals_match_paper(self):
+        assert QUAD_CORE.sequential_total_s == 220.0
+        assert OCTO_CORE.sequential_total_s == 105.0
+        assert MANYCORE_32.sequential_total_s == 90.0
+
+    def test_octo_disk_nearly_saturated_by_one_stream(self):
+        # The paper's 8-core machine: a single reader already uses most
+        # of the aggregate bandwidth, hence its poor parallel speed-up.
+        ratio = OCTO_CORE.aggregate_mbps / OCTO_CORE.per_stream_mbps
+        assert ratio < 1.2
+
+    def test_quad_and_manycore_have_parallel_headroom(self):
+        assert QUAD_CORE.aggregate_mbps / QUAD_CORE.per_stream_mbps > 1.5
+        assert MANYCORE_32.aggregate_mbps / MANYCORE_32.per_stream_mbps > 3.0
+
+
+class TestProfileValidation:
+    def base_kwargs(self):
+        return dict(
+            name="test", cores=4, clock_ghz=2.0, filename_gen_s=5.0,
+            per_stream_mbps=10.0, scan_cpu_s=10.0, update_prep_s=10.0,
+            update_critical_s=10.0, naive_update_s=100.0,
+            sequential_total_s=200.0, aggregate_mbps=20.0,
+            read_cpu_fraction=0.1, shared_coherence=0.2, lock_op_us=10.0,
+            buffer_op_us=10.0, join_mpairs_per_s=10.0,
+        )
+
+    def test_valid_profile(self):
+        PlatformProfile(**self.base_kwargs())
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformProfile(**{**self.base_kwargs(), "cores": 0})
+
+    def test_aggregate_below_stream_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformProfile(**{**self.base_kwargs(), "aggregate_mbps": 5.0})
+
+    def test_read_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            PlatformProfile(**{**self.base_kwargs(), "read_cpu_fraction": 1.0})
+
+    def test_negative_coherence_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformProfile(**{**self.base_kwargs(), "shared_coherence": -0.1})
+
+    def test_coherence_multiplier(self):
+        profile = PlatformProfile(**self.base_kwargs())
+        assert profile.coherence_multiplier(1) == 1.0
+        assert profile.coherence_multiplier(3) == pytest.approx(1.4)
+        assert profile.coherence_multiplier(0) == 1.0
+
+    def test_seek_multiplier(self):
+        profile = PlatformProfile(
+            **{**self.base_kwargs(), "disk_thrash": 0.5}
+        )
+        assert profile.seek_multiplier(1) == 1.0
+        assert profile.seek_multiplier(3) == pytest.approx(2.0)

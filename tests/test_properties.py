@@ -1,0 +1,281 @@
+"""Property-based tests (hypothesis) on the core data structures and
+invariants."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adt import FnvHashMap, FnvHashSet
+from repro.corpus.zipf import ZipfSampler
+from repro.distribute import RoundRobinStrategy, SizeBalancedStrategy
+from repro.fsmodel import FileRef
+from repro.hashing import fnv1a_32, fnv1a_64
+from repro.index import InvertedIndex, join_indices, join_pairwise_tree
+from repro.query import QueryEngine, parse_query
+from repro.text import TermBlock, Tokenizer, dedup_terms
+
+keys = st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1,
+               max_size=12)
+paths = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+
+
+class TestHashProperties:
+    @given(st.binary(max_size=64))
+    def test_deterministic(self, data):
+        assert fnv1a_64(data) == fnv1a_64(data)
+        assert fnv1a_32(data) == fnv1a_32(data)
+
+    @given(st.binary(max_size=64))
+    def test_output_ranges(self, data):
+        assert 0 <= fnv1a_32(data) < 2**32
+        assert 0 <= fnv1a_64(data) < 2**64
+
+    @given(st.text(max_size=64))
+    def test_str_bytes_agreement(self, text):
+        assert fnv1a_64(text) == fnv1a_64(text.encode("utf-8"))
+
+
+class TestHashMapModel:
+    """FnvHashMap must behave exactly like a dict under any op sequence."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["set", "del", "get", "setdefault", "pop"]),
+                keys,
+                st.integers(),
+            ),
+            max_size=60,
+        )
+    )
+    def test_against_dict_model(self, operations):
+        model = {}
+        subject = FnvHashMap()
+        for op, key, value in operations:
+            if op == "set":
+                model[key] = value
+                subject[key] = value
+            elif op == "del":
+                if key in model:
+                    del model[key]
+                    del subject[key]
+            elif op == "get":
+                assert subject.get(key) == model.get(key)
+            elif op == "setdefault":
+                assert subject.setdefault(key, value) == model.setdefault(
+                    key, value
+                )
+            elif op == "pop":
+                assert subject.pop(key, None) == model.pop(key, None)
+            assert len(subject) == len(model)
+        assert dict(subject.items()) == model
+        assert sorted(subject.keys()) == sorted(model.keys())
+
+    @given(st.lists(keys, max_size=80))
+    def test_insert_then_lookup_all(self, insert_keys):
+        subject = FnvHashMap()
+        for i, key in enumerate(insert_keys):
+            subject[key] = i
+        for key in insert_keys:
+            assert key in subject
+
+
+class TestHashSetModel:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["add", "discard", "check"]), keys),
+            max_size=60,
+        )
+    )
+    def test_against_set_model(self, operations):
+        model = set()
+        subject = FnvHashSet()
+        for op, key in operations:
+            if op == "add":
+                assert subject.add(key) == (key not in model)
+                model.add(key)
+            elif op == "discard":
+                assert subject.discard(key) == (key in model)
+                model.discard(key)
+            else:
+                assert (key in subject) == (key in model)
+            assert len(subject) == len(model)
+        assert set(subject) == model
+
+    @given(st.lists(keys), st.lists(keys))
+    def test_union_intersection_laws(self, a_elements, b_elements):
+        a = FnvHashSet(a_elements)
+        b = FnvHashSet(b_elements)
+        assert set(a.union(b)) == set(a_elements) | set(b_elements)
+        assert set(a.intersection(b)) == set(a_elements) & set(b_elements)
+
+
+class TestTokenizerProperties:
+    @given(st.binary(max_size=300))
+    def test_never_crashes_and_emits_valid_terms(self, content):
+        tokenizer = Tokenizer()
+        for term in tokenizer.tokenize(content):
+            assert 2 <= len(term) <= 64
+            assert term == term.lower()
+            assert term.isalnum()
+
+    @given(st.binary(max_size=200))
+    def test_deterministic(self, content):
+        tokenizer = Tokenizer()
+        assert tokenizer.tokenize(content) == tokenizer.tokenize(content)
+
+    @given(st.lists(keys, max_size=40))
+    def test_dedup_idempotent_and_order_preserving(self, terms):
+        once = dedup_terms(terms)
+        assert dedup_terms(once) == once
+        assert list(once) == sorted(set(once), key=list(once).index)
+        assert set(once) == set(terms)
+
+
+class TestDistributionProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=80),
+           st.integers(min_value=1, max_value=9))
+    def test_round_robin_partition(self, sizes, workers):
+        files = [FileRef(f"f{i}", s) for i, s in enumerate(sizes)]
+        distribution = RoundRobinStrategy().distribute(files, workers)
+        flat = sorted(
+            ref.path for a in distribution.assignments for ref in a
+        )
+        assert flat == sorted(ref.path for ref in files)
+        counts = [len(a) for a in distribution.assignments]
+        assert max(counts) - min(counts) <= 1
+
+    @given(st.lists(st.integers(min_value=1, max_value=10_000), min_size=1,
+                    max_size=60),
+           st.integers(min_value=1, max_value=6))
+    def test_lpt_within_four_thirds_of_optimal(self, sizes, workers):
+        # LPT is a 4/3-approximation of the optimal makespan.  OPT is at
+        # least the mean load, the biggest item, and — when there are
+        # more items than workers — the sum of the m-th and (m+1)-th
+        # largest items (two of them must share a worker).  (LPT is NOT
+        # always better than round-robin on a lucky input, so that is
+        # not asserted.)
+        files = [FileRef(f"f{i}", s) for i, s in enumerate(sizes)]
+        lpt = SizeBalancedStrategy().distribute(files, workers)
+        descending = sorted(sizes, reverse=True)
+        optimum_bound = max(sum(sizes) / workers, descending[0])
+        if len(sizes) > workers:
+            optimum_bound = max(
+                optimum_bound, descending[workers - 1] + descending[workers]
+            )
+        assert max(lpt.bytes_per_worker()) <= optimum_bound * 4 / 3 + 1e-9
+
+
+@st.composite
+def block_lists(draw):
+    """A list of term blocks with unique paths."""
+    n = draw(st.integers(min_value=0, max_value=12))
+    blocks = []
+    for i in range(n):
+        terms = draw(st.lists(keys, max_size=6, unique=True))
+        blocks.append(TermBlock(f"file{i}", tuple(terms)))
+    return blocks
+
+
+class TestIndexProperties:
+    @given(block_lists(), st.integers(min_value=1, max_value=5))
+    def test_join_independent_of_partition(self, blocks, replicas):
+        """Joining replicas gives the same index no matter how blocks
+        were distributed — the invariant Implementation 2 rests on."""
+        direct = InvertedIndex()
+        for block in blocks:
+            direct.add_block(block)
+
+        partitions = [InvertedIndex() for _ in range(replicas)]
+        for i, block in enumerate(blocks):
+            partitions[i % replicas].add_block(block)
+        assert join_indices(partitions) == direct
+        assert join_pairwise_tree(partitions) == direct
+
+    @given(block_lists())
+    def test_posting_count_equals_unique_pairs(self, blocks):
+        index = InvertedIndex()
+        for block in blocks:
+            index.add_block(block)
+        assert index.posting_count == sum(len(b) for b in blocks)
+
+    @given(block_lists())
+    def test_en_bloc_equals_naive(self, blocks):
+        en_bloc = InvertedIndex()
+        naive = InvertedIndex()
+        for block in blocks:
+            en_bloc.add_block(block)
+            for term in block.terms:
+                naive.add_term_naive(term, block.path)
+                naive.add_term_naive(term, block.path)  # duplicate insert
+        assert en_bloc == naive
+
+
+class TestQueryProperties:
+    @given(st.lists(st.tuples(paths, st.lists(keys, min_size=1, max_size=4,
+                                              unique=True)),
+                    max_size=10))
+    def test_demorgan(self, docs):
+        index = InvertedIndex()
+        universe = set()
+        seen_paths = set()
+        for path, terms in docs:
+            if path in seen_paths:
+                continue
+            seen_paths.add(path)
+            universe.add(path)
+            index.add_block(TermBlock(path, tuple(terms)))
+        engine = QueryEngine(index, universe=universe)
+        all_terms = sorted({t for _, ts in docs for t in ts})
+        if len(all_terms) < 2:
+            return
+        a, b = all_terms[0], all_terms[1]
+        assert engine.search(f"NOT ({a} OR {b})") == engine.search(
+            f"NOT {a} AND NOT {b}"
+        )
+        assert engine.search(f"NOT ({a} AND {b})") == engine.search(
+            f"NOT {a} OR NOT {b}"
+        )
+
+    @given(st.lists(keys, min_size=1, max_size=5, unique=True))
+    def test_and_subset_of_or(self, terms):
+        index = InvertedIndex()
+        index.add_block(TermBlock("f", tuple(terms)))
+        engine = QueryEngine(index)
+        conjunction = set(engine.search(" AND ".join(terms)))
+        disjunction = set(engine.search(" OR ".join(terms)))
+        assert conjunction <= disjunction
+
+
+class TestZipfProperties:
+    @given(st.integers(min_value=2, max_value=500),
+           st.integers(min_value=1, max_value=200))
+    @settings(max_examples=30)
+    def test_samples_within_support(self, n, count):
+        sampler = ZipfSampler(n, seed=1)
+        assert all(0 <= r < n for r in sampler.sample_many(count))
+
+
+class TestKernelProperties:
+    @given(st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=1,
+                    max_size=8),
+           st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_processor_sharing_conserves_work(self, demands, cores):
+        from repro.sim import Kernel, Use
+
+        kernel = Kernel()
+        cpu = kernel.resource("cpu", total_rate=float(cores), per_job_cap=1.0)
+
+        def process(units):
+            yield Use(cpu, units)
+
+        for i, demand in enumerate(demands):
+            kernel.spawn(f"p{i}", process(demand))
+        total = kernel.run()
+        # Work conservation and the two makespan bounds of PS scheduling.
+        assert cpu.work_done >= sum(demands) * (1 - 1e-6)
+        lower = max(max(demands), sum(demands) / cores)
+        assert total >= lower - 1e-6
+        assert total <= sum(demands) + 1e-6

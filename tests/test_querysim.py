@@ -1,0 +1,122 @@
+"""Tests for the simulated query-serving study."""
+
+import pytest
+
+from repro.platforms import MANYCORE_32, QUAD_CORE
+from repro.simengine.querysim import (
+    MODES,
+    QuerySimulation,
+    QueryWorkloadSpec,
+)
+
+
+@pytest.fixture(scope="module")
+def simulation(tiny_workload):
+    return QuerySimulation(
+        QUAD_CORE, tiny_workload, QueryWorkloadSpec(query_count=80, seed=3)
+    )
+
+
+class TestQueryWorkloadSpec:
+    def test_defaults_valid(self):
+        spec = QueryWorkloadSpec()
+        assert spec.query_count == 500
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            QueryWorkloadSpec(query_count=0)
+
+    def test_invalid_terms(self):
+        with pytest.raises(ValueError):
+            QueryWorkloadSpec(mean_terms_per_query=0.5)
+
+
+class TestQueryGeneration:
+    def test_deterministic(self, tiny_workload):
+        spec = QueryWorkloadSpec(query_count=50, seed=9)
+        a = QuerySimulation(QUAD_CORE, tiny_workload, spec)._queries
+        b = QuerySimulation(QUAD_CORE, tiny_workload, spec)._queries
+        assert a == b
+
+    def test_query_shapes(self, simulation):
+        for query in simulation._queries:
+            assert 1 <= len(query.postings_per_term) <= 6
+            assert all(p >= 1 for p in query.postings_per_term)
+
+    def test_postings_bounded_by_file_count(self, simulation, tiny_workload):
+        for query in simulation._queries:
+            assert all(
+                p <= len(tiny_workload.files)
+                for p in query.postings_per_term
+            )
+
+
+class TestQueryService:
+    def test_all_queries_served(self, simulation):
+        result = simulation.run("joined", workers=2)
+        assert len(result.latencies) == 80
+
+    def test_unknown_mode_rejected(self, simulation):
+        with pytest.raises(ValueError):
+            simulation.run("quantum", workers=1)
+
+    def test_invalid_workers(self, simulation):
+        with pytest.raises(ValueError):
+            simulation.run("joined", workers=0)
+
+    def test_joined_ignores_replica_count(self, simulation):
+        result = simulation.run("joined", workers=1, replicas=8)
+        assert result.replicas == 1
+
+    def test_deterministic(self, simulation):
+        a = simulation.run("replicas-parallel", workers=2, replicas=4)
+        b = simulation.run("replicas-parallel", workers=2, replicas=4)
+        assert a.total_s == b.total_s
+        assert a.latencies == b.latencies
+
+    def test_metrics_consistent(self, simulation):
+        result = simulation.run("joined", workers=2)
+        assert result.throughput_qps == pytest.approx(
+            len(result.latencies) / result.total_s
+        )
+        assert result.mean_latency_ms > 0
+        assert result.p95_latency_ms() >= result.mean_latency_ms * 0.5
+
+    def test_sweep_covers_all_modes(self, simulation):
+        sweep = simulation.sweep([1, 2], replicas=2)
+        assert set(sweep) == set(MODES)
+        assert all(len(results) == 2 for results in sweep.values())
+
+
+class TestQueryServiceShape:
+    """The findings the future-work study exists to demonstrate."""
+
+    @pytest.fixture(scope="class")
+    def many(self, tiny_workload):
+        return QuerySimulation(
+            MANYCORE_32, tiny_workload, QueryWorkloadSpec(query_count=150)
+        )
+
+    def test_parallel_lookup_cuts_latency_at_light_load(self, many):
+        sequential = many.run("replicas-sequential", workers=1, replicas=4)
+        parallel = many.run("replicas-parallel", workers=1, replicas=4)
+        assert parallel.mean_latency_ms < sequential.mean_latency_ms * 0.7
+
+    def test_parallel_throughput_wins_with_idle_cores(self, many):
+        sequential = many.run("replicas-sequential", workers=4, replicas=4)
+        parallel = many.run("replicas-parallel", workers=4, replicas=4)
+        assert parallel.throughput_qps > sequential.throughput_qps
+
+    def test_joined_and_sequential_equivalent_work(self, many):
+        joined = many.run("joined", workers=2)
+        sequential = many.run("replicas-sequential", workers=2, replicas=4)
+        # Probing k shards of 1/k postings costs nearly the same as one
+        # probe of the whole list (plus k-1 extra hash probes).
+        assert sequential.mean_latency_ms == pytest.approx(
+            joined.mean_latency_ms, rel=0.25
+        )
+
+    def test_more_workers_increase_throughput_until_cores(self, many):
+        one = many.run("joined", workers=1)
+        eight = many.run("joined", workers=8)
+        assert eight.throughput_qps > one.throughput_qps * 4

@@ -1,0 +1,84 @@
+"""Tests for the markdown comparison report."""
+
+import pytest
+
+from repro.corpus.profiles import PAPER_PROFILE
+from repro.experiments import (
+    best_config_markdown,
+    comparison_report,
+    run_best_config_table,
+    run_table1,
+    table1_markdown,
+)
+from repro.platforms import ALL_PLATFORMS, QUAD_CORE
+from repro.simengine import Workload, WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def results():
+    workload = Workload.synthesize(
+        WorkloadSpec(profile=PAPER_PROFILE.scaled(0.02, name="report-test"))
+    )
+    out = {"table1": run_table1(workload)}
+    for platform in ALL_PLATFORMS:
+        out[platform.name] = run_best_config_table(
+            platform, workload,
+            max_extractors=4, max_updaters=2, batches_per_extractor=20,
+        )
+    return out
+
+
+class TestTable1Markdown:
+    def test_has_paper_column(self, results):
+        text = table1_markdown(results["table1"])
+        assert "| paper (s) |" in text
+        assert "| 77.0 |" in text  # the paper's 4-core read time
+
+    def test_all_platforms_present(self, results):
+        text = table1_markdown(results["table1"])
+        for platform in ALL_PLATFORMS:
+            assert platform.name in text
+
+
+class TestBestConfigMarkdown:
+    def test_mentions_sequential_baselines(self, results):
+        text = best_config_markdown(results["quad-core"])
+        assert "paper 220.0 s" in text
+
+    def test_has_all_implementations(self, results):
+        text = best_config_markdown(results["quad-core"])
+        for n in (1, 2, 3):
+            assert f"Implementation {n}" in text
+
+    def test_paper_configs_present(self, results):
+        text = best_config_markdown(results["quad-core"])
+        assert "(3, 1, 0)" in text  # the paper's Impl1 config
+
+    def test_unknown_platform_graceful(self, results):
+        table = results["quad-core"]
+        table.platform = "mystery-machine"
+        try:
+            text = best_config_markdown(table)
+            assert "| - | - | - " in text
+        finally:
+            table.platform = "quad-core"
+
+
+class TestComparisonReport:
+    def test_full_report_structure(self, results):
+        text = comparison_report(results)
+        assert text.startswith("# Reproduction report")
+        assert "## Table 1" in text
+        assert "## Table 2" in text
+        assert "## Table 4" in text
+        assert "## Verdict" in text
+
+    def test_verdict_reports_deviation(self, results):
+        text = comparison_report(results)
+        assert "deviation from the paper" in text
+
+    def test_verdict_checks_orderings(self, results):
+        # At this tiny scale orderings may legitimately deviate; the
+        # verdict must state one of its two defined outcomes.
+        text = comparison_report(results)
+        assert ("orderings match" in text) or ("ordering deviates" in text)

@@ -1,0 +1,95 @@
+"""Unit tests for the sensitivity-analysis machinery (small scale;
+the full study runs in benchmarks/test_extension_sensitivity.py)."""
+
+import pytest
+
+from repro.corpus.profiles import PAPER_PROFILE
+from repro.engine.config import Implementation
+from repro.experiments.sensitivity import (
+    FITTED_PARAMETERS,
+    SensitivityPoint,
+    SensitivityReport,
+    render_sensitivity,
+    sweep_parameter,
+)
+from repro.platforms import QUAD_CORE
+from repro.simengine import Workload, WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    return Workload.synthesize(
+        WorkloadSpec(profile=PAPER_PROFILE.scaled(0.02, name="sens-test"))
+    )
+
+
+@pytest.fixture(scope="module")
+def report(small_workload):
+    return sweep_parameter(
+        QUAD_CORE,
+        small_workload,
+        "shared_coherence",
+        scales=(0.5, 1.0, 2.0),
+        max_extractors=3,
+        max_updaters=2,
+        batches_per_extractor=15,
+    )
+
+
+class TestSweepParameter:
+    def test_one_point_per_scale(self, report):
+        assert [p.scale for p in report.points] == [0.5, 1.0, 2.0]
+
+    def test_values_scaled_from_baseline(self, report):
+        assert report.points[0].value == pytest.approx(
+            report.baseline_value * 0.5
+        )
+
+    def test_all_implementations_measured(self, report):
+        for point in report.points:
+            assert set(point.speedups) == set(Implementation)
+
+    def test_unknown_parameter_rejected(self, small_workload):
+        with pytest.raises(ValueError):
+            sweep_parameter(QUAD_CORE, small_workload, "clock_ghz")
+
+    def test_fitted_parameter_list_valid(self):
+        for parameter in FITTED_PARAMETERS:
+            assert hasattr(QUAD_CORE, parameter)
+
+    def test_aggregate_floor_respected(self, small_workload):
+        # Scaling the aggregate below the single-stream bandwidth would
+        # make the profile invalid; the sweep clamps instead.
+        report = sweep_parameter(
+            QUAD_CORE, small_workload, "aggregate_mbps",
+            scales=(0.1,), max_extractors=2, max_updaters=1,
+            batches_per_extractor=10,
+        )
+        assert report.points[0].speedups  # ran without ValueError
+
+
+class TestReportHelpers:
+    def test_ordering(self):
+        point = SensitivityPoint("p", 1.0, 1.0, speedups={
+            Implementation.SHARED_LOCKED: 2.0,
+            Implementation.REPLICATED_JOINED: 2.5,
+            Implementation.REPLICATED_UNJOINED: 3.0,
+        })
+        assert point.ordering() == [
+            Implementation.SHARED_LOCKED,
+            Implementation.REPLICATED_JOINED,
+            Implementation.REPLICATED_UNJOINED,
+        ]
+
+    def test_ordering_stable(self, report):
+        assert isinstance(report.ordering_stable(), bool)
+
+    def test_speedup_range_nonnegative(self, report):
+        for implementation in Implementation:
+            assert report.speedup_range(implementation) >= 0.0
+
+    def test_render(self, report):
+        text = render_sensitivity(report)
+        assert "shared_coherence" in text
+        assert "0.50x" in text
+        assert "ordering" in text

@@ -1,0 +1,129 @@
+"""Tests for the lock-striped shared index (the sharding extension)."""
+
+import pytest
+
+from repro.engine import Implementation, SequentialIndexer, ThreadConfig
+from repro.engine.impl1_sharded import ShardedLockedIndexer
+from repro.index import InvertedIndex
+from repro.index.sharded import ShardedInvertedIndex
+from repro.text import TermBlock
+
+
+def block(path, *terms):
+    return TermBlock(path, tuple(terms))
+
+
+class TestShardedInvertedIndex:
+    def test_add_and_lookup(self):
+        index = ShardedInvertedIndex(shards=4)
+        index.add_block(block("f1", "cat", "dog"))
+        index.add_block(block("f2", "cat"))
+        assert sorted(index.lookup("cat")) == ["f1", "f2"]
+        assert index.lookup("dog") == ["f1"]
+
+    def test_counts(self):
+        index = ShardedInvertedIndex(shards=4)
+        index.add_block(block("f1", "a", "b", "c"))
+        assert len(index) == 3
+        assert index.posting_count == 3
+        assert index.block_count == 1
+
+    def test_contains_and_terms(self):
+        index = ShardedInvertedIndex(shards=8)
+        index.add_block(block("f", "x", "y"))
+        assert "x" in index and "z" not in index
+        assert sorted(index.terms()) == ["x", "y"]
+
+    def test_terms_route_to_stable_shards(self):
+        index = ShardedInvertedIndex(shards=8)
+        assert index.shard_for("term") == index.shard_for("term")
+        assert 0 <= index.shard_for("term") < 8
+
+    def test_equals_plain_index(self):
+        sharded = ShardedInvertedIndex(shards=4)
+        plain = InvertedIndex()
+        for b in (block("f1", "a", "b"), block("f2", "b", "c")):
+            sharded.add_block(b)
+            plain.add_block(b)
+        assert sharded == plain
+        assert sharded.to_inverted_index() == plain
+
+    def test_single_shard_degenerates(self):
+        index = ShardedInvertedIndex(shards=1)
+        index.add_block(block("f", "a", "b"))
+        assert index.shard_count == 1
+        assert len(index) == 2
+
+    def test_invalid_shards(self):
+        with pytest.raises(ValueError):
+            ShardedInvertedIndex(shards=0)
+
+    def test_concurrent_writers_consistent(self):
+        import threading
+
+        index = ShardedInvertedIndex(shards=8)
+        blocks = [
+            block(f"f{i}", f"term{i % 20}", f"other{i % 13}", "shared")
+            for i in range(200)
+        ]
+
+        def writer(chunk):
+            for b in chunk:
+                index.add_block(b)
+
+        threads = [
+            threading.Thread(target=writer, args=(blocks[i::4],), daemon=True)
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+
+        expected = InvertedIndex()
+        for b in blocks:
+            expected.add_block(b)
+        assert index == expected
+
+
+class TestShardedEngine:
+    def test_matches_sequential(self, tiny_fs):
+        sequential = SequentialIndexer(tiny_fs, naive=False).build()
+        report = ShardedLockedIndexer(tiny_fs, shards=8).build(
+            ThreadConfig(3, 2, 0)
+        )
+        assert report.index.to_inverted_index() == sequential.index
+
+    def test_inline_mode(self, tiny_fs):
+        report = ShardedLockedIndexer(tiny_fs, shards=4).build(
+            ThreadConfig(3, 0, 0)
+        )
+        assert report.term_count > 0
+        assert report.posting_count == report.index.posting_count
+
+
+class TestShardedSimulation:
+    @pytest.fixture(scope="class")
+    def pipeline(self, tiny_workload):
+        from repro.platforms import MANYCORE_32
+        from repro.simengine import SimPipeline
+
+        return SimPipeline(MANYCORE_32, tiny_workload, batches_per_extractor=20)
+
+    def test_sharding_reduces_lock_wait(self, pipeline):
+        config = ThreadConfig(8, 4, 0)
+        single = pipeline.run(Implementation.SHARED_LOCKED, config, shards=1)
+        striped = pipeline.run(Implementation.SHARED_LOCKED, config, shards=8)
+        assert striped.lock_wait_s <= single.lock_wait_s
+
+    def test_sharding_never_slower(self, pipeline):
+        config = ThreadConfig(8, 4, 0)
+        single = pipeline.run(Implementation.SHARED_LOCKED, config, shards=1)
+        striped = pipeline.run(Implementation.SHARED_LOCKED, config, shards=16)
+        assert striped.total_s <= single.total_s * 1.01
+
+    def test_invalid_shards(self, pipeline):
+        with pytest.raises(ValueError):
+            pipeline.run(
+                Implementation.SHARED_LOCKED, ThreadConfig(2, 0, 0), shards=0
+            )

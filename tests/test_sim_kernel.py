@@ -1,0 +1,536 @@
+"""Tests for the discrete-event kernel and its resources."""
+
+import pytest
+
+from repro.sim import (
+    BUFFER_CLOSED,
+    Acquire,
+    Close,
+    DeadlockError,
+    Delay,
+    Get,
+    Kernel,
+    Put,
+    Release,
+    SimulationError,
+    Use,
+    WaitBarrier,
+)
+from repro.sim.process import ProcessState
+from repro.sim.resources import FairShareResource, SimBarrier, SimBuffer, SimLock
+
+
+class TestDelayAndCompletion:
+    def test_single_delay(self):
+        kernel = Kernel()
+
+        def process():
+            yield Delay(2.5)
+
+        kernel.spawn("p", process())
+        assert kernel.run() == pytest.approx(2.5)
+
+    def test_sequential_delays_accumulate(self):
+        kernel = Kernel()
+
+        def process():
+            yield Delay(1.0)
+            yield Delay(2.0)
+
+        kernel.spawn("p", process())
+        assert kernel.run() == pytest.approx(3.0)
+
+    def test_parallel_delays_overlap(self):
+        kernel = Kernel()
+
+        def process(duration):
+            yield Delay(duration)
+
+        kernel.spawn("a", process(3.0))
+        kernel.spawn("b", process(1.0))
+        assert kernel.run() == pytest.approx(3.0)
+
+    def test_zero_delay_is_free(self):
+        kernel = Kernel()
+
+        def process():
+            yield Delay(0.0)
+
+        kernel.spawn("p", process())
+        assert kernel.run() == 0.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Delay(-1.0)
+
+    def test_empty_run(self):
+        assert Kernel().run() == 0.0
+
+    def test_finish_times_recorded(self):
+        kernel = Kernel()
+
+        def process(duration):
+            yield Delay(duration)
+
+        p1 = kernel.spawn("a", process(1.0))
+        p2 = kernel.spawn("b", process(2.0))
+        kernel.run()
+        assert p1.finish_time == pytest.approx(1.0)
+        assert p2.finish_time == pytest.approx(2.0)
+        assert p1.state is ProcessState.FINISHED
+
+
+class TestFairShareCpu:
+    def test_single_job_full_speed(self):
+        kernel = Kernel()
+        cpu = kernel.resource("cpu", total_rate=4.0, per_job_cap=1.0)
+
+        def process():
+            yield Use(cpu, 2.0)
+
+        kernel.spawn("p", process())
+        assert kernel.run() == pytest.approx(2.0)
+
+    def test_jobs_up_to_cores_run_at_full_speed(self):
+        kernel = Kernel()
+        cpu = kernel.resource("cpu", total_rate=4.0, per_job_cap=1.0)
+
+        def process():
+            yield Use(cpu, 2.0)
+
+        for i in range(4):
+            kernel.spawn(f"p{i}", process())
+        assert kernel.run() == pytest.approx(2.0)
+
+    def test_oversubscription_time_slices(self):
+        kernel = Kernel()
+        cpu = kernel.resource("cpu", total_rate=2.0, per_job_cap=1.0)
+
+        def process():
+            yield Use(cpu, 1.0)
+
+        for i in range(4):  # 4 threads on 2 cores -> half speed each
+            kernel.spawn(f"p{i}", process())
+        assert kernel.run() == pytest.approx(2.0)
+
+    def test_unequal_demands_complete_in_order(self):
+        kernel = Kernel()
+        cpu = kernel.resource("cpu", total_rate=1.0, per_job_cap=1.0)
+
+        def process(units):
+            yield Use(cpu, units)
+
+        short = kernel.spawn("short", process(1.0))
+        long = kernel.spawn("long", process(3.0))
+        kernel.run()
+        # Both share the single core: short finishes at 2 (half speed for
+        # 1 unit), then long runs alone.
+        assert short.finish_time == pytest.approx(2.0)
+        assert long.finish_time == pytest.approx(4.0)
+
+    def test_work_conservation(self):
+        kernel = Kernel()
+        cpu = kernel.resource("cpu", total_rate=3.0, per_job_cap=1.0)
+
+        def process(units):
+            yield Use(cpu, units)
+
+        demands = [1.0, 2.0, 0.5, 3.0]
+        for i, demand in enumerate(demands):
+            kernel.spawn(f"p{i}", process(demand))
+        total = kernel.run()
+        assert cpu.work_done == pytest.approx(sum(demands))
+        assert cpu.utilization(total) <= 1.0 + 1e-9
+
+    def test_zero_use_is_free(self):
+        kernel = Kernel()
+        cpu = kernel.resource("cpu", total_rate=1.0)
+
+        def process():
+            yield Use(cpu, 0.0)
+
+        kernel.spawn("p", process())
+        assert kernel.run() == 0.0
+
+    def test_tiny_residual_demand_does_not_stall(self):
+        # Regression test: a leftover demand below one float tick of
+        # virtual time used to loop the kernel forever.
+        kernel = Kernel()
+        disk = kernel.resource("disk", total_rate=2.3e7, per_job_cap=1.2e7)
+
+        def process():
+            for _ in range(500):
+                yield Use(disk, 17_000.0)
+                yield Delay(1e-4)
+
+        kernel.spawn("p", process())
+        kernel.run()  # must terminate
+
+
+class TestFairShareDisk:
+    def test_per_job_cap_limits_single_stream(self):
+        kernel = Kernel()
+        disk = kernel.resource("disk", total_rate=20.0, per_job_cap=10.0)
+
+        def process():
+            yield Use(disk, 10.0)
+
+        kernel.spawn("p", process())
+        assert kernel.run() == pytest.approx(1.0)  # capped at 10/s
+
+    def test_aggregate_shared_among_streams(self):
+        kernel = Kernel()
+        disk = kernel.resource("disk", total_rate=20.0, per_job_cap=15.0)
+
+        def process():
+            yield Use(disk, 20.0)
+
+        kernel.spawn("a", process())
+        kernel.spawn("b", process())
+        # Two streams share 20/s -> 10/s each -> 2s.
+        assert kernel.run() == pytest.approx(2.0)
+
+    def test_peak_concurrency_tracked(self):
+        kernel = Kernel()
+        disk = kernel.resource("disk", total_rate=10.0)
+
+        def process():
+            yield Use(disk, 1.0)
+
+        for i in range(3):
+            kernel.spawn(f"p{i}", process())
+        kernel.run()
+        assert disk.peak_concurrency == 3
+
+    def test_invalid_resource_parameters(self):
+        with pytest.raises(ValueError):
+            FairShareResource("bad", total_rate=0.0)
+        with pytest.raises(ValueError):
+            FairShareResource("bad", total_rate=1.0, per_job_cap=0.0)
+
+    def test_double_enqueue_rejected(self):
+        kernel = Kernel()
+        cpu = kernel.resource("cpu", 1.0)
+        process = kernel.spawn("p", iter(()))
+        cpu.add_job(process, 1.0)
+        with pytest.raises(SimulationError):
+            cpu.add_job(process, 1.0)
+
+
+class TestLocks:
+    def test_serializes_critical_sections(self):
+        kernel = Kernel()
+        cpu = kernel.resource("cpu", total_rate=4.0, per_job_cap=1.0)
+        lock = SimLock()
+
+        def process():
+            yield Acquire(lock)
+            yield Use(cpu, 1.0)
+            yield Release(lock)
+
+        for i in range(3):
+            kernel.spawn(f"p{i}", process())
+        # Plenty of cores, but the lock serializes: 3 x 1s.
+        assert kernel.run() == pytest.approx(3.0)
+
+    def test_contention_statistics(self):
+        kernel = Kernel()
+        cpu = kernel.resource("cpu", total_rate=4.0, per_job_cap=1.0)
+        lock = SimLock()
+
+        def process():
+            yield Acquire(lock)
+            yield Use(cpu, 1.0)
+            yield Release(lock)
+
+        for i in range(3):
+            kernel.spawn(f"p{i}", process())
+        kernel.run()
+        assert lock.acquires == 3
+        assert lock.contended_acquires == 2
+        # Waiters waited 1s and 2s respectively.
+        assert lock.total_wait_time == pytest.approx(3.0)
+        assert lock.max_queue_length == 2
+
+    def test_fifo_order(self):
+        kernel = Kernel()
+        cpu = kernel.resource("cpu", total_rate=4.0, per_job_cap=1.0)
+        lock = SimLock()
+        order = []
+
+        def process(name, start_delay):
+            yield Delay(start_delay)
+            yield Acquire(lock)
+            order.append(name)
+            yield Use(cpu, 1.0)
+            yield Release(lock)
+
+        kernel.spawn("first", process("first", 0.0))
+        kernel.spawn("second", process("second", 0.1))
+        kernel.spawn("third", process("third", 0.2))
+        kernel.run()
+        assert order == ["first", "second", "third"]
+
+    def test_release_without_hold_rejected(self):
+        kernel = Kernel()
+        lock = SimLock()
+
+        def process():
+            yield Release(lock)
+
+        kernel.spawn("p", process())
+        with pytest.raises(SimulationError):
+            kernel.run()
+
+    def test_blocked_time_accounted(self):
+        kernel = Kernel()
+        cpu = kernel.resource("cpu", total_rate=4.0, per_job_cap=1.0)
+        lock = SimLock()
+
+        def holder():
+            yield Acquire(lock)
+            yield Use(cpu, 2.0)
+            yield Release(lock)
+
+        def waiter():
+            yield Delay(0.5)
+            yield Acquire(lock)
+            yield Release(lock)
+
+        kernel.spawn("holder", holder())
+        blocked = kernel.spawn("waiter", waiter())
+        kernel.run()
+        assert blocked.blocked_time == pytest.approx(2.0)  # 0.5 .. 2.0 + delay 0.5
+
+
+class TestBuffers:
+    def test_put_get_round_trip(self):
+        kernel = Kernel()
+        buffer = SimBuffer(capacity=4)
+        received = []
+
+        def producer():
+            for i in range(3):
+                yield Put(buffer, i)
+            yield Close(buffer)
+
+        def consumer():
+            while True:
+                item = yield Get(buffer)
+                if item is BUFFER_CLOSED:
+                    return
+                received.append(item)
+
+        kernel.spawn("producer", producer())
+        kernel.spawn("consumer", consumer())
+        kernel.run()
+        assert received == [0, 1, 2]
+
+    def test_backpressure_blocks_producer(self):
+        kernel = Kernel()
+        buffer = SimBuffer(capacity=1)
+
+        def producer():
+            yield Put(buffer, "a")
+            yield Put(buffer, "b")  # blocks until the consumer gets "a"
+
+        def consumer():
+            yield Delay(5.0)
+            yield Get(buffer)
+            yield Get(buffer)
+
+        producer_process = kernel.spawn("producer", producer())
+        kernel.spawn("consumer", consumer())
+        kernel.run()
+        assert producer_process.finish_time == pytest.approx(5.0)
+        assert producer_process.blocked_time == pytest.approx(5.0)
+
+    def test_close_wakes_blocked_getters(self):
+        kernel = Kernel()
+        buffer = SimBuffer()
+        outcomes = []
+
+        def consumer():
+            item = yield Get(buffer)
+            outcomes.append(item)
+
+        def closer():
+            yield Delay(1.0)
+            yield Close(buffer)
+
+        kernel.spawn("consumer", consumer())
+        kernel.spawn("closer", closer())
+        kernel.run()
+        assert outcomes == [BUFFER_CLOSED]
+
+    def test_put_after_close_rejected(self):
+        kernel = Kernel()
+        buffer = SimBuffer()
+
+        def process():
+            yield Close(buffer)
+            yield Put(buffer, 1)
+
+        kernel.spawn("p", process())
+        with pytest.raises(SimulationError):
+            kernel.run()
+
+    def test_close_with_blocked_putters_rejected(self):
+        kernel = Kernel()
+        buffer = SimBuffer(capacity=1)
+
+        def producer():
+            yield Put(buffer, 1)
+            yield Put(buffer, 2)  # blocks
+
+        def closer():
+            yield Delay(1.0)
+            yield Close(buffer)
+
+        kernel.spawn("producer", producer())
+        kernel.spawn("closer", closer())
+        with pytest.raises(SimulationError):
+            kernel.run()
+
+    def test_statistics(self):
+        kernel = Kernel()
+        buffer = SimBuffer(capacity=8)
+
+        def producer():
+            for i in range(5):
+                yield Put(buffer, i)
+            yield Close(buffer)
+
+        def consumer():
+            yield Delay(1.0)
+            while True:
+                item = yield Get(buffer)
+                if item is BUFFER_CLOSED:
+                    return
+
+        kernel.spawn("producer", producer())
+        kernel.spawn("consumer", consumer())
+        kernel.run()
+        assert buffer.puts == 5
+        assert buffer.peak_occupancy == 5
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            SimBuffer(capacity=0)
+
+
+class TestBarriers:
+    def test_all_parties_released_together(self):
+        kernel = Kernel()
+        barrier = SimBarrier(3)
+
+        def process(delay):
+            yield Delay(delay)
+            yield WaitBarrier(barrier)
+
+        processes = [
+            kernel.spawn(f"p{i}", process(float(i))) for i in range(3)
+        ]
+        kernel.run()
+        # All finish when the slowest (delay=2) arrives.
+        for process in processes:
+            assert process.finish_time == pytest.approx(2.0)
+        assert barrier.generations == 1
+
+    def test_reusable(self):
+        kernel = Kernel()
+        barrier = SimBarrier(2)
+
+        def process():
+            yield WaitBarrier(barrier)
+            yield WaitBarrier(barrier)
+
+        kernel.spawn("a", process())
+        kernel.spawn("b", process())
+        kernel.run()
+        assert barrier.generations == 2
+
+    def test_invalid_parties(self):
+        with pytest.raises(ValueError):
+            SimBarrier(0)
+
+
+class TestDeadlockDetection:
+    def test_lock_never_released(self):
+        kernel = Kernel()
+        lock = SimLock()
+
+        def holder():
+            yield Acquire(lock)
+            # never releases
+
+        def waiter():
+            yield Acquire(lock)
+
+        kernel.spawn("holder", holder())
+        kernel.spawn("waiter", waiter())
+        with pytest.raises(DeadlockError) as excinfo:
+            kernel.run()
+        assert "waiter" in str(excinfo.value)
+
+    def test_barrier_short_of_parties(self):
+        kernel = Kernel()
+        barrier = SimBarrier(2)
+
+        def process():
+            yield WaitBarrier(barrier)
+
+        kernel.spawn("alone", process())
+        with pytest.raises(DeadlockError):
+            kernel.run()
+
+    def test_get_on_never_filled_buffer(self):
+        kernel = Kernel()
+        buffer = SimBuffer()
+
+        def consumer():
+            yield Get(buffer)
+
+        kernel.spawn("consumer", consumer())
+        with pytest.raises(DeadlockError):
+            kernel.run()
+
+
+class TestRunUntil:
+    def test_stops_at_horizon(self):
+        kernel = Kernel()
+
+        def process():
+            yield Delay(100.0)
+
+        kernel.spawn("p", process())
+        assert kernel.run(until=10.0) == pytest.approx(10.0)
+        assert kernel.unfinished
+
+    def test_unknown_request_rejected(self):
+        kernel = Kernel()
+
+        def process():
+            yield "not a request"
+
+        kernel.spawn("p", process())
+        with pytest.raises(SimulationError):
+            kernel.run()
+
+    def test_determinism(self):
+        def build_and_run():
+            kernel = Kernel()
+            cpu = kernel.resource("cpu", 2.0, 1.0)
+            lock = SimLock()
+
+            def process(units):
+                yield Use(cpu, units)
+                yield Acquire(lock)
+                yield Use(cpu, 0.1)
+                yield Release(lock)
+
+            for i in range(5):
+                kernel.spawn(f"p{i}", process(0.3 * (i + 1)))
+            return kernel.run()
+
+        assert build_and_run() == build_and_run()

@@ -1,0 +1,115 @@
+"""Tests for simulator tracing and timeline rendering."""
+
+import pytest
+
+from repro.sim import Acquire, Delay, Kernel, Release, Use
+from repro.sim.resources import SimLock
+from repro.sim.trace import Tracer, render_timeline
+
+
+def run_traced():
+    tracer = Tracer()
+    kernel = Kernel(tracer=tracer)
+    cpu = kernel.resource("cpu", total_rate=2.0, per_job_cap=1.0)
+    lock = SimLock()
+
+    def worker(name_delay):
+        yield Delay(name_delay)
+        yield Use(cpu, 1.0)
+        yield Acquire(lock)
+        yield Use(cpu, 0.5)
+        yield Release(lock)
+
+    kernel.spawn("w1", worker(0.0))
+    kernel.spawn("w2", worker(0.1))
+    kernel.run()
+    return tracer
+
+
+class TestTracer:
+    def test_records_all_kinds(self):
+        tracer = run_traced()
+        counts = tracer.count_by_kind()
+        assert counts["Delay"] == 2
+        assert counts["Use"] == 4
+        assert counts["Acquire"] == 2
+        assert counts["Release"] == 2
+        assert counts["Finish"] == 2
+
+    def test_events_ordered_by_time(self):
+        tracer = run_traced()
+        times = [event.time for event in tracer.events]
+        assert times == sorted(times)
+
+    def test_processes_in_first_appearance_order(self):
+        tracer = run_traced()
+        assert tracer.processes() == ["w1", "w2"]
+
+    def test_events_for_single_process(self):
+        tracer = run_traced()
+        assert all(e.process == "w1" for e in tracer.events_for("w1"))
+        assert len(tracer.events_for("w1")) == 6
+
+    def test_end_time(self):
+        tracer = run_traced()
+        assert tracer.end_time > 1.5
+
+    def test_limit_drops_excess(self):
+        tracer = Tracer(limit=3)
+        for i in range(10):
+            tracer.record(float(i), "p", "Use")
+        assert len(tracer.events) == 3
+        assert tracer.dropped == 7
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            Tracer(limit=0)
+
+    def test_untraced_kernel_records_nothing(self):
+        kernel = Kernel()
+
+        def process():
+            yield Delay(1.0)
+
+        kernel.spawn("p", process())
+        kernel.run()  # must simply not crash without a tracer
+
+
+class TestRenderTimeline:
+    def test_contains_all_processes(self):
+        text = render_timeline(run_traced())
+        assert "w1" in text and "w2" in text
+
+    def test_contains_glyphs(self):
+        text = render_timeline(run_traced())
+        assert "#" in text  # compute
+        assert "L" in text  # lock acquire
+
+    def test_legend_present(self):
+        assert "Acquire" in render_timeline(run_traced())
+
+    def test_empty_trace(self):
+        assert render_timeline(Tracer()) == "(empty trace)"
+
+    def test_width_validated(self):
+        with pytest.raises(ValueError):
+            render_timeline(run_traced(), width=2)
+
+    def test_process_filter(self):
+        text = render_timeline(run_traced(), processes=["w1"])
+        assert "w1" in text
+        assert "\nw2" not in text
+
+    def test_pipeline_trace_integration(self, tiny_workload):
+        """A full simulated build can be traced and rendered."""
+        from repro.engine.config import Implementation, ThreadConfig
+        from repro.platforms import QUAD_CORE
+        from repro.simengine import SimPipeline
+
+        tracer = Tracer()
+        pipeline = SimPipeline(QUAD_CORE, tiny_workload,
+                               batches_per_extractor=10, tracer=tracer)
+        pipeline.run(Implementation.SHARED_LOCKED, ThreadConfig(2, 1, 0))
+        assert any(e.process.startswith("extractor") for e in tracer.events)
+        text = render_timeline(tracer)
+        assert "extractor-0" in text

@@ -1,0 +1,228 @@
+"""Tests for the workload model, cost model, batching and pipelines."""
+
+import pytest
+
+from repro.corpus.profiles import PAPER_PROFILE, TINY_PROFILE
+from repro.engine.config import Implementation, ThreadConfig
+from repro.platforms import QUAD_CORE
+from repro.simengine import CostModel, SimPipeline, Workload, WorkloadSpec
+from repro.simengine.batches import make_batches
+from repro.simengine.workload import FileWork
+
+
+class TestFileWork:
+    def test_valid(self):
+        work = FileWork("f", 100, 20, 10)
+        assert work.unique_terms == 10
+
+    def test_unique_cannot_exceed_terms(self):
+        with pytest.raises(ValueError):
+            FileWork("f", 100, 5, 10)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FileWork("f", -1, 0, 0)
+
+
+class TestWorkloadFromCorpus:
+    def test_counts_match_fs(self, tiny_corpus, tiny_workload):
+        assert len(tiny_workload) == len(list(tiny_corpus.fs.list_files()))
+
+    def test_bytes_match_fs(self, tiny_corpus, tiny_workload):
+        assert tiny_workload.total_bytes == tiny_corpus.stats().total_bytes
+
+    def test_unique_never_exceeds_terms(self, tiny_workload):
+        for work in tiny_workload.files:
+            assert work.unique_terms <= work.term_count
+
+
+class TestSynthesizedWorkload:
+    @pytest.fixture(scope="class")
+    def paper_workload(self):
+        return Workload.synthesize()
+
+    def test_paper_scale(self, paper_workload):
+        assert len(paper_workload) == PAPER_PROFILE.file_count
+        assert paper_workload.total_bytes == pytest.approx(
+            PAPER_PROFILE.total_bytes, rel=0.02
+        )
+
+    def test_five_large_files(self, paper_workload):
+        large = sorted(paper_workload.files, key=lambda f: -f.size_bytes)[:5]
+        assert all(f.path.startswith("big") for f in large)
+
+    def test_deterministic(self):
+        spec = WorkloadSpec(profile=TINY_PROFILE)
+        a = Workload.synthesize(spec)
+        b = Workload.synthesize(spec)
+        assert [(f.path, f.size_bytes, f.unique_terms) for f in a.files] == [
+            (f.path, f.size_bytes, f.unique_terms) for f in b.files
+        ]
+
+    def test_unique_terms_plausible(self, paper_workload):
+        # Zipfian text: distinct terms well below occurrences for big files.
+        big = max(paper_workload.files, key=lambda f: f.size_bytes)
+        assert big.unique_terms < big.term_count * 0.5
+        assert big.unique_terms <= PAPER_PROFILE.vocabulary_size
+
+    def test_synthetic_close_to_exact_on_same_profile(self, tiny_workload):
+        synthetic = Workload.synthesize(WorkloadSpec(profile=TINY_PROFILE))
+        assert synthetic.total_bytes == pytest.approx(
+            tiny_workload.total_bytes, rel=0.2
+        )
+        assert synthetic.total_terms == pytest.approx(
+            tiny_workload.total_terms, rel=0.3
+        )
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            Workload([])
+
+
+class TestCostModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return CostModel(QUAD_CORE, Workload.synthesize())
+
+    def test_total_scan_cost_matches_platform(self, model):
+        total = sum(model.scan_cpu(f) for f in model.workload.files)
+        assert total == pytest.approx(QUAD_CORE.scan_cpu_s, rel=1e-6)
+
+    def test_total_insert_cost_matches_platform(self, model):
+        total = sum(model.insert_private_cpu(f) for f in model.workload.files)
+        assert total == pytest.approx(QUAD_CORE.update_total_s, rel=1e-6)
+
+    def test_total_naive_cost_matches_platform(self, model):
+        total = sum(model.naive_update_cpu(f) for f in model.workload.files)
+        assert total == pytest.approx(QUAD_CORE.naive_update_s, rel=1e-6)
+
+    def test_critical_inflated_by_sharers(self, model):
+        work = model.workload.files[0]
+        alone = model.insert_critical_cpu(work, sharers=1)
+        crowded = model.insert_critical_cpu(work, sharers=5)
+        assert crowded == pytest.approx(
+            alone * QUAD_CORE.coherence_multiplier(5)
+        )
+
+    def test_sequential_read_close_to_paper(self, model):
+        # seek + transfer + read-CPU should land on Table 1's read time;
+        # the closed form here excludes the CPU share.
+        assert model.sequential_read_s() < 77.0
+
+    def test_join_cost_scales_linearly(self, model):
+        assert model.join_cpu(2e6) == pytest.approx(model.join_cpu(1e6) * 2)
+
+
+class TestBatches:
+    def test_all_files_covered(self, tiny_workload):
+        model = CostModel(QUAD_CORE, tiny_workload)
+        batches = make_batches(tiny_workload.files, model, 10)
+        assert sum(b.file_count for b in batches) == len(tiny_workload)
+
+    def test_demands_preserved(self, tiny_workload):
+        model = CostModel(QUAD_CORE, tiny_workload)
+        batches = make_batches(tiny_workload.files, model, 7)
+        assert sum(b.disk_bytes for b in batches) == pytest.approx(
+            tiny_workload.total_bytes
+        )
+        assert sum(b.unique_pairs for b in batches) == (
+            tiny_workload.total_unique_pairs
+        )
+
+    def test_batch_count_bounded(self, tiny_workload):
+        model = CostModel(QUAD_CORE, tiny_workload)
+        assert len(make_batches(tiny_workload.files, model, 10)) <= 10
+
+    def test_empty_files(self, tiny_workload):
+        model = CostModel(QUAD_CORE, tiny_workload)
+        assert make_batches([], model, 10) == []
+
+    def test_invalid_target(self, tiny_workload):
+        model = CostModel(QUAD_CORE, tiny_workload)
+        with pytest.raises(ValueError):
+            make_batches(tiny_workload.files, model, 0)
+
+
+class TestSimPipeline:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        return SimPipeline(QUAD_CORE, Workload.synthesize())
+
+    def test_stage_times_match_table1(self, pipeline):
+        times = pipeline.stage_times()
+        assert times.filename_generation == pytest.approx(5.0)
+        assert times.read_files == pytest.approx(77.0, rel=0.02)
+        assert times.read_and_extract == pytest.approx(88.0, rel=0.02)
+        assert times.index_update == pytest.approx(22.0, rel=0.02)
+
+    def test_sequential_matches_paper_total(self, pipeline):
+        assert pipeline.run_sequential().total_s == pytest.approx(220.0, rel=0.02)
+
+    def test_en_bloc_sequential_faster_than_naive(self, pipeline):
+        naive = pipeline.run_sequential(naive=True).total_s
+        en_bloc = pipeline.run_sequential(naive=False).total_s
+        assert en_bloc < naive
+
+    def test_parallel_beats_sequential(self, pipeline):
+        sequential = pipeline.run_sequential().total_s
+        parallel = pipeline.run(
+            Implementation.REPLICATED_UNJOINED, ThreadConfig(3, 2, 0)
+        )
+        assert parallel.total_s < sequential
+
+    def test_impl1_reports_lock_statistics(self, pipeline):
+        result = pipeline.run(Implementation.SHARED_LOCKED, ThreadConfig(3, 2, 0))
+        assert result.lock_acquires > 0
+
+    def test_impl2_join_time_positive(self, pipeline):
+        result = pipeline.run(Implementation.REPLICATED_JOINED, ThreadConfig(3, 2, 1))
+        assert result.join_s > 0
+
+    def test_impl3_no_join_time(self, pipeline):
+        result = pipeline.run(
+            Implementation.REPLICATED_UNJOINED, ThreadConfig(3, 2, 0)
+        )
+        assert result.join_s == pytest.approx(0.0, abs=1e-6)
+
+    def test_tree_join_not_slower_than_single(self, pipeline):
+        single = pipeline.run(
+            Implementation.REPLICATED_JOINED, ThreadConfig(3, 4, 1)
+        )
+        tree = pipeline.run(Implementation.REPLICATED_JOINED, ThreadConfig(3, 4, 2))
+        assert tree.total_s <= single.total_s + 1e-6
+
+    def test_deterministic(self, pipeline):
+        a = pipeline.run(Implementation.SHARED_LOCKED, ThreadConfig(4, 2, 0))
+        b = pipeline.run(Implementation.SHARED_LOCKED, ThreadConfig(4, 2, 0))
+        assert a.total_s == b.total_s
+
+    def test_invalid_config_rejected(self, pipeline):
+        with pytest.raises(ValueError):
+            pipeline.run(Implementation.SHARED_LOCKED, ThreadConfig(3, 0, 1))
+
+    def test_utilizations_bounded(self, pipeline):
+        result = pipeline.run(
+            Implementation.REPLICATED_UNJOINED, ThreadConfig(4, 2, 0)
+        )
+        assert 0.0 < result.disk_utilization <= 1.0
+        assert 0.0 < result.cpu_utilization <= 1.0
+
+    def test_speedup_over(self, pipeline):
+        result = pipeline.run(
+            Implementation.REPLICATED_UNJOINED, ThreadConfig(3, 2, 0)
+        )
+        assert result.speedup_over(220.0) == pytest.approx(220.0 / result.total_s)
+
+    def test_summary_contains_platform(self, pipeline):
+        result = pipeline.run(
+            Implementation.REPLICATED_UNJOINED, ThreadConfig(3, 2, 0)
+        )
+        assert "quad-core" in result.summary()
+
+    def test_more_extractors_hit_thrash(self, pipeline):
+        few = pipeline.run(Implementation.REPLICATED_UNJOINED, ThreadConfig(5, 3, 0))
+        many = pipeline.run(
+            Implementation.REPLICATED_UNJOINED, ThreadConfig(12, 3, 0)
+        )
+        # Past the disk's parallel headroom, more streams cost seeks.
+        assert many.total_s >= few.total_s

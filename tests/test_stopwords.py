@@ -1,0 +1,105 @@
+"""Tests for stopword derivation and stopword-aware tokenization,
+plus the engine's per-extractor instrumentation."""
+
+import pytest
+
+from repro.engine import Implementation, IndexGenerator, SequentialIndexer, ThreadConfig
+from repro.fsmodel import VirtualFileSystem
+from repro.text import Tokenizer, derive_stopwords
+
+
+class TestStopwordTokenizer:
+    def test_stopwords_dropped(self):
+        tokenizer = Tokenizer(stopwords={"the", "and"})
+        assert tokenizer.tokenize(b"the cat and the dog") == ["cat", "dog"]
+
+    def test_empty_stopwords_by_default(self):
+        assert Tokenizer().tokenize(b"the cat") == ["the", "cat"]
+
+    def test_stopword_comparison_after_lowercasing(self):
+        tokenizer = Tokenizer(stopwords={"the"})
+        assert tokenizer.tokenize(b"THE cat") == ["cat"]
+
+    def test_count_terms_respects_stopwords(self):
+        tokenizer = Tokenizer(stopwords={"aa"})
+        assert tokenizer.count_terms(b"aa bb aa cc") == 2
+
+
+class TestDeriveStopwords:
+    @pytest.fixture
+    def fs(self):
+        fs = VirtualFileSystem()
+        # "common" is in all 4 files; "half" in 2; the rest in 1.
+        fs.write_file("a.txt", b"common half unique1")
+        fs.write_file("b.txt", b"common half unique2")
+        fs.write_file("c.txt", b"common unique3")
+        fs.write_file("d.txt", b"common unique4")
+        return fs
+
+    def test_threshold(self, fs):
+        stopwords = derive_stopwords(fs, min_document_fraction=0.9)
+        assert stopwords == frozenset({"common"})
+
+    def test_lower_threshold_catches_half(self, fs):
+        stopwords = derive_stopwords(fs, min_document_fraction=0.5)
+        assert stopwords == frozenset({"common", "half"})
+
+    def test_top_k_caps(self, fs):
+        stopwords = derive_stopwords(fs, min_document_fraction=0.25, top_k=1)
+        assert stopwords == frozenset({"common"})
+
+    def test_top_k_zero(self, fs):
+        assert derive_stopwords(fs, top_k=0) == frozenset()
+
+    def test_sample_limit(self, fs):
+        stopwords = derive_stopwords(
+            fs, min_document_fraction=1.0, sample_limit=2
+        )
+        assert "common" in stopwords
+
+    def test_empty_fs(self):
+        assert derive_stopwords(VirtualFileSystem()) == frozenset()
+
+    def test_invalid_fraction(self, fs):
+        with pytest.raises(ValueError):
+            derive_stopwords(fs, min_document_fraction=0.0)
+
+    def test_invalid_top_k(self, fs):
+        with pytest.raises(ValueError):
+            derive_stopwords(fs, top_k=-1)
+
+    def test_zipf_corpus_has_stopwords(self, tiny_fs):
+        stopwords = derive_stopwords(tiny_fs, min_document_fraction=0.9)
+        assert stopwords  # rank-0 Zipf terms appear everywhere
+
+    def test_stopwords_shrink_index(self, tiny_fs):
+        full = SequentialIndexer(tiny_fs, naive=False).build()
+        stopped = SequentialIndexer(
+            tiny_fs,
+            tokenizer=Tokenizer(
+                stopwords=derive_stopwords(tiny_fs, min_document_fraction=0.8)
+            ),
+            naive=False,
+        ).build()
+        assert stopped.posting_count < full.posting_count
+        assert stopped.term_count < full.term_count
+
+
+class TestExtractorInstrumentation:
+    def test_per_extractor_times_recorded(self, tiny_fs):
+        report = IndexGenerator(tiny_fs).build(
+            Implementation.SHARED_LOCKED, ThreadConfig(3, 1, 0)
+        )
+        assert len(report.extractor_times) == 3
+        assert all(t > 0 for t in report.extractor_times)
+
+    def test_imbalance_metric(self, tiny_fs):
+        report = IndexGenerator(tiny_fs).build(
+            Implementation.REPLICATED_UNJOINED, ThreadConfig(2, 2, 0)
+        )
+        assert report.extractor_imbalance >= 1.0
+
+    def test_sequential_report_has_no_extractor_times(self, tiny_fs):
+        report = SequentialIndexer(tiny_fs).build()
+        assert report.extractor_times == []
+        assert report.extractor_imbalance == 1.0

@@ -1,0 +1,77 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.experiments.textplot import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_renders_markers_and_legend(self):
+        chart = line_chart(
+            {"impl1": [(1, 1.0), (2, 2.0)], "impl3": [(1, 1.5), (2, 3.5)]},
+            title="speed-ups",
+        )
+        assert "speed-ups" in chart
+        assert "o=impl1" in chart
+        assert "x=impl3" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_axis_labels(self):
+        chart = line_chart(
+            {"s": [(0, 0), (10, 5)]}, x_label="cores", y_label="speedup"
+        )
+        assert "x: cores" in chart and "y: speedup" in chart
+
+    def test_value_range_on_axes(self):
+        chart = line_chart({"s": [(2, 1.5), (64, 3.5)]})
+        assert "3.5" in chart and "1.5" in chart
+        assert "64" in chart and "2" in chart
+
+    def test_empty(self):
+        assert line_chart({}) == "(no data)"
+        assert line_chart({"s": []}) == "(no data)"
+
+    def test_single_point(self):
+        chart = line_chart({"s": [(1, 1)]})
+        assert "o" in chart
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"s": [(0, 0)]}, width=3)
+
+    def test_monotone_series_rises_leftright(self):
+        chart = line_chart({"s": [(0, 0), (1, 1), (2, 2)]}, width=30,
+                           height=10)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        first_marker_rows = {}
+        for row_index, row in enumerate(rows):
+            for column, char in enumerate(row):
+                if char == "o":
+                    first_marker_rows[column] = row_index
+        columns = sorted(first_marker_rows)
+        # Higher x (later column) should sit on a higher row (smaller idx).
+        assert first_marker_rows[columns[0]] > first_marker_rows[columns[-1]]
+
+
+class TestBarChart:
+    def test_renders_bars(self):
+        chart = bar_chart([("a", 10.0), ("b", 5.0)], width=20, unit="s")
+        lines = chart.splitlines()
+        assert lines[0].startswith("a")
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+        assert "10s" in lines[0]
+
+    def test_title(self):
+        assert bar_chart([("a", 1)], title="times").startswith("times")
+
+    def test_zero_values(self):
+        chart = bar_chart([("a", 0.0)])
+        assert "#" not in chart
+
+    def test_empty(self):
+        assert bar_chart([]) == "(no data)"
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([("a", 1)], width=2)

@@ -1,0 +1,70 @@
+"""Tests for Zipf-exponent estimation, closing the generator loop."""
+
+import pytest
+
+from repro.corpus import CorpusGenerator, TINY_PROFILE, ZipfSampler, Vocabulary
+from repro.corpus.zipffit import (
+    corpus_zipf_exponent,
+    estimate_zipf_exponent,
+    rank_frequencies,
+)
+
+
+class TestRankFrequencies:
+    def test_counts_and_order(self):
+        terms = ["a"] * 5 + ["b"] * 3 + ["c"]
+        assert rank_frequencies(terms) == [5, 3, 1]
+
+    def test_empty(self):
+        assert rank_frequencies([]) == []
+
+
+class TestEstimateExponent:
+    def test_exact_power_law(self):
+        # f(r) = 10^6 / r^1.2 exactly.
+        frequencies = [int(1e6 / (r**1.2)) for r in range(1, 300)]
+        estimate = estimate_zipf_exponent(frequencies, max_rank=200)
+        assert estimate == pytest.approx(1.2, abs=0.02)
+
+    def test_exponent_one(self):
+        frequencies = [int(1e6 / r) for r in range(1, 300)]
+        assert estimate_zipf_exponent(frequencies) == pytest.approx(
+            1.0, abs=0.02
+        )
+
+    def test_sampler_matches_its_parameter(self):
+        sampler = ZipfSampler(2000, s=1.1, seed=5)
+        ranks = sampler.sample_many(200_000)
+        frequencies = rank_frequencies(str(r) for r in ranks)
+        estimate = estimate_zipf_exponent(frequencies, min_rank=2,
+                                          max_rank=100)
+        assert estimate == pytest.approx(1.1, abs=0.15)
+
+    def test_too_few_terms_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_zipf_exponent([10])
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            estimate_zipf_exponent([5, 4, 3], min_rank=3, max_rank=2)
+
+
+class TestCorpusExponent:
+    def test_generated_corpus_close_to_profile(self, tiny_fs):
+        estimate = corpus_zipf_exponent(tiny_fs, max_rank=100)
+        # TINY_PROFILE generates with s = 1.1; tokenization and finite
+        # sampling blur it, but the power law must be clearly there.
+        assert estimate == pytest.approx(
+            TINY_PROFILE.zipf_exponent, abs=0.3
+        )
+
+    def test_uniform_text_is_not_zipfian(self):
+        from repro.fsmodel import VirtualFileSystem
+
+        fs = VirtualFileSystem()
+        words = Vocabulary(200, seed=1).words
+        # Every word exactly once per file: flat distribution, s ~ 0.
+        fs.write_file("a.txt", " ".join(words).encode())
+        fs.write_file("b.txt", " ".join(words).encode())
+        estimate = corpus_zipf_exponent(fs, max_rank=100)
+        assert abs(estimate) < 0.2

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Reproduce everything: tests, benchmarks (tables + ablations + studies),
+# and the side-by-side paper comparison.  Outputs:
+#   test_output.txt, bench_output.txt, REPORT.md, benchmarks/results/*.txt
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+python -m pip install -e . --no-build-isolation 2>/dev/null \
+    || python setup.py develop
+
+pytest tests/ 2>&1 | tee test_output.txt
+pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+python -m repro.cli tables --markdown REPORT.md
+echo "done: see EXPERIMENTS.md, REPORT.md and benchmarks/results/"
