@@ -9,7 +9,17 @@ Python's built-in ``hash``.
 
 from __future__ import annotations
 
-from typing import Any, Generic, Iterator, List, Optional, Tuple, TypeVar, Union
+from typing import (
+    Any,
+    Callable,
+    Generic,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
 from repro.hashing import fnv1a_64
 
@@ -48,12 +58,14 @@ class FnvHashMap(Generic[V]):
 
     def __contains__(self, key: Key) -> bool:
         h = fnv1a_64(key)
-        bucket = self._buckets[h % len(self._buckets)]
+        buckets = self._buckets
+        bucket = buckets[h % len(buckets)]
         return any(eh == h and ek == key for eh, ek, _ in bucket)
 
     def __getitem__(self, key: Key) -> V:
         h = fnv1a_64(key)
-        bucket = self._buckets[h % len(self._buckets)]
+        buckets = self._buckets
+        bucket = buckets[h % len(buckets)]
         for eh, ek, value in bucket:
             if eh == h and ek == key:
                 return value
@@ -61,14 +73,15 @@ class FnvHashMap(Generic[V]):
 
     def __setitem__(self, key: Key, value: V) -> None:
         h = fnv1a_64(key)
-        bucket = self._buckets[h % len(self._buckets)]
+        buckets = self._buckets
+        bucket = buckets[h % len(buckets)]
         for i, (eh, ek, _) in enumerate(bucket):
             if eh == h and ek == key:
                 bucket[i] = (h, key, value)
                 return
         bucket.append((h, key, value))
         self._size += 1
-        if self._size > len(self._buckets) * _MAX_LOAD_FACTOR:
+        if self._size > len(buckets) * _MAX_LOAD_FACTOR:
             self._grow()
 
     def __delitem__(self, key: Key) -> None:
@@ -99,15 +112,57 @@ class FnvHashMap(Generic[V]):
     def setdefault(self, key: Key, default: V) -> V:
         """Return the value for ``key``, inserting ``default`` if absent."""
         h = fnv1a_64(key)
-        bucket = self._buckets[h % len(self._buckets)]
+        buckets = self._buckets
+        bucket = buckets[h % len(buckets)]
         for eh, ek, value in bucket:
             if eh == h and ek == key:
                 return value
         bucket.append((h, key, default))
         self._size += 1
-        if self._size > len(self._buckets) * _MAX_LOAD_FACTOR:
+        if self._size > len(buckets) * _MAX_LOAD_FACTOR:
             self._grow()
         return default
+
+    def get_or_insert(self, key: Key, factory: Callable[[], V]) -> V:
+        """Return the value for ``key``, inserting ``factory()`` if absent.
+
+        The single-probe sibling of :meth:`setdefault` for the index hot
+        path: the key is hashed once, the bucket is walked once, and the
+        default value is only *constructed* when the key is actually
+        missing (``setdefault`` forces callers to allocate it up front).
+        """
+        h = fnv1a_64(key)
+        buckets = self._buckets
+        bucket = buckets[h % len(buckets)]
+        for eh, ek, value in bucket:
+            if eh == h and ek == key:
+                return value
+        value = factory()
+        bucket.append((h, key, value))
+        self._size += 1
+        if self._size > len(buckets) * _MAX_LOAD_FACTOR:
+            self._grow()
+        return value
+
+    def insert_absent(self, key: Key, value: V) -> Optional[V]:
+        """Insert ``value`` unless ``key`` is present; one hash, one probe.
+
+        Returns the *existing* value when the key was already mapped (the
+        insert is skipped), or ``None`` after storing ``value``.  Used by
+        the index join to keep its move-semantics fast path without the
+        get-then-set double probe.
+        """
+        h = fnv1a_64(key)
+        buckets = self._buckets
+        bucket = buckets[h % len(buckets)]
+        for eh, ek, existing in bucket:
+            if eh == h and ek == key:
+                return existing
+        bucket.append((h, key, value))
+        self._size += 1
+        if self._size > len(buckets) * _MAX_LOAD_FACTOR:
+            self._grow()
+        return None
 
     def pop(self, key: Key, *default: Any) -> V:
         """Remove and return the value for ``key``.

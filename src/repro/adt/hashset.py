@@ -63,15 +63,20 @@ class FnvHashSet:
         return len(self) == len(other) and all(e in other for e in self)
 
     def add(self, element: Element) -> bool:
-        """Insert ``element``; returns True if it was newly added."""
+        """Insert ``element``; returns True if it was newly added.
+
+        Single probe: the element is hashed once and the bucket walked
+        once whether or not it was already present.
+        """
         h = fnv1a_64(element)
-        bucket = self._buckets[h % len(self._buckets)]
+        buckets = self._buckets
+        bucket = buckets[h % len(buckets)]
         for eh, el in bucket:
             if eh == h and el == element:
                 return False
         bucket.append((h, element))
         self._size += 1
-        if self._size > len(self._buckets) * _MAX_LOAD_FACTOR:
+        if self._size > len(buckets) * _MAX_LOAD_FACTOR:
             self._grow()
         return True
 

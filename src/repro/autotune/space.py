@@ -5,7 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List
 
-from repro.engine.config import Implementation, ThreadConfig, enumerate_configs
+from repro.engine.config import (
+    BACKENDS,
+    Implementation,
+    ThreadConfig,
+    enumerate_configs,
+)
 
 
 @dataclass(frozen=True)
@@ -15,18 +20,36 @@ class ConfigurationSpace:
     ``max_extractors`` defaults follow the paper's sweeps: thread counts
     well beyond the measured optima but bounded (running 51,000-file
     builds at absurd thread counts teaches nothing).
+
+    A space is scoped to one ``backend``.  With ``backend="process"``
+    (Implementation 2 only) the y dimension collapses — workers fuse
+    extraction and update, so every point has y = 0 — leaving a 2-D
+    (x, z) sweep.
     """
 
     implementation: Implementation
     max_extractors: int = 12
     max_updaters: int = 6
     max_joiners: int = 2
+    backend: str = "thread"
 
     def __post_init__(self) -> None:
         if self.max_extractors < 1:
             raise ValueError("max_extractors must be at least 1")
         if self.max_updaters < 0 or self.max_joiners < 0:
             raise ValueError("bounds cannot be negative")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if (
+            self.backend == "process"
+            and self.implementation is not Implementation.REPLICATED_JOINED
+        ):
+            raise ValueError(
+                "the process backend exists for Implementation 2 only, got "
+                f"{self.implementation.paper_name}"
+            )
 
     def __iter__(self) -> Iterator[ThreadConfig]:
         return enumerate_configs(
@@ -34,6 +57,7 @@ class ConfigurationSpace:
             self.max_extractors,
             self.max_updaters,
             self.max_joiners,
+            backend=self.backend,
         )
 
     def configurations(self) -> List[ThreadConfig]:
@@ -42,6 +66,8 @@ class ConfigurationSpace:
 
     def contains(self, config: ThreadConfig) -> bool:
         """Whether ``config`` is valid and within bounds."""
+        if config.backend != self.backend:
+            return False
         try:
             config.validate_for(self.implementation)
         except ValueError:
@@ -64,6 +90,7 @@ class ConfigurationSpace:
                 max(1, config.extractors + dx),
                 max(0, config.updaters + dy),
                 max(0, config.joiners + dz),
+                backend=config.backend,
             )
             if candidate != config and self.contains(candidate):
                 result.append(candidate)

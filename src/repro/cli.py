@@ -84,12 +84,25 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("index", help="index a directory")
     p.add_argument("directory")
     p.add_argument(
-        "--implementation", "-i", type=int, choices=(1, 2, 3), default=3,
-        help="1=shared+locked, 2=replicated+joined, 3=replicated unjoined",
+        "--implementation", "-i", type=int, choices=(1, 2, 3), default=None,
+        help="1=shared+locked, 2=replicated+joined, 3=replicated unjoined "
+        "(default: 3, or 2 with --backend process)",
     )
     p.add_argument("-x", "--extractors", type=int, default=3)
-    p.add_argument("-y", "--updaters", type=int, default=2)
-    p.add_argument("-z", "--joiners", type=int, default=0)
+    p.add_argument("-y", "--updaters", type=int, default=None,
+                   help="updater threads (default: 2; fixed at 0 with "
+                   "--backend process)")
+    p.add_argument("-z", "--joiners", type=int, default=None,
+                   help="joiner threads (default: 0, or 1 with "
+                   "--backend process)")
+    p.add_argument("--backend", choices=("thread", "process"),
+                   default="thread",
+                   help="run the (x, y, z) tuple on Python threads (the "
+                   "paper's design) or on OS worker processes "
+                   "(Implementation 2 only, GIL-free)")
+    p.add_argument("--oversubscribe", action="store_true",
+                   help="allow more worker processes than CPUs "
+                   "(--backend process only)")
     p.add_argument("--sequential", action="store_true",
                    help="use the naive sequential baseline instead")
     p.add_argument("--save", help="file (impl 1/2) or directory (impl 3) "
@@ -168,7 +181,28 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _config_from(args: argparse.Namespace) -> ThreadConfig:
-    return ThreadConfig(args.extractors, args.updaters, args.joiners)
+    return ThreadConfig(
+        args.extractors,
+        args.updaters,
+        args.joiners,
+        backend=getattr(args, "backend", "thread"),
+    )
+
+
+def _resolve_index_defaults(args: argparse.Namespace) -> None:
+    """Fill the -i/-y/-z defaults the chosen backend implies.
+
+    The threaded default reproduces the CLI's historical behaviour
+    (Implementation 3 at (3, 2, 0)); the process backend defaults to its
+    only valid shape, Implementation 2 at (x, 0, 1).
+    """
+    process = args.backend == "process"
+    if args.implementation is None:
+        args.implementation = 2 if process else 3
+    if args.updaters is None:
+        args.updaters = 0 if process else 2
+    if args.joiners is None:
+        args.joiners = 1 if process else 0
 
 
 def _cmd_generate_corpus(args: argparse.Namespace) -> int:
@@ -203,16 +237,20 @@ def _cmd_index(args: argparse.Namespace) -> int:
     if args.sequential:
         report = SequentialIndexer(fs, registry=registry).build()
     else:
+        _resolve_index_defaults(args)
         implementation = Implementation(args.implementation)
-        config = _config_from(args)
         try:
+            config = _config_from(args)
             config.validate_for(implementation)
+            report = IndexGenerator(
+                fs,
+                registry=registry,
+                dynamic=args.dynamic,
+                oversubscribe=args.oversubscribe,
+            ).build(implementation, config)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        report = IndexGenerator(
-            fs, registry=registry, dynamic=args.dynamic
-        ).build(implementation, config)
     print(report.summary())
     if args.save:
         if isinstance(report.index, MultiIndex):

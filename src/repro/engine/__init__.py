@@ -24,25 +24,40 @@ Python's GIL means these threads interleave rather than run truly in
 parallel; the timing behaviour of the paper's multicore machines is
 reproduced by :mod:`repro.simengine` instead.  This package proves the
 *logic* — locking, replication, joining, distribution — on real threads.
+
+The one design that escapes the GIL on real hardware is Implementation
+2 run across OS processes: :class:`ProcessReplicatedIndexer` (selected
+with ``ThreadConfig(..., backend="process")``) runs each replica build
+in its own interpreter and ships replicas back to the parent as wire
+bytes for the join.  See :mod:`repro.engine.procbackend`.
 """
 
-from repro.engine.config import Implementation, ThreadConfig
+from repro.engine.config import BACKENDS, Implementation, ThreadConfig
 from repro.engine.impl1 import SharedLockedIndexer
 from repro.engine.impl2 import ReplicatedJoinedIndexer
 from repro.engine.impl3 import ReplicatedUnjoinedIndexer
+from repro.engine.procbackend import (
+    ProcessReplicatedIndexer,
+    available_cpus,
+    validate_worker_count,
+)
 from repro.engine.results import BuildReport, StageTimings
 from repro.engine.runner import IndexGenerator, measure_stage_times
 from repro.engine.sequential import SequentialIndexer
 
 __all__ = [
+    "BACKENDS",
     "BuildReport",
     "Implementation",
     "IndexGenerator",
+    "ProcessReplicatedIndexer",
     "ReplicatedJoinedIndexer",
     "ReplicatedUnjoinedIndexer",
     "SequentialIndexer",
     "SharedLockedIndexer",
     "StageTimings",
     "ThreadConfig",
+    "available_cpus",
     "measure_stage_times",
+    "validate_worker_count",
 ]

@@ -4,13 +4,22 @@ The paper describes every run by a tuple ``(x, y, z)``: the number of
 threads used in term extraction, index update, and index join.  A
 ``y`` of 0 means the extractors update the index inline rather than
 passing term blocks through a buffer to dedicated updater threads.
+
+A configuration additionally names its **backend**: ``"thread"`` runs
+the tuple on Python threads (the paper's design, GIL-bound), while
+``"process"`` runs Implementation 2 across OS worker processes
+(:class:`repro.engine.procbackend.ProcessReplicatedIndexer`) — ``x``
+worker processes, no separate updater stage (extract and update are
+fused inside each worker), ``z`` parent-side joiners.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterator, Tuple
+
+BACKENDS = ("thread", "process")
 
 
 class Implementation(enum.Enum):
@@ -33,17 +42,34 @@ class Implementation(enum.Enum):
 
 @dataclass(frozen=True)
 class ThreadConfig:
-    """The (x, y, z) thread-count tuple of a run."""
+    """The (x, y, z) worker-count tuple of a run, plus its backend."""
 
     extractors: int
     updaters: int = 0
     joiners: int = 0
+    backend: str = "thread"
 
     def __post_init__(self) -> None:
+        for name in ("extractors", "updaters", "joiners"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise TypeError(
+                    f"{name} must be an int, got {type(value).__name__}"
+                )
         if self.extractors < 1:
-            raise ValueError("at least one extractor thread is required")
+            raise ValueError(
+                "at least one extractor worker is required, "
+                f"got x={self.extractors}"
+            )
         if self.updaters < 0 or self.joiners < 0:
-            raise ValueError("thread counts cannot be negative")
+            raise ValueError(
+                f"worker counts cannot be negative, got y={self.updaters}, "
+                f"z={self.joiners}"
+            )
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
 
     def validate_for(self, implementation: Implementation) -> None:
         """Reject tuples that make no sense for the given implementation.
@@ -51,7 +77,25 @@ class ThreadConfig:
         Implementations 1 and 3 never join (z must be 0); Implementation
         2 must join (z >= 1).  This matches the tuples the paper reports:
         e.g. (3, 5, 1) for Implementation 2, (3, 2, 0) for 3.
+
+        The process backend only exists for Implementation 2 — it *is*
+        the "Join Forces" design, the one whose stages 2-3 need no
+        shared mutable state — and it fuses extraction and update
+        inside each worker, so ``y`` must be 0.
         """
+        if self.backend == "process":
+            if implementation is not Implementation.REPLICATED_JOINED:
+                raise ValueError(
+                    "the process backend implements Implementation 2 "
+                    "(replicated + joined) semantics only, got "
+                    f"{implementation.paper_name}"
+                )
+            if self.updaters != 0:
+                raise ValueError(
+                    "the process backend fuses extraction and index update "
+                    "inside each worker process; there is no cross-process "
+                    f"updater stage, so y must be 0 (got y={self.updaters})"
+                )
         if implementation.joins:
             if self.joiners < 1:
                 raise ValueError(
@@ -90,15 +134,24 @@ class ThreadConfig:
 
     @property
     def total_threads(self) -> int:
-        """Worker threads across all stages (joiners included)."""
+        """Worker threads/processes across all stages (joiners included)."""
         return self.extractors + self.updaters + self.joiners
 
     def as_tuple(self) -> Tuple[int, int, int]:
         """The (x, y, z) tuple as the paper prints it."""
         return (self.extractors, self.updaters, self.joiners)
 
+    def with_backend(self, backend: str) -> "ThreadConfig":
+        """This tuple on another backend (validated by construction)."""
+        if backend == self.backend:
+            return self
+        return replace(self, backend=backend)
+
     def __str__(self) -> str:
-        return f"({self.extractors}, {self.updaters}, {self.joiners})"
+        tuple_text = f"({self.extractors}, {self.updaters}, {self.joiners})"
+        if self.backend == "thread":
+            return tuple_text
+        return f"{tuple_text}[{self.backend}]"
 
 
 def enumerate_configs(
@@ -106,12 +159,14 @@ def enumerate_configs(
     max_extractors: int,
     max_updaters: int,
     max_joiners: int = 2,
+    backend: str = "thread",
 ) -> Iterator[ThreadConfig]:
     """All valid (x, y, z) tuples within the given bounds.
 
     This is the configuration space the paper swept ("Any combination of
     thread counts ... was run 5 times on each system") and the domain of
-    the auto-tuner.
+    the auto-tuner.  With ``backend="process"`` the y > 0 tuples drop
+    out automatically (the process backend has no updater stage).
     """
     if max_extractors < 1:
         raise ValueError("max_extractors must be at least 1")
@@ -119,7 +174,7 @@ def enumerate_configs(
     for x in range(1, max_extractors + 1):
         for y in range(0, max_updaters + 1):
             for z in joiner_range:
-                config = ThreadConfig(x, y, z)
+                config = ThreadConfig(x, y, z, backend=backend)
                 try:
                     config.validate_for(implementation)
                 except ValueError:

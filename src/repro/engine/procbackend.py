@@ -1,0 +1,211 @@
+"""Implementation 2 across OS processes: the GIL-free "Join Forces" engine.
+
+The three threaded engines interleave on one interpreter because of the
+GIL; their thread counts change scheduling, not parallelism.  Of the
+paper's designs, Implementation 2 is the one whose stages 2-3 share *no*
+mutable state — each writer owns a private replica and a barrier
+separates build from join — so it is the one design that maps cleanly
+onto processes:
+
+1. stage 1 runs in the parent and splits the filename list into ``x``
+   round-robin batches (any :mod:`repro.distribute` strategy works);
+2. a ``multiprocessing`` pool of ``x`` workers each runs read → scan →
+   dedup → private-replica update in its own interpreter
+   (:func:`repro.engine.procworker.build_replica`) and ships its replica
+   back as RWIRE1 wire bytes;
+3. the parent joins: with ``z = 1`` each blob is folded straight into
+   the final index (:func:`repro.index.binfmt.merge_wire_replica`, no
+   intermediate indices); with ``z > 1`` the replicas are materialized
+   and merged by the existing pairwise reduction tree with ``z``
+   threads per level.
+
+Workers and parent exchange only picklable data — file-path batches and
+tokenizer configuration in, wire bytes out — so the backend works under
+both ``fork`` and ``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.distribute.base import DistributionStrategy
+from repro.distribute.roundrobin import RoundRobinStrategy
+from repro.engine.config import Implementation, ThreadConfig
+from repro.engine.procworker import (
+    FilesystemSpec,
+    TokenizerSpec,
+    WorkerBatch,
+    build_replica,
+)
+from repro.engine.results import BuildReport, StageTimings
+from repro.fsmodel.nodes import FileRef
+from repro.index.binfmt import load_index_wire, merge_wire_replica
+from repro.index.inverted import InvertedIndex
+from repro.index.merge import join_pairwise_tree
+from repro.text.tokenizer import Tokenizer
+
+
+def available_cpus() -> int:
+    """CPUs this process may use (affinity-aware where supported)."""
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except OSError:
+            pass
+    return os.cpu_count() or 1
+
+
+def validate_worker_count(
+    workers: int, oversubscribe: bool = False, cpus: Optional[int] = None
+) -> None:
+    """Reject pool sizes that would hang or silently degrade.
+
+    A pool larger than the machine's CPU count cannot run in parallel —
+    the extra processes only add fork, memory and scheduling cost — so
+    it is almost always a configuration mistake.  ``oversubscribe=True``
+    turns the error off for the cases where it is deliberate (CI boxes
+    with one core, scheduling experiments).
+    """
+    if not isinstance(workers, int) or isinstance(workers, bool):
+        raise TypeError(f"worker count must be an int, got {type(workers).__name__}")
+    if workers < 1:
+        raise ValueError(f"worker count must be at least 1, got {workers}")
+    limit = cpus if cpus is not None else available_cpus()
+    if workers > limit and not oversubscribe:
+        raise ValueError(
+            f"{workers} worker processes exceed the {limit} CPU(s) "
+            "available; a process pool cannot go faster than the cores "
+            "it runs on — lower x, or pass oversubscribe=True if the "
+            "oversubscription is deliberate"
+        )
+
+
+class ProcessReplicatedIndexer:
+    """Implementation 2 semantics on a pool of worker processes."""
+
+    implementation = Implementation.REPLICATED_JOINED
+
+    def __init__(
+        self,
+        fs,
+        tokenizer: Optional[Tokenizer] = None,
+        strategy: Optional[DistributionStrategy] = None,
+        buffer_capacity: int = 256,
+        registry=None,
+        dynamic: Optional[str] = None,
+        oversubscribe: bool = False,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if dynamic is not None:
+            raise ValueError(
+                "the process backend distributes work as static batches; "
+                "dynamic acquisition across process boundaries "
+                f"({dynamic!r}) is not supported"
+            )
+        self.fs = fs
+        self.tokenizer = tokenizer or Tokenizer()
+        self.strategy = strategy or RoundRobinStrategy()
+        # Accepted for signature parity with the threaded engines; there
+        # is no cross-process buffer stage.
+        self.buffer_capacity = buffer_capacity
+        self.registry = registry
+        self.oversubscribe = oversubscribe
+        if start_method is not None:
+            if start_method not in multiprocessing.get_all_start_methods():
+                raise ValueError(
+                    f"start method {start_method!r} not available on this "
+                    f"platform; choose from "
+                    f"{multiprocessing.get_all_start_methods()}"
+                )
+            self.start_method = start_method
+        else:
+            # fork is the cheap path (no re-import, instant corpus
+            # visibility); fall back to the platform default elsewhere.
+            methods = multiprocessing.get_all_start_methods()
+            self.start_method = "fork" if "fork" in methods else methods[0]
+
+    # -- public API ------------------------------------------------------
+
+    def build(self, config: ThreadConfig, root: str = "") -> BuildReport:
+        """Run the full pipeline under ``config`` and report the result."""
+        config = config.with_backend("process")
+        config.validate_for(self.implementation)
+        validate_worker_count(config.extractors, self.oversubscribe)
+
+        timings = StageTimings()
+        start = time.perf_counter()
+
+        t0 = time.perf_counter()
+        files = list(self.fs.list_files(root))
+        timings.filename_generation = time.perf_counter() - t0
+
+        index, join_s, update_s, extract_s = self._build(config, files)
+        timings.join = join_s
+        timings.update = update_s
+        timings.extraction = extract_s
+
+        wall = time.perf_counter() - start
+        return BuildReport(
+            implementation=self.implementation,
+            config=config,
+            index=index,
+            wall_time=wall,
+            timings=timings,
+            file_count=len(files),
+            term_count=len(index),
+            posting_count=index.posting_count,
+            extractor_times=list(self.last_extractor_times),
+        )
+
+    # -- stages ----------------------------------------------------------
+
+    def _build(
+        self, config: ThreadConfig, files: Sequence[FileRef]
+    ) -> Tuple[InvertedIndex, float, float, float]:
+        blobs, pool_s = self._run_workers(config, files)
+        # The pool's completion is the barrier; now the join phase runs
+        # in the parent.
+        t0 = time.perf_counter()
+        if config.joiners == 1:
+            index = InvertedIndex()
+            for blob in blobs:
+                merge_wire_replica(index, blob)
+        else:
+            replicas = [load_index_wire(blob) for blob in blobs]
+            index = join_pairwise_tree(
+                replicas, threads_per_level=config.joiners
+            )
+        join_s = time.perf_counter() - t0
+        # Extraction and update are fused inside each worker, exactly
+        # like the threaded y = 0 case, which reports both stages as the
+        # wall time of the combined phase.
+        return index, join_s, pool_s, pool_s
+
+    def _run_workers(
+        self, config: ThreadConfig, files: Sequence[FileRef]
+    ) -> Tuple[List[bytes], float]:
+        """Fan the batches out to the pool; returns (blobs, elapsed)."""
+        workers = config.extractors
+        distribution = self.strategy.distribute(files, workers)
+        fs_spec = FilesystemSpec.from_filesystem(self.fs)
+        tokenizer_spec = TokenizerSpec.from_tokenizer(self.tokenizer)
+        batches = [
+            WorkerBatch(
+                fs=fs_spec,
+                paths=tuple(ref.path for ref in assignment),
+                tokenizer=tokenizer_spec,
+                registry=self.registry,
+            )
+            for assignment in distribution.assignments
+        ]
+
+        context = multiprocessing.get_context(self.start_method)
+        t0 = time.perf_counter()
+        with context.Pool(processes=workers) as pool:
+            results = pool.map(build_replica, batches, chunksize=1)
+        elapsed = time.perf_counter() - t0
+        self.last_extractor_times = [r.elapsed for r in results]
+        return [r.replica for r in results], elapsed

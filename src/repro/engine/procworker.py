@@ -1,0 +1,152 @@
+"""The process backend's worker side: picklable payloads + worker body.
+
+Worker processes cannot share live engine objects with the parent —
+everything they receive must survive a pickle round-trip, and everything
+they produce must come back as bytes.  This module is that boundary:
+
+* :class:`TokenizerSpec` — a tokenizer's configuration as plain data;
+* :class:`FilesystemSpec` — how a worker re-opens the corpus: by root
+  path for the real filesystem (each process gets its own descriptors),
+  or a by-value snapshot for in-memory filesystems (tests);
+* :class:`WorkerBatch` — one worker's job: filesystem + file paths +
+  tokenizer + optional format registry;
+* :func:`build_replica` — the worker body: read → (convert) → scan →
+  dedup → private-replica update, returning the replica as RWIRE1 wire
+  bytes plus its elapsed time.
+
+The worker pipeline is deliberately lean.  Where the threaded engine
+routes every file through ``FnvHashSet`` de-duplication and an
+``FnvHashMap``-backed index — per-term FNV-1a hashes computed byte by
+byte in Python — a worker feeds the tokenizer straight into a
+:class:`~repro.index.replica.ReplicaBuilder`, which de-duplicates with
+a native set and stores postings as doc-id arrays.  The output is
+identical (the merge-equivalence tests prove it); only the constant
+factor differs, and on a multi-core machine the workers additionally
+run truly in parallel because each owns its own interpreter and GIL.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.index.replica import ReplicaBuilder
+from repro.text.tokenizer import Tokenizer
+
+
+@dataclass(frozen=True)
+class TokenizerSpec:
+    """A :class:`Tokenizer`'s configuration as picklable plain data."""
+
+    min_length: int = 2
+    max_length: int = 64
+    stopwords: Tuple[str, ...] = ()
+
+    @classmethod
+    def from_tokenizer(cls, tokenizer: Tokenizer) -> "TokenizerSpec":
+        return cls(
+            min_length=tokenizer.min_length,
+            max_length=tokenizer.max_length,
+            stopwords=tuple(sorted(tokenizer.stopwords)),
+        )
+
+    def build(self) -> Tokenizer:
+        return Tokenizer(
+            min_length=self.min_length,
+            max_length=self.max_length,
+            stopwords=self.stopwords or None,
+        )
+
+
+@dataclass(frozen=True)
+class FilesystemSpec:
+    """How a worker process re-opens the corpus filesystem.
+
+    The real filesystem crosses the boundary as its root path only —
+    each worker constructs a fresh :class:`OsFileSystem` and owns its
+    file descriptors.  Any other backend (the in-memory VFS the tests
+    use) is carried by value: ``snapshot`` is pickled wholesale, which
+    is fine for test-sized corpora and meaningless for real ones.
+    """
+
+    base: Optional[str] = None
+    snapshot: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if (self.base is None) == (self.snapshot is None):
+            raise ValueError(
+                "exactly one of base and snapshot must be set, got "
+                f"base={self.base!r}, snapshot={self.snapshot!r}"
+            )
+
+    @classmethod
+    def from_filesystem(cls, fs) -> "FilesystemSpec":
+        base = getattr(fs, "base", None)
+        if isinstance(base, str):
+            return cls(base=base)
+        if not hasattr(fs, "read_file"):
+            raise TypeError(
+                f"{type(fs).__name__} is not a filesystem (no read_file)"
+            )
+        return cls(snapshot=fs)
+
+    def open(self):
+        """The worker-side filesystem object."""
+        if self.base is not None:
+            from repro.fsmodel.realfs import OsFileSystem
+
+            return OsFileSystem(self.base)
+        return self.snapshot
+
+
+@dataclass(frozen=True)
+class WorkerBatch:
+    """Everything one worker process needs, as picklable data."""
+
+    fs: FilesystemSpec
+    paths: Tuple[str, ...]
+    tokenizer: TokenizerSpec = field(default_factory=TokenizerSpec)
+    # Optional repro.formats.FormatRegistry, pickled by value.  Format
+    # handlers are stateless plain-Python objects, so this is cheap; a
+    # registry that cannot be pickled fails fast in the parent.
+    registry: Optional[object] = None
+
+
+@dataclass(frozen=True)
+class WorkerResult:
+    """One worker's output: its replica as wire bytes, plus timings."""
+
+    replica: bytes
+    elapsed: float
+    file_count: int
+
+
+def build_replica(batch: WorkerBatch) -> WorkerResult:
+    """The worker body: index ``batch.paths`` into a wire-format replica.
+
+    Runs read → (format conversion) → scan → dedup → replica update for
+    every file in the batch, entirely inside this process, and returns
+    the replica serialized as RWIRE1 bytes.  Must stay a module-level
+    function so the multiprocessing pool can pickle a reference to it.
+    """
+    started = time.perf_counter()
+    fs = batch.fs.open()
+    tokenizer = batch.tokenizer.build()
+    registry = batch.registry
+    read = fs.read_file
+    iter_terms = tokenizer.iter_terms
+    builder = ReplicaBuilder()
+    add_scan = builder.add_scan
+    if registry is None:
+        for path in batch.paths:
+            add_scan(path, iter_terms(read(path)))
+    else:
+        extract_text = registry.extract_text
+        for path in batch.paths:
+            add_scan(path, iter_terms(extract_text(path, read(path))))
+    return WorkerResult(
+        replica=builder.to_bytes(),
+        elapsed=time.perf_counter() - started,
+        file_count=len(batch.paths),
+    )

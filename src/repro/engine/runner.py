@@ -16,6 +16,7 @@ from repro.engine.config import Implementation, ThreadConfig
 from repro.engine.impl1 import SharedLockedIndexer
 from repro.engine.impl2 import ReplicatedJoinedIndexer
 from repro.engine.impl3 import ReplicatedUnjoinedIndexer
+from repro.engine.procbackend import ProcessReplicatedIndexer
 from repro.engine.results import BuildReport
 from repro.distribute.base import DistributionStrategy
 from repro.index.inverted import InvertedIndex
@@ -31,7 +32,7 @@ _INDEXERS = {
 
 
 class IndexGenerator:
-    """One entry point for all three implementations."""
+    """One entry point for all three implementations and both backends."""
 
     def __init__(
         self,
@@ -41,6 +42,7 @@ class IndexGenerator:
         buffer_capacity: int = 256,
         registry=None,
         dynamic=None,
+        oversubscribe: bool = False,
     ) -> None:
         self.fs = fs
         self.tokenizer = tokenizer
@@ -48,6 +50,7 @@ class IndexGenerator:
         self.buffer_capacity = buffer_capacity
         self.registry = registry
         self.dynamic = dynamic
+        self.oversubscribe = oversubscribe
 
     def build(
         self,
@@ -55,7 +58,24 @@ class IndexGenerator:
         config: ThreadConfig,
         root: str = "",
     ) -> BuildReport:
-        """Build the index under the named implementation and config."""
+        """Build the index under the named implementation and config.
+
+        ``config.backend`` picks the engine: ``"thread"`` dispatches to
+        the paper's three threaded designs, ``"process"`` to the
+        multiprocessing Implementation 2 engine.
+        """
+        if config.backend == "process":
+            config.validate_for(implementation)
+            indexer = ProcessReplicatedIndexer(
+                self.fs,
+                tokenizer=self.tokenizer,
+                strategy=self.strategy,
+                buffer_capacity=self.buffer_capacity,
+                registry=self.registry,
+                dynamic=self.dynamic,
+                oversubscribe=self.oversubscribe,
+            )
+            return indexer.build(config, root)
         indexer_cls = _INDEXERS[implementation]
         indexer = indexer_cls(
             self.fs,

@@ -17,7 +17,13 @@ Join ("Join Forces" pattern, Implementation 2) lives in
 Implementation 3 lives in :mod:`repro.index.multi`.
 """
 
-from repro.index.binfmt import load_index_binary, save_index_binary
+from repro.index.binfmt import (
+    dump_index_wire,
+    load_index_binary,
+    load_index_wire,
+    merge_wire_replica,
+    save_index_binary,
+)
 from repro.index.incremental import (
     ChangeReport,
     IncrementalIndex,
@@ -28,7 +34,10 @@ from repro.index.merge import join_indices, join_pairwise_tree, merge_into
 from repro.index.multi import MultiIndex
 from repro.index.positional import PositionalIndex
 from repro.index.postings import PostingsList
+from repro.index.replica import ReplicaBuilder
 from repro.index.serialize import (
+    index_from_bytes,
+    index_to_bytes,
     load_index,
     load_multi_index,
     save_index,
@@ -44,13 +53,19 @@ __all__ = [
     "MultiIndex",
     "PositionalIndex",
     "PostingsList",
+    "ReplicaBuilder",
     "ShardedInvertedIndex",
+    "dump_index_wire",
+    "index_from_bytes",
+    "index_to_bytes",
     "join_indices",
     "join_pairwise_tree",
     "load_index",
     "load_index_binary",
+    "load_index_wire",
     "load_multi_index",
     "merge_into",
+    "merge_wire_replica",
     "save_index",
     "save_index_binary",
     "save_multi_index",

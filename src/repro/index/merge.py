@@ -33,13 +33,20 @@ def merge_into(
     not be used afterwards — this is the cheap path the reduction tree
     takes, since it discards its inputs.  Pass ``copy=True`` to leave
     the source untouched.
+
+    Either way each term costs a single FNV hash and bucket probe
+    (``insert_absent`` / ``get_or_insert``), not the get-then-set pair
+    this loop used to pay.
     """
-    for term, postings in source.items():
-        existing = target._map.get(term)
-        if existing is None:
-            target._map[term] = PostingsList(postings) if copy else postings
-        else:
-            existing.extend(postings)
+    target_map = target._map
+    if copy:
+        for term, postings in source.items():
+            target_map.get_or_insert(term, PostingsList).extend(postings)
+    else:
+        for term, postings in source.items():
+            existing = target_map.insert_absent(term, postings)
+            if existing is not None:
+                existing.extend(postings)
     target._block_count += source.block_count
     return target
 

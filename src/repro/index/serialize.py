@@ -9,6 +9,12 @@ simple, dependency-free JSON-lines format:
 A :class:`~repro.index.multi.MultiIndex` is saved as one file per
 replica inside a directory, so Implementation 3's unjoined output can
 be persisted and searched later without ever paying the join.
+
+For byte-oriented callers, :func:`index_to_bytes` / :func:`index_from_bytes`
+dispatch between the two binary encodings in :mod:`repro.index.binfmt`:
+the canonical, compact RIDX1 and the speed-first RWIRE1 wire format the
+process build backend uses.  ``index_from_bytes`` sniffs the magic, so
+a loader never needs to know which one it holds.
 """
 
 from __future__ import annotations
@@ -22,6 +28,34 @@ from repro.index.multi import MultiIndex
 from repro.index.postings import PostingsList
 
 _FORMAT = "repro-index-v1"
+
+
+def index_to_bytes(index: InvertedIndex, wire: bool = False) -> bytes:
+    """Serialize to RIDX1 bytes, or RWIRE1 with ``wire=True``.
+
+    RIDX1 is canonical (equal indices produce equal bytes) and small;
+    RWIRE1 is the fast path — encode/decode are bulk C-level operations
+    at the cost of a few bytes per posting.
+    """
+    from repro.index.binfmt import dump_index_bytes, dump_index_wire
+
+    return dump_index_wire(index) if wire else dump_index_bytes(index)
+
+
+def index_from_bytes(data: bytes) -> InvertedIndex:
+    """Deserialize RIDX1 or RWIRE1 bytes, sniffing the magic."""
+    from repro.index.binfmt import (
+        MAGIC,
+        WIRE_MAGIC,
+        load_index_bytes,
+        load_index_wire,
+    )
+
+    if data.startswith(WIRE_MAGIC):
+        return load_index_wire(data)
+    if data.startswith(MAGIC):
+        return load_index_bytes(data)
+    raise ValueError("neither an RIDX1 nor an RWIRE1 binary index")
 
 
 def save_index(index: InvertedIndex, path: str) -> None:

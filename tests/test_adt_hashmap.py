@@ -101,6 +101,57 @@ class TestDictProtocolHelpers:
         assert m.bucket_count == 16
 
 
+class TestSingleProbeHelpers:
+    def test_get_or_insert_calls_factory_once_when_missing(self):
+        m = FnvHashMap()
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return []
+
+        value = m.get_or_insert("k", factory)
+        value.append(7)
+        assert m["k"] == [7]
+        assert calls == [1]
+
+    def test_get_or_insert_skips_factory_when_present(self):
+        m = FnvHashMap()
+        m["k"] = "old"
+
+        def exploding_factory():
+            raise AssertionError("factory must not run for present keys")
+
+        assert m.get_or_insert("k", exploding_factory) == "old"
+
+    def test_get_or_insert_triggers_growth(self):
+        m = FnvHashMap()
+        for i in range(100):
+            m.get_or_insert(f"k{i}", list)
+        assert len(m) == 100
+        assert m.bucket_count > 16
+
+    def test_insert_absent_inserts_and_returns_none(self):
+        m = FnvHashMap()
+        assert m.insert_absent("k", 5) is None
+        assert m["k"] == 5
+        assert len(m) == 1
+
+    def test_insert_absent_returns_existing_without_overwrite(self):
+        m = FnvHashMap()
+        m["k"] = "old"
+        assert m.insert_absent("k", "new") == "old"
+        assert m["k"] == "old"
+        assert len(m) == 1
+
+    def test_insert_absent_triggers_growth(self):
+        m = FnvHashMap()
+        for i in range(100):
+            assert m.insert_absent(f"k{i}", i) is None
+        assert len(m) == 100
+        assert m.bucket_count > 16
+
+
 class TestIteration:
     def test_keys_values_items_consistent(self):
         m = FnvHashMap()
