@@ -115,6 +115,20 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dynamic", choices=("steal", "queue"),
                    help="acquire work at runtime (work stealing or a "
                    "shared queue) instead of static round-robin vectors")
+    p.add_argument("--on-error", choices=("strict", "skip"),
+                   default="strict",
+                   help="per-file error policy: 'strict' aborts the build "
+                   "on the first unreadable file (default), 'skip' drops "
+                   "the file, records it, and keeps building")
+    p.add_argument("--max-retries", type=int, default=None,
+                   help="times a batch whose worker crashed or timed out "
+                   "is re-dispatched, split in half, before falling back "
+                   "to in-parent indexing (--backend process only; "
+                   "default 2)")
+    p.add_argument("--batch-timeout", type=float, default=None,
+                   help="seconds a dispatch round may run before its "
+                   "unfinished batches count as hung and are retried "
+                   "(--backend process only; default: no timeout)")
     p.set_defaults(func=_cmd_index)
 
     p = sub.add_parser("search", help="query a saved index")
@@ -229,13 +243,63 @@ def _cmd_generate_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _reject_incompatible_index_args(args: argparse.Namespace) -> Optional[str]:
+    """Flag combinations that silently do nothing (or fail deep inside
+    a constructor) are rejected up front with a clear message."""
+    if args.backend == "thread":
+        if args.oversubscribe:
+            return ("--oversubscribe only applies to --backend process "
+                    "(threads share one interpreter; there is no pool "
+                    "to oversubscribe)")
+        if args.max_retries is not None:
+            return "--max-retries only applies to --backend process"
+        if args.batch_timeout is not None:
+            return "--batch-timeout only applies to --backend process"
+    if args.backend == "process" and args.dynamic:
+        return ("--dynamic is incompatible with --backend process: the "
+                "process backend distributes work as static batches; "
+                "use --backend thread for work stealing or a shared "
+                "queue")
+    return None
+
+
+def _print_failure_summary(report) -> None:
+    """Echo skipped files, retries and degradation to stderr."""
+    if report.degraded:
+        print("warning: process pool unavailable; build degraded to the "
+              "threaded Implementation 2 engine", file=sys.stderr)
+    if report.retries:
+        print(f"warning: {report.retries} batch(es) re-dispatched after "
+              "worker crashes or timeouts", file=sys.stderr)
+    if not report.failures:
+        return
+    print(f"warning: skipped {len(report.failures)} file(s):",
+          file=sys.stderr)
+    shown = 10
+    for failure in report.failures[:shown]:
+        print(f"  {failure}", file=sys.stderr)
+    if len(report.failures) > shown:
+        print(f"  ... and {len(report.failures) - shown} more",
+              file=sys.stderr)
+
+
 def _cmd_index(args: argparse.Namespace) -> int:
     from repro.formats import default_registry
 
+    conflict = _reject_incompatible_index_args(args)
+    if conflict is not None:
+        print(f"error: {conflict}", file=sys.stderr)
+        return 2
     fs = OsFileSystem(args.directory)
     registry = default_registry() if args.formats else None
     if args.sequential:
-        report = SequentialIndexer(fs, registry=registry).build()
+        try:
+            report = SequentialIndexer(
+                fs, registry=registry, on_error=args.on_error
+            ).build()
+        except OSError as exc:
+            print(f"error: build failed: {exc}", file=sys.stderr)
+            return 1
     else:
         _resolve_index_defaults(args)
         implementation = Implementation(args.implementation)
@@ -247,10 +311,21 @@ def _cmd_index(args: argparse.Namespace) -> int:
                 registry=registry,
                 dynamic=args.dynamic,
                 oversubscribe=args.oversubscribe,
+                on_error=args.on_error,
+                max_retries=(
+                    args.max_retries if args.max_retries is not None else 2
+                ),
+                batch_timeout=args.batch_timeout,
             ).build(implementation, config)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        except OSError as exc:
+            # Under --on-error strict an unreadable file aborts the
+            # build; report it as a build failure, not a traceback.
+            print(f"error: build failed: {exc}", file=sys.stderr)
+            return 1
+    _print_failure_summary(report)
     print(report.summary())
     if args.save:
         if isinstance(report.index, MultiIndex):

@@ -33,6 +33,12 @@ bytes for the join.  See :mod:`repro.engine.procbackend`.
 """
 
 from repro.engine.config import BACKENDS, Implementation, ThreadConfig
+from repro.engine.faults import (
+    ERROR_POLICIES,
+    FaultPolicy,
+    FileFailure,
+    PoolUnavailableError,
+)
 from repro.engine.impl1 import SharedLockedIndexer
 from repro.engine.impl2 import ReplicatedJoinedIndexer
 from repro.engine.impl3 import ReplicatedUnjoinedIndexer
@@ -48,8 +54,12 @@ from repro.engine.sequential import SequentialIndexer
 __all__ = [
     "BACKENDS",
     "BuildReport",
+    "ERROR_POLICIES",
+    "FaultPolicy",
+    "FileFailure",
     "Implementation",
     "IndexGenerator",
+    "PoolUnavailableError",
     "ProcessReplicatedIndexer",
     "ReplicatedJoinedIndexer",
     "ReplicatedUnjoinedIndexer",

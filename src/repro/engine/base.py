@@ -16,6 +16,7 @@ from repro.concurrency.buffers import BoundedBuffer, Closed
 from repro.distribute.base import DistributionStrategy
 from repro.distribute.roundrobin import RoundRobinStrategy
 from repro.engine.config import Implementation, ThreadConfig
+from repro.engine.faults import ERROR_POLICIES, FileFailure
 from repro.engine.results import BuildReport, StageTimings
 from repro.fsmodel.nodes import FileRef
 from repro.text.dedup import extract_term_block
@@ -42,6 +43,7 @@ class ThreadedIndexerBase:
         buffer_capacity: int = 256,
         registry=None,
         dynamic: Optional[str] = None,
+        on_error: str = "strict",
     ) -> None:
         self.fs = fs
         self.tokenizer = tokenizer or Tokenizer()
@@ -60,12 +62,22 @@ class ThreadedIndexerBase:
                 f"dynamic must be None, 'steal' or 'queue', got {dynamic!r}"
             )
         self.dynamic = dynamic
+        # Per-file error policy: "strict" lets the first file error
+        # abort the build; "skip" drops the file and records a
+        # FileFailure (see repro.engine.faults).
+        if on_error not in ERROR_POLICIES:
+            raise ValueError(
+                f"on_error must be one of {ERROR_POLICIES}, got {on_error!r}"
+            )
+        self.on_error = on_error
+        self.last_failures: List[FileFailure] = []
 
     # -- public API ------------------------------------------------------
 
     def build(self, config: ThreadConfig, root: str = "") -> BuildReport:
         """Run the full pipeline under ``config`` and report the result."""
         config.validate_for(self.implementation)
+        self.last_failures = []
         timings = StageTimings()
         start = time.perf_counter()
 
@@ -89,6 +101,7 @@ class ThreadedIndexerBase:
             term_count=len(index),
             posting_count=index.posting_count,
             extractor_times=list(getattr(self, "last_extractor_times", [])),
+            failures=list(self.last_failures),
         )
 
     # -- subclass hook -----------------------------------------------------
@@ -101,12 +114,42 @@ class ThreadedIndexerBase:
 
     # -- shared stage machinery ---------------------------------------------
 
-    def _extract_file(self, ref: FileRef) -> TermBlock:
-        """Stage 2 for one file: read, (convert,) scan, de-duplicate."""
-        content = self.fs.read_file(ref.path)
+    def _extract_file(self, ref: FileRef) -> Optional[TermBlock]:
+        """Stage 2 for one file: read, (convert,) scan, de-duplicate.
+
+        Under ``on_error="skip"`` a failing file is recorded in
+        ``self.last_failures`` and ``None`` is returned (the extractor
+        loop drops it); under ``"strict"`` the error propagates.
+        """
+        if self.on_error != "skip":
+            content = self.fs.read_file(ref.path)
+            if self.registry is not None:
+                content = self.registry.extract_text(ref.path, content)
+            return extract_term_block(ref.path, content, self.tokenizer)
+        try:
+            content = self.fs.read_file(ref.path)
+        except Exception as exc:
+            # list.append is atomic under the GIL, so extractor threads
+            # can record failures without a lock.
+            self.last_failures.append(
+                FileFailure.from_exception(ref.path, "read", exc)
+            )
+            return None
         if self.registry is not None:
-            content = self.registry.extract_text(ref.path, content)
-        return extract_term_block(ref.path, content, self.tokenizer)
+            try:
+                content = self.registry.extract_text(ref.path, content)
+            except Exception as exc:
+                self.last_failures.append(
+                    FileFailure.from_exception(ref.path, "extract", exc)
+                )
+                return None
+        try:
+            return extract_term_block(ref.path, content, self.tokenizer)
+        except Exception as exc:
+            self.last_failures.append(
+                FileFailure.from_exception(ref.path, "tokenize", exc)
+            )
+            return None
 
     def _run_extractors(
         self, config: ThreadConfig, files: Sequence[FileRef], sink: BlockSink
@@ -165,7 +208,9 @@ class ThreadedIndexerBase:
                         ref = WorkStealingStrategy.next_item(deques, worker_id)
                         if ref is None:
                             return
-                        sink(worker_id, self._extract_file(ref))
+                        block = self._extract_file(ref)
+                        if block is not None:
+                            sink(worker_id, block)
                 except BaseException as exc:  # noqa: BLE001
                     errors.append(exc)
 
@@ -183,7 +228,9 @@ class ThreadedIndexerBase:
                         ref = queue.get()
                         if ref is None:
                             return
-                        sink(worker_id, self._extract_file(ref))
+                        block = self._extract_file(ref)
+                        if block is not None:
+                            sink(worker_id, block)
                 except BaseException as exc:  # noqa: BLE001
                     errors.append(exc)
 
@@ -195,7 +242,9 @@ class ThreadedIndexerBase:
         def worker(worker_id: int) -> None:
             try:
                 for ref in distribution.assignments[worker_id]:
-                    sink(worker_id, self._extract_file(ref))
+                    block = self._extract_file(ref)
+                    if block is not None:
+                        sink(worker_id, block)
             except BaseException as exc:  # noqa: BLE001
                 errors.append(exc)
 

@@ -9,7 +9,7 @@ onto processes:
 
 1. stage 1 runs in the parent and splits the filename list into ``x``
    round-robin batches (any :mod:`repro.distribute` strategy works);
-2. a ``multiprocessing`` pool of ``x`` workers each runs read → scan →
+2. a process pool of up to ``x`` workers each runs read → scan →
    dedup → private-replica update in its own interpreter
    (:func:`repro.engine.procworker.build_replica`) and ships its replica
    back as RWIRE1 wire bytes;
@@ -22,6 +22,29 @@ onto processes:
 Workers and parent exchange only picklable data — file-path batches and
 tokenizer configuration in, wire bytes out — so the backend works under
 both ``fork`` and ``spawn`` start methods.
+
+Fault tolerance
+---------------
+
+A build over a real corpus must *degrade*, not abort.  The backend
+dispatches each batch asynchronously and recovers per
+:class:`~repro.engine.faults.FaultPolicy`:
+
+* **per-file errors** — under ``on_error="skip"`` workers catch
+  read/extract/tokenize errors per file and return
+  :class:`~repro.engine.faults.FileFailure` records instead of raising
+  across the pool boundary (``"strict"`` keeps the original
+  fail-the-build behaviour);
+* **worker crashes and hangs** — a batch whose worker dies
+  (``BrokenProcessPool``) or whose dispatch round exceeds
+  ``batch_timeout`` is retried with bounded attempts and backoff,
+  split in half on every retry to isolate poisoned files; once a batch
+  exhausts its attempts the remaining sub-batch is indexed *in the
+  parent* as last resort, so the build always terminates with a
+  correct index over the surviving files;
+* **pool unavailable** — if worker processes cannot be created at all,
+  the build degrades to the threaded Implementation 2 engine with a
+  ``RuntimeWarning`` instead of crashing (``BuildReport.degraded``).
 """
 
 from __future__ import annotations
@@ -29,15 +52,21 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from typing import List, Optional, Sequence, Tuple
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.distribute.base import DistributionStrategy
 from repro.distribute.roundrobin import RoundRobinStrategy
 from repro.engine.config import Implementation, ThreadConfig
+from repro.engine.faults import FaultPolicy, PoolUnavailableError
 from repro.engine.procworker import (
     FilesystemSpec,
     TokenizerSpec,
     WorkerBatch,
+    WorkerResult,
     build_replica,
 )
 from repro.engine.results import BuildReport, StageTimings
@@ -83,6 +112,29 @@ def validate_worker_count(
         )
 
 
+class _Job:
+    """One dispatchable unit: a batch, its worker slot, its attempt."""
+
+    __slots__ = ("batch", "slot", "attempt")
+
+    def __init__(self, batch: WorkerBatch, slot: int, attempt: int) -> None:
+        self.batch = batch
+        self.slot = slot
+        self.attempt = attempt
+
+    def split(self) -> List["_Job"]:
+        """The retry shape: halves (to isolate poisoned files) at
+        attempt + 1; a single-file batch cannot split further."""
+        paths = self.batch.paths
+        if len(paths) <= 1:
+            return [_Job(self.batch, self.slot, self.attempt + 1)]
+        mid = len(paths) // 2
+        return [
+            _Job(replace(self.batch, paths=paths[:mid]), self.slot, self.attempt + 1),
+            _Job(replace(self.batch, paths=paths[mid:]), self.slot, self.attempt + 1),
+        ]
+
+
 class ProcessReplicatedIndexer:
     """Implementation 2 semantics on a pool of worker processes."""
 
@@ -98,6 +150,10 @@ class ProcessReplicatedIndexer:
         dynamic: Optional[str] = None,
         oversubscribe: bool = False,
         start_method: Optional[str] = None,
+        on_error: str = "strict",
+        max_retries: int = 2,
+        batch_timeout: Optional[float] = None,
+        retry_backoff: float = 0.05,
     ) -> None:
         if dynamic is not None:
             raise ValueError(
@@ -113,6 +169,17 @@ class ProcessReplicatedIndexer:
         self.buffer_capacity = buffer_capacity
         self.registry = registry
         self.oversubscribe = oversubscribe
+        self.policy = FaultPolicy(
+            on_error=on_error,
+            max_retries=max_retries,
+            batch_timeout=batch_timeout,
+            retry_backoff=retry_backoff,
+        )
+        # Per-build observability, valid before the first build and
+        # reset by every build (including failed ones).
+        self.last_extractor_times: List[float] = []
+        self.last_failures: List = []
+        self.last_retries = 0
         if start_method is not None:
             if start_method not in multiprocessing.get_all_start_methods():
                 raise ValueError(
@@ -135,6 +202,10 @@ class ProcessReplicatedIndexer:
         config.validate_for(self.implementation)
         validate_worker_count(config.extractors, self.oversubscribe)
 
+        self.last_extractor_times = [0.0] * config.extractors
+        self.last_failures = []
+        self.last_retries = 0
+
         timings = StageTimings()
         start = time.perf_counter()
 
@@ -142,7 +213,10 @@ class ProcessReplicatedIndexer:
         files = list(self.fs.list_files(root))
         timings.filename_generation = time.perf_counter() - t0
 
-        index, join_s, update_s, extract_s = self._build(config, files)
+        try:
+            index, join_s, update_s, extract_s = self._build(config, files)
+        except PoolUnavailableError as exc:
+            return self._degrade(config, root, exc)
         timings.join = join_s
         timings.update = update_s
         timings.extraction = extract_s
@@ -158,7 +232,37 @@ class ProcessReplicatedIndexer:
             term_count=len(index),
             posting_count=index.posting_count,
             extractor_times=list(self.last_extractor_times),
+            failures=list(self.last_failures),
+            retries=self.last_retries,
         )
+
+    # -- graceful degradation --------------------------------------------
+
+    def _degrade(
+        self, config: ThreadConfig, root: str, cause: PoolUnavailableError
+    ) -> BuildReport:
+        """Pool creation failed: run the threaded Implementation 2."""
+        warnings.warn(
+            f"process pool unavailable ({cause}); degrading to the "
+            "threaded Implementation 2 engine",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        from repro.engine.impl2 import ReplicatedJoinedIndexer
+
+        indexer = ReplicatedJoinedIndexer(
+            self.fs,
+            tokenizer=self.tokenizer,
+            strategy=self.strategy,
+            buffer_capacity=self.buffer_capacity,
+            registry=self.registry,
+            on_error=self.policy.on_error,
+        )
+        report = indexer.build(config.with_backend("thread"), root)
+        report.degraded = True
+        self.last_extractor_times = list(report.extractor_times)
+        self.last_failures = list(report.failures)
+        return report
 
     # -- stages ----------------------------------------------------------
 
@@ -169,7 +273,9 @@ class ProcessReplicatedIndexer:
         # The pool's completion is the barrier; now the join phase runs
         # in the parent.
         t0 = time.perf_counter()
-        if config.joiners == 1:
+        if not blobs:
+            index = InvertedIndex()
+        elif config.joiners == 1:
             index = InvertedIndex()
             for blob in blobs:
                 merge_wire_replica(index, blob)
@@ -179,33 +285,173 @@ class ProcessReplicatedIndexer:
                 replicas, threads_per_level=config.joiners
             )
         join_s = time.perf_counter() - t0
-        # Extraction and update are fused inside each worker, exactly
-        # like the threaded y = 0 case, which reports both stages as the
-        # wall time of the combined phase.
-        return index, join_s, pool_s, pool_s
+        # Extraction and update are fused inside each worker; attribute
+        # the phase to extraction only so StageTimings.total does not
+        # double-count the entire parallel phase.
+        return index, join_s, 0.0, pool_s
 
     def _run_workers(
         self, config: ThreadConfig, files: Sequence[FileRef]
     ) -> Tuple[List[bytes], float]:
-        """Fan the batches out to the pool; returns (blobs, elapsed)."""
+        """Fan the batches out to the pool; returns (blobs, elapsed).
+
+        Dispatches per-batch (not one blocking ``map``) and walks the
+        recovery ladder on crash/timeout: retry → split → in-parent.
+        """
         workers = config.extractors
+        policy = self.policy
         distribution = self.strategy.distribute(files, workers)
         fs_spec = FilesystemSpec.from_filesystem(self.fs)
         tokenizer_spec = TokenizerSpec.from_tokenizer(self.tokenizer)
-        batches = [
-            WorkerBatch(
-                fs=fs_spec,
-                paths=tuple(ref.path for ref in assignment),
-                tokenizer=tokenizer_spec,
-                registry=self.registry,
-            )
-            for assignment in distribution.assignments
-        ]
 
-        context = multiprocessing.get_context(self.start_method)
+        jobs: List[_Job] = []
+        for slot, assignment in enumerate(distribution.assignments):
+            if not assignment:
+                # Fewer files than workers: nothing to fork for this
+                # slot; its extractor_times entry stays 0.0 so the
+                # imbalance accounting keeps length x.
+                continue
+            jobs.append(
+                _Job(
+                    WorkerBatch(
+                        fs=fs_spec,
+                        paths=tuple(ref.path for ref in assignment),
+                        tokenizer=tokenizer_spec,
+                        registry=self.registry,
+                        on_error=policy.on_error,
+                    ),
+                    slot,
+                    0,
+                )
+            )
+
+        blobs: List[bytes] = []
+
+        def collect(job: _Job, result: WorkerResult) -> None:
+            blobs.append(result.replica)
+            self.last_extractor_times[job.slot] += result.elapsed
+            self.last_failures.extend(result.failures)
+
+        # Cap the pool at the number of non-empty batches — forking
+        # processes that would only receive empty work is pure cost.
+        pool_size = min(workers, len(jobs))
+
         t0 = time.perf_counter()
-        with context.Pool(processes=workers) as pool:
-            results = pool.map(build_replica, batches, chunksize=1)
-        elapsed = time.perf_counter() - t0
-        self.last_extractor_times = [r.elapsed for r in results]
-        return [r.replica for r in results], elapsed
+        while jobs:
+            dispatch: List[_Job] = []
+            for job in jobs:
+                if job.attempt > policy.max_retries:
+                    # Last resort: index the remaining sub-batch in the
+                    # parent so the build terminates no matter what the
+                    # pool does.  Per-file errors still follow
+                    # ``on_error``; under "strict" they raise, exactly
+                    # like the pre-fault-tolerance engine.
+                    collect(job, build_replica(job.batch))
+                else:
+                    dispatch.append(job)
+            jobs = []
+            if dispatch:
+                requeued = self._dispatch_round(dispatch, pool_size, collect)
+                if requeued:
+                    self.last_retries += len(requeued)
+                    if policy.retry_backoff > 0:
+                        attempt = min(job.attempt for job in requeued)
+                        time.sleep(policy.retry_backoff * attempt)
+                    jobs = requeued
+        return blobs, time.perf_counter() - t0
+
+    # -- dispatch machinery ----------------------------------------------
+
+    def _create_executor(self, max_workers: int) -> ProcessPoolExecutor:
+        """One pool; failures here mean 'degrade to threads'."""
+        try:
+            context = multiprocessing.get_context(self.start_method)
+            return ProcessPoolExecutor(
+                max_workers=max_workers, mp_context=context
+            )
+        except (OSError, ValueError, ImportError) as exc:
+            raise PoolUnavailableError(str(exc)) from exc
+
+    def _dispatch_round(
+        self,
+        dispatch: List[_Job],
+        pool_size: int,
+        collect: Callable[[_Job, WorkerResult], None],
+    ) -> List[_Job]:
+        """Run one async round over a fresh pool.
+
+        Collects every completed batch, and returns the jobs that must
+        be retried (split, attempt + 1): batches whose worker died and
+        batches still unfinished when the round's deadline expired.
+        Deterministic worker exceptions (a file error under "strict")
+        propagate unchanged — retrying them cannot help.
+        """
+        policy = self.policy
+        executor = self._create_executor(min(pool_size, len(dispatch)))
+        requeued: List[_Job] = []
+        timed_out = False
+        try:
+            try:
+                futures = {
+                    executor.submit(build_replica, job.batch): job
+                    for job in dispatch
+                }
+            except OSError as exc:
+                raise PoolUnavailableError(str(exc)) from exc
+            deadline = None
+            if policy.batch_timeout is not None:
+                # Every batch's window starts at submission; rounds with
+                # more batches than pool slots queue some batches, so
+                # the round deadline scales with the queue depth.
+                waves = -(-len(dispatch) // max(pool_size, 1))
+                deadline = time.monotonic() + policy.batch_timeout * waves
+            not_done = set(futures)
+            while not_done:
+                if deadline is None:
+                    done, not_done = wait(
+                        not_done, return_when=FIRST_COMPLETED
+                    )
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        # Hung batches: everything unfinished is retried.
+                        for future in not_done:
+                            requeued.extend(futures[future].split())
+                        timed_out = True
+                        return requeued
+                    done, not_done = wait(
+                        not_done,
+                        timeout=remaining,
+                        return_when=FIRST_COMPLETED,
+                    )
+                for future in done:
+                    job = futures[future]
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        # The worker running some batch died; this
+                        # future (and, as the pool collapses, every
+                        # pending one) lands here and re-enters the
+                        # ladder split in half.
+                        requeued.extend(job.split())
+                    else:
+                        collect(job, result)
+            return requeued
+        finally:
+            if timed_out:
+                self._terminate(executor)
+            else:
+                executor.shutdown(wait=True, cancel_futures=True)
+
+    @staticmethod
+    def _terminate(executor: ProcessPoolExecutor) -> None:
+        """Hard-stop a pool with hung workers; best effort."""
+        processes = list(getattr(executor, "_processes", {}).values())
+        executor.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - truly stuck
+                process.kill()

@@ -29,8 +29,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
+from repro.engine.faults import ERROR_POLICIES, FileFailure
 from repro.index.replica import ReplicaBuilder
 from repro.text.tokenizer import Tokenizer
 
@@ -82,9 +83,14 @@ class FilesystemSpec:
 
     @classmethod
     def from_filesystem(cls, fs) -> "FilesystemSpec":
-        base = getattr(fs, "base", None)
-        if isinstance(base, str):
-            return cls(base=base)
+        # Only a real OsFileSystem may cross the boundary by root path.
+        # Duck-typing on a string ``base`` attribute here would silently
+        # reopen any in-memory filesystem that happens to carry one as
+        # the wrong on-disk directory.
+        from repro.fsmodel.realfs import OsFileSystem
+
+        if isinstance(fs, OsFileSystem):
+            return cls(base=fs.base)
         if not hasattr(fs, "read_file"):
             raise TypeError(
                 f"{type(fs).__name__} is not a filesystem (no read_file)"
@@ -111,6 +117,16 @@ class WorkerBatch:
     # handlers are stateless plain-Python objects, so this is cheap; a
     # registry that cannot be pickled fails fast in the parent.
     registry: Optional[object] = None
+    # Per-file error policy: "strict" raises across the pool boundary
+    # (the original behaviour); "skip" records a FileFailure instead.
+    on_error: str = "strict"
+
+    def __post_init__(self) -> None:
+        if self.on_error not in ERROR_POLICIES:
+            raise ValueError(
+                f"on_error must be one of {ERROR_POLICIES}, "
+                f"got {self.on_error!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -120,6 +136,7 @@ class WorkerResult:
     replica: bytes
     elapsed: float
     file_count: int
+    failures: Tuple[FileFailure, ...] = ()
 
 
 def build_replica(batch: WorkerBatch) -> WorkerResult:
@@ -129,6 +146,13 @@ def build_replica(batch: WorkerBatch) -> WorkerResult:
     every file in the batch, entirely inside this process, and returns
     the replica serialized as RWIRE1 bytes.  Must stay a module-level
     function so the multiprocessing pool can pickle a reference to it.
+
+    Under ``on_error="skip"`` every per-file exception is caught at its
+    stage (read / extract / tokenize) and returned as a
+    :class:`FileFailure` instead of crossing the pool boundary; the
+    replica then covers exactly the surviving files.  Process-killing
+    events (``os._exit``, signals) are not exceptions and are handled
+    by the parent's retry ladder, not here.
     """
     started = time.perf_counter()
     fs = batch.fs.open()
@@ -138,7 +162,34 @@ def build_replica(batch: WorkerBatch) -> WorkerResult:
     iter_terms = tokenizer.iter_terms
     builder = ReplicaBuilder()
     add_scan = builder.add_scan
-    if registry is None:
+    failures: List[FileFailure] = []
+    if batch.on_error == "skip":
+        extract_text = registry.extract_text if registry is not None else None
+        for path in batch.paths:
+            try:
+                content = read(path)
+            except Exception as exc:
+                failures.append(FileFailure.from_exception(path, "read", exc))
+                continue
+            if extract_text is not None:
+                try:
+                    content = extract_text(path, content)
+                except Exception as exc:
+                    failures.append(
+                        FileFailure.from_exception(path, "extract", exc)
+                    )
+                    continue
+            try:
+                # Materialized, not streamed: a tokenizer error must not
+                # leave a half-indexed document in the replica.
+                terms = list(iter_terms(content))
+            except Exception as exc:
+                failures.append(
+                    FileFailure.from_exception(path, "tokenize", exc)
+                )
+                continue
+            add_scan(path, terms)
+    elif registry is None:
         for path in batch.paths:
             add_scan(path, iter_terms(read(path)))
     else:
@@ -149,4 +200,5 @@ def build_replica(batch: WorkerBatch) -> WorkerResult:
         replica=builder.to_bytes(),
         elapsed=time.perf_counter() - started,
         file_count=len(batch.paths),
+        failures=tuple(failures),
     )

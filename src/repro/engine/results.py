@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
 from repro.engine.config import Implementation, ThreadConfig
+from repro.engine.faults import FileFailure
 from repro.index.inverted import InvertedIndex
 from repro.index.multi import MultiIndex
 
@@ -45,6 +46,20 @@ class BuildReport:
     # Wall-clock seconds each extractor thread was alive, by worker id —
     # the per-thread measurement behind the paper's balance discussion.
     extractor_times: List[float] = field(default_factory=list)
+    # Files the build skipped under on_error="skip" (empty under
+    # "strict", which aborts on the first error instead).
+    failures: List[FileFailure] = field(default_factory=list)
+    # Batches the process backend re-dispatched after a worker crash or
+    # a batch timeout (0 for the threaded engines).
+    retries: int = 0
+    # True when the process backend could not create its pool and fell
+    # back to the threaded Implementation 2 engine.
+    degraded: bool = False
+
+    @property
+    def indexed_file_count(self) -> int:
+        """Files actually in the index: listed minus skipped."""
+        return self.file_count - len(self.failures)
 
     @property
     def extractor_imbalance(self) -> float:
@@ -66,11 +81,18 @@ class BuildReport:
 
     def summary(self) -> str:
         """One-line human-readable result, echoing the paper's tables."""
-        return (
+        text = (
             f"{self.implementation.paper_name} {self.config}: "
             f"{self.wall_time:.3f}s, {self.file_count} files, "
             f"{self.term_count} terms, {self.posting_count} postings"
         )
+        if self.failures:
+            text += f", {len(self.failures)} skipped"
+        if self.retries:
+            text += f", {self.retries} retried"
+        if self.degraded:
+            text += " (degraded to threads)"
+        return text
 
 
 def checked_replica_paths(replicas: List[InvertedIndex]) -> Optional[str]:

@@ -43,6 +43,9 @@ class IndexGenerator:
         registry=None,
         dynamic=None,
         oversubscribe: bool = False,
+        on_error: str = "strict",
+        max_retries: int = 2,
+        batch_timeout=None,
     ) -> None:
         self.fs = fs
         self.tokenizer = tokenizer
@@ -51,6 +54,12 @@ class IndexGenerator:
         self.registry = registry
         self.dynamic = dynamic
         self.oversubscribe = oversubscribe
+        # Fault tolerance (see repro.engine.faults): per-file error
+        # policy applies to every backend; the retry/timeout ladder is
+        # specific to the process backend's worker pool.
+        self.on_error = on_error
+        self.max_retries = max_retries
+        self.batch_timeout = batch_timeout
 
     def build(
         self,
@@ -74,6 +83,9 @@ class IndexGenerator:
                 registry=self.registry,
                 dynamic=self.dynamic,
                 oversubscribe=self.oversubscribe,
+                on_error=self.on_error,
+                max_retries=self.max_retries,
+                batch_timeout=self.batch_timeout,
             )
             return indexer.build(config, root)
         indexer_cls = _INDEXERS[implementation]
@@ -84,6 +96,7 @@ class IndexGenerator:
             buffer_capacity=self.buffer_capacity,
             registry=self.registry,
             dynamic=self.dynamic,
+            on_error=self.on_error,
         )
         return indexer.build(config, root)
 

@@ -13,9 +13,10 @@ Two variants, matching the paper's narrative:
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import List, Optional
 
 from repro.engine.config import Implementation, ThreadConfig
+from repro.engine.faults import ERROR_POLICIES, FileFailure
 from repro.engine.results import BuildReport, StageTimings
 from repro.index.inverted import InvertedIndex
 from repro.text.dedup import extract_term_block
@@ -31,15 +32,48 @@ class SequentialIndexer:
         tokenizer: Optional[Tokenizer] = None,
         naive: bool = True,
         registry=None,
+        on_error: str = "strict",
     ) -> None:
         self.fs = fs
         self.tokenizer = tokenizer or Tokenizer()
         self.naive = naive
         # Optional repro.formats.FormatRegistry (see ThreadedIndexerBase).
         self.registry = registry
+        # Per-file error policy (see repro.engine.faults).
+        if on_error not in ERROR_POLICIES:
+            raise ValueError(
+                f"on_error must be one of {ERROR_POLICIES}, got {on_error!r}"
+            )
+        self.on_error = on_error
+        self.last_failures: List[FileFailure] = []
+
+    def _load(self, path: str) -> Optional[bytes]:
+        """Read (and format-convert) one file, honouring ``on_error``."""
+        if self.on_error != "skip":
+            content = self.fs.read_file(path)
+            if self.registry is not None:
+                content = self.registry.extract_text(path, content)
+            return content
+        try:
+            content = self.fs.read_file(path)
+        except Exception as exc:
+            self.last_failures.append(
+                FileFailure.from_exception(path, "read", exc)
+            )
+            return None
+        if self.registry is not None:
+            try:
+                content = self.registry.extract_text(path, content)
+            except Exception as exc:
+                self.last_failures.append(
+                    FileFailure.from_exception(path, "extract", exc)
+                )
+                return None
+        return content
 
     def build(self, root: str = "") -> BuildReport:
         """Index every file under ``root`` sequentially."""
+        self.last_failures = []
         timings = StageTimings()
         start = time.perf_counter()
 
@@ -52,22 +86,33 @@ class SequentialIndexer:
         update_s = 0.0
         for ref in files:
             t0 = time.perf_counter()
-            content = self.fs.read_file(ref.path)
-            if self.registry is not None:
-                content = self.registry.extract_text(ref.path, content)
-            if self.naive:
-                terms = self.tokenizer.tokenize(content)
+            content = self._load(ref.path)
+            if content is None:
                 extract_s += time.perf_counter() - t0
-                t0 = time.perf_counter()
+                continue
+            try:
+                if self.naive:
+                    terms = self.tokenizer.tokenize(content)
+                else:
+                    block = extract_term_block(
+                        ref.path, content, self.tokenizer
+                    )
+            except Exception as exc:
+                if self.on_error != "skip":
+                    raise
+                self.last_failures.append(
+                    FileFailure.from_exception(ref.path, "tokenize", exc)
+                )
+                extract_s += time.perf_counter() - t0
+                continue
+            extract_s += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            if self.naive:
                 for term in terms:
                     index.add_term_naive(term, ref.path)
-                update_s += time.perf_counter() - t0
             else:
-                block = extract_term_block(ref.path, content, self.tokenizer)
-                extract_s += time.perf_counter() - t0
-                t0 = time.perf_counter()
                 index.add_block(block)
-                update_s += time.perf_counter() - t0
+            update_s += time.perf_counter() - t0
         timings.extraction = extract_s
         timings.update = update_s
 
@@ -82,4 +127,5 @@ class SequentialIndexer:
             file_count=len(files),
             term_count=len(index),
             posting_count=index.posting_count,
+            failures=list(self.last_failures),
         )

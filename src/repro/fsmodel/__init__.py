@@ -11,9 +11,16 @@ filesystem backends behind one protocol:
   the threaded engine can index actual directories.
 
 Traversal (iterative depth-first and breadth-first walkers) and corpus
-statistics live here too.
+statistics live here too, as does :class:`FaultInjectingFileSystem`,
+the deterministic fault injector the failure-semantics tests wrap
+around either backend.
 """
 
+from repro.fsmodel.faultfs import (
+    FaultInjectingFileSystem,
+    FaultSpec,
+    in_worker_process,
+)
 from repro.fsmodel.nodes import FileRef, VirtualDirectory, VirtualFile
 from repro.fsmodel.realfs import OsFileSystem
 from repro.fsmodel.stats import CorpusStats, collect_stats
@@ -22,12 +29,15 @@ from repro.fsmodel.vfs import VirtualFileSystem
 
 __all__ = [
     "CorpusStats",
+    "FaultInjectingFileSystem",
+    "FaultSpec",
     "FileRef",
     "OsFileSystem",
     "VirtualDirectory",
     "VirtualFile",
     "VirtualFileSystem",
     "collect_stats",
+    "in_worker_process",
     "walk_breadth_first",
     "walk_depth_first",
 ]

@@ -130,6 +130,85 @@ class TestRefresh:
         assert "-1 removed" in capsys.readouterr().out
 
 
+class TestIndexFlagConflicts:
+    """Flag combinations that silently do nothing are rejected early."""
+
+    def test_oversubscribe_requires_process_backend(self, mixed_dir, capsys):
+        assert main(["index", mixed_dir, "--oversubscribe"]) == 2
+        assert "--oversubscribe only applies" in capsys.readouterr().err
+
+    def test_max_retries_requires_process_backend(self, mixed_dir, capsys):
+        assert main(["index", mixed_dir, "--max-retries", "3"]) == 2
+        assert "--max-retries only applies" in capsys.readouterr().err
+
+    def test_batch_timeout_requires_process_backend(self, mixed_dir, capsys):
+        assert main(["index", mixed_dir, "--batch-timeout", "5"]) == 2
+        assert "--batch-timeout only applies" in capsys.readouterr().err
+
+    def test_dynamic_rejected_with_process_backend(self, mixed_dir, capsys):
+        assert main(["index", mixed_dir, "--backend", "process",
+                     "--dynamic", "steal", "--oversubscribe"]) == 2
+        assert "--dynamic is incompatible" in capsys.readouterr().err
+
+    def test_on_error_validates_choices(self, mixed_dir, capsys):
+        with pytest.raises(SystemExit):
+            main(["index", mixed_dir, "--on-error", "ignore"])
+        assert "invalid choice" in capsys.readouterr().err
+
+
+@pytest.fixture
+def faulty_cli_fs(monkeypatch):
+    """Route the CLI's filesystem through a deterministic fault injector
+    poisoning the first file of the corpus."""
+    from repro.fsmodel import FaultInjectingFileSystem, FaultSpec, OsFileSystem
+
+    poisoned = {}
+
+    def open_faulty(directory):
+        fs = OsFileSystem(directory)
+        victim = next(iter(fs.list_files())).path
+        poisoned["victim"] = victim
+        return FaultInjectingFileSystem(
+            fs, {victim: FaultSpec(exc_type=PermissionError,
+                                   message="injected fault")}
+        )
+
+    monkeypatch.setattr("repro.cli.OsFileSystem", open_faulty)
+    return poisoned
+
+
+class TestIndexErrorPolicy:
+    def test_strict_build_fails_with_exit_1(self, mixed_dir, faulty_cli_fs,
+                                            capsys):
+        assert main(["index", mixed_dir, "-i", "2", "-x", "2", "-y", "0",
+                     "-z", "1"]) == 1
+        assert "build failed: injected fault" in capsys.readouterr().err
+
+    def test_skip_build_succeeds_and_reports(self, mixed_dir, faulty_cli_fs,
+                                             capsys):
+        assert main(["index", mixed_dir, "-i", "2", "-x", "2", "-y", "0",
+                     "-z", "1", "--on-error", "skip"]) == 0
+        captured = capsys.readouterr()
+        assert "skipped 1 file(s)" in captured.err
+        assert faulty_cli_fs["victim"] in captured.err
+        assert "1 skipped" in captured.out
+
+    def test_skip_on_process_backend(self, mixed_dir, faulty_cli_fs, capsys):
+        assert main(["index", mixed_dir, "--backend", "process", "-x", "2",
+                     "--oversubscribe", "--on-error", "skip",
+                     "--max-retries", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "skipped 1 file(s)" in captured.err
+        assert "1 skipped" in captured.out
+
+    def test_sequential_honours_policy(self, mixed_dir, faulty_cli_fs, capsys):
+        assert main(["index", mixed_dir, "--sequential"]) == 1
+        assert "build failed" in capsys.readouterr().err
+        assert main(["index", mixed_dir, "--sequential",
+                     "--on-error", "skip"]) == 0
+        assert "skipped 1 file(s)" in capsys.readouterr().err
+
+
 class TestAnalyzeCommand:
     def test_analyze_output(self, mixed_dir, tmp_path, capsys):
         save = str(tmp_path / "an.idx")
