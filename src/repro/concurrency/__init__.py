@@ -6,11 +6,28 @@
 * :class:`ReusableBarrier` — the barrier before the join operation in
   Implementation 2;
 * :class:`ShardedLock` — a lock striped over key hashes, provided as an
-  extension point beyond the paper's single index lock.
+  extension point beyond the paper's single index lock;
+* :class:`SyncProvider` / :class:`ThreadingSyncProvider` — the factory
+  seam through which engines obtain locks, conditions and threads, so
+  the schedule checker (:mod:`repro.schedcheck`) can substitute
+  instrumented, deterministically scheduled primitives.
 """
 
 from repro.concurrency.barrier import ReusableBarrier
 from repro.concurrency.buffers import BoundedBuffer, Closed
+from repro.concurrency.provider import (
+    THREADING_SYNC,
+    SyncProvider,
+    ThreadingSyncProvider,
+)
 from repro.concurrency.sharded import ShardedLock
 
-__all__ = ["BoundedBuffer", "Closed", "ReusableBarrier", "ShardedLock"]
+__all__ = [
+    "BoundedBuffer",
+    "Closed",
+    "ReusableBarrier",
+    "ShardedLock",
+    "SyncProvider",
+    "THREADING_SYNC",
+    "ThreadingSyncProvider",
+]

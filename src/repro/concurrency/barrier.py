@@ -3,27 +3,34 @@
 Implementation 2 "would eliminate all synchronization, except for a
 barrier before the join operation".  ``threading.Barrier`` exists, but a
 from-scratch condition-variable implementation keeps this substrate
-dependency-free and lets tests inspect the generation counter.
+dependency-free, lets tests inspect the generation counter, and lets
+the schedule checker run the barrier algorithm itself on instrumented
+primitives (via the ``sync`` provider).
 """
 
 from __future__ import annotations
 
-import threading
+from typing import Optional
 
 
 class ReusableBarrier:
     """All ``parties`` threads block until the last one arrives; then the
     barrier resets for the next cycle."""
 
-    def __init__(self, parties: int) -> None:
+    def __init__(self, parties: int, sync=None, name: str = "barrier") -> None:
         if parties < 1:
             raise ValueError(f"parties must be at least 1, got {parties}")
+        if sync is None:
+            from repro.concurrency.provider import THREADING_SYNC
+
+            sync = THREADING_SYNC
         self.parties = parties
+        self.name = name
         self._count = 0
         self._generation = 0
-        self._condition = threading.Condition()
+        self._condition = sync.condition(name=f"{name}.cond")
 
-    def wait(self, timeout: float = None) -> int:
+    def wait(self, timeout: Optional[float] = None) -> int:
         """Block until all parties arrive; returns the arrival index
         (0 for the first arriver, parties-1 for the releaser)."""
         with self._condition:
@@ -37,7 +44,16 @@ class ReusableBarrier:
                 return index
             while generation == self._generation:
                 if not self._condition.wait(timeout):
-                    raise TimeoutError("barrier wait timed out")
+                    if generation == self._generation:
+                        # Withdraw this arrival so the incomplete cycle
+                        # is not corrupted: without the decrement a
+                        # timed-out waiter would leave a phantom arrival
+                        # behind and the next cycle would release early.
+                        self._count -= 1
+                        raise TimeoutError("barrier wait timed out")
+                    # The cycle completed between the timeout firing and
+                    # this thread reacquiring the lock: it was released.
+                    break
             return index
 
     @property

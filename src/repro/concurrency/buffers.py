@@ -5,13 +5,17 @@ the last extractor finishes, updaters must drain the buffer and exit.
 ``BoundedBuffer`` provides blocking put/get with a capacity bound,
 close-on-producer-exit, and lock-operation accounting (the quantity the
 paper blames for the inefficiency of pipelined stage 1).
+
+The buffer's internal lock and condition variables come from a
+:class:`~repro.concurrency.provider.SyncProvider`, so the schedule
+checker can run the *same* buffer algorithm on instrumented,
+deterministically scheduled primitives.
 """
 
 from __future__ import annotations
 
-import threading
 from collections import deque
-from typing import Deque, Generic, TypeVar
+from typing import Deque, Generic, Optional, TypeVar
 
 T = TypeVar("T")
 
@@ -23,14 +27,24 @@ class Closed(Exception):
 class BoundedBuffer(Generic[T]):
     """Blocking bounded FIFO with close semantics."""
 
-    def __init__(self, capacity: int = 64) -> None:
+    def __init__(
+        self,
+        capacity: int = 64,
+        sync=None,
+        name: str = "buffer",
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be at least 1, got {capacity}")
+        if sync is None:
+            from repro.concurrency.provider import THREADING_SYNC
+
+            sync = THREADING_SYNC
         self.capacity = capacity
+        self.name = name
         self._items: Deque[T] = deque()
-        self._lock = threading.Lock()
-        self._not_full = threading.Condition(self._lock)
-        self._not_empty = threading.Condition(self._lock)
+        self._lock = sync.lock(f"{name}.lock")
+        self._not_full = sync.condition(self._lock, name=f"{name}.not-full")
+        self._not_empty = sync.condition(self._lock, name=f"{name}.not-empty")
         self._closed = False
         self.lock_operations = 0
 

@@ -1,0 +1,92 @@
+"""The synchronization-provider seam between engines and ``threading``.
+
+Engine code never constructs a raw ``threading.Lock``/``Condition``/
+``Thread`` directly (a lint in :mod:`repro.schedcheck.lint` enforces
+this).  Instead every threaded indexer carries a :class:`SyncProvider`
+and asks it for primitives by *name*.  The default provider hands back
+the plain ``threading`` objects, so production behaviour is unchanged;
+the schedule checker swaps in an instrumented provider
+(:class:`repro.schedcheck.sync.InstrumentedSyncProvider`) whose
+primitives record vector-clocked traces and — under the cooperative
+deterministic scheduler — serialize every interleaving decision so a
+failing schedule can be replayed from its seed.
+
+The ``name`` argument is an identification hint only: providers may use
+it to label trace events, target fault injection, or pretty-print
+deadlock reports.  The default provider ignores it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional, Tuple
+
+
+class SyncProvider:
+    """Factory for the synchronization vocabulary the engines consume.
+
+    The base class *is* the raw-threading implementation; instrumented
+    providers subclass it and override every method.  ``access`` is the
+    one hook with no ``threading`` counterpart: engines call it to
+    declare "this thread is about to mutate the shared location named
+    X", which is what the happens-before race detector checks.
+    """
+
+    def lock(self, name: str = "lock"):
+        """A mutual-exclusion lock (``threading.Lock`` semantics)."""
+        return threading.Lock()
+
+    def condition(self, lock=None, name: str = "condition"):
+        """A condition variable, optionally sharing ``lock``."""
+        return threading.Condition(lock)
+
+    def thread(
+        self,
+        target: Callable[..., None],
+        args: Tuple = (),
+        name: Optional[str] = None,
+    ):
+        """A startable/joinable worker thread (daemonic by default)."""
+        return threading.Thread(target=target, args=args, name=name,
+                                daemon=True)
+
+    def buffer(self, capacity: int, name: str = "buffer"):
+        """A :class:`~repro.concurrency.buffers.BoundedBuffer` whose
+        internal lock and conditions come from this provider."""
+        from repro.concurrency.buffers import BoundedBuffer
+
+        return BoundedBuffer(capacity, sync=self, name=name)
+
+    def barrier(self, parties: int, name: str = "barrier"):
+        """A :class:`~repro.concurrency.barrier.ReusableBarrier` built
+        on this provider's condition variables."""
+        from repro.concurrency.barrier import ReusableBarrier
+
+        return ReusableBarrier(parties, sync=self, name=name)
+
+    def sharded_lock(self, shards: int = 16, name: str = "sharded-lock"):
+        """A :class:`~repro.concurrency.sharded.ShardedLock` whose
+        stripes come from this provider."""
+        from repro.concurrency.sharded import ShardedLock
+
+        return ShardedLock(shards, sync=self, name=name)
+
+    def access(self, location: str, write: bool = True) -> None:
+        """Declare an access to the shared ``location``.  No-op here;
+        the instrumented provider records it for race detection."""
+
+    def run(self, fn: Callable[[], object]):
+        """Run ``fn`` under this provider's execution regime.
+
+        The raw provider just calls it; the controlled provider runs it
+        as the scheduler's main managed thread.
+        """
+        return fn()
+
+
+class ThreadingSyncProvider(SyncProvider):
+    """The production provider: plain ``threading`` primitives."""
+
+
+#: Shared default instance (the provider is stateless).
+THREADING_SYNC = ThreadingSyncProvider()

@@ -3,12 +3,13 @@
 An extension beyond the paper: instead of one lock over the whole shared
 index (Implementation 1) or full replication (2/3), stripe the index
 lock over FNV shards of the term space.  The ablation benchmarks use it
-to show where on the contention spectrum sharding lands.
+to show where on the contention spectrum sharding lands.  The stripes
+come from a :class:`~repro.concurrency.provider.SyncProvider`, so the
+schedule checker can observe every stripe acquire/release.
 """
 
 from __future__ import annotations
 
-import threading
 from contextlib import contextmanager
 from typing import Iterator, List
 
@@ -18,11 +19,18 @@ from repro.hashing import fnv1a_64
 class ShardedLock:
     """``shards`` independent locks selected by key hash."""
 
-    def __init__(self, shards: int = 16) -> None:
+    def __init__(
+        self, shards: int = 16, sync=None, name: str = "sharded-lock"
+    ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be at least 1, got {shards}")
-        self._locks: List[threading.Lock] = [
-            threading.Lock() for _ in range(shards)
+        if sync is None:
+            from repro.concurrency.provider import THREADING_SYNC
+
+            sync = THREADING_SYNC
+        self.name = name
+        self._locks: List = [
+            sync.lock(f"{name}.stripe[{i}]") for i in range(shards)
         ]
 
     @property

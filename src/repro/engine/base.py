@@ -8,11 +8,11 @@ class factors them out so each implementation is just a sink policy.
 
 from __future__ import annotations
 
-import threading
 import time
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.concurrency.buffers import BoundedBuffer, Closed
+from repro.concurrency.provider import SyncProvider, ThreadingSyncProvider
 from repro.distribute.base import DistributionStrategy
 from repro.distribute.roundrobin import RoundRobinStrategy
 from repro.engine.config import Implementation, ThreadConfig
@@ -44,11 +44,16 @@ class ThreadedIndexerBase:
         registry=None,
         dynamic: Optional[str] = None,
         on_error: str = "strict",
+        sync: Optional[SyncProvider] = None,
     ) -> None:
         self.fs = fs
         self.tokenizer = tokenizer or Tokenizer()
         self.strategy = strategy or RoundRobinStrategy()
         self.buffer_capacity = buffer_capacity
+        # All locks, condition variables, buffers and worker threads come
+        # from this provider; repro.schedcheck substitutes an instrumented
+        # one to trace and deterministically schedule the build.
+        self.sync = sync or ThreadingSyncProvider()
         # Optional repro.formats.FormatRegistry: when set, stage 2 first
         # extracts plain text from each file's format (HTML, DocZ, ...)
         # before tokenizing — the paper's "more file formats" extension.
@@ -177,7 +182,9 @@ class ThreadedIndexerBase:
 
         t0 = time.perf_counter()
         threads = [
-            threading.Thread(target=timed_worker, args=(i,), daemon=True)
+            self.sync.thread(
+                target=timed_worker, args=(i,), name=f"extract-{i}"
+            )
             for i in range(config.extractors)
         ]
         for thread in threads:
@@ -267,7 +274,9 @@ class ThreadedIndexerBase:
         original exception (not the extractors' secondary ``Closed``)
         is what propagates.
         """
-        buffer: BoundedBuffer[TermBlock] = BoundedBuffer(self.buffer_capacity)
+        buffer: BoundedBuffer[TermBlock] = self.sync.buffer(
+            self.buffer_capacity, name="term-buffer"
+        )
         errors: List[BaseException] = []
 
         def updater(updater_id: int) -> None:
@@ -284,7 +293,7 @@ class ThreadedIndexerBase:
 
         t0 = time.perf_counter()
         updater_threads = [
-            threading.Thread(target=updater, args=(i,), daemon=True)
+            self.sync.thread(target=updater, args=(i,), name=f"update-{i}")
             for i in range(config.updaters)
         ]
         for thread in updater_threads:

@@ -10,7 +10,6 @@ lock-bound at 8 and 32.
 
 from __future__ import annotations
 
-import threading
 import time
 from typing import Sequence, Tuple
 
@@ -30,10 +29,11 @@ class SharedLockedIndexer(ThreadedIndexerBase):
         self, config: ThreadConfig, files: Sequence[FileRef]
     ) -> Tuple[InvertedIndex, float, float, float]:
         index = InvertedIndex()
-        lock = threading.Lock()
+        lock = self.sync.lock("impl1.index-lock")
 
         def locked_update(_worker: int, block: TermBlock) -> None:
             with lock:
+                self.sync.access("impl1.shared-index")
                 index.add_block(block)
 
         if config.uses_buffer:

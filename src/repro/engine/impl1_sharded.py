@@ -30,7 +30,7 @@ class ShardedLockedIndexer(ThreadedIndexerBase):
     def _build(
         self, config: ThreadConfig, files: Sequence[FileRef]
     ) -> Tuple[ShardedInvertedIndex, float, float, float]:
-        index = ShardedInvertedIndex(self.shards)
+        index = ShardedInvertedIndex(self.shards, sync=self.sync)
 
         def striped_update(_worker: int, block: TermBlock) -> None:
             # add_block locks only the shards the block touches.

@@ -34,6 +34,7 @@ class ReplicatedJoinedIndexer(ThreadedIndexerBase):
 
         def private_update(worker: int, block: TermBlock) -> None:
             # No lock: each worker id maps to its own replica.
+            self.sync.access(f"impl2.replica[{worker}]")
             replicas[worker].add_block(block)
 
         if config.uses_buffer:

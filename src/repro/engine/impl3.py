@@ -32,6 +32,7 @@ class ReplicatedUnjoinedIndexer(ThreadedIndexerBase):
         ]
 
         def private_update(worker: int, block: TermBlock) -> None:
+            self.sync.access(f"impl3.replica[{worker}]")
             replicas[worker].add_block(block)
 
         if config.uses_buffer:

@@ -46,6 +46,7 @@ class IndexGenerator:
         on_error: str = "strict",
         max_retries: int = 2,
         batch_timeout=None,
+        sync=None,
     ) -> None:
         self.fs = fs
         self.tokenizer = tokenizer
@@ -60,6 +61,9 @@ class IndexGenerator:
         self.on_error = on_error
         self.max_retries = max_retries
         self.batch_timeout = batch_timeout
+        # SyncProvider for the threaded engines (None = raw threading).
+        # The process backend synchronizes via the OS, not this seam.
+        self.sync = sync
 
     def build(
         self,
@@ -97,6 +101,7 @@ class IndexGenerator:
             registry=self.registry,
             dynamic=self.dynamic,
             on_error=self.on_error,
+            sync=self.sync,
         )
         return indexer.build(config, root)
 

@@ -16,9 +16,9 @@ design on the paper's contention spectrum.
 
 from __future__ import annotations
 
-import threading
 from typing import Dict, Iterator, List, Tuple
 
+from repro.concurrency.provider import THREADING_SYNC
 from repro.hashing import fnv1a_64
 from repro.index.inverted import InvertedIndex
 from repro.index.postings import PostingsList
@@ -28,17 +28,18 @@ from repro.text.termblock import TermBlock
 class ShardedInvertedIndex:
     """K independently locked index shards, routed by term hash."""
 
-    def __init__(self, shards: int = 16) -> None:
+    def __init__(self, shards: int = 16, sync=None) -> None:
         if shards < 1:
             raise ValueError(f"shards must be at least 1, got {shards}")
+        self._sync = sync or THREADING_SYNC
         self._shards: List[InvertedIndex] = [
             InvertedIndex() for _ in range(shards)
         ]
-        self._locks: List[threading.Lock] = [
-            threading.Lock() for _ in range(shards)
+        self._locks: List = [
+            self._sync.lock(f"index-shard[{i}].lock") for i in range(shards)
         ]
         self._block_count = 0
-        self._block_lock = threading.Lock()
+        self._block_lock = self._sync.lock("index-shard.block-count")
 
     @property
     def shard_count(self) -> int:
@@ -62,11 +63,13 @@ class ShardedInvertedIndex:
         for shard_id in sorted(by_shard):
             shard = self._shards[shard_id]
             with self._locks[shard_id]:
+                self._sync.access(f"index-shard[{shard_id}]")
                 for term in by_shard[shard_id]:
                     shard._map.setdefault(term, PostingsList()).append(
                         block.path
                     )
         with self._block_lock:
+            self._sync.access("index-shard.block-count")
             self._block_count += 1
 
     # -- read API (no locking needed after the build barrier) ------------

@@ -1,0 +1,72 @@
+"""Deterministic schedule exploration and race checking.
+
+The threaded engines (:mod:`repro.engine`) obtain every lock,
+condition, buffer, barrier and worker thread from a
+:class:`~repro.concurrency.provider.SyncProvider`.  This package
+substitutes an instrumented provider to
+
+* record every synchronization operation with vector clocks,
+* detect data races (happens-before) and lock-order inversions,
+* serialize the build under a cooperative scheduler that explores
+  interleavings from a seed (random walks and PCT priorities) and
+  replays any seed exactly, and
+* assert that every explored schedule produces an index byte-identical
+  to the sequential build.
+
+Entry points: the ``repro-schedcheck`` CLI (:mod:`repro.schedcheck.cli`)
+and :func:`repro.schedcheck.harness.explore`.
+"""
+
+from repro.schedcheck.detector import (
+    LockInversion,
+    Race,
+    find_lock_inversions,
+    find_races,
+)
+from repro.schedcheck.harness import (
+    DEFAULT_CONFIGS,
+    ENGINES,
+    ExplorationReport,
+    ScheduleRun,
+    UnlockedSyncProvider,
+    explore,
+    make_corpus,
+    run_schedule,
+    sequential_reference,
+)
+from repro.schedcheck.scheduler import (
+    CooperativeScheduler,
+    DeadlockError,
+    PCTStrategy,
+    RandomWalkStrategy,
+    ScheduleBudgetExceeded,
+    make_strategy,
+)
+from repro.schedcheck.sync import InstrumentedSyncProvider
+from repro.schedcheck.tracer import Tracer
+from repro.schedcheck.vectorclock import VectorClock
+
+__all__ = [
+    "CooperativeScheduler",
+    "DEFAULT_CONFIGS",
+    "DeadlockError",
+    "ENGINES",
+    "ExplorationReport",
+    "InstrumentedSyncProvider",
+    "LockInversion",
+    "PCTStrategy",
+    "Race",
+    "RandomWalkStrategy",
+    "ScheduleBudgetExceeded",
+    "ScheduleRun",
+    "Tracer",
+    "UnlockedSyncProvider",
+    "VectorClock",
+    "explore",
+    "find_lock_inversions",
+    "find_races",
+    "make_corpus",
+    "make_strategy",
+    "run_schedule",
+    "sequential_reference",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.schedcheck`` == the ``repro-schedcheck`` CLI."""
+
+from repro.schedcheck.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

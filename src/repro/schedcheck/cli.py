@@ -1,0 +1,251 @@
+"""``repro-schedcheck`` — deterministic schedule exploration CLI.
+
+Examples::
+
+    repro-schedcheck --engine impl2 --threads 4,2,1 --seeds 0:200
+    repro-schedcheck --engine impl1 --threads 2,0,0 --seeds 0:50 \
+        --strategy pct
+    repro-schedcheck --engine impl1 --threads 2,0,0 --replay 17
+    repro-schedcheck --engine impl1 --threads 2,0,0 --seeds 0:20 \
+        --mutate-lock impl1.index-lock      # must FAIL (self-test)
+    repro-schedcheck --lint
+
+Every failure line prints the seed that reproduces it; rerun with
+``--replay <seed>`` to get the full schedule and trace tail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.engine.config import ThreadConfig
+from repro.schedcheck import lint as lint_mod
+from repro.schedcheck.harness import (
+    DEFAULT_CONFIGS,
+    ENGINES,
+    STRATEGIES,
+    UnlockedSyncProvider,
+    explore,
+    make_corpus,
+    parse_seed_range,
+    run_schedule,
+    sequential_reference,
+)
+
+
+def _parse_threads(text: str) -> tuple:
+    parts = [p.strip() for p in text.split(",")]
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"--threads wants x,y,z (e.g. 4,2,1), got {text!r}"
+        )
+    try:
+        return tuple(int(p) for p in parts)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-schedcheck",
+        description=(
+            "Explore thread schedules of the index-generator engines "
+            "deterministically, checking for data races, lock-order "
+            "inversions, deadlocks, and divergence from the sequential "
+            "index."
+        ),
+    )
+    parser.add_argument(
+        "--engine",
+        choices=sorted(ENGINES),
+        default="impl2",
+        help="which threaded engine to check (default: impl2)",
+    )
+    parser.add_argument(
+        "--threads",
+        type=_parse_threads,
+        default=None,
+        metavar="X,Y,Z",
+        help="extractor,updater,joiner counts (default: per-engine)",
+    )
+    parser.add_argument(
+        "--seeds",
+        default="0:50",
+        metavar="LO:HI",
+        help="half-open seed range to explore (default: 0:50)",
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default="mixed",
+        help=(
+            "schedule strategy: random walk, PCT priorities, or mixed "
+            "(even seeds random, odd seeds pct; default)"
+        ),
+    )
+    parser.add_argument(
+        "--pct-depth",
+        type=int,
+        default=3,
+        help="PCT bug depth d (d-1 priority change points; default 3)",
+    )
+    parser.add_argument(
+        "--files",
+        type=int,
+        default=10,
+        help="corpus size in files (default 10; small is good)",
+    )
+    parser.add_argument(
+        "--max-steps",
+        type=int,
+        default=200_000,
+        help="per-schedule scheduling-decision budget (livelock guard)",
+    )
+    parser.add_argument(
+        "--replay",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="replay one seed verbosely instead of sweeping",
+    )
+    parser.add_argument(
+        "--mutate-lock",
+        default=None,
+        metavar="SUBSTRING",
+        help=(
+            "self-test: make every lock whose name contains SUBSTRING a "
+            "no-op; the sweep then must FAIL with a detected race"
+        ),
+    )
+    parser.add_argument(
+        "--stop-on-failure",
+        action="store_true",
+        help="stop the sweep at the first failing schedule",
+    )
+    parser.add_argument(
+        "--lint",
+        action="store_true",
+        help="run the raw-threading lint over engine code and exit",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print one line per explored schedule",
+    )
+    return parser
+
+
+def _mutated_sweep(args, config: ThreadConfig) -> int:
+    """Sweep with a broken lock; success means the checker caught it."""
+    fs = make_corpus(file_count=args.files)
+    expected = sequential_reference(fs)
+    lo, hi = parse_seed_range(args.seeds)
+    for seed in range(lo, hi):
+        run = run_schedule(
+            args.engine,
+            config,
+            fs,
+            seed,
+            strategy=args.strategy,
+            pct_depth=args.pct_depth,
+            expected=expected,
+            max_steps=args.max_steps,
+            provider_factory=lambda tracer, sched: UnlockedSyncProvider(
+                tracer=tracer,
+                scheduler=sched,
+                break_locks=(args.mutate_lock,),
+            ),
+        )
+        if not run.clean:
+            print(run.describe())
+            print(
+                f"mutation caught: lock(s) matching "
+                f"{args.mutate_lock!r} broken, seed {seed} detects it "
+                f"(replay with --replay {seed} --mutate-lock "
+                f"{args.mutate_lock})"
+            )
+            return 0
+    print(
+        f"mutation NOT caught in seeds {args.seeds}: breaking "
+        f"{args.mutate_lock!r} went undetected"
+    )
+    return 1
+
+
+def _replay(args, config: ThreadConfig) -> int:
+    fs = make_corpus(file_count=args.files)
+    expected = sequential_reference(fs)
+    factory = None
+    if args.mutate_lock:
+        factory = lambda tracer, sched: UnlockedSyncProvider(  # noqa: E731
+            tracer=tracer, scheduler=sched, break_locks=(args.mutate_lock,)
+        )
+    run = run_schedule(
+        args.engine,
+        config,
+        fs,
+        args.replay,
+        strategy=args.strategy,
+        pct_depth=args.pct_depth,
+        expected=expected,
+        max_steps=args.max_steps,
+        keep_trace=True,
+        provider_factory=factory,
+    )
+    print(run.describe())
+    print(f"schedule ({len(run.schedule or [])} decisions): ", end="")
+    print(" ".join(run.schedule or []) or "<empty>")
+    if run.tracer is not None:
+        print("trace tail:")
+        for event in run.tracer.trace.tail(40):
+            print(f"  {event}")
+    return 0 if run.clean else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.lint:
+        return lint_mod.main([])
+
+    threads = args.threads or DEFAULT_CONFIGS[args.engine]
+    try:
+        config = ThreadConfig(*threads)
+        config.validate_for(ENGINES[args.engine].implementation)
+    except (TypeError, ValueError) as exc:
+        print(f"invalid --threads for {args.engine}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.replay is not None:
+        return _replay(args, config)
+    if args.mutate_lock:
+        return _mutated_sweep(args, config)
+
+    lo, hi = parse_seed_range(args.seeds)
+    report = explore(
+        args.engine,
+        config,
+        range(lo, hi),
+        strategy=args.strategy,
+        pct_depth=args.pct_depth,
+        file_count=args.files,
+        max_steps=args.max_steps,
+        stop_on_failure=args.stop_on_failure,
+    )
+    if args.verbose:
+        for run in report.runs:
+            print(run.describe())
+    print(report.summary())
+    failures: List = report.failures
+    for run in failures[:10]:
+        print(run.describe())
+        print(f"  replay: repro-schedcheck --engine {args.engine} "
+              f"--threads {threads[0]},{threads[1]},{threads[2]} "
+              f"--strategy {run.strategy} --replay {run.seed}")
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,120 @@
+"""Happens-before race detection and lock-order-inversion checking.
+
+Both checkers consume the plain data a :class:`~repro.schedcheck.tracer
+.Tracer` collected — no live synchronization state is needed, so a
+trace can be analysed after the run (or persisted and analysed later).
+
+Race detection uses the epoch shortcut: access *A* by thread *t*
+happens before a later access *B* iff ``B.clock[t] >= A.epoch``.  A
+per-location frontier of each thread's latest read and latest write is
+sufficient: clocks are monotone per thread, so if the latest access is
+ordered with *B*, every earlier one is too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.schedcheck.events import Access
+from repro.schedcheck.tracer import Tracer
+
+
+@dataclass(frozen=True)
+class Race:
+    """Two accesses to the same location, at least one a write, with no
+    happens-before order between them."""
+
+    location: str
+    first: Access
+    second: Access
+
+    def __str__(self) -> str:
+        kind = "write/write" if (self.first.write and self.second.write) \
+            else "read/write"
+        return (
+            f"{kind} race on {self.location!r}:\n"
+            f"  {self.first}\n"
+            f"  {self.second}"
+        )
+
+
+@dataclass(frozen=True)
+class LockInversion:
+    """Two locks acquired in both nesting orders — a deadlock recipe."""
+
+    first: str
+    second: str
+    forward_seq: int
+    backward_seq: int
+
+    def __str__(self) -> str:
+        return (
+            f"lock-order inversion: {self.first!r} -> {self.second!r} "
+            f"(event #{self.forward_seq}) but also "
+            f"{self.second!r} -> {self.first!r} (event #{self.backward_seq})"
+        )
+
+
+def _happens_before(earlier: Access, later: Access) -> bool:
+    return later.clock.get(earlier.thread, 0) >= earlier.epoch
+
+
+def find_races(tracer: Tracer, limit: int = 20) -> List[Race]:
+    """All unordered conflicting access pairs, up to ``limit``."""
+    races: List[Race] = []
+    # location -> thread -> latest (write access, read access)
+    frontier: Dict[str, Dict[str, List[Access]]] = {}
+    for access in tracer.accesses:
+        threads = frontier.setdefault(access.location, {})
+        for other_tid, latest in threads.items():
+            if other_tid == access.thread:
+                continue
+            for prev in latest:
+                if prev is None:
+                    continue
+                if not (prev.write or access.write):
+                    continue
+                if not _happens_before(prev, access):
+                    races.append(
+                        Race(access.location, prev, access)
+                    )
+                    if len(races) >= limit:
+                        return races
+        slot = threads.setdefault(access.thread, [None, None])
+        slot[0 if access.write else 1] = access
+    return races
+
+
+def find_lock_inversions(tracer: Tracer) -> List[LockInversion]:
+    """Pairs of locks witnessed nested in both orders."""
+    edges = tracer.lock_order_edges
+    inversions: List[LockInversion] = []
+    seen: set = set()
+    for (outer, inner), seq in edges.items():
+        back = edges.get((inner, outer))
+        if back is None:
+            continue
+        key: Tuple[str, str] = tuple(sorted((outer, inner)))  # type: ignore[assignment]
+        if key in seen:
+            continue
+        seen.add(key)
+        inversions.append(
+            LockInversion(
+                first=outer, second=inner,
+                forward_seq=seq, backward_seq=back,
+            )
+        )
+    return inversions
+
+
+def describe_findings(
+    races: Sequence[Race], inversions: Sequence[LockInversion]
+) -> str:
+    """Human-readable report of whatever the checkers found."""
+    parts: List[str] = []
+    for race in races:
+        parts.append(str(race))
+    for inversion in inversions:
+        parts.append(str(inversion))
+    return "\n".join(parts) if parts else "no findings"

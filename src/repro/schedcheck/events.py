@@ -1,0 +1,117 @@
+"""Trace vocabulary: synchronization events and shared-memory accesses.
+
+Every instrumented operation appends one :class:`SyncEvent` to the
+run's :class:`Trace`; engine ``sync.access(...)`` calls additionally
+produce an :class:`Access` record carrying the clock snapshot the race
+detector consumes.  Traces are plain data — replaying a seed produces
+an event-for-event identical trace, which is what the determinism tests
+assert.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+
+class EventKind(enum.Enum):
+    """What an instrumented operation did."""
+
+    SPAWN = "spawn"          # parent created a worker thread
+    BEGIN = "begin"          # thread body started
+    END = "end"              # thread body finished
+    JOIN = "join"            # joiner observed a thread's completion
+    ACQUIRE = "acquire"      # lock (or condition lock) acquired
+    RELEASE = "release"      # lock released
+    WAIT = "wait"            # condition wait entered (lock dropped)
+    WAKE = "wake"            # condition wait satisfied (lock retaken)
+    NOTIFY = "notify"        # condition notified
+    TIMEOUT = "timeout"      # timed condition wait expired
+    ACCESS = "access"        # declared shared-memory access
+
+
+@dataclass(frozen=True)
+class SyncEvent:
+    """One instrumented operation, stamped with the acting thread's
+    vector clock *after* the operation's tick."""
+
+    seq: int
+    thread: str
+    kind: EventKind
+    resource: str
+    clock: Dict[str, int]
+    detail: str = ""
+
+    def __str__(self) -> str:
+        extra = f" ({self.detail})" if self.detail else ""
+        return (
+            f"#{self.seq:<5} {self.thread:<4} "
+            f"{self.kind.value:<8} {self.resource}{extra}"
+        )
+
+
+@dataclass(frozen=True)
+class Access:
+    """One declared access to a shared location.
+
+    ``epoch`` is the acting thread's own clock component at the access:
+    a later access *B* saw this one happen-before it iff B's clock has
+    ``B.clock[thread] >= epoch`` (the standard epoch shortcut).
+    """
+
+    seq: int
+    thread: str
+    location: str
+    write: bool
+    epoch: int
+    clock: Dict[str, int]
+    locks: FrozenSet[str]
+
+    def __str__(self) -> str:
+        mode = "write" if self.write else "read"
+        held = ", ".join(sorted(self.locks)) or "no locks"
+        return (
+            f"#{self.seq} {self.thread} {mode} {self.location} "
+            f"holding [{held}]"
+        )
+
+
+@dataclass
+class Trace:
+    """Append-only event log for one schedule/run."""
+
+    events: List[SyncEvent] = field(default_factory=list)
+
+    def add(
+        self,
+        thread: str,
+        kind: EventKind,
+        resource: str,
+        clock: Dict[str, int],
+        detail: str = "",
+    ) -> SyncEvent:
+        event = SyncEvent(
+            seq=len(self.events),
+            thread=thread,
+            kind=kind,
+            resource=resource,
+            clock=clock,
+            detail=detail,
+        )
+        self.events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def tail(self, n: int = 30) -> List[SyncEvent]:
+        """The last ``n`` events (for failure reports)."""
+        return self.events[-n:]
+
+    def signature(self) -> List[Tuple[str, str, str]]:
+        """The schedule-identity projection (thread, kind, resource) —
+        two runs of the same seed must produce equal signatures."""
+        return [
+            (e.thread, e.kind.value, e.resource) for e in self.events
+        ]

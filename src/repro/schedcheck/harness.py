@@ -1,0 +1,354 @@
+"""Schedule exploration harness for the threaded engines.
+
+Glues the pieces together: build a small deterministic corpus, run an
+engine under the cooperative scheduler with a seeded strategy, run the
+race/inversion detectors over the trace, and compare the finished index
+byte-for-byte against the sequential build (RIDX1 is canonical, so the
+differential oracle is plain ``bytes.__eq__``).
+
+:func:`explore` sweeps a seed range; :func:`run_schedule` runs (or
+replays) exactly one seed.  :class:`UnlockedSyncProvider` is the
+built-in mutation: it hands selected locks out as no-ops, which the
+race detector must then catch — the self-test that the checker checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.corpus.generator import CorpusGenerator
+from repro.corpus.profiles import CorpusProfile
+from repro.engine.config import ThreadConfig
+from repro.engine.impl1 import SharedLockedIndexer
+from repro.engine.impl1_sharded import ShardedLockedIndexer
+from repro.engine.impl2 import ReplicatedJoinedIndexer
+from repro.engine.impl3 import ReplicatedUnjoinedIndexer
+from repro.engine.sequential import SequentialIndexer
+from repro.index.inverted import InvertedIndex
+from repro.index.merge import join_indices
+from repro.index.multi import MultiIndex
+from repro.index.serialize import index_to_bytes
+from repro.index.sharded import ShardedInvertedIndex
+from repro.schedcheck.detector import (
+    LockInversion,
+    Race,
+    find_lock_inversions,
+    find_races,
+)
+from repro.schedcheck.scheduler import (
+    CooperativeScheduler,
+    DeadlockError,
+    ScheduleBudgetExceeded,
+    make_strategy,
+)
+from repro.schedcheck.sync import InstrumentedSyncProvider
+from repro.schedcheck.tracer import Tracer
+
+ENGINES = {
+    "impl1": SharedLockedIndexer,
+    "impl1s": ShardedLockedIndexer,
+    "impl2": ReplicatedJoinedIndexer,
+    "impl3": ReplicatedUnjoinedIndexer,
+}
+
+# Sensible (x, y, z) defaults per engine for CLI runs.
+DEFAULT_CONFIGS = {
+    "impl1": (3, 1, 0),
+    "impl1s": (3, 1, 0),
+    "impl2": (3, 2, 1),
+    "impl3": (3, 2, 0),
+}
+
+STRATEGIES = ("random", "pct", "mixed")
+
+
+def make_corpus(file_count: int = 10, seed: int = 7):
+    """A small deterministic virtual corpus for schedule exploration.
+
+    Schedule count beats corpus size for finding interleaving bugs, so
+    the default is tiny: every extra file multiplies the sync events in
+    *every* explored schedule.
+    """
+    profile = CorpusProfile(
+        name="schedcheck",
+        file_count=file_count,
+        total_bytes=max(400 * file_count, 2_000),
+        large_file_count=2,
+        directory_fanout=3,
+        files_per_directory=4,
+        vocabulary_size=150,
+        seed=seed,
+    )
+    return CorpusGenerator(profile).generate().fs
+
+
+def flatten_index(index) -> InvertedIndex:
+    """Any engine's output as one plain :class:`InvertedIndex`."""
+    if isinstance(index, MultiIndex):
+        return join_indices(index.replicas)
+    if isinstance(index, ShardedInvertedIndex):
+        return index.to_inverted_index()
+    return index
+
+
+def canonical_bytes(index) -> bytes:
+    """The canonical RIDX1 encoding of any engine's output."""
+    return index_to_bytes(flatten_index(index))
+
+
+def sequential_reference(fs) -> bytes:
+    """The oracle: the sequential (en-bloc) build, canonically encoded."""
+    report = SequentialIndexer(fs, naive=False).build()
+    return canonical_bytes(report.index)
+
+
+class UnlockedSyncProvider(InstrumentedSyncProvider):
+    """Mutation provider: selected locks become no-ops.
+
+    A broken lock records *no* tracer events — real lock events would
+    add happens-before edges and mask the very race the mutation is
+    meant to expose.  It still yields at each acquire so the scheduler
+    can interleave the now-unprotected critical sections.
+    """
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        scheduler: Optional[CooperativeScheduler] = None,
+        break_locks: Sequence[str] = (),
+    ) -> None:
+        super().__init__(tracer=tracer, scheduler=scheduler)
+        self.break_locks = tuple(break_locks)
+
+    def lock(self, name: str = "lock"):
+        if any(pattern in name for pattern in self.break_locks):
+            return _BrokenLock(self, name)
+        return super().lock(name)
+
+
+class _BrokenLock:
+    """Grants every acquire immediately and forgets every release."""
+
+    def __init__(self, provider: InstrumentedSyncProvider, name: str) -> None:
+        self._provider = provider
+        self.name = name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if self._provider.scheduler is not None:
+            self._provider.scheduler.yield_point()
+        return True
+
+    def release(self) -> None:
+        pass
+
+    def locked(self) -> bool:
+        return False
+
+    def __enter__(self) -> "_BrokenLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        pass
+
+
+@dataclass
+class ScheduleRun:
+    """The outcome of one engine build under one explored schedule."""
+
+    engine: str
+    config: ThreadConfig
+    seed: int
+    strategy: str
+    ok: bool
+    error: Optional[str]
+    races: List[Race]
+    inversions: List[LockInversion]
+    matches_reference: Optional[bool]
+    steps: int
+    event_count: int
+    digest: Optional[bytes] = None
+    tracer: Optional[Tracer] = None
+    schedule: Optional[List[str]] = None
+
+    @property
+    def clean(self) -> bool:
+        """Build finished, no races, no inversions, index matches."""
+        return (
+            self.ok
+            and not self.races
+            and not self.inversions
+            and self.matches_reference is not False
+        )
+
+    def describe(self) -> str:
+        verdict = "clean" if self.clean else "FAIL"
+        parts = [
+            f"{self.engine} {self.config} seed={self.seed} "
+            f"strategy={self.strategy}: {verdict} "
+            f"({self.steps} steps, {self.event_count} events)"
+        ]
+        if self.error:
+            parts.append(f"  error: {self.error}")
+        for race in self.races:
+            parts.append("  " + str(race).replace("\n", "\n  "))
+        for inversion in self.inversions:
+            parts.append(f"  {inversion}")
+        if self.matches_reference is False:
+            parts.append("  index differs from the sequential reference")
+        return "\n".join(parts)
+
+
+def strategy_for(seed: int, strategy: str) -> str:
+    """Resolve ``mixed`` to a concrete per-seed strategy."""
+    if strategy == "mixed":
+        return "random" if seed % 2 == 0 else "pct"
+    return strategy
+
+
+def run_schedule(
+    engine: str,
+    config: ThreadConfig,
+    fs,
+    seed: int,
+    strategy: str = "random",
+    pct_depth: int = 3,
+    expected: Optional[bytes] = None,
+    max_steps: int = 200_000,
+    keep_trace: bool = False,
+    provider_factory: Optional[
+        Callable[[Tracer, CooperativeScheduler], InstrumentedSyncProvider]
+    ] = None,
+) -> ScheduleRun:
+    """Build once under the deterministic schedule derived from ``seed``.
+
+    Rerunning with identical arguments replays the identical schedule —
+    this function *is* the replay mechanism.
+    """
+    concrete = strategy_for(seed, strategy)
+    tracer = Tracer()
+    scheduler = CooperativeScheduler(
+        make_strategy(concrete, seed, pct_depth=pct_depth),
+        max_steps=max_steps,
+    )
+    if provider_factory is None:
+        provider = InstrumentedSyncProvider(tracer=tracer, scheduler=scheduler)
+    else:
+        provider = provider_factory(tracer, scheduler)
+    indexer = ENGINES[engine](fs, sync=provider)
+
+    ok, error, digest, matches = True, None, None, None
+    try:
+        report = provider.run(lambda: indexer.build(config))
+    except (DeadlockError, ScheduleBudgetExceeded) as exc:
+        ok, error = False, f"{type(exc).__name__}: {exc}"
+    except Exception as exc:  # noqa: BLE001 - schedule outcome, not a crash
+        ok, error = False, f"{type(exc).__name__}: {exc}"
+    else:
+        digest = canonical_bytes(report.index)
+        if expected is not None:
+            matches = digest == expected
+
+    races = find_races(tracer)
+    inversions = find_lock_inversions(tracer)
+    return ScheduleRun(
+        engine=engine,
+        config=config,
+        seed=seed,
+        strategy=concrete,
+        ok=ok,
+        error=error,
+        races=races,
+        inversions=inversions,
+        matches_reference=matches,
+        steps=scheduler.steps,
+        event_count=len(tracer.trace),
+        digest=digest,
+        tracer=tracer if keep_trace else None,
+        schedule=list(scheduler.schedule_log) if keep_trace else None,
+    )
+
+
+@dataclass
+class ExplorationReport:
+    """Aggregate outcome of a seed sweep."""
+
+    engine: str
+    config: ThreadConfig
+    strategy: str
+    runs: List[ScheduleRun] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[ScheduleRun]:
+        return [run for run in self.runs if not run.clean]
+
+    @property
+    def clean(self) -> bool:
+        return not self.failures
+
+    @property
+    def total_steps(self) -> int:
+        return sum(run.steps for run in self.runs)
+
+    def summary(self) -> str:
+        status = "clean" if self.clean else f"{len(self.failures)} FAILING"
+        return (
+            f"{self.engine} {self.config}: {len(self.runs)} schedules "
+            f"({self.strategy}), {self.total_steps} scheduling decisions, "
+            f"{status}"
+        )
+
+
+def explore(
+    engine: str,
+    config: ThreadConfig,
+    seeds: Sequence[int],
+    fs=None,
+    strategy: str = "mixed",
+    pct_depth: int = 3,
+    file_count: int = 10,
+    max_steps: int = 200_000,
+    stop_on_failure: bool = False,
+) -> ExplorationReport:
+    """Run one engine/config under every seed and check each outcome."""
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from {sorted(ENGINES)}"
+        )
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; choose from {STRATEGIES}"
+        )
+    if fs is None:
+        fs = make_corpus(file_count=file_count)
+    expected = sequential_reference(fs)
+    report = ExplorationReport(engine=engine, config=config, strategy=strategy)
+    for seed in seeds:
+        run = run_schedule(
+            engine,
+            config,
+            fs,
+            seed,
+            strategy=strategy,
+            pct_depth=pct_depth,
+            expected=expected,
+            max_steps=max_steps,
+        )
+        report.runs.append(run)
+        if stop_on_failure and not run.clean:
+            break
+    return report
+
+
+def parse_seed_range(text: str) -> Tuple[int, int]:
+    """``"0:200"`` -> (0, 200); a bare ``"7"`` means the single seed 7."""
+    if ":" in text:
+        lo_text, hi_text = text.split(":", 1)
+        lo, hi = int(lo_text), int(hi_text)
+    else:
+        lo = int(text)
+        hi = lo + 1
+    if hi <= lo:
+        raise ValueError(f"empty seed range {text!r}")
+    return lo, hi

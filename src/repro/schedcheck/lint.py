@@ -1,0 +1,141 @@
+"""Raw-threading lint for engine code.
+
+The schedule checker only sees synchronization that flows through the
+:class:`~repro.concurrency.provider.SyncProvider` seam.  A raw
+``threading.Lock()`` in engine code is invisible to it — silently
+un-checked concurrency — so this lint fails the build when engine
+modules construct threading primitives directly instead of asking their
+provider.  Wired into CI next to the test run; also exposed as
+``python -m repro.schedcheck.lint [paths...]``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+# Constructors that create synchronization state behind the provider's
+# back.  threading.current_thread / get_ident etc. are read-only and fine.
+BANNED_CONSTRUCTS = frozenset(
+    {
+        "Lock",
+        "RLock",
+        "Condition",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Event",
+        "Barrier",
+        "Thread",
+    }
+)
+
+# Engine modules must route ALL sync through self.sync.  The process
+# backend is exempt: multiprocessing primitives are out of schedcheck's
+# scope (separate address spaces, no shared memory to race on).
+DEFAULT_TARGETS = (
+    Path(__file__).resolve().parents[1] / "engine",
+    Path(__file__).resolve().parents[1] / "concurrency",
+)
+EXEMPT_NAMES = frozenset({"procbackend.py", "pool.py", "provider.py"})
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One raw threading-primitive construction in checked code."""
+
+    path: Path
+    line: int
+    construct: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.path}:{self.line}: raw threading.{self.construct} — "
+            "obtain it from the SyncProvider (self.sync) so schedcheck "
+            "can instrument it"
+        )
+
+
+class _RawThreadingVisitor(ast.NodeVisitor):
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self.findings: List[LintFinding] = []
+        # Names that alias the threading module in this file.
+        self._module_aliases = {"threading"}
+        # Banned names imported directly (from threading import Lock).
+        self._direct_names: dict = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "threading":
+                self._module_aliases.add(alias.asname or "threading")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "threading":
+            for alias in node.names:
+                if alias.name in BANNED_CONSTRUCTS:
+                    self._direct_names[alias.asname or alias.name] = alias.name
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self._module_aliases
+            and func.attr in BANNED_CONSTRUCTS
+        ):
+            self.findings.append(
+                LintFinding(self.path, node.lineno, func.attr)
+            )
+        elif isinstance(func, ast.Name) and func.id in self._direct_names:
+            self.findings.append(
+                LintFinding(
+                    self.path, node.lineno, self._direct_names[func.id]
+                )
+            )
+        self.generic_visit(node)
+
+
+def lint_file(path: Path) -> List[LintFinding]:
+    """All raw threading constructions in one source file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    visitor = _RawThreadingVisitor(path)
+    visitor.visit(tree)
+    return visitor.findings
+
+
+def lint_paths(paths: Iterable[Path]) -> List[LintFinding]:
+    """Lint every ``.py`` under the given files/directories."""
+    findings: List[LintFinding] = []
+    for target in paths:
+        if target.is_dir():
+            files = sorted(target.rglob("*.py"))
+        else:
+            files = [target]
+        for file in files:
+            if file.name in EXEMPT_NAMES:
+                continue
+            findings.extend(lint_file(file))
+    return findings
+
+
+def main(argv: Sequence[str] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    targets = [Path(a) for a in args] if args else list(DEFAULT_TARGETS)
+    findings = lint_paths(targets)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"raw-threading lint: {len(findings)} finding(s)")
+        return 1
+    checked = ", ".join(str(t) for t in targets)
+    print(f"raw-threading lint: clean ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

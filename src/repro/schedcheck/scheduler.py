@@ -1,0 +1,296 @@
+"""A cooperative deterministic scheduler for the threaded engines.
+
+Managed threads run on real OS threads, but only one holds the *turn*
+at any moment: every instrumented sync point hands the turn back to the
+driver, which asks a seeded :class:`Strategy` which runnable thread
+goes next.  Because every scheduling decision is a pure function of the
+seed and the (deterministic) program, a failing schedule is replayed by
+rerunning the same seed — the whole point of the subsystem.
+
+Blocking never reaches the OS: an instrumented lock or condition that
+cannot proceed parks its thread with :meth:`CooperativeScheduler.block`
+and the releaser/notifier re-marks it runnable.  When nothing is
+runnable the scheduler either fires a pending *timed* wait (modelling a
+timeout deterministically) or reports a :class:`DeadlockError` naming
+every parked thread and what it waits for.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+BlockReason = Tuple[str, str]  # (kind, resource), e.g. ("lock", "impl1...")
+
+
+class DeadlockError(RuntimeError):
+    """No thread can make progress; carries who waits on what."""
+
+    def __init__(self, blocked: Dict[str, str]) -> None:
+        self.blocked = blocked
+        lines = ", ".join(f"{t} on {r}" for t, r in sorted(blocked.items()))
+        super().__init__(f"deadlock: every live thread is parked ({lines})")
+
+
+class ScheduleBudgetExceeded(RuntimeError):
+    """The schedule ran past ``max_steps`` (livelock guard)."""
+
+
+class Strategy:
+    """Picks the next thread to run among the runnable ones.
+
+    ``runnable`` is presented in thread-creation order, which is itself
+    deterministic under the scheduler, so equal seeds yield equal
+    schedules.
+    """
+
+    name = "strategy"
+
+    def choose(self, runnable: Sequence[str], step: int) -> str:
+        raise NotImplementedError
+
+
+class RandomWalkStrategy(Strategy):
+    """Uniformly random runnable thread at every step."""
+
+    name = "random"
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def choose(self, runnable: Sequence[str], step: int) -> str:
+        return runnable[self._rng.randrange(len(runnable))]
+
+
+class PCTStrategy(Strategy):
+    """Probabilistic Concurrency Testing (Burckhardt et al.).
+
+    Each thread gets a random priority on first sight; the highest
+    runnable priority always runs, except at ``depth - 1`` pre-sampled
+    change points where the current leader is demoted below everyone.
+    PCT finds bugs of depth *d* with provable probability, and it drives
+    threads much deeper into lopsided schedules than a random walk.
+    """
+
+    name = "pct"
+
+    def __init__(self, seed: int, depth: int = 3, horizon: int = 4000) -> None:
+        self.seed = seed
+        self.depth = depth
+        self._rng = random.Random((seed << 4) ^ 0x5CEDC0DE)
+        self._priorities: Dict[str, float] = {}
+        self._demotion = 0.0
+        count = max(0, min(depth - 1, horizon))
+        self._change_points = frozenset(
+            self._rng.sample(range(1, horizon + 1), count)
+        )
+
+    def choose(self, runnable: Sequence[str], step: int) -> str:
+        for tid in runnable:
+            if tid not in self._priorities:
+                self._priorities[tid] = 1.0 + self._rng.random()
+        pick = max(runnable, key=lambda t: self._priorities[t])
+        if step in self._change_points:
+            self._demotion -= 1.0
+            self._priorities[pick] = self._demotion
+        return pick
+
+
+def make_strategy(name: str, seed: int, pct_depth: int = 3) -> Strategy:
+    """Strategy factory used by the harness and CLI."""
+    if name == "random":
+        return RandomWalkStrategy(seed)
+    if name == "pct":
+        return PCTStrategy(seed, depth=pct_depth)
+    raise ValueError(f"unknown schedule strategy {name!r}")
+
+
+class _Managed:
+    """Book-keeping for one managed thread."""
+
+    __slots__ = ("tid", "hint", "semaphore", "state", "reason", "timed")
+
+    def __init__(self, tid: str, hint: str) -> None:
+        self.tid = tid
+        self.hint = hint
+        self.semaphore = threading.Semaphore(0)
+        self.state = "runnable"  # runnable | blocked | finished
+        self.reason: Optional[BlockReason] = None
+        self.timed = False
+
+
+class CooperativeScheduler:
+    """Serializes managed threads and explores interleavings by seed."""
+
+    def __init__(self, strategy: Strategy, max_steps: int = 400_000) -> None:
+        self.strategy = strategy
+        self.max_steps = max_steps
+        self.steps = 0
+        self.schedule_log: List[str] = []
+        self._threads: Dict[str, _Managed] = {}
+        self._order: List[str] = []
+        self._idents: Dict[int, str] = {}
+        self._driver = threading.Semaphore(0)
+        self._results: Dict[str, Any] = {}
+        self._errors: List[Tuple[str, BaseException]] = []
+        self._timeout_fired: set = set()
+        self._spawned = 0
+
+    # -- identity ---------------------------------------------------------
+
+    def current(self) -> Optional[str]:
+        """The managed tid of the calling thread, if managed."""
+        return self._idents.get(threading.get_ident())
+
+    def _require_current(self) -> str:
+        tid = self.current()
+        if tid is None:
+            raise RuntimeError(
+                "instrumented primitive used from a thread the cooperative "
+                "scheduler does not manage; create threads through the "
+                "instrumented SyncProvider"
+            )
+        return tid
+
+    def hint_for(self, tid: str) -> str:
+        managed = self._threads.get(tid)
+        return managed.hint if managed else tid
+
+    # -- spawning ---------------------------------------------------------
+
+    def spawn(self, fn: Callable[[], Any], hint: str = "") -> str:
+        """Create a managed thread; it runs only when granted the turn."""
+        tid = f"T{self._spawned}"
+        self._spawned += 1
+        managed = _Managed(tid, hint or tid)
+        self._threads[tid] = managed
+        self._order.append(tid)
+
+        def body() -> None:
+            self._idents[threading.get_ident()] = tid
+            managed.semaphore.acquire()
+            try:
+                self._results[tid] = fn()
+            except BaseException as exc:  # noqa: BLE001 - reported to driver
+                self._errors.append((tid, exc))
+            finally:
+                self._finish(tid)
+
+        thread = threading.Thread(target=body, name=tid, daemon=True)
+        thread.start()
+        return tid
+
+    def _finish(self, tid: str) -> None:
+        self._threads[tid].state = "finished"
+        self._wake(("join", tid))
+        self._driver.release()
+
+    # -- managed-thread side ----------------------------------------------
+
+    def yield_point(self) -> None:
+        """Hand the turn back to the driver; resume when granted again."""
+        tid = self.current()
+        if tid is None:
+            return  # unmanaged caller (record mode): nothing to do
+        managed = self._threads[tid]
+        self._driver.release()
+        managed.semaphore.acquire()
+
+    def block(self, reason: BlockReason, timed: bool = False) -> bool:
+        """Park the calling thread until :meth:`_wake` (or a fired
+        timeout) re-marks it runnable.  Returns True when woken by the
+        deterministic timeout machinery."""
+        tid = self._require_current()
+        managed = self._threads[tid]
+        managed.state = "blocked"
+        managed.reason = reason
+        managed.timed = timed
+        self._driver.release()
+        managed.semaphore.acquire()
+        fired = tid in self._timeout_fired
+        self._timeout_fired.discard(tid)
+        return fired
+
+    def _wake(self, reason: BlockReason, limit: Optional[int] = None) -> int:
+        woken = 0
+        for tid in self._order:
+            if limit is not None and woken >= limit:
+                break
+            managed = self._threads[tid]
+            if managed.state == "blocked" and managed.reason == reason:
+                managed.state = "runnable"
+                managed.reason = None
+                managed.timed = False
+                woken += 1
+        return woken
+
+    def wake(self, reason: BlockReason, limit: Optional[int] = None) -> int:
+        """Re-mark threads parked on ``reason`` runnable (all, or the
+        first ``limit`` in creation order).  Called by the running
+        thread from instrumented release/notify paths."""
+        return self._wake(reason, limit)
+
+    def join_thread(self, target: str) -> None:
+        """Cooperative join: park until ``target`` finishes."""
+        while self._threads[target].state != "finished":
+            self.block(("join", target))
+
+    def is_finished(self, tid: str) -> bool:
+        return self._threads[tid].state == "finished"
+
+    # -- driver side -------------------------------------------------------
+
+    def run(self, fn: Callable[[], Any], hint: str = "main") -> Any:
+        """Run ``fn`` as the root managed thread, driving the schedule
+        from the calling (unmanaged) thread until every managed thread
+        finishes.  Re-raises the first managed-thread exception."""
+        root = self.spawn(fn, hint)
+        while True:
+            live = [
+                t for t in self._order
+                if self._threads[t].state != "finished"
+            ]
+            if not live:
+                break
+            runnable = [
+                t for t in live if self._threads[t].state == "runnable"
+            ]
+            if not runnable:
+                timed = [t for t in live if self._threads[t].timed]
+                if timed:
+                    # Nothing can move: deterministically fire one timed
+                    # wait (the strategy picks whose timeout expires).
+                    victim = (
+                        timed[0] if len(timed) == 1
+                        else self.strategy.choose(timed, self.steps)
+                    )
+                    self._timeout_fired.add(victim)
+                    self._wake(self._threads[victim].reason)  # type: ignore[arg-type]
+                    continue
+                raise DeadlockError(
+                    {
+                        t: (
+                            f"{self._threads[t].reason} "
+                            f"[{self._threads[t].hint}]"
+                        )
+                        for t in live
+                    }
+                )
+            self.steps += 1
+            if self.steps > self.max_steps:
+                raise ScheduleBudgetExceeded(
+                    f"schedule exceeded {self.max_steps} steps"
+                )
+            pick = (
+                runnable[0] if len(runnable) == 1
+                else self.strategy.choose(runnable, self.steps)
+            )
+            self.schedule_log.append(pick)
+            self._threads[pick].semaphore.release()
+            self._driver.acquire()
+        if self._errors:
+            _tid, error = self._errors[0]
+            raise error
+        return self._results.get(root)

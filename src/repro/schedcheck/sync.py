@@ -1,0 +1,381 @@
+"""Instrumented drop-in synchronization primitives.
+
+:class:`InstrumentedSyncProvider` implements the engine's
+:class:`~repro.concurrency.provider.SyncProvider` seam in two modes:
+
+* **record mode** (no scheduler): primitives wrap the real ``threading``
+  objects and record every acquire/release/wait/notify with vector
+  clocks while the OS schedules freely — race detection on whatever
+  interleaving actually happened;
+* **controlled mode** (with a
+  :class:`~repro.schedcheck.scheduler.CooperativeScheduler`): primitives
+  never block in the OS at all.  A lock that cannot be taken parks its
+  thread with the scheduler; a release re-marks waiters runnable.  The
+  scheduler then explores interleavings from a seed, and the same seed
+  replays the same schedule event-for-event.
+
+Because :class:`~repro.concurrency.buffers.BoundedBuffer`,
+:class:`~repro.concurrency.barrier.ReusableBarrier` and
+:class:`~repro.concurrency.sharded.ShardedLock` build their internals
+through the provider, the schedule checker exercises the *production*
+algorithms of those primitives, not reimplementations.
+
+This module is the instrumented layer itself, so it is the one place
+(besides the raw provider) allowed to touch ``threading`` directly.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional, Tuple
+
+from repro.concurrency.provider import SyncProvider
+from repro.schedcheck.scheduler import CooperativeScheduler
+from repro.schedcheck.tracer import Tracer
+
+
+class InstrumentedSyncProvider(SyncProvider):
+    """Tracing (and optionally deterministically scheduled) provider."""
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        scheduler: Optional[CooperativeScheduler] = None,
+    ) -> None:
+        self.tracer = tracer or Tracer()
+        self.scheduler = scheduler
+        self._names = {}  # record mode: OS thread ident -> tid
+        self._name_lock = threading.Lock()
+        self._counter = 0
+
+    # -- identity ---------------------------------------------------------
+
+    def _tid(self) -> str:
+        if self.scheduler is not None:
+            return self.scheduler.current() or "driver"
+        ident = threading.get_ident()
+        tid = self._names.get(ident)
+        if tid is None:
+            with self._name_lock:
+                tid = self._names.get(ident)
+                if tid is None:
+                    tid = f"T{self._counter}"
+                    self._counter += 1
+                    self._names[ident] = tid
+        return tid
+
+    def _alloc_record_tid(self) -> str:
+        with self._name_lock:
+            tid = f"T{self._counter}"
+            self._counter += 1
+            return tid
+
+    # -- SyncProvider surface ---------------------------------------------
+
+    def lock(self, name: str = "lock"):
+        if self.scheduler is not None:
+            return _CoopLock(self, name)
+        return _RecordLock(self, name)
+
+    def condition(self, lock=None, name: str = "condition"):
+        if lock is None:
+            lock = self.lock(f"{name}.lock")
+        if self.scheduler is not None:
+            return _CoopCondition(self, lock, name)
+        return _RecordCondition(self, lock, name)
+
+    def thread(
+        self,
+        target: Callable[..., None],
+        args: Tuple = (),
+        name: Optional[str] = None,
+    ):
+        hint = name or "worker"
+        if self.scheduler is not None:
+            return _CoopThread(self, target, args, hint)
+        return _RecordThread(self, target, args, hint)
+
+    def access(self, location: str, write: bool = True) -> None:
+        if self.scheduler is not None:
+            self.scheduler.yield_point()
+        self.tracer.accessed(self._tid(), location, write)
+
+    def run(self, fn: Callable[[], object]):
+        """Record mode: call ``fn``.  Controlled mode: run it as the
+        root managed thread under the deterministic scheduler."""
+        if self.scheduler is None:
+            return fn()
+        scheduler = self.scheduler
+
+        def body():
+            tid = scheduler.current()
+            self.tracer.thread_begun(tid)
+            try:
+                return fn()
+            finally:
+                self.tracer.thread_finished(tid)
+
+        return scheduler.run(body, hint="build-main")
+
+
+# -- controlled-mode primitives (never block in the OS) --------------------
+
+
+class _CoopLock:
+    """Mutual exclusion by turn-taking: contenders park in the
+    scheduler instead of the kernel."""
+
+    def __init__(self, provider: InstrumentedSyncProvider, name: str) -> None:
+        self._provider = provider
+        self.name = name
+        self._holder: Optional[str] = None
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        scheduler = self._provider.scheduler
+        scheduler.yield_point()  # a schedule decision before every acquire
+        tid = scheduler.current()
+        if tid is None:
+            raise RuntimeError(
+                f"lock {self.name!r} used from an unmanaged thread under "
+                "the cooperative scheduler"
+            )
+        while self._holder is not None:
+            if not blocking:
+                return False
+            scheduler.block(("lock", self.name))
+        self._holder = tid
+        self._provider.tracer.acquired(tid, self.name)
+        return True
+
+    def release(self) -> None:
+        tid = self._provider.scheduler.current()
+        if self._holder != tid:
+            raise RuntimeError(
+                f"lock {self.name!r} released by {tid} but held by "
+                f"{self._holder}"
+            )
+        self._provider.tracer.released(tid, self.name)
+        self._holder = None
+        self._provider.scheduler.wake(("lock", self.name))
+
+    def locked(self) -> bool:
+        return self._holder is not None
+
+    def __enter__(self) -> "_CoopLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.release()
+
+
+class _CoopCondition:
+    """Condition variable over a :class:`_CoopLock`."""
+
+    def __init__(
+        self, provider: InstrumentedSyncProvider, lock, name: str
+    ) -> None:
+        self._provider = provider
+        self._lock = lock
+        self.name = name
+
+    def __enter__(self) -> "_CoopCondition":
+        self._lock.acquire()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self._lock.release()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        provider = self._provider
+        scheduler = provider.scheduler
+        tid = scheduler.current()
+        if self._lock._holder != tid:
+            raise RuntimeError(
+                f"condition {self.name!r} waited on without holding its lock"
+            )
+        provider.tracer.wait_begun(tid, self.name)
+        self._lock.release()
+        fired = scheduler.block(("cond", self.name), timed=timeout is not None)
+        self._lock.acquire()
+        if fired:
+            provider.tracer.timed_out(tid, self.name)
+            return False
+        provider.tracer.woken(tid, self.name)
+        return True
+
+    def notify(self, n: int = 1) -> None:
+        provider = self._provider
+        provider.tracer.notified(provider._tid(), self.name, detail=f"n={n}")
+        provider.scheduler.wake(("cond", self.name), limit=n)
+
+    def notify_all(self) -> None:
+        provider = self._provider
+        provider.tracer.notified(provider._tid(), self.name, detail="all")
+        provider.scheduler.wake(("cond", self.name))
+
+
+class _CoopThread:
+    """Managed thread: starts parked, runs only when granted the turn."""
+
+    def __init__(
+        self,
+        provider: InstrumentedSyncProvider,
+        target: Callable[..., None],
+        args: Tuple,
+        hint: str,
+    ) -> None:
+        self._provider = provider
+        self._target = target
+        self._args = args
+        self._hint = hint
+        self._tid: Optional[str] = None
+
+    def start(self) -> None:
+        provider = self._provider
+        scheduler = provider.scheduler
+        parent = scheduler.current()
+
+        def body() -> None:
+            tid = scheduler.current()
+            provider.tracer.thread_begun(tid)
+            try:
+                self._target(*self._args)
+            finally:
+                provider.tracer.thread_finished(tid)
+
+        # The new thread cannot run before this method returns: the
+        # caller holds the scheduler turn until its next yield point,
+        # so the fork edge below always precedes the child's first op.
+        self._tid = scheduler.spawn(body, hint=self._hint)
+        provider.tracer.thread_created(parent, self._tid)
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        # Cooperative join; the deterministic scheduler has no wall
+        # clock, so a join timeout is meaningless and ignored.
+        scheduler = self._provider.scheduler
+        scheduler.join_thread(self._tid)
+        self._provider.tracer.thread_joined(scheduler.current(), self._tid)
+
+    def is_alive(self) -> bool:
+        return not self._provider.scheduler.is_finished(self._tid)
+
+
+# -- record-mode primitives (real threading + tracing) ---------------------
+
+
+class _RecordLock:
+    """A real lock that records acquire/release with vector clocks."""
+
+    def __init__(self, provider: InstrumentedSyncProvider, name: str) -> None:
+        self._provider = provider
+        self.name = name
+        self._lock = threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        ok = self._lock.acquire(blocking, timeout)
+        if ok:
+            self._provider.tracer.acquired(self._provider._tid(), self.name)
+        return ok
+
+    def release(self) -> None:
+        # Record before dropping the lock so the release clock is in
+        # place when the next holder's acquire joins it.
+        self._provider.tracer.released(self._provider._tid(), self.name)
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> "_RecordLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.release()
+
+
+class _RecordCondition:
+    """A real condition over a :class:`_RecordLock`'s inner lock."""
+
+    def __init__(
+        self, provider: InstrumentedSyncProvider, lock: _RecordLock, name: str
+    ) -> None:
+        self._provider = provider
+        self._ilock = lock
+        self._cond = threading.Condition(lock._lock)
+        self.name = name
+
+    def __enter__(self) -> "_RecordCondition":
+        self._ilock.acquire()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self._ilock.release()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        provider = self._provider
+        tid = provider._tid()
+        provider.tracer.wait_begun(tid, self.name)
+        provider.tracer.released(tid, self._ilock.name)
+        ok = self._cond.wait(timeout)
+        provider.tracer.acquired(tid, self._ilock.name)
+        if ok:
+            provider.tracer.woken(tid, self.name)
+            return True
+        provider.tracer.timed_out(tid, self.name)
+        return False
+
+    def notify(self, n: int = 1) -> None:
+        self._provider.tracer.notified(
+            self._provider._tid(), self.name, detail=f"n={n}"
+        )
+        self._cond.notify(n)
+
+    def notify_all(self) -> None:
+        self._provider.tracer.notified(
+            self._provider._tid(), self.name, detail="all"
+        )
+        self._cond.notify_all()
+
+
+class _RecordThread:
+    """A real thread that records fork/begin/end/join edges."""
+
+    def __init__(
+        self,
+        provider: InstrumentedSyncProvider,
+        target: Callable[..., None],
+        args: Tuple,
+        hint: str,
+    ) -> None:
+        self._provider = provider
+        self._tid = provider._alloc_record_tid()
+
+        def body() -> None:
+            provider._names[threading.get_ident()] = self._tid
+            provider.tracer.thread_begun(self._tid)
+            try:
+                target(*args)
+            finally:
+                provider.tracer.thread_finished(self._tid)
+
+        self._thread = threading.Thread(
+            target=body, name=f"{self._tid}:{hint}", daemon=True
+        )
+
+    def start(self) -> None:
+        self._provider.tracer.thread_created(
+            self._provider._tid(), self._tid
+        )
+        self._thread.start()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self._thread.join(timeout)
+        if not self._thread.is_alive():
+            self._provider.tracer.thread_joined(
+                self._provider._tid(), self._tid
+            )
+
+    def is_alive(self) -> bool:
+        return self._thread.is_alive()

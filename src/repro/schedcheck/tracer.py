@@ -1,0 +1,184 @@
+"""Vector-clocked bookkeeping behind the instrumented sync layer.
+
+The tracer owns, per run:
+
+* one vector clock per thread, advanced on every instrumented op;
+* per-lock "last release" clocks — an acquire joins the previous
+  release, which is exactly the happens-before edge locking creates;
+* per-condition "notify" clocks — a woken waiter joins the accumulated
+  notifier clock (a sound over-approximation: it can only create extra
+  happens-before edges, so it never fabricates a race);
+* thread fork/finish/join edges;
+* the :class:`~repro.schedcheck.events.Trace` of events, the list of
+  :class:`~repro.schedcheck.events.Access` records, and the lock-order
+  edges the inversion checker consumes.
+
+All mutation happens under one internal mutex, so the same tracer works
+in record mode (free-running OS threads) and in controlled mode (where
+the cooperative scheduler serializes callers anyway).  This module is
+part of the instrumented layer itself and therefore uses ``threading``
+directly.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.schedcheck.events import Access, EventKind, Trace
+from repro.schedcheck.vectorclock import VectorClock
+
+
+class Tracer:
+    """Happens-before bookkeeping for one schedule/run."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self.trace = Trace()
+        self.accesses: List[Access] = []
+        self._clocks: Dict[str, VectorClock] = {}
+        self._release_clocks: Dict[str, VectorClock] = {}
+        self._notify_clocks: Dict[str, VectorClock] = {}
+        self._finish_clocks: Dict[str, VectorClock] = {}
+        # Locks currently held per thread, in acquisition order.
+        self._held: Dict[str, List[str]] = {}
+        # (outer lock, inner lock) -> first witnessing event seq.
+        self.lock_order_edges: Dict[Tuple[str, str], int] = {}
+
+    # -- clock plumbing --------------------------------------------------
+
+    def _clock(self, tid: str) -> VectorClock:
+        clock = self._clocks.get(tid)
+        if clock is None:
+            clock = VectorClock()
+            clock.tick(tid)
+            self._clocks[tid] = clock
+        return clock
+
+    def _event(
+        self, tid: str, kind: EventKind, resource: str, detail: str = ""
+    ) -> None:
+        self.trace.add(
+            tid, kind, resource, self._clock(tid).as_dict(), detail
+        )
+
+    # -- thread lifecycle ------------------------------------------------
+
+    def thread_created(self, parent: Optional[str], child: str) -> None:
+        """Fork edge: the child starts with the parent's knowledge."""
+        with self._mutex:
+            child_clock = VectorClock()
+            if parent is not None:
+                parent_clock = self._clock(parent)
+                parent_clock.tick(parent)
+                child_clock.join(parent_clock)
+            child_clock.tick(child)
+            self._clocks[child] = child_clock
+            self._held.setdefault(child, [])
+            if parent is not None:
+                self._event(parent, EventKind.SPAWN, child)
+
+    def thread_begun(self, tid: str) -> None:
+        with self._mutex:
+            self._event(tid, EventKind.BEGIN, tid)
+
+    def thread_finished(self, tid: str) -> None:
+        with self._mutex:
+            clock = self._clock(tid)
+            clock.tick(tid)
+            self._finish_clocks[tid] = clock.copy()
+            self._event(tid, EventKind.END, tid)
+
+    def thread_joined(self, joiner: str, target: str) -> None:
+        """Join edge: the joiner learns everything the target did."""
+        with self._mutex:
+            clock = self._clock(joiner)
+            clock.join(self._finish_clocks.get(target))
+            clock.tick(joiner)
+            self._event(joiner, EventKind.JOIN, target)
+
+    # -- locks -----------------------------------------------------------
+
+    def acquired(self, tid: str, resource: str) -> None:
+        with self._mutex:
+            clock = self._clock(tid)
+            clock.join(self._release_clocks.get(resource))
+            clock.tick(tid)
+            held = self._held.setdefault(tid, [])
+            for outer in held:
+                if outer != resource:
+                    self.lock_order_edges.setdefault(
+                        (outer, resource), len(self.trace)
+                    )
+            held.append(resource)
+            self._event(tid, EventKind.ACQUIRE, resource)
+
+    def released(self, tid: str, resource: str) -> None:
+        with self._mutex:
+            clock = self._clock(tid)
+            clock.tick(tid)
+            self._release_clocks[resource] = clock.copy()
+            held = self._held.setdefault(tid, [])
+            if resource in held:
+                held.remove(resource)
+            self._event(tid, EventKind.RELEASE, resource)
+
+    # -- condition variables ---------------------------------------------
+
+    def wait_begun(self, tid: str, resource: str) -> None:
+        with self._mutex:
+            clock = self._clock(tid)
+            clock.tick(tid)
+            self._event(tid, EventKind.WAIT, resource)
+
+    def notified(self, tid: str, resource: str, detail: str = "") -> None:
+        with self._mutex:
+            clock = self._clock(tid)
+            clock.tick(tid)
+            accumulated = self._notify_clocks.setdefault(
+                resource, VectorClock()
+            )
+            accumulated.join(clock)
+            self._event(tid, EventKind.NOTIFY, resource, detail)
+
+    def woken(self, tid: str, resource: str) -> None:
+        with self._mutex:
+            clock = self._clock(tid)
+            clock.join(self._notify_clocks.get(resource))
+            clock.tick(tid)
+            self._event(tid, EventKind.WAKE, resource)
+
+    def timed_out(self, tid: str, resource: str) -> None:
+        with self._mutex:
+            clock = self._clock(tid)
+            clock.tick(tid)
+            self._event(tid, EventKind.TIMEOUT, resource)
+
+    # -- shared-memory accesses -------------------------------------------
+
+    def accessed(self, tid: str, location: str, write: bool) -> None:
+        with self._mutex:
+            clock = self._clock(tid)
+            clock.tick(tid)
+            access = Access(
+                seq=len(self.trace),
+                thread=tid,
+                location=location,
+                write=write,
+                epoch=clock.get(tid),
+                clock=clock.as_dict(),
+                locks=frozenset(self._held.get(tid, ())),
+            )
+            self.accesses.append(access)
+            self._event(
+                tid,
+                EventKind.ACCESS,
+                location,
+                detail="write" if write else "read",
+            )
+
+    # -- introspection ----------------------------------------------------
+
+    def threads(self) -> Set[str]:
+        with self._mutex:
+            return set(self._clocks)

@@ -1,0 +1,66 @@
+"""Vector clocks over string thread ids.
+
+The tracer stamps every synchronization event and shared-memory access
+with the acting thread's vector clock; the race detector then decides
+"did A happen before B?" with a component comparison instead of
+replaying the schedule.  Clocks are sparse dicts — most builds involve
+a handful of threads, and a missing component means 0.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+
+class VectorClock:
+    """A sparse ``thread id -> logical time`` mapping."""
+
+    __slots__ = ("_clock",)
+
+    def __init__(self, clock: Optional[Mapping[str, int]] = None) -> None:
+        self._clock: Dict[str, int] = dict(clock or {})
+
+    def tick(self, tid: str) -> None:
+        """Advance ``tid``'s own component by one."""
+        self._clock[tid] = self._clock.get(tid, 0) + 1
+
+    def join(self, other: Optional["VectorClock"]) -> None:
+        """Component-wise maximum (in place); ``None`` is a no-op."""
+        if other is None:
+            return
+        for tid, value in other._clock.items():
+            if value > self._clock.get(tid, 0):
+                self._clock[tid] = value
+
+    def get(self, tid: str) -> int:
+        """The component for ``tid`` (0 if never seen)."""
+        return self._clock.get(tid, 0)
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._clock)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._clock)
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """True when every component of ``other`` is <= this clock —
+        i.e. ``other`` happened before (or equals) this clock."""
+        return all(
+            value <= self._clock.get(tid, 0)
+            for tid, value in other._clock.items()
+        )
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """Neither clock dominates the other."""
+        return not self.dominates(other) and not other.dominates(self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self.dominates(other) and other.dominates(self)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{tid}:{v}" for tid, v in sorted(self._clock.items())
+        )
+        return f"VC({inner})"

@@ -55,3 +55,57 @@ class TestEquivalenceMatrix:
             f"{implementation.paper_name} / {strategy_name} / "
             f"{dynamic or 'static'} diverged from the sequential build"
         )
+
+
+# -- deterministic schedule matrix -----------------------------------------
+#
+# The equivalence matrix above runs each combination once under whatever
+# interleaving the OS happens to produce.  This sweep pins the
+# interleaving instead: every threaded engine is built under 50 seeded
+# schedules (random walks and PCT priorities) with race and
+# lock-inversion checking on, and every schedule must yield an index
+# byte-identical to the sequential build.
+
+from repro.engine.config import ThreadConfig as _ThreadConfig  # noqa: E402
+from repro.schedcheck import explore, make_corpus, sequential_reference  # noqa: E402
+
+SCHEDULE_SEEDS = 50
+SCHEDULE_CONFIGS = {
+    "impl1": (2, 1, 0),   # shared locked index
+    "impl1s": (2, 1, 0),  # lock-striped shards
+    "impl2": (2, 0, 1),   # replicated, joined (inline updates)
+    "impl3": (2, 2, 0),   # replicated, unjoined
+}
+
+
+@pytest.fixture(scope="module")
+def schedule_fs():
+    return make_corpus(file_count=8)
+
+
+@pytest.fixture(scope="module")
+def schedule_reference(schedule_fs):
+    return sequential_reference(schedule_fs)
+
+
+@pytest.mark.parametrize("engine", sorted(SCHEDULE_CONFIGS))
+def test_fifty_seeded_schedules_per_engine(
+    engine, schedule_fs, schedule_reference
+):
+    report = explore(
+        engine,
+        _ThreadConfig(*SCHEDULE_CONFIGS[engine]),
+        range(SCHEDULE_SEEDS),
+        fs=schedule_fs,
+        strategy="mixed",  # even seeds random walk, odd seeds PCT
+    )
+    assert len(report.runs) == SCHEDULE_SEEDS
+    failures = report.failures
+    assert not failures, "\n".join(
+        run.describe()
+        + f"\n  replay: repro-schedcheck --engine {engine} "
+        f"--strategy {run.strategy} --replay {run.seed}"
+        for run in failures[:5]
+    )
+    for run in report.runs:
+        assert run.matches_reference is True

@@ -1,0 +1,488 @@
+"""The schedule checker, checked.
+
+Covers the subsystem's own guarantees: replay determinism, the
+differential oracle against the sequential build, deadlock and timeout
+modelling, happens-before race detection (including the mutation
+self-test: a deliberately broken lock must be caught with a replayable
+seed), lock-order-inversion detection, record mode, the raw-threading
+lint, and the ``repro-schedcheck`` CLI.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.engine.config import ThreadConfig
+from repro.schedcheck import (
+    CooperativeScheduler,
+    DeadlockError,
+    InstrumentedSyncProvider,
+    Tracer,
+    UnlockedSyncProvider,
+    VectorClock,
+    explore,
+    find_lock_inversions,
+    find_races,
+    make_corpus,
+    make_strategy,
+    run_schedule,
+    sequential_reference,
+)
+from repro.schedcheck.cli import main as cli_main
+from repro.schedcheck.harness import parse_seed_range
+from repro.schedcheck.lint import lint_file, lint_paths, DEFAULT_TARGETS
+
+
+@pytest.fixture(scope="module")
+def sched_fs():
+    return make_corpus(file_count=8)
+
+
+@pytest.fixture(scope="module")
+def sched_ref(sched_fs):
+    return sequential_reference(sched_fs)
+
+
+# -- vector clocks ---------------------------------------------------------
+
+
+class TestVectorClock:
+    def test_tick_and_get(self):
+        clock = VectorClock()
+        assert clock.get("a") == 0
+        clock.tick("a")
+        clock.tick("a")
+        assert clock.get("a") == 2
+
+    def test_join_is_componentwise_max(self):
+        a = VectorClock({"x": 3, "y": 1})
+        b = VectorClock({"y": 5, "z": 2})
+        a.join(b)
+        assert a.as_dict() == {"x": 3, "y": 5, "z": 2}
+
+    def test_join_none_is_noop(self):
+        a = VectorClock({"x": 1})
+        a.join(None)
+        assert a.as_dict() == {"x": 1}
+
+    def test_dominates_and_concurrent(self):
+        lo = VectorClock({"a": 1})
+        hi = VectorClock({"a": 2, "b": 1})
+        assert hi.dominates(lo)
+        assert not lo.dominates(hi)
+        sideways = VectorClock({"c": 1})
+        assert lo.concurrent_with(sideways)
+        assert not lo.concurrent_with(hi)
+
+
+# -- determinism / replay --------------------------------------------------
+
+
+@pytest.mark.parametrize("strategy", ["random", "pct"])
+def test_same_seed_replays_identically(sched_fs, strategy):
+    config = ThreadConfig(2, 1, 0)
+    first = run_schedule(
+        "impl1", config, sched_fs, seed=11, strategy=strategy, keep_trace=True
+    )
+    second = run_schedule(
+        "impl1", config, sched_fs, seed=11, strategy=strategy, keep_trace=True
+    )
+    assert first.schedule == second.schedule
+    assert first.tracer.trace.signature() == second.tracer.trace.signature()
+    assert first.digest == second.digest
+
+
+def test_different_seeds_explore_different_schedules(sched_fs):
+    config = ThreadConfig(2, 1, 0)
+    schedules = {
+        tuple(
+            run_schedule(
+                "impl1", config, sched_fs, seed, strategy="random",
+                keep_trace=True,
+            ).schedule
+        )
+        for seed in range(6)
+    }
+    assert len(schedules) > 1, "six seeds produced one identical schedule"
+
+
+def test_strategy_factory_rejects_unknown():
+    with pytest.raises(ValueError):
+        make_strategy("fifo", 0)
+
+
+# -- differential oracle ---------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "engine,threads",
+    [
+        ("impl1", (2, 1, 0)),
+        ("impl1s", (2, 1, 0)),
+        ("impl2", (2, 0, 1)),
+        ("impl3", (2, 2, 0)),
+    ],
+)
+def test_explored_schedules_match_sequential(
+    sched_fs, sched_ref, engine, threads
+):
+    for seed in (0, 1):
+        run = run_schedule(
+            engine,
+            ThreadConfig(*threads),
+            sched_fs,
+            seed,
+            strategy="mixed",
+            expected=sched_ref,
+        )
+        assert run.ok, run.error
+        assert run.matches_reference is True
+        assert not run.races, run.races
+        assert not run.inversions, run.inversions
+
+
+def test_explore_report_aggregates(sched_fs):
+    report = explore(
+        "impl2", ThreadConfig(2, 0, 1), range(4), fs=sched_fs
+    )
+    assert len(report.runs) == 4
+    assert report.clean
+    assert report.total_steps > 0
+    assert "clean" in report.summary()
+
+
+# -- mutation self-test ----------------------------------------------------
+
+
+def _broken_impl1_factory(tracer, scheduler):
+    return UnlockedSyncProvider(
+        tracer=tracer, scheduler=scheduler, break_locks=("impl1.index-lock",)
+    )
+
+
+def test_broken_lock_is_caught_with_replayable_seed(sched_fs, sched_ref):
+    """The acceptance mutation: disabling Implementation 1's index lock
+    must surface as a detected race, and the seed must replay it."""
+    config = ThreadConfig(2, 0, 0)  # two extractors write the index inline
+    caught_seed = None
+    for seed in range(20):
+        run = run_schedule(
+            "impl1", config, sched_fs, seed, strategy="random",
+            expected=sched_ref, provider_factory=_broken_impl1_factory,
+        )
+        if run.races:
+            caught_seed = seed
+            race = run.races[0]
+            break
+    assert caught_seed is not None, "mutation survived 20 schedules"
+    assert race.location == "impl1.shared-index"
+    assert not race.first.locks and not race.second.locks
+
+    # Replay: the same seed finds the same first race again.
+    replay = run_schedule(
+        "impl1", config, sched_fs, caught_seed, strategy="random",
+        expected=sched_ref, provider_factory=_broken_impl1_factory,
+    )
+    assert replay.races
+    assert replay.races[0].first.seq == race.first.seq
+    assert replay.races[0].second.seq == race.second.seq
+
+
+def test_intact_lock_stays_clean_on_same_seeds(sched_fs, sched_ref):
+    config = ThreadConfig(2, 0, 0)
+    for seed in range(10):
+        run = run_schedule(
+            "impl1", config, sched_fs, seed, strategy="random",
+            expected=sched_ref,
+        )
+        assert run.clean, run.describe()
+
+
+# -- deadlock + lock-order inversion ---------------------------------------
+
+
+def _inversion_scenario(provider):
+    """Two threads nest two locks in opposite orders."""
+    first = provider.lock("inv.A")
+    second = provider.lock("inv.B")
+
+    def forward():
+        with first:
+            provider.access("inv.data")
+            with second:
+                provider.access("inv.data")
+
+    def backward():
+        with second:
+            provider.access("inv.data")
+            with first:
+                provider.access("inv.data")
+
+    one = provider.thread(forward, name="forward")
+    two = provider.thread(backward, name="backward")
+    one.start()
+    two.start()
+    one.join()
+    two.join()
+
+
+def test_some_schedule_deadlocks_and_is_reported():
+    hit = None
+    for seed in range(40):
+        tracer = Tracer()
+        scheduler = CooperativeScheduler(make_strategy("random", seed))
+        provider = InstrumentedSyncProvider(tracer=tracer, scheduler=scheduler)
+        try:
+            provider.run(lambda: _inversion_scenario(provider))
+        except DeadlockError as exc:
+            hit = (seed, exc)
+            break
+    assert hit is not None, "opposite-order nesting never deadlocked"
+    _seed, error = hit
+    assert "deadlock" in str(error)
+    assert len(error.blocked) >= 2
+
+
+def test_lock_inversion_detected_even_without_deadlock():
+    """On schedules that happen to complete, the inversion checker still
+    flags the opposite-order nesting as a deadlock recipe."""
+    for seed in range(40):
+        tracer = Tracer()
+        scheduler = CooperativeScheduler(make_strategy("random", seed))
+        provider = InstrumentedSyncProvider(tracer=tracer, scheduler=scheduler)
+        try:
+            provider.run(lambda: _inversion_scenario(provider))
+        except DeadlockError:
+            continue
+        inversions = find_lock_inversions(tracer)
+        assert inversions, "completed run did not flag the inversion"
+        pair = {inversions[0].first, inversions[0].second}
+        assert pair == {"inv.A", "inv.B"}
+        return
+    pytest.fail("every seed deadlocked; no completed run to check")
+
+
+def test_engine_runs_have_no_lock_inversions(sched_fs):
+    run = run_schedule(
+        "impl1s", ThreadConfig(2, 1, 0), sched_fs, seed=5, strategy="random"
+    )
+    assert run.inversions == []
+
+
+# -- deterministic timeouts ------------------------------------------------
+
+
+def test_timed_wait_fires_deterministically():
+    tracer = Tracer()
+    scheduler = CooperativeScheduler(make_strategy("random", 0))
+    provider = InstrumentedSyncProvider(tracer=tracer, scheduler=scheduler)
+
+    def scenario():
+        cond = provider.condition(name="never-notified")
+        with cond:
+            return cond.wait(timeout=0.01)
+
+    assert provider.run(scenario) is False
+
+
+def test_unnotified_untimed_wait_is_a_deadlock():
+    tracer = Tracer()
+    scheduler = CooperativeScheduler(make_strategy("random", 0))
+    provider = InstrumentedSyncProvider(tracer=tracer, scheduler=scheduler)
+
+    def scenario():
+        cond = provider.condition(name="never-notified")
+        with cond:
+            cond.wait()
+
+    with pytest.raises(DeadlockError):
+        provider.run(scenario)
+
+
+def test_schedule_budget_is_enforced(sched_fs):
+    run = run_schedule(
+        "impl1", ThreadConfig(2, 1, 0), sched_fs, seed=0, max_steps=5
+    )
+    assert not run.ok
+    assert "ScheduleBudgetExceeded" in run.error
+
+
+# -- race detector unit behaviour ------------------------------------------
+
+
+def test_fork_join_orders_accesses():
+    """Parent write -> child write -> joined parent write: no races."""
+    tracer = Tracer()
+    scheduler = CooperativeScheduler(make_strategy("random", 1))
+    provider = InstrumentedSyncProvider(tracer=tracer, scheduler=scheduler)
+
+    def scenario():
+        provider.access("shared")
+
+        def child():
+            provider.access("shared")
+
+        worker = provider.thread(child, name="child")
+        worker.start()
+        worker.join()
+        provider.access("shared")
+
+    provider.run(scenario)
+    assert find_races(tracer) == []
+
+
+def test_unsynchronized_writes_race():
+    tracer = Tracer()
+    scheduler = CooperativeScheduler(make_strategy("random", 1))
+    provider = InstrumentedSyncProvider(tracer=tracer, scheduler=scheduler)
+
+    def scenario():
+        def writer():
+            provider.access("shared")
+
+        threads = [
+            provider.thread(writer, name=f"w{i}") for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    provider.run(scenario)
+    races = find_races(tracer)
+    assert races
+    assert races[0].location == "shared"
+
+
+def test_reads_do_not_race_with_reads():
+    tracer = Tracer()
+    scheduler = CooperativeScheduler(make_strategy("random", 1))
+    provider = InstrumentedSyncProvider(tracer=tracer, scheduler=scheduler)
+
+    def scenario():
+        def reader():
+            provider.access("shared", write=False)
+
+        threads = [
+            provider.thread(reader, name=f"r{i}") for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    provider.run(scenario)
+    assert find_races(tracer) == []
+
+
+# -- record mode -----------------------------------------------------------
+
+
+def test_record_mode_traces_a_real_build(sched_fs, sched_ref):
+    from repro.engine.impl2 import ReplicatedJoinedIndexer
+    from repro.schedcheck.harness import canonical_bytes
+
+    provider = InstrumentedSyncProvider()  # no scheduler: real threads
+    indexer = ReplicatedJoinedIndexer(sched_fs, sync=provider)
+    report = indexer.build(ThreadConfig(2, 2, 1))
+    assert canonical_bytes(report.index) == sched_ref
+    assert len(provider.tracer.trace) > 0
+    assert find_races(provider.tracer) == []
+    assert find_lock_inversions(provider.tracer) == []
+
+
+# -- lint ------------------------------------------------------------------
+
+
+def test_lint_flags_raw_threading(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        textwrap.dedent(
+            """
+            import threading
+            import threading as t
+            from threading import Lock, Condition as Cond
+
+            a = threading.Lock()
+            b = t.Condition()
+            c = Lock()
+            d = Cond()
+            e = threading.Thread(target=print)
+            safe = threading.get_ident()
+            """
+        )
+    )
+    findings = lint_file(bad)
+    assert len(findings) == 5
+    assert {f.construct for f in findings} == {"Lock", "Condition", "Thread"}
+
+
+def test_lint_accepts_provider_routed_code(tmp_path):
+    good = tmp_path / "good.py"
+    good.write_text(
+        "import threading\n"
+        "def f(self):\n"
+        "    lock = self.sync.lock('x')\n"
+        "    ident = threading.get_ident()\n"
+    )
+    assert lint_file(good) == []
+
+
+def test_engine_tree_is_lint_clean():
+    assert lint_paths(DEFAULT_TARGETS) == []
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+def test_cli_sweep_is_clean(capsys):
+    code = cli_main(
+        ["--engine", "impl2", "--threads", "2,0,1", "--seeds", "0:6",
+         "--files", "6"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "6 schedules" in out
+    assert "clean" in out
+
+
+def test_cli_mutation_self_test(capsys):
+    code = cli_main(
+        ["--engine", "impl1", "--threads", "2,0,0", "--seeds", "0:10",
+         "--files", "6", "--mutate-lock", "impl1.index-lock"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "mutation caught" in out
+    assert "race on 'impl1.shared-index'" in out
+
+
+def test_cli_replay_prints_schedule(capsys):
+    code = cli_main(
+        ["--engine", "impl1", "--threads", "2,1,0", "--replay", "11",
+         "--files", "6"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "schedule (" in out
+    assert "trace tail:" in out
+
+
+def test_cli_lint_flag(capsys):
+    assert cli_main(["--lint"]) == 0
+    assert "raw-threading lint: clean" in capsys.readouterr().out
+
+
+def test_cli_rejects_invalid_threads(capsys):
+    code = cli_main(["--engine", "impl2", "--threads", "2,0,0"])
+    assert code == 2
+    assert "invalid --threads" in capsys.readouterr().err
+
+
+def test_parse_seed_range():
+    assert parse_seed_range("0:200") == (0, 200)
+    assert parse_seed_range("7") == (7, 8)
+    with pytest.raises(ValueError):
+        parse_seed_range("5:5")
