@@ -129,6 +129,7 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="seconds a dispatch round may run before its "
                    "unfinished batches count as hung and are retried "
                    "(--backend process only; default: no timeout)")
+    _add_observability_args(p)
     p.set_defaults(func=_cmd_index)
 
     p = sub.add_parser("search", help="query a saved index")
@@ -141,6 +142,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ranked", metavar="CORPUS_DIR",
                    help="tf-idf rank the hits, computing term frequencies "
                    "from the given corpus directory")
+    _add_observability_args(p)
     p.set_defaults(func=_cmd_search)
 
     p = sub.add_parser("analyze", help="print statistics of a saved index")
@@ -192,6 +194,44 @@ def _build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_tables)
 
     return parser
+
+
+def _add_observability_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="write a Chrome trace_event JSON of the run to "
+                   "PATH (load it in chrome://tracing or "
+                   "https://ui.perfetto.dev)")
+    p.add_argument("--stats", action="store_true",
+                   help="print per-stage timings, worker lanes and "
+                   "throughput/cache metrics after the run")
+
+
+def _observability_requested(args: argparse.Namespace) -> bool:
+    """Enable global span recording when --trace-out/--stats ask for it."""
+    if getattr(args, "trace_out", None) or getattr(args, "stats", False):
+        from repro import obs
+
+        obs.enable()
+        return True
+    return False
+
+
+def _emit_observability(args: argparse.Namespace, report=None) -> None:
+    """Write the trace file and/or print the --stats digest."""
+    from repro import obs
+
+    spans = obs.get_recorder().spans
+    if getattr(args, "trace_out", None):
+        written = obs.write_chrome_trace(args.trace_out, spans)
+        print(f"trace written to {args.trace_out} "
+              f"({len(spans)} spans, {written} bytes)", file=sys.stderr)
+    if getattr(args, "stats", False):
+        metrics = (
+            report.metrics
+            if report is not None and report.metrics
+            else obs.metrics().snapshot()
+        )
+        print(obs.human_summary(spans, metrics))
 
 
 def _config_from(args: argparse.Namespace) -> ThreadConfig:
@@ -290,6 +330,7 @@ def _cmd_index(args: argparse.Namespace) -> int:
     if conflict is not None:
         print(f"error: {conflict}", file=sys.stderr)
         return 2
+    observing = _observability_requested(args)
     fs = OsFileSystem(args.directory)
     registry = default_registry() if args.formats else None
     if args.sequential:
@@ -327,6 +368,8 @@ def _cmd_index(args: argparse.Namespace) -> int:
             return 1
     _print_failure_summary(report)
     print(report.summary())
+    if observing:
+        _emit_observability(args, report)
     if args.save:
         if isinstance(report.index, MultiIndex):
             if args.binary:
@@ -359,6 +402,7 @@ def _load_any_index(path: str):
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
+    observing = _observability_requested(args)
     index = _load_any_index(args.index_path)
     engine = QueryEngine(index)
     if args.ranked:
@@ -371,11 +415,15 @@ def _cmd_search(args: argparse.Namespace) -> int:
         for hit in hits:
             print(f"{hit.score:8.3f}  {hit.path}")
         print(f"-- {len(hits)} file(s)", file=sys.stderr)
+        if observing:
+            _emit_observability(args)
         return 0
     paths = engine.search(args.query, parallel=args.parallel)
     for path in paths:
         print(path)
     print(f"-- {len(paths)} file(s)", file=sys.stderr)
+    if observing:
+        _emit_observability(args)
     return 0
 
 

@@ -17,6 +17,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Generic, Optional, TypeVar
 
+from repro.obs import recorder as obsrec
+
 T = TypeVar("T")
 
 
@@ -47,6 +49,7 @@ class BoundedBuffer(Generic[T]):
         self._not_empty = sync.condition(self._lock, name=f"{name}.not-empty")
         self._closed = False
         self.lock_operations = 0
+        self._depth_metric = f"buffer.{name}.depth"
 
     def put(self, item: T) -> None:
         """Block until there is room, then enqueue ``item``."""
@@ -57,7 +60,16 @@ class BoundedBuffer(Generic[T]):
             if self._closed:
                 raise Closed("buffer is closed")
             self._items.append(item)
+            depth = len(self._items)
             self._not_empty.notify()
+        # Queue-depth instrumentation: one branch while tracing is off;
+        # recorded outside the lock so the hot path never stretches the
+        # critical section.
+        if obsrec.enabled():
+            obsrec.metrics().gauge(self._depth_metric).set(depth)
+            obsrec.metrics().histogram(f"{self._depth_metric}.hist").observe(
+                depth
+            )
 
     def get(self) -> T:
         """Block until an item arrives; raise :class:`Closed` when the
@@ -68,9 +80,13 @@ class BoundedBuffer(Generic[T]):
                 self._not_empty.wait()
             if self._items:
                 item = self._items.popleft()
+                depth = len(self._items)
                 self._not_full.notify()
-                return item
-            raise Closed("buffer drained and closed")
+            else:
+                raise Closed("buffer drained and closed")
+        if obsrec.enabled():
+            obsrec.metrics().gauge(self._depth_metric).set(depth)
+        return item
 
     def close(self) -> None:
         """No more puts; pending gets drain the remaining items."""

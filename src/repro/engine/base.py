@@ -4,11 +4,20 @@ Stage 1 (single-threaded filename generation into memory), the extractor
 worker loop, and the updater worker loop are identical across the three
 designs; only the *sink* a term block flows into differs.  The base
 class factors them out so each implementation is just a sink policy.
+
+Timing comes from the observability layer: every build records its
+phases (``phase.stage1`` / ``phase.extract`` / ``phase.update`` /
+``phase.join``) and per-worker lifetimes (``extract.worker`` /
+``update.worker``) as spans on a per-build
+:class:`~repro.obs.recorder.Recorder`, and
+:meth:`~repro.engine.results.StageTimings.from_spans` folds the span
+tree back into the paper's stage breakdown.  Per-file detail spans
+(``extract.file``) go through the process-global recorder and cost one
+branch while tracing is disabled.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.concurrency.buffers import BoundedBuffer, Closed
@@ -17,8 +26,9 @@ from repro.distribute.base import DistributionStrategy
 from repro.distribute.roundrobin import RoundRobinStrategy
 from repro.engine.config import Implementation, ThreadConfig
 from repro.engine.faults import ERROR_POLICIES, FileFailure
-from repro.engine.results import BuildReport, StageTimings
+from repro.engine.results import BuildReport, StageTimings, build_metrics
 from repro.fsmodel.nodes import FileRef
+from repro.obs import recorder as obsrec
 from repro.text.dedup import extract_term_block
 from repro.text.termblock import TermBlock
 from repro.text.tokenizer import Tokenizer
@@ -30,7 +40,8 @@ class ThreadedIndexerBase:
     """Common scaffolding: stage 1, extractors, optional updater stage.
 
     Subclasses implement :meth:`_build` which wires term blocks into
-    their index design and returns the finished index plus join time.
+    their index design and returns the finished index; stage timings
+    are derived from the spans the shared machinery records.
     """
 
     implementation: Implementation
@@ -76,6 +87,9 @@ class ThreadedIndexerBase:
             )
         self.on_error = on_error
         self.last_failures: List[FileFailure] = []
+        # The current build's span recorder; replaced at each build()
+        # so stage helpers always have somewhere to record.
+        self._recorder = obsrec.Recorder()
 
     # -- public API ------------------------------------------------------
 
@@ -83,43 +97,64 @@ class ThreadedIndexerBase:
         """Run the full pipeline under ``config`` and report the result."""
         config.validate_for(self.implementation)
         self.last_failures = []
-        timings = StageTimings()
-        start = time.perf_counter()
+        rec = self._recorder = obsrec.Recorder()
 
-        t0 = time.perf_counter()
-        files = list(self.fs.list_files(root))
-        timings.filename_generation = time.perf_counter() - t0
+        root_span = rec.span(
+            "build",
+            implementation=self.implementation.name,
+            config=str(config),
+        )
+        with root_span:
+            with rec.span("phase.stage1"):
+                files = list(self.fs.list_files(root))
+            index = self._build(config, files)
 
-        index, join_time, update_time, extract_time = self._build(config, files)
-        timings.join = join_time
-        timings.update = update_time
-        timings.extraction = extract_time
-
-        wall = time.perf_counter() - start
+        spans = rec.spans
+        wall = root_span.duration
+        metrics = build_metrics(
+            file_count=len(files),
+            byte_count=sum(ref.size for ref in files),
+            term_count=len(index),
+            posting_count=index.posting_count,
+            wall_time=wall,
+            failure_count=len(self.last_failures),
+        )
+        if obsrec.enabled():
+            # Publish the build's spans on the global recorder so
+            # --trace-out sees them alongside detail and query spans.
+            obsrec.get_recorder().absorb(spans)
         return BuildReport(
             implementation=self.implementation,
             config=config,
             index=index,
             wall_time=wall,
-            timings=timings,
+            timings=StageTimings.from_spans(spans),
             file_count=len(files),
             term_count=len(index),
             posting_count=index.posting_count,
             extractor_times=list(getattr(self, "last_extractor_times", [])),
             failures=list(self.last_failures),
+            spans=spans,
+            metrics=metrics,
         )
 
     # -- subclass hook -----------------------------------------------------
 
-    def _build(
-        self, config: ThreadConfig, files: Sequence[FileRef]
-    ) -> Tuple[object, float, float, float]:
-        """Run stages 2+3; returns (index, join_s, update_s, extract_s)."""
+    def _build(self, config: ThreadConfig, files: Sequence[FileRef]):
+        """Run stages 2+3 and return the finished index."""
         raise NotImplementedError
 
     # -- shared stage machinery ---------------------------------------------
 
     def _extract_file(self, ref: FileRef) -> Optional[TermBlock]:
+        """Stage 2 for one file, with an ``extract.file`` detail span
+        when tracing is enabled (one branch when it is not)."""
+        if not obsrec.enabled():
+            return self._extract_file_inner(ref)
+        with obsrec.span("extract.file", path=ref.path, size=ref.size):
+            return self._extract_file_inner(ref)
+
+    def _extract_file_inner(self, ref: FileRef) -> Optional[TermBlock]:
         """Stage 2 for one file: read, (convert,) scan, de-duplicate.
 
         Under ``on_error="skip"`` a failing file is recorded in
@@ -157,44 +192,55 @@ class ThreadedIndexerBase:
             return None
 
     def _run_extractors(
-        self, config: ThreadConfig, files: Sequence[FileRef], sink: BlockSink
+        self,
+        config: ThreadConfig,
+        files: Sequence[FileRef],
+        sink: BlockSink,
+        inline_update: bool = False,
     ) -> float:
         """Run ``config.extractors`` extractor threads to completion.
 
         Each extractor acquires work per ``self.dynamic`` — a private
         static list (the paper's design), a stealing deque, or a shared
         queue — and pushes every term block into ``sink`` with its own
-        worker id.  Returns elapsed seconds.  Exceptions raised inside
-        workers are re-raised here.
+        worker id.  The whole phase is recorded as a ``phase.extract``
+        span; each worker's lifetime as an ``extract.worker`` span.
+        ``inline_update=True`` marks the phase as also performing index
+        updates inside the extractor threads (the ``y = 0``
+        configurations), which makes the derived update time equal the
+        extract time — the interval the pre-span engines measured.
+        Returns elapsed seconds.  Exceptions raised inside workers are
+        re-raised here.
         """
         errors: List[BaseException] = []
         worker = self._make_worker(config.extractors, files, sink, errors)
         self.last_extractor_times = [0.0] * config.extractors
+        rec = self._recorder
 
         def timed_worker(worker_id: int) -> None:
-            started = time.perf_counter()
+            worker_span = rec.span("extract.worker", worker=worker_id)
             try:
-                worker(worker_id)
+                with worker_span:
+                    worker(worker_id)
             finally:
-                self.last_extractor_times[worker_id] = (
-                    time.perf_counter() - started
-                )
+                self.last_extractor_times[worker_id] = worker_span.duration
 
-        t0 = time.perf_counter()
-        threads = [
-            self.sync.thread(
-                target=timed_worker, args=(i,), name=f"extract-{i}"
-            )
-            for i in range(config.extractors)
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
-        elapsed = time.perf_counter() - t0
+        attrs = {"inline_update": True} if inline_update else {}
+        phase_span = rec.span("phase.extract", **attrs)
+        with phase_span:
+            threads = [
+                self.sync.thread(
+                    target=timed_worker, args=(i,), name=f"extract-{i}"
+                )
+                for i in range(config.extractors)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
         if errors:
             raise errors[0]
-        return elapsed
+        return phase_span.duration
 
     def _make_worker(
         self,
@@ -265,9 +311,12 @@ class ThreadedIndexerBase:
     ) -> Tuple[float, float]:
         """Extractors -> bounded buffer -> ``config.updaters`` updaters.
 
-        ``update`` receives (updater_id, block).  Returns (extract_s,
-        update_s); the two stages overlap, so their sum exceeds the
-        wall-clock time of this phase.
+        ``update`` receives (updater_id, block).  The update stage is
+        recorded as a ``phase.update`` span spanning updater start to
+        updater join; the nested ``phase.extract`` span covers the
+        extractors.  The two stages overlap, so their summed durations
+        exceed the wall-clock time of this phase.  Returns (extract_s,
+        update_s) from those spans.
 
         Failure handling: a dying updater closes the buffer so blocked
         extractors cannot deadlock on a full buffer; the updater's
@@ -278,41 +327,45 @@ class ThreadedIndexerBase:
             self.buffer_capacity, name="term-buffer"
         )
         errors: List[BaseException] = []
+        rec = self._recorder
 
         def updater(updater_id: int) -> None:
+            with rec.span("update.worker", worker=updater_id):
+                try:
+                    while True:
+                        try:
+                            block = buffer.get()
+                        except Closed:
+                            return
+                        update(updater_id, block)
+                except BaseException as exc:  # noqa: BLE001 - reported to caller
+                    errors.append(exc)
+                    buffer.close()  # unblock producers; puts raise Closed
+
+        extract_elapsed = 0.0
+        phase_span = rec.span("phase.update")
+        with phase_span:
+            updater_threads = [
+                self.sync.thread(target=updater, args=(i,), name=f"update-{i}")
+                for i in range(config.updaters)
+            ]
+            for thread in updater_threads:
+                thread.start()
+
             try:
-                while True:
-                    try:
-                        block = buffer.get()
-                    except Closed:
-                        return
-                    update(updater_id, block)
-            except BaseException as exc:  # noqa: BLE001 - reported to caller
-                errors.append(exc)
-                buffer.close()  # unblock producers; their puts raise Closed
-
-        t0 = time.perf_counter()
-        updater_threads = [
-            self.sync.thread(target=updater, args=(i,), name=f"update-{i}")
-            for i in range(config.updaters)
-        ]
-        for thread in updater_threads:
-            thread.start()
-
-        try:
-            extract_elapsed = self._run_extractors(
-                config, files, lambda _w, block: buffer.put(block)
-            )
-        except Closed:
-            # Secondary failure: an updater died and closed the buffer.
-            extract_elapsed = time.perf_counter() - t0
-        buffer.close()
-        for thread in updater_threads:
-            thread.join()
-        update_elapsed = time.perf_counter() - t0
+                extract_elapsed = self._run_extractors(
+                    config, files, lambda _w, block: buffer.put(block)
+                )
+            except Closed:
+                # Secondary failure: an updater died and closed the
+                # buffer; the phase.extract span is already recorded.
+                pass
+            buffer.close()
+            for thread in updater_threads:
+                thread.join()
         if errors:
             for error in errors:
                 if not isinstance(error, Closed):
                     raise error
             raise errors[0]
-        return extract_elapsed, update_elapsed
+        return extract_elapsed, phase_span.duration

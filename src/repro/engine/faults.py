@@ -25,7 +25,7 @@ import it without dragging in engine machinery.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Iterable, List, Optional, Set, Tuple
 
 ERROR_POLICIES: Tuple[str, ...] = ("strict", "skip")
 
@@ -61,6 +61,30 @@ class FileFailure:
 
     def __str__(self) -> str:
         return f"{self.path} [{self.stage}] {self.error_type}: {self.error}"
+
+
+def reconcile_failures(
+    failures: Iterable[FileFailure], succeeded_paths: Set[str]
+) -> List[FileFailure]:
+    """Failure records consistent with what actually landed in the index.
+
+    The process backend's recovery ladder can touch one file more than
+    once (a batch that errors, then succeeds when retried after a
+    split).  A file that *ultimately* succeeded must not stay in the
+    failure list — ``BuildReport.indexed_file_count`` subtracts failed
+    paths from the listing, so a stale record would under-count the
+    index.  This drops any failure whose path is in
+    ``succeeded_paths`` and de-duplicates the rest by path (first
+    record wins: the earliest failure is the root cause).
+    """
+    reconciled: List[FileFailure] = []
+    seen: Set[str] = set()
+    for failure in failures:
+        if failure.path in succeeded_paths or failure.path in seen:
+            continue
+        seen.add(failure.path)
+        reconciled.append(failure)
+    return reconciled
 
 
 @dataclass(frozen=True)

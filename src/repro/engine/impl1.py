@@ -10,8 +10,7 @@ lock-bound at 8 and 32.
 
 from __future__ import annotations
 
-import time
-from typing import Sequence, Tuple
+from typing import Sequence
 
 from repro.engine.base import ThreadedIndexerBase
 from repro.engine.config import Implementation, ThreadConfig
@@ -27,7 +26,7 @@ class SharedLockedIndexer(ThreadedIndexerBase):
 
     def _build(
         self, config: ThreadConfig, files: Sequence[FileRef]
-    ) -> Tuple[InvertedIndex, float, float, float]:
+    ) -> InvertedIndex:
         index = InvertedIndex()
         lock = self.sync.lock("impl1.index-lock")
 
@@ -37,9 +36,9 @@ class SharedLockedIndexer(ThreadedIndexerBase):
                 index.add_block(block)
 
         if config.uses_buffer:
-            extract_s, update_s = self._run_buffered(config, files, locked_update)
+            self._run_buffered(config, files, locked_update)
         else:
-            t0 = time.perf_counter()
-            extract_s = self._run_extractors(config, files, locked_update)
-            update_s = time.perf_counter() - t0
-        return index, 0.0, update_s, extract_s
+            self._run_extractors(
+                config, files, locked_update, inline_update=True
+            )
+        return index

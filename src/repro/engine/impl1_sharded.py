@@ -8,8 +8,7 @@ Configuration semantics follow Implementation 1 (``z`` must be 0).
 
 from __future__ import annotations
 
-import time
-from typing import Sequence, Tuple
+from typing import Sequence
 
 from repro.engine.base import ThreadedIndexerBase
 from repro.engine.config import Implementation, ThreadConfig
@@ -29,7 +28,7 @@ class ShardedLockedIndexer(ThreadedIndexerBase):
 
     def _build(
         self, config: ThreadConfig, files: Sequence[FileRef]
-    ) -> Tuple[ShardedInvertedIndex, float, float, float]:
+    ) -> ShardedInvertedIndex:
         index = ShardedInvertedIndex(self.shards, sync=self.sync)
 
         def striped_update(_worker: int, block: TermBlock) -> None:
@@ -37,9 +36,9 @@ class ShardedLockedIndexer(ThreadedIndexerBase):
             index.add_block(block)
 
         if config.uses_buffer:
-            extract_s, update_s = self._run_buffered(config, files, striped_update)
+            self._run_buffered(config, files, striped_update)
         else:
-            t0 = time.perf_counter()
-            extract_s = self._run_extractors(config, files, striped_update)
-            update_s = time.perf_counter() - t0
-        return index, 0.0, update_s, extract_s
+            self._run_extractors(
+                config, files, striped_update, inline_update=True
+            )
+        return index

@@ -9,8 +9,7 @@ a pairwise reduction tree with ``z`` threads per level).
 
 from __future__ import annotations
 
-import time
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 from repro.engine.base import ThreadedIndexerBase
 from repro.engine.config import Implementation, ThreadConfig
@@ -27,7 +26,7 @@ class ReplicatedJoinedIndexer(ThreadedIndexerBase):
 
     def _build(
         self, config: ThreadConfig, files: Sequence[FileRef]
-    ) -> Tuple[InvertedIndex, float, float, float]:
+    ) -> InvertedIndex:
         replicas: List[InvertedIndex] = [
             InvertedIndex() for _ in range(config.replica_count)
         ]
@@ -38,18 +37,19 @@ class ReplicatedJoinedIndexer(ThreadedIndexerBase):
             replicas[worker].add_block(block)
 
         if config.uses_buffer:
-            extract_s, update_s = self._run_buffered(config, files, private_update)
+            self._run_buffered(config, files, private_update)
         else:
-            t0 = time.perf_counter()
-            extract_s = self._run_extractors(config, files, private_update)
-            update_s = time.perf_counter() - t0
+            self._run_extractors(
+                config, files, private_update, inline_update=True
+            )
 
         # All writers have completed (thread joins act as the barrier the
         # paper describes); now the join phase runs.
-        t0 = time.perf_counter()
-        if config.joiners == 1:
-            index = join_indices(replicas)
-        else:
-            index = join_pairwise_tree(replicas, threads_per_level=config.joiners)
-        join_s = time.perf_counter() - t0
-        return index, join_s, update_s, extract_s
+        with self._recorder.span("phase.join", joiners=config.joiners):
+            if config.joiners == 1:
+                index = join_indices(replicas)
+            else:
+                index = join_pairwise_tree(
+                    replicas, threads_per_level=config.joiners
+                )
+        return index

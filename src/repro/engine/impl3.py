@@ -8,8 +8,7 @@ This is the design that wins on the 8- and 32-core machines.
 
 from __future__ import annotations
 
-import time
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 from repro.engine.base import ThreadedIndexerBase
 from repro.engine.config import Implementation, ThreadConfig
@@ -26,7 +25,7 @@ class ReplicatedUnjoinedIndexer(ThreadedIndexerBase):
 
     def _build(
         self, config: ThreadConfig, files: Sequence[FileRef]
-    ) -> Tuple[MultiIndex, float, float, float]:
+    ) -> MultiIndex:
         replicas: List[InvertedIndex] = [
             InvertedIndex() for _ in range(config.replica_count)
         ]
@@ -36,9 +35,9 @@ class ReplicatedUnjoinedIndexer(ThreadedIndexerBase):
             replicas[worker].add_block(block)
 
         if config.uses_buffer:
-            extract_s, update_s = self._run_buffered(config, files, private_update)
+            self._run_buffered(config, files, private_update)
         else:
-            t0 = time.perf_counter()
-            extract_s = self._run_extractors(config, files, private_update)
-            update_s = time.perf_counter() - t0
-        return MultiIndex(replicas), 0.0, update_s, extract_s
+            self._run_extractors(
+                config, files, private_update, inline_update=True
+            )
+        return MultiIndex(replicas)

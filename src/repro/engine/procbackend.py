@@ -61,7 +61,11 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from repro.distribute.base import DistributionStrategy
 from repro.distribute.roundrobin import RoundRobinStrategy
 from repro.engine.config import Implementation, ThreadConfig
-from repro.engine.faults import FaultPolicy, PoolUnavailableError
+from repro.engine.faults import (
+    FaultPolicy,
+    PoolUnavailableError,
+    reconcile_failures,
+)
 from repro.engine.procworker import (
     FilesystemSpec,
     TokenizerSpec,
@@ -69,7 +73,9 @@ from repro.engine.procworker import (
     WorkerResult,
     build_replica,
 )
-from repro.engine.results import BuildReport, StageTimings
+from repro.engine.results import BuildReport, StageTimings, build_metrics
+from repro.obs import recorder as obsrec
+from repro.obs.spans import rebase_spans
 from repro.fsmodel.nodes import FileRef
 from repro.index.binfmt import load_index_wire, merge_wire_replica
 from repro.index.inverted import InvertedIndex
@@ -180,6 +186,8 @@ class ProcessReplicatedIndexer:
         self.last_extractor_times: List[float] = []
         self.last_failures: List = []
         self.last_retries = 0
+        self._succeeded_paths: set = set()
+        self._recorder = obsrec.Recorder()
         if start_method is not None:
             if start_method not in multiprocessing.get_all_start_methods():
                 raise ValueError(
@@ -205,35 +213,57 @@ class ProcessReplicatedIndexer:
         self.last_extractor_times = [0.0] * config.extractors
         self.last_failures = []
         self.last_retries = 0
+        self._succeeded_paths = set()
+        rec = self._recorder = obsrec.Recorder()
 
-        timings = StageTimings()
-        start = time.perf_counter()
-
-        t0 = time.perf_counter()
-        files = list(self.fs.list_files(root))
-        timings.filename_generation = time.perf_counter() - t0
-
+        root_span = rec.span(
+            "build",
+            implementation=self.implementation.name,
+            config=str(config),
+            backend="process",
+        )
         try:
-            index, join_s, update_s, extract_s = self._build(config, files)
+            with root_span:
+                with rec.span("phase.stage1"):
+                    files = list(self.fs.list_files(root))
+                index = self._build(config, files)
         except PoolUnavailableError as exc:
             return self._degrade(config, root, exc)
-        timings.join = join_s
-        timings.update = update_s
-        timings.extraction = extract_s
 
-        wall = time.perf_counter() - start
+        # A file the recovery ladder failed once but indexed on a later
+        # attempt (or in the parent) must not count as a failure — the
+        # report's indexed_file_count subtracts failed paths.
+        self.last_failures = reconcile_failures(
+            self.last_failures, self._succeeded_paths
+        )
+
+        spans = rec.spans
+        wall = root_span.duration
+        metrics = build_metrics(
+            file_count=len(files),
+            byte_count=sum(ref.size for ref in files),
+            term_count=len(index),
+            posting_count=index.posting_count,
+            wall_time=wall,
+            failure_count=len(self.last_failures),
+            retries=self.last_retries,
+        )
+        if obsrec.enabled():
+            obsrec.get_recorder().absorb(spans)
         return BuildReport(
             implementation=self.implementation,
             config=config,
             index=index,
             wall_time=wall,
-            timings=timings,
+            timings=StageTimings.from_spans(spans),
             file_count=len(files),
             term_count=len(index),
             posting_count=index.posting_count,
             extractor_times=list(self.last_extractor_times),
             failures=list(self.last_failures),
             retries=self.last_retries,
+            spans=spans,
+            metrics=metrics,
         )
 
     # -- graceful degradation --------------------------------------------
@@ -260,6 +290,8 @@ class ProcessReplicatedIndexer:
         )
         report = indexer.build(config.with_backend("thread"), root)
         report.degraded = True
+        if report.metrics:
+            report.metrics["build.degraded"] = 1.0
         self.last_extractor_times = list(report.extractor_times)
         self.last_failures = list(report.failures)
         return report
@@ -268,32 +300,33 @@ class ProcessReplicatedIndexer:
 
     def _build(
         self, config: ThreadConfig, files: Sequence[FileRef]
-    ) -> Tuple[InvertedIndex, float, float, float]:
-        blobs, pool_s = self._run_workers(config, files)
+    ) -> InvertedIndex:
+        # Extraction and update are fused inside each worker; attribute
+        # the pool phase to extraction only (no phase.update span, no
+        # inline_update marker) so StageTimings.total does not
+        # double-count the entire parallel phase.
+        with self._recorder.span("phase.extract"):
+            blobs = self._run_workers(config, files)
         # The pool's completion is the barrier; now the join phase runs
         # in the parent.
-        t0 = time.perf_counter()
-        if not blobs:
-            index = InvertedIndex()
-        elif config.joiners == 1:
-            index = InvertedIndex()
-            for blob in blobs:
-                merge_wire_replica(index, blob)
-        else:
-            replicas = [load_index_wire(blob) for blob in blobs]
-            index = join_pairwise_tree(
-                replicas, threads_per_level=config.joiners
-            )
-        join_s = time.perf_counter() - t0
-        # Extraction and update are fused inside each worker; attribute
-        # the phase to extraction only so StageTimings.total does not
-        # double-count the entire parallel phase.
-        return index, join_s, 0.0, pool_s
+        with self._recorder.span("phase.join", joiners=config.joiners):
+            if not blobs:
+                index = InvertedIndex()
+            elif config.joiners == 1:
+                index = InvertedIndex()
+                for blob in blobs:
+                    merge_wire_replica(index, blob)
+            else:
+                replicas = [load_index_wire(blob) for blob in blobs]
+                index = join_pairwise_tree(
+                    replicas, threads_per_level=config.joiners
+                )
+        return index
 
     def _run_workers(
         self, config: ThreadConfig, files: Sequence[FileRef]
-    ) -> Tuple[List[bytes], float]:
-        """Fan the batches out to the pool; returns (blobs, elapsed).
+    ) -> List[bytes]:
+        """Fan the batches out to the pool; returns the replica blobs.
 
         Dispatches per-batch (not one blocking ``map``) and walks the
         recovery ladder on crash/timeout: retry → split → in-parent.
@@ -303,6 +336,7 @@ class ProcessReplicatedIndexer:
         distribution = self.strategy.distribute(files, workers)
         fs_spec = FilesystemSpec.from_filesystem(self.fs)
         tokenizer_spec = TokenizerSpec.from_tokenizer(self.tokenizer)
+        rec = self._recorder
 
         jobs: List[_Job] = []
         for slot, assignment in enumerate(distribution.assignments):
@@ -319,6 +353,7 @@ class ProcessReplicatedIndexer:
                         tokenizer=tokenizer_spec,
                         registry=self.registry,
                         on_error=policy.on_error,
+                        trace=obsrec.enabled(),
                     ),
                     slot,
                     0,
@@ -331,12 +366,36 @@ class ProcessReplicatedIndexer:
             blobs.append(result.replica)
             self.last_extractor_times[job.slot] += result.elapsed
             self.last_failures.extend(result.failures)
+            # Paths the batch indexed (vs. recorded as failures); used
+            # after the ladder finishes to reconcile the failure list.
+            failed = {failure.path for failure in result.failures}
+            self._succeeded_paths.update(
+                path for path in job.batch.paths if path not in failed
+            )
+            if result.spans:
+                # Worker span starts are relative to the worker body's
+                # start; perf_counter minus the worker's elapsed time is
+                # that instant on the parent's timeline (collection
+                # happens promptly after completion).
+                offset = time.perf_counter() - result.elapsed
+                rebased = []
+                for span in rebase_spans(result.spans, offset):
+                    if span.name == "extract.worker":
+                        span = replace(
+                            span,
+                            attrs={
+                                **span.attrs,
+                                "worker": job.slot,
+                                "attempt": job.attempt,
+                            },
+                        )
+                    rebased.append(span)
+                rec.absorb(rebased)
 
         # Cap the pool at the number of non-empty batches — forking
         # processes that would only receive empty work is pure cost.
         pool_size = min(workers, len(jobs))
 
-        t0 = time.perf_counter()
         while jobs:
             dispatch: List[_Job] = []
             for job in jobs:
@@ -358,7 +417,7 @@ class ProcessReplicatedIndexer:
                         attempt = min(job.attempt for job in requeued)
                         time.sleep(policy.retry_backoff * attempt)
                     jobs = requeued
-        return blobs, time.perf_counter() - t0
+        return blobs
 
     # -- dispatch machinery ----------------------------------------------
 

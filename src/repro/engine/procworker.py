@@ -33,6 +33,8 @@ from typing import List, Optional, Tuple
 
 from repro.engine.faults import ERROR_POLICIES, FileFailure
 from repro.index.replica import ReplicaBuilder
+from repro.obs.recorder import NULL_SPAN, Recorder
+from repro.obs.spans import SpanRecord, rebase_spans
 from repro.text.tokenizer import Tokenizer
 
 
@@ -120,6 +122,10 @@ class WorkerBatch:
     # Per-file error policy: "strict" raises across the pool boundary
     # (the original behaviour); "skip" records a FileFailure instead.
     on_error: str = "strict"
+    # Record per-file ``extract.file`` detail spans in the worker (set
+    # by the parent when tracing is enabled; the per-batch
+    # ``extract.worker`` span is always recorded).
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.on_error not in ERROR_POLICIES:
@@ -137,6 +143,11 @@ class WorkerResult:
     elapsed: float
     file_count: int
     failures: Tuple[FileFailure, ...] = ()
+    # Spans recorded inside the worker, with ``start`` *relative to the
+    # worker body's start* so the parent can re-base them onto its own
+    # perf_counter timeline (clocks are not comparable across
+    # processes; the worker's elapsed time is).
+    spans: Tuple[SpanRecord, ...] = ()
 
 
 def build_replica(batch: WorkerBatch) -> WorkerResult:
@@ -155,50 +166,77 @@ def build_replica(batch: WorkerBatch) -> WorkerResult:
     by the parent's retry ladder, not here.
     """
     started = time.perf_counter()
-    fs = batch.fs.open()
-    tokenizer = batch.tokenizer.build()
-    registry = batch.registry
-    read = fs.read_file
-    iter_terms = tokenizer.iter_terms
-    builder = ReplicaBuilder()
-    add_scan = builder.add_scan
-    failures: List[FileFailure] = []
-    if batch.on_error == "skip":
-        extract_text = registry.extract_text if registry is not None else None
-        for path in batch.paths:
-            try:
-                content = read(path)
-            except Exception as exc:
-                failures.append(FileFailure.from_exception(path, "read", exc))
-                continue
-            if extract_text is not None:
-                try:
-                    content = extract_text(path, content)
-                except Exception as exc:
-                    failures.append(
-                        FileFailure.from_exception(path, "extract", exc)
-                    )
-                    continue
-            try:
-                # Materialized, not streamed: a tokenizer error must not
-                # leave a half-indexed document in the replica.
-                terms = list(iter_terms(content))
-            except Exception as exc:
-                failures.append(
-                    FileFailure.from_exception(path, "tokenize", exc)
+    rec = Recorder()
+    worker_span = rec.span("extract.worker")
+    with worker_span:
+        fs = batch.fs.open()
+        tokenizer = batch.tokenizer.build()
+        registry = batch.registry
+        read = fs.read_file
+        iter_terms = tokenizer.iter_terms
+        builder = ReplicaBuilder()
+        add_scan = builder.add_scan
+        trace = batch.trace
+        failures: List[FileFailure] = []
+        if batch.on_error == "skip":
+            extract_text = (
+                registry.extract_text if registry is not None else None
+            )
+            for path in batch.paths:
+                file_span = (
+                    rec.span("extract.file", path=path) if trace else NULL_SPAN
                 )
-                continue
-            add_scan(path, terms)
-    elif registry is None:
-        for path in batch.paths:
-            add_scan(path, iter_terms(read(path)))
-    else:
-        extract_text = registry.extract_text
-        for path in batch.paths:
-            add_scan(path, iter_terms(extract_text(path, read(path))))
+                with file_span:
+                    try:
+                        content = read(path)
+                    except Exception as exc:
+                        failures.append(
+                            FileFailure.from_exception(path, "read", exc)
+                        )
+                        continue
+                    if extract_text is not None:
+                        try:
+                            content = extract_text(path, content)
+                        except Exception as exc:
+                            failures.append(
+                                FileFailure.from_exception(
+                                    path, "extract", exc
+                                )
+                            )
+                            continue
+                    try:
+                        # Materialized, not streamed: a tokenizer error
+                        # must not leave a half-indexed document in the
+                        # replica.
+                        terms = list(iter_terms(content))
+                    except Exception as exc:
+                        failures.append(
+                            FileFailure.from_exception(path, "tokenize", exc)
+                        )
+                        continue
+                    add_scan(path, terms)
+        elif registry is None:
+            if trace:
+                for path in batch.paths:
+                    with rec.span("extract.file", path=path):
+                        add_scan(path, iter_terms(read(path)))
+            else:
+                for path in batch.paths:
+                    add_scan(path, iter_terms(read(path)))
+        else:
+            extract_text = registry.extract_text
+            if trace:
+                for path in batch.paths:
+                    with rec.span("extract.file", path=path):
+                        add_scan(path, iter_terms(extract_text(path, read(path))))
+            else:
+                for path in batch.paths:
+                    add_scan(path, iter_terms(extract_text(path, read(path))))
+        blob = builder.to_bytes()
     return WorkerResult(
-        replica=builder.to_bytes(),
+        replica=blob,
         elapsed=time.perf_counter() - started,
         file_count=len(batch.paths),
         failures=tuple(failures),
+        spans=tuple(rebase_spans(rec.spans, -started)),
     )

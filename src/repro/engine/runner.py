@@ -8,7 +8,6 @@ scanner, then scan+extract, then index update, each in isolation.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -19,6 +18,7 @@ from repro.engine.impl3 import ReplicatedUnjoinedIndexer
 from repro.engine.procbackend import ProcessReplicatedIndexer
 from repro.engine.results import BuildReport
 from repro.distribute.base import DistributionStrategy
+from repro.obs import recorder as obsrec
 from repro.index.inverted import InvertedIndex
 from repro.text.dedup import extract_term_block
 from repro.text.scanner import empty_scan
@@ -125,34 +125,37 @@ def measure_stage_times(
     2. read files: the "empty scanner" — read every byte, extract nothing;
     3. read and extract: full stage 2 (read, scan, de-duplicate);
     4. index update: en-bloc insertion of the pre-extracted blocks.
+
+    Each measurement is a span on a local recorder (published to the
+    global recorder when tracing is on, so ``--trace-out`` can cover a
+    Table 1 run too).
     """
     tokenizer = tokenizer or Tokenizer()
+    rec = obsrec.Recorder()
 
-    t0 = time.perf_counter()
-    files = list(fs.list_files(root))
-    filename_s = time.perf_counter() - t0
+    with rec.span("measure.stage1") as stage1_span:
+        files = list(fs.list_files(root))
 
-    t0 = time.perf_counter()
-    for ref in files:
-        empty_scan(fs.read_file(ref.path))
-    read_s = time.perf_counter() - t0
+    with rec.span("measure.read") as read_span:
+        for ref in files:
+            empty_scan(fs.read_file(ref.path))
 
-    t0 = time.perf_counter()
-    blocks = [
-        extract_term_block(ref.path, fs.read_file(ref.path), tokenizer)
-        for ref in files
-    ]
-    extract_s = time.perf_counter() - t0
+    with rec.span("measure.extract") as extract_span:
+        blocks = [
+            extract_term_block(ref.path, fs.read_file(ref.path), tokenizer)
+            for ref in files
+        ]
 
     index = InvertedIndex()
-    t0 = time.perf_counter()
-    for block in blocks:
-        index.add_block(block)
-    update_s = time.perf_counter() - t0
+    with rec.span("measure.update") as update_span:
+        for block in blocks:
+            index.add_block(block)
 
+    if obsrec.enabled():
+        obsrec.get_recorder().absorb(rec.spans)
     return MeasuredStageTimes(
-        filename_generation=filename_s,
-        read_files=read_s,
-        read_and_extract=extract_s,
-        index_update=update_s,
+        filename_generation=stage1_span.duration,
+        read_files=read_span.duration,
+        read_and_extract=extract_span.duration,
+        index_update=update_span.duration,
     )

@@ -8,17 +8,23 @@ Two variants, matching the paper's narrative:
   linear (term, file) duplicate search the paper's analysis condemns;
 * ``naive=False`` — the en-bloc sequential pipeline, useful as the
   fair single-thread reference for the parallel designs.
+
+Timing is span-based like the threaded engines: one
+``phase.extract`` / ``phase.update`` span pair per file on a per-build
+recorder (the same number of clock reads the accumulator version
+paid), summed back into stage totals by
+:meth:`~repro.engine.results.StageTimings.from_spans`.
 """
 
 from __future__ import annotations
 
-import time
 from typing import List, Optional
 
 from repro.engine.config import Implementation, ThreadConfig
 from repro.engine.faults import ERROR_POLICIES, FileFailure
-from repro.engine.results import BuildReport, StageTimings
+from repro.engine.results import BuildReport, StageTimings, build_metrics
 from repro.index.inverted import InvertedIndex
+from repro.obs import recorder as obsrec
 from repro.text.dedup import extract_term_block
 from repro.text.tokenizer import Tokenizer
 
@@ -74,58 +80,68 @@ class SequentialIndexer:
     def build(self, root: str = "") -> BuildReport:
         """Index every file under ``root`` sequentially."""
         self.last_failures = []
-        timings = StageTimings()
-        start = time.perf_counter()
+        rec = obsrec.Recorder()
+        root_span = rec.span(
+            "build", implementation="SEQUENTIAL", config="(1, 0, 0)"
+        )
+        with root_span:
+            with rec.span("phase.stage1"):
+                files = list(self.fs.list_files(root))
 
-        t0 = time.perf_counter()
-        files = list(self.fs.list_files(root))
-        timings.filename_generation = time.perf_counter() - t0
+            index = InvertedIndex()
+            for ref in files:
+                extracted = False
+                with rec.span("phase.extract"):
+                    content = self._load(ref.path)
+                    if content is not None:
+                        try:
+                            if self.naive:
+                                terms = self.tokenizer.tokenize(content)
+                            else:
+                                block = extract_term_block(
+                                    ref.path, content, self.tokenizer
+                                )
+                            extracted = True
+                        except Exception as exc:
+                            if self.on_error != "skip":
+                                raise
+                            self.last_failures.append(
+                                FileFailure.from_exception(
+                                    ref.path, "tokenize", exc
+                                )
+                            )
+                if not extracted:
+                    continue
+                with rec.span("phase.update"):
+                    if self.naive:
+                        for term in terms:
+                            index.add_term_naive(term, ref.path)
+                    else:
+                        index.add_block(block)
 
-        index = InvertedIndex()
-        extract_s = 0.0
-        update_s = 0.0
-        for ref in files:
-            t0 = time.perf_counter()
-            content = self._load(ref.path)
-            if content is None:
-                extract_s += time.perf_counter() - t0
-                continue
-            try:
-                if self.naive:
-                    terms = self.tokenizer.tokenize(content)
-                else:
-                    block = extract_term_block(
-                        ref.path, content, self.tokenizer
-                    )
-            except Exception as exc:
-                if self.on_error != "skip":
-                    raise
-                self.last_failures.append(
-                    FileFailure.from_exception(ref.path, "tokenize", exc)
-                )
-                extract_s += time.perf_counter() - t0
-                continue
-            extract_s += time.perf_counter() - t0
-            t0 = time.perf_counter()
-            if self.naive:
-                for term in terms:
-                    index.add_term_naive(term, ref.path)
-            else:
-                index.add_block(block)
-            update_s += time.perf_counter() - t0
-        timings.extraction = extract_s
-        timings.update = update_s
-
-        wall = time.perf_counter() - start
+        spans = rec.spans
+        wall = root_span.duration
+        metrics = build_metrics(
+            file_count=len(files),
+            byte_count=sum(ref.size for ref in files),
+            term_count=len(index),
+            posting_count=index.posting_count,
+            wall_time=wall,
+            failure_count=len(self.last_failures),
+        )
+        if obsrec.enabled():
+            obsrec.get_recorder().absorb(spans)
         # A sequential run is, by convention, configuration (1, 0, 0).
         return BuildReport(
             implementation=Implementation.SHARED_LOCKED,
             config=ThreadConfig(1, 0, 0),
             index=index,
             wall_time=wall,
-            timings=timings,
+            timings=StageTimings.from_spans(spans),
             file_count=len(files),
             term_count=len(index),
             posting_count=index.posting_count,
             failures=list(self.last_failures),
+            spans=spans,
+            metrics=metrics,
         )

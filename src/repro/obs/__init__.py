@@ -1,0 +1,82 @@
+"""Observability: spans, metrics, and trace export for build + query.
+
+The paper's whole argument is a timing argument — Table 1's stage
+breakdown, Tables 2-4's per-configuration sweeps — and a production
+indexer needs the same numbers continuously, not from ad-hoc
+``perf_counter`` pairs.  This package is that layer:
+
+* :func:`span` / :class:`Recorder` — nestable timed spans recording
+  start, duration, thread, and process; near-zero overhead (one branch)
+  while the global recorder is disabled;
+* :class:`MetricsRegistry` — counters, gauges, and fixed-bucket
+  histograms (files/s, queue depths, retries, cache hit rates);
+* :func:`chrome_trace` / :func:`write_chrome_trace` — Chrome
+  ``trace_event`` JSON for ``chrome://tracing`` / Perfetto, validated
+  by :func:`validate_chrome_trace`;
+* :func:`human_summary` — the ``--stats`` terminal digest.
+
+Engines record their stage spans on per-build recorders and publish
+them on :attr:`~repro.engine.results.BuildReport.spans`;
+:meth:`~repro.engine.results.StageTimings.from_spans` derives the
+paper's stage breakdown from the span tree.  Worker processes ship
+spans back by value; the parent re-bases them onto its timeline with
+:func:`rebase_spans`.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    human_summary,
+    validate_chrome_trace,
+    validate_trace_file,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.recorder import (
+    NULL_SPAN,
+    Recorder,
+    disable,
+    enable,
+    enabled,
+    get_recorder,
+    metrics,
+    set_recorder,
+    span,
+)
+from repro.obs.spans import (
+    SpanRecord,
+    children_of,
+    rebase_spans,
+    total_duration,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Recorder",
+    "SpanRecord",
+    "children_of",
+    "chrome_trace",
+    "disable",
+    "enable",
+    "enabled",
+    "get_recorder",
+    "human_summary",
+    "metrics",
+    "rebase_spans",
+    "set_recorder",
+    "span",
+    "total_duration",
+    "validate_chrome_trace",
+    "validate_trace_file",
+    "write_chrome_trace",
+]

@@ -1,0 +1,256 @@
+"""Exporters: Chrome ``trace_event`` JSON, flat stats, human summary.
+
+The Chrome trace format (loadable in ``chrome://tracing`` and
+`Perfetto <https://ui.perfetto.dev>`_) is the layer's visual exporter:
+every span becomes a matched ``B``/``E`` duration-event pair on its
+``(pid, tid)`` track, with thread/process name metadata events so the
+per-worker extract/update lanes are labelled.  The format reference is
+the trace-event spec; the subset emitted here is deliberately small
+and is checked by :func:`validate_chrome_trace` — the same checker CI
+runs over a real build's trace.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.spans import SpanRecord
+
+
+def chrome_trace(
+    spans: Sequence[SpanRecord],
+    metadata: Optional[Mapping[str, object]] = None,
+) -> Dict[str, object]:
+    """The Chrome ``trace_event`` JSON object for ``spans``.
+
+    Timestamps are re-based so the earliest span starts at t=0 and are
+    emitted in microseconds.  Per ``(pid, tid)`` track, events are
+    produced by a nesting sweep that guarantees matched B/E pairs and
+    non-decreasing timestamps (span trees recorded by the context
+    manager API are well-nested per thread by construction; re-based
+    worker spans keep their worker's pid/tid and stay well-nested on
+    their own track).
+    """
+    events: List[Dict[str, object]] = []
+    if not spans:
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    epoch = min(span.start for span in spans)
+    tracks: Dict[Tuple[int, int], List[SpanRecord]] = defaultdict(list)
+    for span in spans:
+        tracks[(span.pid, span.tid)].append(span)
+
+    pids = sorted({pid for pid, _tid in tracks})
+    for pid in pids:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro pid {pid}"},
+            }
+        )
+    for (pid, tid), track in sorted(tracks.items()):
+        # The last-recorded span's thread name labels the lane.
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": track[-1].thread},
+            }
+        )
+
+    def us(seconds: float) -> float:
+        return round((seconds - epoch) * 1e6, 3)
+
+    for (pid, tid), track in sorted(tracks.items()):
+        # Parents first: earlier start wins; at equal starts the longer
+        # span is the enclosing one.
+        ordered = sorted(
+            track, key=lambda s: (s.start, -s.duration, s.span_id)
+        )
+        stack: List[Tuple[SpanRecord, float]] = []  # (span, clamped end)
+
+        def emit_end(span: SpanRecord, end: float) -> None:
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "E",
+                    "ts": us(end),
+                    "pid": pid,
+                    "tid": tid,
+                }
+            )
+
+        for span in ordered:
+            while stack and stack[-1][1] <= span.start:
+                finished, finished_end = stack.pop()
+                emit_end(finished, finished_end)
+            # Clamp to the enclosing span so float jitter can never
+            # produce a crossing (mismatched) pair.
+            end = span.end
+            if stack and end > stack[-1][1]:
+                end = stack[-1][1]
+            args = {key: value for key, value in span.attrs.items()}
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.name.split(".", 1)[0],
+                    "ph": "B",
+                    "ts": us(span.start),
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+            stack.append((span, end))
+        while stack:
+            finished, finished_end = stack.pop()
+            emit_end(finished, finished_end)
+
+    trace: Dict[str, object] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        trace["otherData"] = dict(metadata)
+    return trace
+
+
+def write_chrome_trace(
+    path: str,
+    spans: Sequence[SpanRecord],
+    metadata: Optional[Mapping[str, object]] = None,
+) -> int:
+    """Serialize :func:`chrome_trace` to ``path``; returns bytes written."""
+    text = json.dumps(chrome_trace(spans, metadata=metadata))
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return len(text)
+
+
+def validate_chrome_trace(trace: object) -> List[str]:
+    """Structural errors in a trace object ([] when valid).
+
+    Checks the properties CI pins: a ``traceEvents`` list; required
+    keys per event; per-track non-decreasing timestamps; and strict
+    stack discipline — every ``E`` matches the innermost open ``B`` of
+    the same name, and nothing stays open at the end.
+    """
+    errors: List[str] = []
+    if not isinstance(trace, dict):
+        return [f"trace must be a JSON object, got {type(trace).__name__}"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+
+    last_ts: Dict[Tuple[int, int], float] = {}
+    open_stacks: Dict[Tuple[int, int], List[str]] = defaultdict(list)
+    for position, event in enumerate(events):
+        where = f"traceEvents[{position}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: event must be an object")
+            continue
+        phase = event.get("ph")
+        if phase not in ("B", "E", "M"):
+            errors.append(f"{where}: unsupported ph {phase!r}")
+            continue
+        if "pid" not in event or "tid" not in event:
+            errors.append(f"{where}: missing pid/tid")
+            continue
+        if phase == "M":
+            if "name" not in event or "args" not in event:
+                errors.append(f"{where}: metadata event needs name and args")
+            continue
+        name = event.get("name")
+        ts = event.get("ts")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: duration event needs a name")
+            continue
+        if not isinstance(ts, (int, float)):
+            errors.append(f"{where}: duration event needs a numeric ts")
+            continue
+        track = (event["pid"], event["tid"])
+        if track in last_ts and ts < last_ts[track]:
+            errors.append(
+                f"{where}: ts {ts} goes backwards on track {track} "
+                f"(previous {last_ts[track]})"
+            )
+        last_ts[track] = ts
+        stack = open_stacks[track]
+        if phase == "B":
+            stack.append(name)
+        else:
+            if not stack:
+                errors.append(f"{where}: E {name!r} with no open B on {track}")
+            elif stack[-1] != name:
+                errors.append(
+                    f"{where}: E {name!r} does not match open B "
+                    f"{stack[-1]!r} on {track}"
+                )
+                stack.pop()
+            else:
+                stack.pop()
+    for track, stack in sorted(open_stacks.items()):
+        for name in stack:
+            errors.append(f"unclosed B {name!r} on track {track}")
+    return errors
+
+
+def validate_trace_file(path: str) -> List[str]:
+    """:func:`validate_chrome_trace` over a JSON file on disk."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            trace = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: {exc}"]
+    return validate_chrome_trace(trace)
+
+
+def human_summary(
+    spans: Sequence[SpanRecord],
+    metrics: Optional[Mapping[str, float]] = None,
+) -> str:
+    """A terminal-friendly digest: per-stage totals, worker lanes,
+    then every metric, sorted."""
+    lines: List[str] = []
+    phase_totals: Dict[str, float] = defaultdict(float)
+    worker_lines: List[str] = []
+    for span in spans:
+        if span.name.startswith("phase."):
+            phase_totals[span.name[len("phase."):]] += span.duration
+        elif span.name in ("extract.worker", "update.worker"):
+            worker = span.attrs.get("worker", "?")
+            worker_lines.append(
+                f"  {span.name} #{worker}: {span.duration * 1e3:9.2f} ms"
+                f"  (pid {span.pid})"
+            )
+    if phase_totals:
+        lines.append("stages:")
+        for name in ("stage1", "extract", "update", "join"):
+            if name in phase_totals:
+                lines.append(
+                    f"  {name:<10} {phase_totals[name] * 1e3:9.2f} ms"
+                )
+        for name, total in sorted(phase_totals.items()):
+            if name not in ("stage1", "extract", "update", "join"):
+                lines.append(f"  {name:<10} {total * 1e3:9.2f} ms")
+    if worker_lines:
+        lines.append("workers:")
+        lines.extend(sorted(worker_lines))
+    if metrics:
+        lines.append("metrics:")
+        for name in sorted(metrics):
+            value = metrics[name]
+            rendered = (
+                f"{value:.3f}".rstrip("0").rstrip(".")
+                if isinstance(value, float)
+                else str(value)
+            )
+            lines.append(f"  {name} = {rendered}")
+    return "\n".join(lines) if lines else "(no observability data)"

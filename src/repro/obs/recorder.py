@@ -1,0 +1,224 @@
+"""The span recorder and the process-global instrumentation switch.
+
+Two usage patterns share this module:
+
+* **Per-build recorders** — every engine build creates its own
+  :class:`Recorder` and records its handful of stage/worker spans
+  unconditionally (a build emits ~``x + y + z + 4`` spans; the cost is
+  unmeasurable).  The finished span list rides on
+  :attr:`~repro.engine.results.BuildReport.spans`.
+
+* **The global recorder** — shared library code (the bounded buffer,
+  the query path, per-file detail spans) records through the
+  module-level :func:`span` / :func:`metrics` helpers, which hit a
+  process-global :class:`Recorder` that is **disabled by default**.
+  When disabled, :func:`span` returns a no-op singleton after a single
+  attribute check — the hot path pays one branch per span, nothing
+  more.  ``--trace-out`` / ``--stats`` (or :func:`enable`) switch it
+  on.
+
+Thread safety: span completion appends under a lock; the thread-local
+open-span stack gives nesting without any cross-thread coordination.
+Recorders are *not* shared across processes — worker processes build
+their own and ship :class:`~repro.obs.spans.SpanRecord` lists back by
+value (see :func:`repro.engine.procworker.build_replica`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Attr, SpanRecord
+
+
+class _NullSpan:
+    """The do-nothing span handed out while recording is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        return None
+
+    # Mirror _OpenSpan's read API so callers can use the result of
+    # ``span(...)`` uniformly.
+    name = ""
+    duration = 0.0
+    start = 0.0
+
+    def set_attr(self, _name: str, _value: Attr) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _OpenSpan:
+    """A span between ``__enter__`` and ``__exit__``.
+
+    Exposes ``duration`` (valid after exit) so call sites can keep
+    feeding measurements like per-worker lifetimes from the same clock
+    reading the span records, instead of timing twice.
+    """
+
+    __slots__ = ("recorder", "name", "attrs", "span_id", "start", "duration")
+
+    def __init__(
+        self, recorder: "Recorder", name: str, attrs: Dict[str, Attr]
+    ) -> None:
+        self.recorder = recorder
+        self.name = name
+        self.attrs = attrs
+        self.span_id = next(recorder._ids)
+        self.start = 0.0
+        self.duration = 0.0
+
+    def set_attr(self, name: str, value: Attr) -> None:
+        self.attrs[name] = value
+
+    def __enter__(self) -> "_OpenSpan":
+        stack = self.recorder._stack()
+        stack.append(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        end = time.perf_counter()
+        self.duration = end - self.start
+        recorder = self.recorder
+        stack = recorder._stack()
+        # The stack discipline can only break if exits are misordered
+        # within one thread; pop defensively by identity.
+        if stack and stack[-1] is self:
+            stack.pop()
+        else:  # pragma: no cover - misnested exit
+            try:
+                stack.remove(self)
+            except ValueError:
+                pass
+        parent = stack[-1].span_id if stack else None
+        thread = threading.current_thread()
+        recorder._append(
+            SpanRecord(
+                name=self.name,
+                start=self.start,
+                duration=self.duration,
+                pid=os.getpid(),
+                tid=thread.ident or 0,
+                thread=thread.name,
+                span_id=self.span_id,
+                parent_id=parent,
+                attrs=self.attrs,
+            )
+        )
+
+
+class Recorder:
+    """Collects spans and metrics for one scope (a build, a process)."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.metrics = MetricsRegistry()
+        self._spans: List[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+
+    # -- recording --------------------------------------------------------
+
+    def span(self, name: str, **attrs: Attr):
+        """Context manager timing one interval; no-op when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _OpenSpan(self, name, attrs)
+
+    def absorb(self, spans: Iterable[SpanRecord]) -> None:
+        """Add externally produced spans (e.g. re-based worker spans)."""
+        with self._lock:
+            self._spans.extend(spans)
+
+    # -- reading ----------------------------------------------------------
+
+    @property
+    def spans(self) -> List[SpanRecord]:
+        """A snapshot copy of everything recorded so far."""
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+        self.metrics = MetricsRegistry()
+
+    # -- internals --------------------------------------------------------
+
+    def _append(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._spans.append(record)
+
+    def _stack(self) -> List[_OpenSpan]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+
+# -- the process-global recorder -----------------------------------------
+
+_GLOBAL = Recorder(enabled=False)
+
+
+def get_recorder() -> Recorder:
+    """The process-global recorder (disabled until :func:`enable`)."""
+    return _GLOBAL
+
+
+def set_recorder(recorder: Recorder) -> Recorder:
+    """Swap the global recorder (tests); returns the previous one."""
+    global _GLOBAL
+    previous = _GLOBAL
+    _GLOBAL = recorder
+    return previous
+
+
+def enable() -> Recorder:
+    """Turn global recording on; returns the recorder."""
+    _GLOBAL.enabled = True
+    return _GLOBAL
+
+
+def disable() -> None:
+    """Turn global recording off (existing records are kept)."""
+    _GLOBAL.enabled = False
+
+
+def enabled() -> bool:
+    """True when the global recorder is recording."""
+    return _GLOBAL.enabled
+
+
+def span(name: str, **attrs: Attr):
+    """Record a span on the global recorder; one branch when disabled.
+
+    The disabled path intentionally does no attribute formatting and
+    allocates nothing beyond the kwargs dict the caller wrote — keep
+    hot-path call sites to ``obs.span("name")`` with no kwargs and the
+    cost is one call and one branch.
+    """
+    recorder = _GLOBAL
+    if not recorder.enabled:
+        return NULL_SPAN
+    return _OpenSpan(recorder, name, attrs)
+
+
+def metrics() -> MetricsRegistry:
+    """The global recorder's metrics registry (usable even while span
+    recording is disabled — callers gate on :func:`enabled`)."""
+    return _GLOBAL.metrics

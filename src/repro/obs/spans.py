@@ -1,0 +1,70 @@
+"""Span records: one timed, attributed interval of work.
+
+A span is the observability layer's unit of timing — "extractor 3 ran
+from t to t+d on thread X in process P".  Spans are plain picklable
+data so worker processes can record them locally and ship them back to
+the parent over the existing result boundary, where they are re-based
+onto the parent's timeline (see :mod:`repro.engine.procworker`).
+
+Timestamps are ``time.perf_counter()`` seconds.  Within one process
+they share a timeline; across processes they do not, which is why
+cross-process spans travel as *relative* offsets and are re-based by
+the receiver (:func:`rebase_spans`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Union
+
+Attr = Union[str, int, float, bool, None]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span, as plain picklable data.
+
+    ``start`` is in the recorder's timeline (``perf_counter`` seconds);
+    ``duration`` is elapsed seconds.  ``span_id``/``parent_id`` encode
+    the span tree: ``parent_id`` is the id of the span that was open on
+    the same thread when this one started (None at the root).
+    """
+
+    name: str
+    start: float
+    duration: float
+    pid: int
+    tid: int
+    thread: str
+    span_id: int
+    parent_id: Optional[int] = None
+    attrs: Dict[str, Attr] = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+def rebase_spans(
+    spans: Sequence[SpanRecord], offset: float
+) -> List[SpanRecord]:
+    """Shift every span's start by ``offset`` seconds.
+
+    Used by the parent process to map worker-recorded spans (whose
+    starts are relative to the worker body's start) onto its own
+    timeline: ``offset`` is the parent-side estimate of when the worker
+    body started.
+    """
+    return [replace(span, start=span.start + offset) for span in spans]
+
+
+def total_duration(spans: Sequence[SpanRecord], name: str) -> float:
+    """Sum of durations of every span named ``name``."""
+    return sum(span.duration for span in spans if span.name == name)
+
+
+def children_of(
+    spans: Sequence[SpanRecord], parent: SpanRecord
+) -> List[SpanRecord]:
+    """Direct children of ``parent`` in the span tree."""
+    return [span for span in spans if span.parent_id == parent.span_id]

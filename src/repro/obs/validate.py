@@ -1,0 +1,35 @@
+"""``python -m repro.obs.validate trace.json [...]`` — trace checker.
+
+Exits nonzero when any file fails :func:`repro.obs.validate_chrome_trace`
+(malformed JSON, missing keys, backwards timestamps, mismatched B/E
+pairs).  CI runs this over the trace a real build emits.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, Sequence
+
+from repro.obs.export import validate_trace_file
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        print("usage: python -m repro.obs.validate TRACE.json [...]",
+              file=sys.stderr)
+        return 2
+    failed = 0
+    for path in args:
+        errors = validate_trace_file(path)
+        if errors:
+            failed += 1
+            for error in errors:
+                print(f"{path}: {error}", file=sys.stderr)
+        else:
+            print(f"{path}: valid chrome trace")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

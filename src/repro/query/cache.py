@@ -10,79 +10,139 @@ caching conditions.  :class:`QueryCache` is a from-scratch LRU keyed by
 
 Normalization runs the query optimizer first, so ``a AND a`` and ``a``
 share a cache entry.
+
+Thread safety: a desktop search serves queries from whatever thread the
+UI or API happens to be on, so one cache is hammered concurrently.
+Every operation — the LRU reorder in :meth:`QueryCache.get`, the
+evict-and-insert in :meth:`QueryCache.put`, and the hit/miss tallies —
+runs under one lock, which comes from a
+:class:`~repro.concurrency.provider.SyncProvider` so the schedule
+checker can drive the same cache deterministically.  Results are copied
+*in* on put and *out* on get, both under the lock: a caller mutating a
+list it got back (or the list it inserted) can never corrupt what a
+later hit observes.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs import recorder as obsrec
 from repro.query.evaluator import QueryEngine
 from repro.query.optimizer import optimize
 from repro.query.parser import parse_query
 
 
 class QueryCache:
-    """A fixed-capacity LRU cache of query results."""
+    """A fixed-capacity LRU cache of query results (thread-safe)."""
 
-    def __init__(self, capacity: int = 128) -> None:
+    def __init__(
+        self, capacity: int = 128, sync=None, name: str = "query.cache"
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be at least 1, got {capacity}")
+        if sync is None:
+            from repro.concurrency.provider import THREADING_SYNC
+
+            sync = THREADING_SYNC
         self.capacity = capacity
+        self.name = name
+        self._sync = sync
+        self._lock = sync.lock(f"{name}.lock")
         # dict preserves insertion order; recency = reinsertion order.
         self._entries: Dict[Tuple[str, bool], List[str]] = {}
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: Tuple[str, bool]) -> Optional[List[str]]:
-        """Cached result for ``key`` (refreshing recency), else None."""
-        if key not in self._entries:
-            self.misses += 1
-            return None
-        self.hits += 1
-        value = self._entries.pop(key)
-        self._entries[key] = value
-        return list(value)
+        """Cached result for ``key`` (refreshing recency), else None.
+
+        The returned list is a copy made under the lock — mutate it
+        freely, the cached value is unaffected.
+        """
+        with self._lock:
+            self._sync.access(f"{self.name}.entries")
+            if key not in self._entries:
+                self.misses += 1
+                hit = False
+                result = None
+            else:
+                self.hits += 1
+                hit = True
+                value = self._entries.pop(key)
+                self._entries[key] = value
+                result = list(value)
+            hit_rate = self._hit_rate_locked()
+        self._record(hit, hit_rate)
+        return result
 
     def put(self, key: Tuple[str, bool], value: List[str]) -> None:
-        """Insert a result, evicting the least recently used if full."""
-        if key in self._entries:
-            self._entries.pop(key)
-        elif len(self._entries) >= self.capacity:
-            oldest = next(iter(self._entries))
-            del self._entries[oldest]
-        self._entries[key] = list(value)
+        """Insert a result, evicting the least recently used if full.
+
+        The value is copied in under the lock, so later caller-side
+        mutation of ``value`` cannot change what a future hit returns.
+        """
+        with self._lock:
+            self._sync.access(f"{self.name}.entries")
+            if key in self._entries:
+                self._entries.pop(key)
+            elif len(self._entries) >= self.capacity:
+                oldest = next(iter(self._entries))
+                del self._entries[oldest]
+            self._entries[key] = list(value)
+            size = len(self._entries)
+        obsrec.metrics().gauge(f"{self.name}.size").set(size)
 
     def clear(self) -> None:
         """Drop every entry (the index changed)."""
-        self._entries.clear()
+        with self._lock:
+            self._sync.access(f"{self.name}.entries")
+            self._entries.clear()
+        obsrec.metrics().gauge(f"{self.name}.size").set(0)
 
     @property
     def hit_rate(self) -> float:
         """hits / (hits + misses), 0.0 before any lookup."""
+        with self._lock:
+            return self._hit_rate_locked()
+
+    def _hit_rate_locked(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def _record(self, hit: bool, hit_rate: float) -> None:
+        """Publish the lookup to the global metrics registry."""
+        metrics = obsrec.metrics()
+        metrics.counter(
+            f"{self.name}.hits" if hit else f"{self.name}.misses"
+        ).inc()
+        metrics.gauge(f"{self.name}.hit_rate").set(hit_rate)
 
 
 class CachingQueryEngine:
     """A :class:`QueryEngine` front end with LRU result caching."""
 
-    def __init__(self, engine: QueryEngine, capacity: int = 128) -> None:
+    def __init__(
+        self, engine: QueryEngine, capacity: int = 128, sync=None
+    ) -> None:
         self.engine = engine
-        self.cache = QueryCache(capacity)
+        self.cache = QueryCache(capacity, sync=sync)
 
     def search(self, query_text: str, parallel: bool = False) -> List[str]:
         """Like :meth:`QueryEngine.search`, memoized on the normalized
         query."""
-        key = (self._normalize(query_text), parallel)
-        cached = self.cache.get(key)
-        if cached is not None:
-            return cached
-        result = self.engine.search(query_text, parallel=parallel)
-        self.cache.put(key, result)
-        return result
+        with obsrec.span("query.cached_search", parallel=parallel):
+            key = (self._normalize(query_text), parallel)
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+            result = self.engine.search(query_text, parallel=parallel)
+            self.cache.put(key, result)
+            return result
 
     def invalidate(self) -> None:
         """Call whenever the underlying index changes."""

@@ -18,6 +18,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Union
 
 from repro.index.inverted import InvertedIndex
 from repro.index.multi import MultiIndex
+from repro.obs import recorder as obsrec
 from repro.query.ast import And, Not, Or, Phrase, Query, Term
 from repro.query.parser import parse_query
 from repro.query.wildcard import PrefixDictionary, expand_prefixes, has_prefixes
@@ -58,13 +59,16 @@ class QueryEngine:
         """
         from repro.query.optimizer import optimize as optimize_query
 
-        query = parse_query(query_text)
-        if has_prefixes(query):
-            query = expand_prefixes(query, self.prefix_dictionary())
-        if optimize:
-            query = optimize_query(query)
-        postings = self._fetch_postings(query.terms(), parallel)
-        return sorted(self._evaluate(query, postings))
+        with obsrec.span("query.search", parallel=parallel):
+            obsrec.metrics().counter("query.searches").inc()
+            query = parse_query(query_text)
+            if has_prefixes(query):
+                query = expand_prefixes(query, self.prefix_dictionary())
+            if optimize:
+                query = optimize_query(query)
+            with obsrec.span("query.fetch"):
+                postings = self._fetch_postings(query.terms(), parallel)
+            return sorted(self._evaluate(query, postings))
 
     def prefix_dictionary(self) -> PrefixDictionary:
         """The index's term dictionary (built lazily, then cached)."""
@@ -91,7 +95,10 @@ class QueryEngine:
         ]
 
         def work(i: int, replica: InvertedIndex) -> None:
-            partials[i] = {term: replica.lookup(term) for term in terms}
+            with obsrec.span("query.fetch.replica", replica=i):
+                partials[i] = {
+                    term: replica.lookup(term) for term in terms
+                }
 
         threads = [
             threading.Thread(target=work, args=(i, replica), daemon=True)

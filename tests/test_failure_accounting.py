@@ -1,0 +1,202 @@
+"""Failure accounting: ``indexed_file_count`` must equal the number of
+distinct paths that actually landed in the index.
+
+The process backend's recovery ladder can touch one file more than once
+(a batch errors, is split, and a half succeeds on retry).  Two
+safeguards keep the report honest:
+
+* :func:`repro.engine.faults.reconcile_failures` drops failure records
+  for paths that ultimately succeeded and de-duplicates the rest;
+* :attr:`~repro.engine.results.BuildReport.indexed_file_count` counts
+  *distinct* failed paths, so a duplicate record can never make the
+  index look smaller than it is.
+
+The end-to-end tests drive crash/hang/error faults through the process
+backend and pin the invariant against the index's real path universe.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    ProcessReplicatedIndexer,
+    SequentialIndexer,
+    ThreadConfig,
+)
+from repro.engine.faults import FileFailure, reconcile_failures
+from repro.engine.results import BuildReport, Implementation
+from repro.fsmodel import FaultInjectingFileSystem, FaultSpec
+
+PROC_KW = dict(oversubscribe=True, max_retries=2, retry_backoff=0.0)
+
+
+def failure(path, stage="read", error="boom"):
+    return FileFailure(path=path, stage=stage, error=error,
+                       error_type="OSError")
+
+
+# -- reconcile_failures ------------------------------------------------
+
+
+class TestReconcileFailures:
+    def test_keeps_genuine_failures_in_order(self):
+        failures = [failure("a"), failure("b")]
+        assert reconcile_failures(failures, set()) == failures
+
+    def test_drops_paths_that_ultimately_succeeded(self):
+        failures = [failure("a"), failure("b"), failure("c")]
+        assert reconcile_failures(failures, {"b"}) == [
+            failure("a"), failure("c")
+        ]
+
+    def test_deduplicates_by_path_first_record_wins(self):
+        first = failure("a", stage="read")
+        second = failure("a", stage="extract")
+        assert reconcile_failures([first, second], set()) == [first]
+
+    def test_empty_inputs(self):
+        assert reconcile_failures([], set()) == []
+        assert reconcile_failures([], {"a"}) == []
+
+
+# -- indexed_file_count with duplicate records -------------------------
+
+
+class TestIndexedFileCount:
+    def make_report(self, failures):
+        report = SequentialIndexer_fixture_report()
+        return BuildReport(
+            implementation=Implementation.SHARED_LOCKED,
+            config=ThreadConfig(1, 0, 0),
+            index=report.index,
+            wall_time=1.0,
+            file_count=10,
+            failures=failures,
+        )
+
+    def test_counts_distinct_failed_paths_only(self):
+        # The regression: two records for one path must not be
+        # subtracted twice.
+        duplicated = [failure("a"), failure("a", stage="extract")]
+        report = self.make_report(duplicated)
+        assert report.indexed_file_count == 9
+
+    def test_plain_case_unchanged(self):
+        report = self.make_report([failure("a"), failure("b")])
+        assert report.indexed_file_count == 8
+
+
+_CACHED_SEQ_REPORT = {}
+
+
+def SequentialIndexer_fixture_report():
+    """A tiny real index to satisfy BuildReport's index field."""
+    if "report" not in _CACHED_SEQ_REPORT:
+        from repro.fsmodel import VirtualFileSystem
+
+        fs = VirtualFileSystem()
+        fs.write_file("x.txt", b"tiny corpus")
+        _CACHED_SEQ_REPORT["report"] = SequentialIndexer(fs).build()
+    return _CACHED_SEQ_REPORT["report"]
+
+
+# -- end-to-end: faults through the process backend --------------------
+
+
+def indexed_paths(index) -> set:
+    """The distinct paths actually present in the index's postings."""
+    paths = set()
+    for term in index.terms():
+        paths.update(index.lookup(term))
+    return paths
+
+
+def pin_invariant(report, fs):
+    """indexed_file_count == distinct successfully indexed paths."""
+    listed = {ref.path for ref in fs.list_files()}
+    in_index = indexed_paths(report.index)
+    # every indexed path came from the listing, none indexed twice the
+    # count, and the report's arithmetic matches reality
+    assert in_index <= listed
+    assert report.indexed_file_count == len(in_index)
+    assert sorted(f.path for f in report.failures) == sorted(
+        listed - in_index
+    )
+    # failure records are unique per path after reconciliation
+    recorded = [f.path for f in report.failures]
+    assert len(recorded) == len(set(recorded))
+
+
+def victims_of(fs, count=1):
+    paths = [ref.path for ref in fs.list_files()]
+    return paths[:: max(1, len(paths) // count)][:count]
+
+
+class TestProcessBackendAccounting:
+    def test_skip_failures_counted_once(self, tiny_fs):
+        victims = victims_of(tiny_fs, count=2)
+        fs = FaultInjectingFileSystem(
+            tiny_fs,
+            {p: FaultSpec(exc_type=PermissionError) for p in victims},
+        )
+        indexer = ProcessReplicatedIndexer(fs, on_error="skip", **PROC_KW)
+        report = indexer.build(ThreadConfig(2, 0, 1, backend="process"))
+        pin_invariant(report, tiny_fs)
+
+    def test_crash_retry_success_not_counted_failed(self, tiny_fs):
+        # The file only crashes worker processes; the in-parent rung of
+        # the recovery ladder indexes it.  A file that failed once but
+        # succeeded on retry must not be in failures — and the count
+        # must reflect the success.
+        victims = victims_of(tiny_fs, count=1)
+        fs = FaultInjectingFileSystem(
+            tiny_fs,
+            {victims[0]: FaultSpec(action="crash", parent_action="pass")},
+        )
+        indexer = ProcessReplicatedIndexer(fs, on_error="skip", **PROC_KW)
+        report = indexer.build(ThreadConfig(2, 0, 1, backend="process"))
+        assert report.retries > 0
+        assert report.failures == []
+        assert report.indexed_file_count == report.file_count
+        pin_invariant(report, tiny_fs)
+
+    def test_crash_with_terminal_failure_counted_once(self, tiny_fs):
+        victims = victims_of(tiny_fs, count=1)
+        fs = FaultInjectingFileSystem(
+            tiny_fs,
+            {victims[0]: FaultSpec(action="crash", parent_action="error")},
+        )
+        indexer = ProcessReplicatedIndexer(fs, on_error="skip", **PROC_KW)
+        report = indexer.build(ThreadConfig(2, 0, 1, backend="process"))
+        assert report.retries > 0
+        assert [f.path for f in report.failures] == victims
+        assert report.indexed_file_count == report.file_count - 1
+        pin_invariant(report, tiny_fs)
+
+    def test_mixed_faults_keep_count_honest(self, tiny_fs):
+        paths = [ref.path for ref in tiny_fs.list_files()]
+        transient, poisoned = paths[0], paths[len(paths) // 2]
+        fs = FaultInjectingFileSystem(
+            tiny_fs,
+            {
+                transient: FaultSpec(action="crash", parent_action="pass"),
+                poisoned: FaultSpec(exc_type=PermissionError),
+            },
+        )
+        indexer = ProcessReplicatedIndexer(fs, on_error="skip", **PROC_KW)
+        report = indexer.build(ThreadConfig(2, 0, 1, backend="process"))
+        assert [f.path for f in report.failures] == [poisoned]
+        assert report.indexed_file_count == report.file_count - 1
+        pin_invariant(report, tiny_fs)
+
+    @pytest.mark.parametrize("backend", ("sequential", "process"))
+    def test_clean_build_counts_everything(self, tiny_fs, backend):
+        if backend == "sequential":
+            report = SequentialIndexer(tiny_fs).build()
+        else:
+            indexer = ProcessReplicatedIndexer(tiny_fs, **PROC_KW)
+            report = indexer.build(ThreadConfig(2, 0, 1, backend="process"))
+        assert report.failures == []
+        assert report.indexed_file_count == report.file_count
+        pin_invariant(report, tiny_fs)
