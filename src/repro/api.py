@@ -1,0 +1,459 @@
+"""The unified public API: one ``Search`` session end to end.
+
+Historically this package grew one entry point per subsystem: engines
+behind :class:`~repro.engine.runner.IndexGenerator`, persistence split
+across four save/load functions, querying split between
+:class:`~repro.query.evaluator.QueryEngine`,
+:class:`~repro.query.cache.CachingQueryEngine` and
+:class:`~repro.index.incremental.IncrementalIndexer`.  :class:`Search`
+folds that into a single session object::
+
+    from repro import Search
+
+    session = Search.build("~/documents", config=ThreadConfig(3, 2, 0))
+    hits = session.query("cat AND dog")         # typed QueryResult
+    session.refresh()                           # incremental delta
+    session.save("documents.ridx")              # format sniffed back on open
+    service = session.serve(workers=4)          # long-running SearchService
+
+Every knob is a keyword on one constructor:
+:class:`~repro.engine.config.ThreadConfig` picks the engine and
+backend, :class:`~repro.engine.faults.FaultPolicy` the error/retry
+behaviour, ``cache`` the LRU result-cache capacity.  The historical
+entry points keep working (the top-level legacy names re-export with a
+``DeprecationWarning``; see ``docs/api.md`` for the migration table).
+
+Sessions are single-writer: ``query`` may race against ``refresh``
+only through :meth:`Search.serve`, whose
+:class:`~repro.service.service.SearchService` isolates readers on
+immutable snapshots.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import List, Optional, Union
+
+from repro.engine.config import Implementation, ThreadConfig
+from repro.engine.faults import FaultPolicy
+from repro.engine.results import BuildReport
+from repro.engine.runner import IndexGenerator
+from repro.engine.sequential import SequentialIndexer
+from repro.fsmodel.realfs import OsFileSystem
+from repro.index.incremental import (
+    ChangeReport,
+    IncrementalIndex,
+    IncrementalIndexer,
+    Snapshot,
+    take_snapshot,
+)
+from repro.index.inverted import InvertedIndex
+from repro.index.merge import join_indices
+from repro.index.multi import MultiIndex
+from repro.index.serialize import load_index, load_multi_index, save_index
+from repro.query.cache import QueryCache
+from repro.query.evaluator import QueryEngine
+from repro.query.optimizer import optimize
+from repro.query.parser import parse_query
+from repro.service.service import SearchService
+from repro.service.snapshot import IndexSnapshot, QueryResult
+
+
+def _flatten(index: Union[InvertedIndex, MultiIndex]) -> InvertedIndex:
+    """Any engine's output as one single index (joins replicas)."""
+    if isinstance(index, MultiIndex):
+        return join_indices(index.replicas)
+    if hasattr(index, "to_inverted_index"):
+        return index.to_inverted_index()
+    return index
+
+
+def _as_filesystem(source):
+    """A path becomes an :class:`~repro.fsmodel.realfs.OsFileSystem`;
+    anything implementing ``list_files``/``read_file`` passes through."""
+    if isinstance(source, (str, os.PathLike)):
+        return OsFileSystem(os.fspath(source))
+    return source
+
+
+class Search:
+    """One desktop-search session: build, query, refresh, save, serve.
+
+    Construct through :meth:`build` (index a filesystem) or
+    :meth:`open` (load a saved index).  The session keeps a single
+    flattened :class:`~repro.index.inverted.InvertedIndex` plus the
+    per-document store that makes incremental refresh possible, a
+    result cache, and a generation counter that bumps on every index
+    change.
+    """
+
+    def __init__(
+        self,
+        incremental: IncrementalIndex,
+        *,
+        fs=None,
+        root: str = "",
+        fingerprint: Optional[Snapshot] = None,
+        generation: int = 0,
+        provenance: str = "build",
+        report: Optional[BuildReport] = None,
+        implementation: Optional[Implementation] = None,
+        config: Optional[ThreadConfig] = None,
+        fault: Optional[FaultPolicy] = None,
+        cache: int = 128,
+        tokenizer=None,
+        registry=None,
+        sync=None,
+    ) -> None:
+        self._incremental = incremental
+        self._fs = fs
+        self._root = root
+        self._fingerprint: Snapshot = dict(fingerprint or {})
+        self._generation = generation
+        self._provenance = provenance
+        self._report = report
+        self._implementation = implementation
+        self._config = config
+        self._fault = fault or FaultPolicy()
+        self._tokenizer = tokenizer
+        self._registry = registry
+        self._sync = sync
+        self._cache = QueryCache(cache, sync=sync) if cache else None
+        self._engine = self._make_engine()
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        source,
+        *,
+        implementation: Optional[Implementation] = None,
+        config: Optional[ThreadConfig] = None,
+        fault: Optional[FaultPolicy] = None,
+        cache: int = 128,
+        tokenizer=None,
+        registry=None,
+        root: str = "",
+        sync=None,
+    ) -> "Search":
+        """Index ``source`` (a directory path or a filesystem object).
+
+        ``config=None`` runs the sequential en-bloc build; otherwise
+        ``config.backend`` and ``implementation`` select any of the
+        threaded or multiprocessing engines (defaults: Implementation 3
+        on threads, Implementation 2 on the process backend).
+        ``fault`` applies the per-file error policy and, for the
+        process backend, the retry/timeout ladder.
+        """
+        fs = _as_filesystem(source)
+        fault = fault or FaultPolicy()
+        # Fingerprint first: a file modified while the build runs is
+        # then seen as changed by the next refresh, never silently lost.
+        fingerprint = take_snapshot(fs, root)
+        if config is None:
+            report = SequentialIndexer(
+                fs,
+                tokenizer=tokenizer,
+                naive=False,
+                registry=registry,
+                on_error=fault.on_error,
+            ).build(root)
+        else:
+            if implementation is None:
+                implementation = (
+                    Implementation.REPLICATED_JOINED
+                    if config.backend == "process"
+                    else Implementation.REPLICATED_UNJOINED
+                )
+            config.validate_for(implementation)
+            report = IndexGenerator(
+                fs,
+                tokenizer=tokenizer,
+                registry=registry,
+                on_error=fault.on_error,
+                max_retries=fault.max_retries,
+                batch_timeout=fault.batch_timeout,
+                sync=sync,
+            ).build(implementation, config, root)
+        incremental = IncrementalIndex.from_inverted(_flatten(report.index))
+        return cls(
+            incremental,
+            fs=fs,
+            root=root,
+            fingerprint=fingerprint,
+            provenance="build",
+            report=report,
+            implementation=implementation,
+            config=config,
+            fault=fault,
+            cache=cache,
+            tokenizer=tokenizer,
+            registry=registry,
+            sync=sync,
+        )
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        *,
+        source=None,
+        cache: int = 128,
+        tokenizer=None,
+        registry=None,
+        root: str = "",
+        sync=None,
+    ) -> "Search":
+        """Load a saved index (any format, sniffed; replica directories
+        join).  Pass ``source`` — the indexed directory or filesystem —
+        to re-enable :meth:`refresh`; the first refresh reconciles the
+        index against the live filesystem state.
+        """
+        if os.path.isdir(path):
+            index = _flatten(load_multi_index(path))
+        else:
+            index = load_index(path)
+        incremental = IncrementalIndex.from_inverted(index)
+        return cls(
+            incremental,
+            fs=_as_filesystem(source) if source is not None else None,
+            root=root,
+            provenance="open",
+            cache=cache,
+            tokenizer=tokenizer,
+            registry=registry,
+            sync=sync,
+        )
+
+    # -- reading ----------------------------------------------------------
+
+    @property
+    def index(self) -> InvertedIndex:
+        """The session's current (flattened) index.  Treat as frozen:
+        refresh and rebuild replace it rather than mutate it."""
+        return self._incremental.index
+
+    @property
+    def generation(self) -> int:
+        """Bumps by one on every refresh/rebuild."""
+        return self._generation
+
+    @property
+    def report(self) -> Optional[BuildReport]:
+        """The build report behind the current index (None after open)."""
+        return self._report
+
+    @property
+    def universe(self) -> List[str]:
+        """All indexed paths."""
+        return self._incremental.document_paths()
+
+    def __len__(self) -> int:
+        return len(self._incremental)
+
+    def query(self, query_text: str, parallel: bool = False) -> QueryResult:
+        """Evaluate a boolean/wildcard/phrase query; memoized in the
+        session's LRU cache (normalized on the optimized AST)."""
+        started = time.perf_counter()
+        if self._cache is not None:
+            key = (self._normalize(query_text), parallel)
+            hit = self._cache.get(key)
+            if hit is not None:
+                return QueryResult(
+                    paths=hit,
+                    generation=self._generation,
+                    elapsed_s=time.perf_counter() - started,
+                    cached=True,
+                )
+        paths = self._engine.search(query_text, parallel=parallel)
+        if self._cache is not None:
+            self._cache.put(key, paths)
+        return QueryResult(
+            paths=paths,
+            generation=self._generation,
+            elapsed_s=time.perf_counter() - started,
+        )
+
+    # -- updating ---------------------------------------------------------
+
+    def refresh(self) -> ChangeReport:
+        """Apply the filesystem delta; returns what changed.
+
+        The update runs on a *clone* of the index and the session flips
+        to the clone when it is complete, so a previously served
+        snapshot (see :meth:`serve`) never observes a half-applied
+        delta.  A session opened from disk reconciles on first refresh:
+        the saved index is diffed against the live filesystem.
+        """
+        fs = self._require_fs("refresh")
+        clone = self._incremental.clone()
+        if not self._fingerprint and len(clone):
+            change, fingerprint = self._reconcile(clone)
+        else:
+            indexer = IncrementalIndexer(
+                fs,
+                tokenizer=self._tokenizer,
+                registry=self._registry,
+                root=self._root,
+                index=clone,
+                snapshot=self._fingerprint,
+            )
+            change = indexer.refresh()
+            fingerprint = indexer.snapshot
+        if change.total == 0:
+            # Nothing changed: keep the published index and the warm
+            # cache; just remember the fingerprint (it is freshly
+            # verified, and the reconcile path starts with none).
+            self._fingerprint = dict(fingerprint)
+            return change
+        self._adopt(clone, fingerprint, "refresh")
+        return change
+
+    def rebuild(self) -> BuildReport:
+        """Re-run the original full build against the live filesystem.
+
+        The alternative update path to :meth:`refresh` for when the
+        corpus changed wholesale; uses the engine, config and fault
+        policy the session was built with.
+        """
+        fs = self._require_fs("rebuild")
+        rebuilt = Search.build(
+            fs,
+            implementation=self._implementation,
+            config=self._config,
+            fault=self._fault,
+            cache=0,
+            tokenizer=self._tokenizer,
+            registry=self._registry,
+            root=self._root,
+            sync=self._sync,
+        )
+        self._report = rebuilt.report
+        self._adopt(rebuilt._incremental, rebuilt._fingerprint, "rebuild")
+        return rebuilt.report
+
+    def save(self, path: str, format: str = "auto") -> int:
+        """Persist the index; returns bytes written.  ``format="auto"``
+        writes binary for ``.ridx``/``.bin`` paths, JSON-lines else."""
+        return save_index(self._incremental.index, path, format=format)
+
+    # -- serving ----------------------------------------------------------
+
+    def snapshot(self) -> IndexSnapshot:
+        """The session's current state as an immutable snapshot."""
+        return IndexSnapshot(
+            index=self._incremental.index,
+            generation=self._generation,
+            provenance=self._provenance,
+            universe=frozenset(self._incremental.document_paths()),
+            report=self._report,
+        )
+
+    def serve(
+        self,
+        workers: int = 2,
+        max_inflight: int = 32,
+        shed: str = "reject",
+        sync=None,
+    ) -> SearchService:
+        """A :class:`~repro.service.service.SearchService` over this
+        session.  The service's refresher runs :meth:`refresh` and
+        publishes the resulting index, so ``service.refresh()`` (or
+        ``--watch``) updates readers with one atomic swap."""
+        refresher = None
+        if self._fs is not None:
+
+            def refresher():
+                change = self.refresh()
+                return (
+                    self._incremental.index,
+                    frozenset(self._incremental.document_paths()),
+                    self._report,
+                    change,
+                )
+
+        return SearchService(
+            self.snapshot(),
+            refresher=refresher,
+            workers=workers,
+            max_inflight=max_inflight,
+            shed=shed,
+            sync=sync if sync is not None else self._sync,
+        )
+
+    # -- internals --------------------------------------------------------
+
+    def _make_engine(self) -> QueryEngine:
+        return QueryEngine(
+            self._incremental.index,
+            universe=self._incremental.document_paths(),
+        )
+
+    def _adopt(
+        self, incremental: IncrementalIndex, fingerprint: Snapshot, why: str
+    ) -> None:
+        """Flip the session to a fully constructed replacement index."""
+        self._incremental = incremental
+        self._fingerprint = dict(fingerprint)
+        self._generation += 1
+        self._provenance = why
+        self._engine = self._make_engine()
+        if self._cache is not None:
+            self._cache.clear()
+
+    def _reconcile(self, clone: IncrementalIndex):
+        """First refresh after :meth:`open`: diff index vs filesystem.
+
+        There is no stored fingerprint to diff against, so every live
+        file is re-extracted and compared against the per-document
+        store; files on disk but not in the index are added, indexed
+        paths gone from disk are removed, and documents whose term set
+        changed are updated.
+        """
+        fs = self._fs
+        fingerprint = take_snapshot(fs, self._root)
+        helper = IncrementalIndexer(
+            fs,
+            tokenizer=self._tokenizer,
+            registry=self._registry,
+            root=self._root,
+            index=clone,
+        )
+        change = ChangeReport()
+        indexed = set(clone.document_paths())
+        for path in sorted(fingerprint):
+            block = helper._extract(path)
+            if path in indexed:
+                old = clone._documents.get(path)
+                if set(old.terms) != set(block.terms):
+                    clone.update(block)
+                    change.modified.append(path)
+            else:
+                clone.add(block)
+                change.added.append(path)
+        for path in sorted(indexed - set(fingerprint)):
+            clone.remove(path)
+            change.removed.append(path)
+        return change, fingerprint
+
+    def _require_fs(self, operation: str):
+        if self._fs is None:
+            raise ValueError(
+                f"this session cannot {operation}: it was opened from a "
+                "saved index without source=; pass Search.open(path, "
+                "source=directory) to re-attach the filesystem"
+            )
+        return self._fs
+
+    @staticmethod
+    def _normalize(query_text: str) -> str:
+        """Canonical cache key: the optimized AST, stringified."""
+        return str(optimize(parse_query(query_text)))
+
+    def __repr__(self) -> str:
+        return (
+            f"Search(files={len(self)}, generation={self._generation}, "
+            f"provenance={self._provenance!r})"
+        )

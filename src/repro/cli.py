@@ -9,6 +9,9 @@ Subcommands:
   compact binary format);
 * ``search`` — run a boolean/wildcard query against a saved index,
   optionally tf-idf ranked;
+* ``serve`` — long-running query serving over a directory: a
+  :class:`~repro.service.service.SearchService` answers a query stream
+  concurrently while ``--watch`` refreshes the index in the background;
 * ``refresh`` — incrementally update a saved index after file changes;
 * ``simulate`` — run one configuration on a simulated platform;
 * ``tune`` — auto-tune the thread configuration on a simulated platform;
@@ -145,11 +148,34 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_observability_args(p)
     p.set_defaults(func=_cmd_search)
 
+    p = sub.add_parser(
+        "serve",
+        help="serve a stream of queries concurrently over a directory",
+    )
+    p.add_argument("directory", help="corpus directory to index and serve")
+    p.add_argument("--index", metavar="PATH",
+                   help="open this saved index instead of building one "
+                   "(the directory is still used for --watch refreshes)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="query worker threads (default 2)")
+    p.add_argument("--max-inflight", type=int, default=32,
+                   help="admission-control bound on queued+running "
+                   "queries; excess queries are shed (default 32)")
+    p.add_argument("--watch", type=float, metavar="SECONDS",
+                   help="re-scan the directory every SECONDS and swap in "
+                   "the refreshed index without stopping queries")
+    p.add_argument("--queries", metavar="FILE",
+                   help="newline-separated query file (default: stdin; "
+                   "'#' lines are comments)")
+    _add_observability_args(p)
+    p.set_defaults(func=_cmd_serve)
+
     p = sub.add_parser("analyze", help="print statistics of a saved index")
     p.add_argument("index_path", help="an .idx/.ridx file or a replica "
                    "directory")
     p.add_argument("--top", type=int, default=10,
                    help="number of heavy-hitter terms to list")
+    _add_observability_args(p)
     p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser(
@@ -161,6 +187,7 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="index file (.idx); created on first run")
     p.add_argument("--state", required=True,
                    help="snapshot state file (JSON); created on first run")
+    _add_observability_args(p)
     p.set_defaults(func=_cmd_refresh)
 
     p = sub.add_parser("simulate", help="simulate one run on a paper platform")
@@ -377,15 +404,16 @@ def _cmd_index(args: argparse.Namespace) -> int:
                       "implementations (1 and 2)", file=sys.stderr)
                 return 2
             save_multi_index(report.index, args.save)
-        elif args.binary:
-            from repro.index import save_index_binary
-
-            written = save_index_binary(report.index, args.save)
-            print(f"binary index saved to {args.save} ({written} bytes)")
-            return 0
+            print(f"index saved to {args.save}")
         else:
-            save_index(report.index, args.save)
-        print(f"index saved to {args.save}")
+            # --binary forces the compact encoding; otherwise the
+            # extension decides (.ridx/.bin binary, anything else JSON).
+            written = save_index(
+                report.index,
+                args.save,
+                format="binary" if args.binary else "auto",
+            )
+            print(f"index saved to {args.save} ({written} bytes)")
     return 0
 
 
@@ -394,10 +422,7 @@ def _load_any_index(path: str):
 
     if os.path.isdir(path):
         return load_multi_index(path)
-    if path.endswith(".ridx"):
-        from repro.index import load_index_binary
-
-        return load_index_binary(path)
+    # load_index sniffs the leading bytes, so renamed files still load.
     return load_index(path)
 
 
@@ -427,6 +452,66 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.api import Search
+    from repro.query.parser import ParseError
+    from repro.service import ServiceOverloadedError
+
+    if args.watch is not None and args.watch <= 0:
+        print("error: --watch requires a positive interval in seconds",
+              file=sys.stderr)
+        return 2
+    if args.workers < 1 or args.max_inflight < 1:
+        print("error: --workers and --max-inflight must be at least 1",
+              file=sys.stderr)
+        return 2
+    observing = _observability_requested(args)
+    if args.index:
+        session = Search.open(args.index, source=args.directory)
+    else:
+        session = Search.build(args.directory)
+    print(f"serving {len(session)} file(s) with {args.workers} worker(s)",
+          file=sys.stderr)
+
+    stream = (
+        open(args.queries, "r", encoding="utf-8")
+        if args.queries
+        else sys.stdin
+    )
+    served = failed = 0
+    with session.serve(
+        workers=args.workers, max_inflight=args.max_inflight
+    ) as service:
+        if args.watch:
+            service.start_watch(args.watch)
+        try:
+            for line in stream:
+                text = line.strip()
+                if not text or text.startswith("#"):
+                    continue
+                try:
+                    result = service.query(text)
+                except (ParseError, ServiceOverloadedError) as exc:
+                    print(f"error: {text}: {exc}", file=sys.stderr)
+                    failed += 1
+                    continue
+                print(f"[gen {result.generation}] {text} "
+                      f"-> {len(result)} file(s)")
+                for path in result:
+                    print(f"  {path}")
+                served += 1
+        finally:
+            if stream is not sys.stdin:
+                stream.close()
+    stats = service.stats()
+    print(f"-- served {served} query(ies), {failed} failed; "
+          f"generation {stats['service.generation']:.0f}, "
+          f"shed {stats['service.shed']:.0f}", file=sys.stderr)
+    if observing:
+        _emit_observability(args)
+    return 0 if failed == 0 else 1
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.index.analysis import (
         analyze,
@@ -435,6 +520,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         top_terms,
     )
 
+    observing = _observability_requested(args)
     index = _load_any_index(args.index_path)
     stats = analyze(index)
     print(f"terms:            {stats.term_count}")
@@ -451,6 +537,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     for low, high, count in postings_histogram(index):
         label = f"{low}..{high}" if high != -1 else f"{low}+"
         print(f"  {label:>12}: {count}")
+    if observing:
+        _emit_observability(args)
     return 0
 
 
@@ -461,6 +549,7 @@ def _cmd_refresh(args: argparse.Namespace) -> int:
     from repro.index import IncrementalIndexer
     from repro.index.incremental import IncrementalIndex
 
+    observing = _observability_requested(args)
     fs = OsFileSystem(args.directory)
     if os.path.exists(args.index) and os.path.exists(args.state):
         index = IncrementalIndex.from_inverted(load_index(args.index))
@@ -483,6 +572,8 @@ def _cmd_refresh(args: argparse.Namespace) -> int:
     with open(args.state, "w", encoding="utf-8") as fh:
         json.dump({p: list(e) for p, e in indexer.snapshot.items()}, fh)
     print(f"index: {args.index}, state: {args.state}")
+    if observing:
+        _emit_observability(args)
     return 0
 
 

@@ -36,6 +36,7 @@ from repro.index.positional import PositionalIndex
 from repro.index.postings import PostingsList
 from repro.index.replica import ReplicaBuilder
 from repro.index.serialize import (
+    INDEX_FORMATS,
     index_from_bytes,
     index_to_bytes,
     load_index,
@@ -47,6 +48,7 @@ from repro.index.sharded import ShardedInvertedIndex
 
 __all__ = [
     "ChangeReport",
+    "INDEX_FORMATS",
     "IncrementalIndex",
     "IncrementalIndexer",
     "InvertedIndex",

@@ -331,14 +331,35 @@ def load_index_wire(data: bytes) -> InvertedIndex:
 
 
 def save_index_binary(index: InvertedIndex, path: str) -> int:
-    """Write the binary format to ``path``; returns bytes written."""
-    data = dump_index_bytes(index)
-    with open(path, "wb") as fh:
-        fh.write(data)
-    return len(data)
+    """Deprecated alias of ``save_index(..., format="binary")``.
+
+    Kept so historical import sites keep working; new code should call
+    :func:`repro.index.serialize.save_index` with the ``format``
+    keyword (or let ``format="auto"`` pick binary from the extension).
+    """
+    import warnings
+
+    warnings.warn(
+        "save_index_binary() is deprecated; use "
+        "repro.index.save_index(index, path, format='binary')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.index.serialize import save_index
+
+    return save_index(index, path, format="binary")
 
 
 def load_index_binary(path: str) -> InvertedIndex:
-    """Read an index written by :func:`save_index_binary`."""
-    with open(path, "rb") as fh:
-        return load_index_bytes(fh.read())
+    """Deprecated alias of ``load_index(..., format="binary")``."""
+    import warnings
+
+    warnings.warn(
+        "load_index_binary() is deprecated; use "
+        "repro.index.load_index(path) (the format is sniffed)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.index.serialize import load_index
+
+    return load_index(path, format="binary")

@@ -103,6 +103,20 @@ class IncrementalIndex:
         """All indexed paths."""
         return list(self._documents.keys())
 
+    def clone(self) -> "IncrementalIndex":
+        """A deep copy sharing no mutable state with the original.
+
+        Postings lists are copied; :class:`~repro.text.termblock.TermBlock`
+        document records are immutable and shared.  Refreshing a clone
+        leaves every reader of the original index untouched — the basis
+        of the service layer's copy-then-swap update path.
+        """
+        twin = IncrementalIndex()
+        twin.index = self.index.copy()
+        for path, block in self._documents.items():
+            twin._documents[path] = block
+        return twin
+
     @classmethod
     def from_inverted(cls, index: InvertedIndex) -> "IncrementalIndex":
         """Adopt an existing bulk-built index.

@@ -86,6 +86,19 @@ class InvertedIndex:
         """Total number of (term, file) pairs stored."""
         return sum(len(p) for p in self._map.values())
 
+    def copy(self) -> "InvertedIndex":
+        """A deep copy: fresh postings lists, shared (immutable) strings.
+
+        Snapshot isolation rests on this: the service layer publishes a
+        copy and mutates only the original (or vice versa), so readers
+        of a published snapshot can never observe a half-applied update.
+        """
+        clone = InvertedIndex()
+        for term, postings in self.items():
+            clone._map[term] = PostingsList(postings.paths())
+        clone._block_count = self._block_count
+        return clone
+
     def __eq__(self, other: object) -> bool:
         """Content equality: same terms with the same posting sets."""
         if not isinstance(other, InvertedIndex):

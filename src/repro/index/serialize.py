@@ -1,10 +1,22 @@
-"""Index persistence.
+"""Index persistence: one save/load pair over every on-disk format.
 
-A desktop-search index must outlive the process; this module provides a
-simple, dependency-free JSON-lines format:
+Two single-index encodings exist:
 
-* line 1: a header with a format tag and counts;
-* every further line: one ``[term, [path, ...]]`` posting entry.
+* ``"json"`` — a transparent JSON-lines file: line 1 a header with a
+  format tag and counts, every further line one ``[term, [path, ...]]``
+  posting entry;
+* ``"binary"`` — the compact RIDX1 encoding from
+  :mod:`repro.index.binfmt` (delta-compressed postings, ~1 byte per
+  entry).
+
+:func:`save_index` and :func:`load_index` take a ``format`` keyword
+covering both (plus ``"auto"``: save picks by file extension —
+``.ridx`` means binary — and load sniffs the leading magic bytes, so a
+loader never needs to know what it holds; RWIRE1 wire bytes load too).
+The historical per-format entry points
+:func:`repro.index.binfmt.save_index_binary` /
+:func:`~repro.index.binfmt.load_index_binary` remain as deprecated
+aliases of these two.
 
 A :class:`~repro.index.multi.MultiIndex` is saved as one file per
 replica inside a directory, so Implementation 3's unjoined output can
@@ -21,13 +33,19 @@ from __future__ import annotations
 
 import json
 import os
-from typing import List
+from typing import List, Tuple
 
 from repro.index.inverted import InvertedIndex
 from repro.index.multi import MultiIndex
 from repro.index.postings import PostingsList
 
 _FORMAT = "repro-index-v1"
+
+#: The on-disk encodings ``save_index``/``load_index`` understand.
+INDEX_FORMATS: Tuple[str, ...] = ("json", "binary", "auto")
+
+#: File extensions ``format="auto"`` maps to the binary encoding on save.
+_BINARY_EXTENSIONS = (".ridx", ".bin")
 
 
 def index_to_bytes(index: InvertedIndex, wire: bool = False) -> bytes:
@@ -58,8 +76,35 @@ def index_from_bytes(data: bytes) -> InvertedIndex:
     raise ValueError("neither an RIDX1 nor an RWIRE1 binary index")
 
 
-def save_index(index: InvertedIndex, path: str) -> None:
-    """Write ``index`` to ``path`` in JSON-lines format."""
+def _check_format(format: str, allow_auto: bool = True) -> None:
+    allowed = INDEX_FORMATS if allow_auto else INDEX_FORMATS[:-1]
+    if format not in allowed:
+        raise ValueError(
+            f"format must be one of {allowed}, got {format!r}"
+        )
+
+
+def save_index(
+    index: InvertedIndex, path: str, format: str = "auto"
+) -> int:
+    """Write ``index`` to ``path``; returns the bytes written.
+
+    ``format="json"`` writes the JSON-lines encoding, ``"binary"`` the
+    compact RIDX1 encoding, and ``"auto"`` (the default) picks binary
+    for ``.ridx``/``.bin`` paths and JSON-lines otherwise.
+    """
+    _check_format(format)
+    if format == "auto":
+        format = (
+            "binary"
+            if path.lower().endswith(_BINARY_EXTENSIONS)
+            else "json"
+        )
+    if format == "binary":
+        data = index_to_bytes(index)
+        with open(path, "wb") as fh:
+            fh.write(data)
+        return len(data)
     with open(path, "w", encoding="utf-8") as fh:
         header = {
             "format": _FORMAT,
@@ -67,13 +112,34 @@ def save_index(index: InvertedIndex, path: str) -> None:
             "postings": index.posting_count,
             "blocks": index.block_count,
         }
-        fh.write(json.dumps(header) + "\n")
+        written = fh.write(json.dumps(header) + "\n")
         for term, postings in index.items():
-            fh.write(json.dumps([term, postings.paths()]) + "\n")
+            written += fh.write(json.dumps([term, postings.paths()]) + "\n")
+    return written
 
 
-def load_index(path: str) -> InvertedIndex:
-    """Read an index previously written by :func:`save_index`."""
+def load_index(path: str, format: str = "auto") -> InvertedIndex:
+    """Read an index saved in any single-index format.
+
+    With ``format="auto"`` (the default) the leading bytes decide:
+    RIDX1/RWIRE1 magic means binary, anything else is parsed as
+    JSON-lines.  Passing ``"json"`` or ``"binary"`` enforces that
+    encoding and fails loudly on a mismatch.
+    """
+    _check_format(format)
+    if format == "auto":
+        from repro.index.binfmt import MAGIC, WIRE_MAGIC
+
+        with open(path, "rb") as probe:
+            head = probe.read(max(len(MAGIC), len(WIRE_MAGIC)))
+        format = (
+            "binary"
+            if head.startswith(MAGIC) or head.startswith(WIRE_MAGIC)
+            else "json"
+        )
+    if format == "binary":
+        with open(path, "rb") as fh:
+            return index_from_bytes(fh.read())
     index = InvertedIndex()
     with open(path, "r", encoding="utf-8") as fh:
         header = json.loads(fh.readline())

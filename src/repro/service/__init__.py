@@ -1,0 +1,46 @@
+"""Long-running query serving over immutable index snapshots.
+
+The paper stops once the index is built; a deployed desktop search is a
+*service*: queries keep arriving while the filesystem underneath keeps
+changing.  This package is that layer, in the mould of the query-broker
+/ background-builder split of parallel web search engines:
+
+* :class:`~repro.service.snapshot.IndexSnapshot` — an immutable
+  (index, generation, provenance) triple with its own query engine.
+  Readers evaluate entirely against one snapshot, so an update can
+  never tear a result;
+* :class:`~repro.service.service.SearchService` — a thread pool of
+  query workers in front of the current snapshot.  Updates (full
+  rebuilds or :class:`~repro.index.incremental.IncrementalIndexer`
+  deltas) are computed in the background and published with a single
+  atomic reference swap through the
+  :class:`~repro.concurrency.provider.SyncProvider` seam, so the
+  schedule checker can sweep the swap/read interleavings;
+* admission control — a bounded in-flight budget with a queue-depth
+  gauge; at the bound the service either sheds
+  (:class:`~repro.service.service.ServiceOverloadedError`) or blocks,
+  per policy;
+* graceful shutdown — :meth:`~repro.service.service.SearchService.close`
+  drains every accepted query before the workers exit.
+
+The one-liner front door is :meth:`repro.api.Search.serve`.
+"""
+
+from repro.service.snapshot import IndexSnapshot, QueryResult
+from repro.service.service import (
+    SHED_POLICIES,
+    RefreshOutcome,
+    SearchService,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+
+__all__ = [
+    "IndexSnapshot",
+    "QueryResult",
+    "RefreshOutcome",
+    "SHED_POLICIES",
+    "SearchService",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
+]

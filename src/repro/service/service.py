@@ -1,0 +1,368 @@
+"""The always-on query service: thread pool, atomic swap, admission.
+
+:class:`SearchService` is the broker between query traffic and index
+maintenance:
+
+* **readers never block on writers** — a query loads the current
+  :class:`~repro.service.snapshot.IndexSnapshot` reference under a
+  short snapshot lock and then evaluates entirely against that object;
+  an update builds the next snapshot off to the side and publishes it
+  with one reference assignment under the same lock.  Both sides go
+  through the :class:`~repro.concurrency.provider.SyncProvider` seam
+  and declare their accesses, so the schedule checker can sweep the
+  swap/read interleavings and the race detector watches the swap;
+* **admission control** — at most ``max_inflight`` queries may be
+  queued or executing.  Beyond that the service sheds
+  (:class:`ServiceOverloadedError`, policy ``"reject"``, the default)
+  or makes the caller wait for a slot (policy ``"block"``).  The queue
+  depth and in-flight count are published as gauges;
+* **graceful shutdown** — :meth:`SearchService.close` stops admission,
+  lets the workers drain every accepted query, then joins them.
+
+Updates arrive either through :meth:`SearchService.publish` (hand in a
+freshly built index) or :meth:`SearchService.refresh` (invoke the
+configured refresher, e.g. an incremental delta computed by
+:meth:`repro.api.Search.refresh`); ``start_watch`` runs refresh on a
+period in a background thread, which is what ``repro-cli serve
+--watch`` drives.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.obs import recorder as obsrec
+from repro.service.snapshot import AnyIndex, IndexSnapshot, QueryResult
+
+SHED_POLICIES: Tuple[str, ...] = ("reject", "block")
+
+
+class ServiceOverloadedError(RuntimeError):
+    """The in-flight bound is reached and the policy is ``"reject"``."""
+
+
+class ServiceClosedError(RuntimeError):
+    """The service no longer admits queries (shutdown has begun)."""
+
+
+@dataclass(frozen=True)
+class RefreshOutcome:
+    """What one service refresh published."""
+
+    generation: int
+    change: object = None
+
+    def __str__(self) -> str:
+        text = f"published generation {self.generation}"
+        if self.change is not None:
+            text += f" ({self.change})"
+        return text
+
+
+class _Job:
+    """One admitted query waiting for a worker."""
+
+    __slots__ = ("text", "parallel", "done", "result", "error")
+
+    def __init__(self, text: str, parallel: bool) -> None:
+        self.text = text
+        self.parallel = parallel
+        self.done = False
+        self.result: Optional[QueryResult] = None
+        self.error: Optional[BaseException] = None
+
+
+class SearchService:
+    """Serves concurrent queries from a pool against the live snapshot.
+
+    ``refresher`` is an optional zero-argument callable that computes
+    the next index off-line and returns it — either a bare index or a
+    ``(index, universe, report)`` tuple (trailing elements optional).
+    :meth:`refresh` invokes it and publishes the outcome atomically.
+    """
+
+    def __init__(
+        self,
+        snapshot: IndexSnapshot,
+        refresher: Optional[Callable[[], object]] = None,
+        workers: int = 2,
+        max_inflight: int = 32,
+        shed: str = "reject",
+        sync=None,
+        name: str = "service",
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be at least 1, got {workers}")
+        if max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be at least 1, got {max_inflight}"
+            )
+        if shed not in SHED_POLICIES:
+            raise ValueError(
+                f"shed must be one of {SHED_POLICIES}, got {shed!r}"
+            )
+        if sync is None:
+            from repro.concurrency.provider import THREADING_SYNC
+
+            sync = THREADING_SYNC
+        self.name = name
+        self.max_inflight = max_inflight
+        self.shed = shed
+        self._sync = sync
+        self._refresher = refresher
+
+        # The swap seam: one lock guards exactly one reference.  Readers
+        # hold it for a pointer load, the publisher for a pointer store;
+        # query evaluation happens entirely outside it.
+        self._snap_lock = sync.lock(f"{name}.snapshot-lock")
+        self._snapshot = snapshot
+
+        # Admission state: queue + in-flight budget under one lock.
+        self._lock = sync.lock(f"{name}.state-lock")
+        self._work = sync.condition(self._lock, f"{name}.work-cond")
+        self._done = sync.condition(self._lock, f"{name}.done-cond")
+        self._queue: Deque[_Job] = deque()
+        self._inflight = 0
+        self._closing = False
+        self._served = 0
+        self._shed_count = 0
+
+        # One refresh at a time, and one snapshot succession at a time:
+        # without the publish lock two concurrent publishers could both
+        # read generation N and fight over who becomes N + 1.
+        self._refresh_lock = sync.lock(f"{name}.refresh-lock")
+        self._publish_lock = sync.lock(f"{name}.publish-lock")
+
+        self._watch_cond = sync.condition(self._lock, f"{name}.watch-cond")
+        self._watch_stop = False
+        self._watch_thread = None
+
+        obsrec.metrics().gauge(f"{name}.generation").set(snapshot.generation)
+        self._workers = [
+            sync.thread(self._worker_loop, name=f"{name}-worker-{i}")
+            for i in range(workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- the read side ----------------------------------------------------
+
+    @property
+    def snapshot(self) -> IndexSnapshot:
+        """The currently published snapshot (atomic reference load)."""
+        with self._snap_lock:
+            self._sync.access(f"{self.name}.snapshot", write=False)
+            return self._snapshot
+
+    @property
+    def generation(self) -> int:
+        return self.snapshot.generation
+
+    def query(self, query_text: str, parallel: bool = False) -> QueryResult:
+        """Admit, enqueue and wait for one query; returns typed hits.
+
+        Raises :class:`ServiceOverloadedError` when the in-flight bound
+        is hit under the ``"reject"`` policy and
+        :class:`ServiceClosedError` once shutdown has begun.
+        """
+        metrics = obsrec.metrics()
+        with self._lock:
+            if self._closing:
+                raise ServiceClosedError(f"{self.name} is shut down")
+            if self._inflight >= self.max_inflight:
+                if self.shed == "reject":
+                    self._shed_count += 1
+                    metrics.counter(f"{self.name}.shed").inc()
+                    raise ServiceOverloadedError(
+                        f"{self.name}: {self._inflight} queries in flight "
+                        f"(bound {self.max_inflight})"
+                    )
+                while self._inflight >= self.max_inflight:
+                    if self._closing:
+                        raise ServiceClosedError(f"{self.name} is shut down")
+                    self._done.wait()
+            job = _Job(query_text, parallel)
+            self._queue.append(job)
+            self._inflight += 1
+            metrics.counter(f"{self.name}.queries").inc()
+            metrics.gauge(f"{self.name}.queue_depth").set(len(self._queue))
+            metrics.gauge(f"{self.name}.inflight").set(self._inflight)
+            self._work.notify()
+            while not job.done:
+                self._done.wait()
+        if job.error is not None:
+            raise job.error
+        return job.result
+
+    # -- the write side ---------------------------------------------------
+
+    def publish(
+        self,
+        index: AnyIndex,
+        provenance: str = "publish",
+        universe: Optional[FrozenSet[str]] = None,
+        report: object = None,
+    ) -> IndexSnapshot:
+        """Build the successor snapshot and swap it in atomically.
+
+        The (potentially expensive) snapshot construction — universe
+        transposition, engine setup — happens before the lock; the
+        critical section is one reference store.
+        """
+        with obsrec.span(f"{self.name}.publish", provenance=provenance):
+            with self._publish_lock:
+                with self._snap_lock:
+                    self._sync.access(f"{self.name}.snapshot", write=False)
+                    current = self._snapshot
+                successor = current.next(
+                    index, provenance, universe=universe, report=report
+                )
+                with self._snap_lock:
+                    self._sync.access(f"{self.name}.snapshot", write=True)
+                    self._snapshot = successor
+        obsrec.metrics().gauge(f"{self.name}.generation").set(
+            successor.generation
+        )
+        return successor
+
+    def refresh(self) -> RefreshOutcome:
+        """Compute the next index via the refresher and publish it.
+
+        Runs in the calling thread (or the watch thread); queries keep
+        being served from the old snapshot the whole time.
+        """
+        if self._refresher is None:
+            raise ValueError(
+                f"{self.name} has no refresher configured; use publish() "
+                "or construct the service via Search.serve()"
+            )
+        with obsrec.span(f"{self.name}.refresh"):
+            with self._refresh_lock:
+                payload = self._refresher()
+                index, universe, report, change = _unpack_refresh(payload)
+                snapshot = self.publish(
+                    index, "refresh", universe=universe, report=report
+                )
+        obsrec.metrics().counter(f"{self.name}.refreshes").inc()
+        return RefreshOutcome(generation=snapshot.generation, change=change)
+
+    def start_watch(self, interval_s: float) -> None:
+        """Refresh on a period in a background thread until close()."""
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        if self._refresher is None:
+            raise ValueError(f"{self.name} has no refresher to watch with")
+        if self._watch_thread is not None:
+            raise RuntimeError(f"{self.name} is already watching")
+
+        def loop() -> None:
+            while True:
+                with self._lock:
+                    if self._watch_stop or self._closing:
+                        return
+                    # Interruptible sleep: close() notifies this
+                    # condition, so shutdown never waits out an interval.
+                    self._watch_cond.wait(timeout=interval_s)
+                    if self._watch_stop or self._closing:
+                        return
+                self.refresh()
+
+        self._watch_thread = self._sync.thread(
+            loop, name=f"{self.name}-watch"
+        )
+        self._watch_thread.start()
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        """Graceful shutdown: stop admission, drain, join the pool."""
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+            self._watch_stop = True
+            self._work.notify_all()
+            self._done.notify_all()
+            self._watch_cond.notify_all()
+        if self._watch_thread is not None:
+            self._watch_thread.join()
+        for worker in self._workers:
+            worker.join()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closing
+
+    def __enter__(self) -> "SearchService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def stats(self) -> Dict[str, float]:
+        """A point-in-time digest of the service counters."""
+        with self._lock:
+            queued = len(self._queue)
+            inflight = self._inflight
+            served = self._served
+            shed = self._shed_count
+        return {
+            "service.generation": float(self.generation),
+            "service.queue_depth": float(queued),
+            "service.inflight": float(inflight),
+            "service.served": float(served),
+            "service.shed": float(shed),
+        }
+
+    # -- internals --------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        metrics = obsrec.metrics()
+        while True:
+            with self._lock:
+                while not self._queue and not self._closing:
+                    self._work.wait()
+                if not self._queue:
+                    return  # closing and fully drained
+                job = self._queue.popleft()
+                metrics.gauge(f"{self.name}.queue_depth").set(
+                    len(self._queue)
+                )
+            snapshot = self.snapshot
+            started = time.perf_counter()
+            with obsrec.span(
+                f"{self.name}.query", generation=snapshot.generation
+            ):
+                try:
+                    paths = snapshot.search(job.text, parallel=job.parallel)
+                    job.result = QueryResult(
+                        paths=paths,
+                        generation=snapshot.generation,
+                        elapsed_s=time.perf_counter() - started,
+                    )
+                except BaseException as exc:  # propagate to the caller
+                    job.error = exc
+                    metrics.counter(f"{self.name}.errors").inc()
+            with self._lock:
+                job.done = True
+                self._inflight -= 1
+                self._served += 1
+                metrics.gauge(f"{self.name}.inflight").set(self._inflight)
+                self._done.notify_all()
+
+
+def _unpack_refresh(payload: object):
+    """Normalize a refresher's return value.
+
+    Accepts a bare index, ``(index,)``, ``(index, universe)``,
+    ``(index, universe, report)`` or ``(index, universe, report,
+    change)``; missing positions default to None.
+    """
+    if isinstance(payload, tuple):
+        parts: List[object] = list(payload) + [None, None, None, None]
+        return parts[0], parts[1], parts[2], parts[3]
+    return payload, None, None, None

@@ -1,0 +1,109 @@
+"""Immutable index snapshots and typed query results.
+
+A :class:`IndexSnapshot` freezes everything a query needs — the index,
+the universe of indexed paths (for ``NOT``), the generation number and
+the provenance of the build — behind one object that is never mutated
+after construction.  :class:`~repro.service.service.SearchService`
+publishes a *new* snapshot for every update and swaps one reference;
+queries in flight keep the snapshot they started with, which is the
+whole snapshot-isolation story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Union
+
+from repro.index.inverted import InvertedIndex
+from repro.index.multi import MultiIndex
+from repro.query.evaluator import QueryEngine
+
+AnyIndex = Union[InvertedIndex, MultiIndex]
+
+
+def universe_of(index: AnyIndex) -> FrozenSet[str]:
+    """Every indexed path, collected by transposing the postings."""
+    paths = set()
+    replicas = index.replicas if isinstance(index, MultiIndex) else [index]
+    for replica in replicas:
+        for _term, postings in replica.items():
+            paths.update(postings)
+    return frozenset(paths)
+
+
+@dataclass(frozen=True)
+class IndexSnapshot:
+    """One immutable published state of the index.
+
+    ``generation`` increases by exactly one per publish; ``provenance``
+    says where the snapshot came from (``"build"``, ``"refresh"``,
+    ``"open"``, ...).  ``report`` optionally carries the
+    :class:`~repro.engine.results.BuildReport` that produced the index.
+    The snapshot owns its :class:`~repro.query.evaluator.QueryEngine`;
+    callers must treat the index as frozen once it is wrapped here.
+    """
+
+    index: AnyIndex
+    generation: int = 0
+    provenance: str = "build"
+    universe: Optional[FrozenSet[str]] = None
+    report: object = None
+    engine: QueryEngine = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.universe is None:
+            object.__setattr__(self, "universe", universe_of(self.index))
+        if self.engine is None:
+            object.__setattr__(
+                self, "engine", QueryEngine(self.index, universe=self.universe)
+            )
+
+    def search(self, query_text: str, parallel: bool = False) -> List[str]:
+        """Evaluate ``query_text`` against this snapshot only."""
+        return self.engine.search(query_text, parallel=parallel)
+
+    def next(
+        self,
+        index: AnyIndex,
+        provenance: str,
+        universe: Optional[FrozenSet[str]] = None,
+        report: object = None,
+    ) -> "IndexSnapshot":
+        """The successor snapshot (generation + 1) holding ``index``."""
+        return IndexSnapshot(
+            index=index,
+            generation=self.generation + 1,
+            provenance=provenance,
+            universe=universe,
+            report=report,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"generation {self.generation} ({self.provenance}): "
+            f"{len(self.universe)} files"
+        )
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """What a query returns: the hits plus where and when they came from.
+
+    ``generation`` names the exact snapshot the query was evaluated
+    against — concurrent updates never mix into a result, so callers
+    can assert every result matches exactly one generation.
+    """
+
+    paths: List[str]
+    generation: int
+    elapsed_s: float = 0.0
+    cached: bool = False
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def __iter__(self):
+        return iter(self.paths)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self.paths

@@ -1,0 +1,244 @@
+"""The ``repro.api`` facade: one Search session end to end.
+
+Covers the full lifecycle ``build -> query -> refresh -> save -> open``
+on the virtual filesystem, the serve() bridge into the service layer,
+the curated top-level ``__all__``, and the deprecation shims that keep
+historical import sites working.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+from repro.api import Search
+from repro.engine.config import ThreadConfig
+from repro.fsmodel import VirtualFileSystem
+from repro.service import SearchService
+from repro.service.snapshot import QueryResult
+
+
+@pytest.fixture
+def small_fs():
+    fs = VirtualFileSystem()
+    fs.mkdir("docs")
+    fs.write_file("docs/cats.txt", b"cat feline whiskers")
+    fs.write_file("docs/dogs.txt", b"dog canine bark")
+    fs.write_file("docs/both.txt", b"cat dog truce")
+    return fs
+
+
+class TestBuildAndQuery:
+    def test_sequential_default_build(self, small_fs):
+        session = Search.build(small_fs)
+        assert len(session) == 3
+        assert session.generation == 0
+        assert session.report is not None
+        assert session.report.file_count == 3
+        assert sorted(session.universe) == [
+            "docs/both.txt", "docs/cats.txt", "docs/dogs.txt"
+        ]
+
+    def test_query_returns_typed_result(self, small_fs):
+        session = Search.build(small_fs)
+        result = session.query("cat AND dog")
+        assert isinstance(result, QueryResult)
+        assert result.paths == ["docs/both.txt"]
+        assert result.generation == 0
+        assert not result.cached
+
+    def test_repeat_query_is_cached(self, small_fs):
+        session = Search.build(small_fs)
+        first = session.query("cat")
+        again = session.query("cat")
+        assert not first.cached and again.cached
+        assert again.paths == first.paths
+        # normalization: an equivalent query shape hits the same entry
+        assert session.query("(cat)").cached
+
+    def test_cache_can_be_disabled(self, small_fs):
+        session = Search.build(small_fs, cache=0)
+        session.query("cat")
+        assert not session.query("cat").cached
+
+    def test_threaded_build_matches_sequential(self, small_fs):
+        threaded = Search.build(small_fs, config=ThreadConfig(2, 2, 0))
+        sequential = Search.build(small_fs)
+        for query in ("cat", "dog", "cat AND dog", "cat OR dog"):
+            assert threaded.query(query).paths == sequential.query(query).paths
+
+
+class TestRefresh:
+    def test_refresh_applies_delta_and_bumps_generation(self, small_fs):
+        session = Search.build(small_fs)
+        session.query("ferret")
+        small_fs.write_file("docs/new.txt", b"ferret burrow")
+        small_fs.remove_file("docs/dogs.txt")
+        change = session.refresh()
+        assert change.added == ["docs/new.txt"]
+        assert change.removed == ["docs/dogs.txt"]
+        assert session.generation == 1
+        # the cache was invalidated with the swap
+        result = session.query("ferret")
+        assert result.paths == ["docs/new.txt"]
+        assert not result.cached
+        assert session.query("bark").paths == []
+        assert session.query("dog").paths == ["docs/both.txt"]
+
+    def test_noop_refresh_keeps_generation_and_cache(self, small_fs):
+        session = Search.build(small_fs)
+        session.query("cat")
+        change = session.refresh()
+        assert change.total == 0
+        assert session.generation == 0
+        assert session.query("cat").cached
+
+    def test_modify_is_detected(self, small_fs):
+        session = Search.build(small_fs)
+        small_fs.replace_file("docs/cats.txt", b"cat feline purr")
+        change = session.refresh()
+        assert change.modified == ["docs/cats.txt"]
+        assert session.query("purr").paths == ["docs/cats.txt"]
+        assert session.query("whiskers").paths == []
+
+    def test_refresh_swaps_rather_than_mutates(self, small_fs):
+        # the service-layer contract: a snapshot taken before a refresh
+        # keeps answering from the old index
+        session = Search.build(small_fs)
+        before = session.snapshot()
+        old_index = session.index
+        small_fs.write_file("docs/new.txt", b"ferret")
+        session.refresh()
+        assert session.index is not old_index
+        assert before.search("ferret") == []
+        assert session.query("ferret").paths == ["docs/new.txt"]
+
+
+class TestSaveAndOpen:
+    def test_round_trip_binary_and_json(self, small_fs, tmp_path):
+        session = Search.build(small_fs)
+        for name in ("index.ridx", "index.idx"):
+            path = str(tmp_path / name)
+            written = session.save(path)
+            assert written > 0
+            reopened = Search.open(path)
+            assert len(reopened) == 3
+            assert reopened.query("cat AND dog").paths == ["docs/both.txt"]
+            assert reopened.report is None
+
+    def test_open_with_source_reconciles_on_first_refresh(
+        self, small_fs, tmp_path
+    ):
+        path = str(tmp_path / "index.ridx")
+        Search.build(small_fs).save(path)
+        small_fs.write_file("docs/late.txt", b"gecko")
+        small_fs.replace_file("docs/cats.txt", b"cat purr")
+        small_fs.remove_file("docs/dogs.txt")
+        session = Search.open(path, source=small_fs)
+        change = session.refresh()
+        assert change.added == ["docs/late.txt"]
+        assert change.modified == ["docs/cats.txt"]
+        assert change.removed == ["docs/dogs.txt"]
+        assert session.query("gecko").paths == ["docs/late.txt"]
+        # and the next refresh is an ordinary incremental no-op
+        assert session.refresh().total == 0
+
+    def test_refresh_without_source_raises(self, small_fs, tmp_path):
+        path = str(tmp_path / "index.idx")
+        Search.build(small_fs).save(path)
+        session = Search.open(path)
+        with pytest.raises(ValueError, match="source"):
+            session.refresh()
+
+    def test_rebuild_reruns_the_original_engine(self, small_fs):
+        session = Search.build(small_fs, config=ThreadConfig(2, 2, 0))
+        small_fs.write_file("docs/new.txt", b"ferret")
+        report = session.rebuild()
+        assert report.file_count == 4
+        assert session.generation == 1
+        assert session.query("ferret").paths == ["docs/new.txt"]
+
+
+class TestServe:
+    def test_serve_bridges_to_service(self, small_fs):
+        session = Search.build(small_fs)
+        with session.serve(workers=2) as service:
+            assert isinstance(service, SearchService)
+            assert service.query("cat AND dog").paths == ["docs/both.txt"]
+            small_fs.write_file("docs/new.txt", b"ferret")
+            outcome = service.refresh()
+            assert outcome.generation == 1
+            assert outcome.change.added == ["docs/new.txt"]
+            result = service.query("ferret")
+            assert result.paths == ["docs/new.txt"]
+            assert result.generation == 1
+
+    def test_serve_without_source_has_no_refresher(self, small_fs, tmp_path):
+        path = str(tmp_path / "index.idx")
+        Search.build(small_fs).save(path)
+        with Search.open(path).serve() as service:
+            assert service.query("cat").paths
+            with pytest.raises(ValueError):
+                service.refresh()
+
+
+class TestCuratedTopLevel:
+    def test_all_is_exactly_the_curated_api(self):
+        assert set(repro.__all__) == {
+            "BuildReport", "FaultPolicy", "InvertedIndex", "QueryEngine",
+            "Search", "SearchService", "ThreadConfig",
+        }
+
+    def test_curated_names_import_silently(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            for name in repro.__all__:
+                assert getattr(repro, name) is not None
+
+    @pytest.mark.parametrize("name,home", [
+        ("IndexGenerator", "repro.engine"),
+        ("SequentialIndexer", "repro.engine"),
+        ("CorpusGenerator", "repro.corpus"),
+        ("TINY_PROFILE", "repro.corpus"),
+        ("MultiIndex", "repro.index"),
+        ("join_indices", "repro.index"),
+        ("parse_query", "repro.query"),
+        ("SimPipeline", "repro.simengine"),
+        ("Workload", "repro.simengine"),
+        ("QUAD_CORE", "repro.platforms"),
+    ])
+    def test_legacy_names_resolve_with_deprecation_warning(self, name, home):
+        import importlib
+
+        with pytest.warns(DeprecationWarning, match=home.replace(".", "\\.")):
+            legacy = getattr(repro, name)
+        assert legacy is getattr(importlib.import_module(home), name)
+
+    def test_legacy_import_warns_every_time(self):
+        # the shim must not cache into globals(), or only the first
+        # offending import site would ever be flagged
+        for _ in range(2):
+            with pytest.warns(DeprecationWarning):
+                repro.IndexGenerator
+
+    def test_dir_lists_both_worlds(self):
+        names = dir(repro)
+        assert "Search" in names and "Workload" in names
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+    def test_old_entry_points_still_work_end_to_end(self, small_fs):
+        # the quickstart from the 1.x README, unchanged except for the
+        # warning it now raises
+        with pytest.warns(DeprecationWarning):
+            from repro import IndexGenerator
+        from repro import Implementation
+
+        report = IndexGenerator(small_fs).build(
+            Implementation.REPLICATED_UNJOINED, ThreadConfig(2, 2, 0)
+        )
+        assert report.file_count == 3

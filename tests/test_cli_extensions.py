@@ -36,10 +36,10 @@ class TestBinaryAndFormats:
         assert main(["index", mixed_dir, "-i", "1", "-x", "2", "-y", "1",
                      "--formats", "--binary", "--save", save]) == 0
         out = capsys.readouterr().out
-        assert "binary index saved" in out
-        from repro.index import load_index_binary
+        assert "index saved to" in out and "bytes" in out
+        from repro.index import load_index
 
-        term = next(iter(load_index_binary(save).terms()))
+        term = next(iter(load_index(save).terms()))
         assert main(["search", save, term]) == 0
 
     def test_binary_rejected_for_multi_index(self, mixed_dir, tmp_path, capsys):

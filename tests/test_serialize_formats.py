@@ -1,0 +1,124 @@
+"""The collapsed save/load pair: one ``format`` keyword, auto-sniffing.
+
+``save_index``/``load_index`` subsume what used to be four entry
+points.  Covered here: explicit ``"json"``/``"binary"`` selection,
+extension-driven auto on save, magic-driven auto on load (including
+raw RWIRE1 wire bytes and renamed files), loud mismatch failures, and
+the deprecated ``*_binary`` aliases that must keep working while
+warning.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index import (
+    INDEX_FORMATS,
+    InvertedIndex,
+    index_to_bytes,
+    load_index,
+    load_index_binary,
+    save_index,
+    save_index_binary,
+)
+from repro.text.termblock import TermBlock
+
+
+@pytest.fixture
+def index():
+    built = InvertedIndex()
+    built.add_block(TermBlock("a.txt", ("alpha", "shared")))
+    built.add_block(TermBlock("b.txt", ("beta", "shared")))
+    return built
+
+
+class TestExplicitFormats:
+    @pytest.mark.parametrize("format", ("json", "binary"))
+    def test_round_trip(self, index, tmp_path, format):
+        path = str(tmp_path / "out.dat")
+        written = save_index(index, path, format=format)
+        assert written > 0
+        assert load_index(path, format=format) == index
+
+    def test_binary_is_smaller_than_json(self, index, tmp_path):
+        json_path = str(tmp_path / "a.dat")
+        binary_path = str(tmp_path / "b.dat")
+        json_written = save_index(index, json_path, format="json")
+        binary_written = save_index(index, binary_path, format="binary")
+        assert binary_written < json_written
+
+    def test_unknown_format_rejected(self, index, tmp_path):
+        path = str(tmp_path / "out.dat")
+        with pytest.raises(ValueError, match="format"):
+            save_index(index, path, format="pickle")
+        save_index(index, path)
+        with pytest.raises(ValueError, match="format"):
+            load_index(path, format="pickle")
+
+    def test_formats_constant_is_the_contract(self):
+        assert INDEX_FORMATS == ("json", "binary", "auto")
+
+
+class TestAutoSave:
+    @pytest.mark.parametrize("name", ("out.ridx", "out.bin", "OUT.RIDX"))
+    def test_binary_extensions_choose_binary(self, index, tmp_path, name):
+        path = str(tmp_path / name)
+        save_index(index, path)
+        with open(path, "rb") as fh:
+            assert fh.read(5) == b"RIDX1"
+
+    @pytest.mark.parametrize("name", ("out.idx", "out.json", "out"))
+    def test_other_extensions_choose_json(self, index, tmp_path, name):
+        path = str(tmp_path / name)
+        save_index(index, path)
+        with open(path, "rb") as fh:
+            assert fh.read(1) == b"{"
+
+
+class TestAutoLoad:
+    def test_sniffs_binary_despite_json_extension(self, index, tmp_path):
+        # renamed files load fine: the magic decides, not the name
+        path = str(tmp_path / "lying-name.idx")
+        save_index(index, path, format="binary")
+        assert load_index(path) == index
+
+    def test_sniffs_json_despite_binary_extension(self, index, tmp_path):
+        path = str(tmp_path / "lying-name.ridx")
+        save_index(index, path, format="json")
+        assert load_index(path) == index
+
+    def test_loads_wire_bytes(self, index, tmp_path):
+        path = str(tmp_path / "replica.ridx")
+        with open(path, "wb") as fh:
+            fh.write(index_to_bytes(index, wire=True))
+        assert load_index(path) == index
+
+
+class TestMismatchesFailLoudly:
+    def test_json_file_as_binary(self, index, tmp_path):
+        path = str(tmp_path / "out.idx")
+        save_index(index, path, format="json")
+        with pytest.raises(ValueError):
+            load_index(path, format="binary")
+
+    def test_binary_file_as_json(self, index, tmp_path):
+        path = str(tmp_path / "out.ridx")
+        save_index(index, path, format="binary")
+        with pytest.raises(ValueError):
+            load_index(path, format="json")
+
+
+class TestDeprecatedAliases:
+    def test_save_alias_warns_and_writes_binary(self, index, tmp_path):
+        path = str(tmp_path / "legacy.ridx")
+        with pytest.warns(DeprecationWarning, match="save_index"):
+            written = save_index_binary(index, path)
+        assert written > 0
+        with open(path, "rb") as fh:
+            assert fh.read(5) == b"RIDX1"
+
+    def test_load_alias_warns_and_round_trips(self, index, tmp_path):
+        path = str(tmp_path / "legacy.ridx")
+        save_index(index, path, format="binary")
+        with pytest.warns(DeprecationWarning, match="load_index"):
+            assert load_index_binary(path) == index

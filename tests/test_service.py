@@ -1,0 +1,292 @@
+"""Unit tests for the snapshot-isolated query service.
+
+Covers the single-threaded contracts of :mod:`repro.service`: snapshot
+immutability and succession, admission control (shed vs block), the
+refresher protocol, graceful drain on close, and the stats/metrics
+surface.  The interleaving-level guarantees live in
+``test_service_concurrency.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.index.inverted import InvertedIndex
+from repro.service import (
+    IndexSnapshot,
+    QueryResult,
+    SearchService,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.service.snapshot import universe_of
+from repro.text.termblock import TermBlock
+
+
+def index_for(generation: int) -> InvertedIndex:
+    """A tiny index whose answer identifies its generation."""
+    index = InvertedIndex()
+    index.add_block(
+        TermBlock(f"gen{generation}.txt", ("probe", f"g{generation}"))
+    )
+    return index
+
+
+class BlockingEngine:
+    """A stand-in engine whose searches park until released."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.entered = threading.Event()
+
+    def search(self, query_text, parallel=False):
+        self.entered.set()
+        assert self.release.wait(timeout=5.0), "never released"
+        return ["blocked.txt"]
+
+
+def blocking_service(**kwargs):
+    engine = BlockingEngine()
+    snapshot = IndexSnapshot(index_for(0), engine=engine)
+    return SearchService(snapshot, **kwargs), engine
+
+
+class TestIndexSnapshot:
+    def test_universe_is_transposed_from_postings(self):
+        assert universe_of(index_for(3)) == {"gen3.txt"}
+        snapshot = IndexSnapshot(index_for(3))
+        assert snapshot.universe == {"gen3.txt"}
+
+    def test_search_uses_own_engine(self):
+        snapshot = IndexSnapshot(index_for(1))
+        assert snapshot.search("probe") == ["gen1.txt"]
+        assert snapshot.search("NOT probe") == []
+
+    def test_next_bumps_generation_and_keeps_original(self):
+        first = IndexSnapshot(index_for(0))
+        second = first.next(index_for(1), "refresh")
+        assert (first.generation, second.generation) == (0, 1)
+        assert second.provenance == "refresh"
+        assert first.search("probe") == ["gen0.txt"]
+        assert second.search("probe") == ["gen1.txt"]
+        assert "generation 1" in second.describe()
+
+    def test_snapshot_is_frozen(self):
+        snapshot = IndexSnapshot(index_for(0))
+        with pytest.raises(AttributeError):
+            snapshot.generation = 9
+
+
+class TestQueryResult:
+    def test_sequence_protocol(self):
+        result = QueryResult(paths=["a.txt", "b.txt"], generation=4)
+        assert len(result) == 2
+        assert list(result) == ["a.txt", "b.txt"]
+        assert "a.txt" in result and "c.txt" not in result
+        assert result.generation == 4
+        assert not result.cached
+
+
+class TestServiceBasics:
+    def test_query_returns_typed_result(self):
+        with SearchService(IndexSnapshot(index_for(0)), workers=2) as service:
+            result = service.query("probe")
+            assert isinstance(result, QueryResult)
+            assert result.paths == ["gen0.txt"]
+            assert result.generation == 0
+            assert result.elapsed_s >= 0.0
+
+    def test_constructor_validation(self):
+        snapshot = IndexSnapshot(index_for(0))
+        with pytest.raises(ValueError):
+            SearchService(snapshot, workers=0)
+        with pytest.raises(ValueError):
+            SearchService(snapshot, max_inflight=0)
+        with pytest.raises(ValueError):
+            SearchService(snapshot, shed="panic")
+
+    def test_query_error_propagates_to_caller(self):
+        with SearchService(IndexSnapshot(index_for(0))) as service:
+            with pytest.raises(Exception):
+                service.query("AND AND")  # unparsable
+            # the worker survives the bad query
+            assert service.query("probe").paths == ["gen0.txt"]
+
+    def test_stats_counts_served(self):
+        with SearchService(IndexSnapshot(index_for(0))) as service:
+            for _ in range(3):
+                service.query("probe")
+            stats = service.stats()
+        assert stats["service.served"] == 3.0
+        assert stats["service.inflight"] == 0.0
+        assert stats["service.generation"] == 0.0
+
+
+class TestPublish:
+    def test_publish_bumps_generation_atomically(self):
+        with SearchService(IndexSnapshot(index_for(0))) as service:
+            before = service.snapshot
+            published = service.publish(index_for(1))
+            assert published.generation == 1
+            assert service.generation == 1
+            assert service.query("probe").paths == ["gen1.txt"]
+            # the superseded snapshot still answers from its own index
+            assert before.search("probe") == ["gen0.txt"]
+
+    def test_publish_carries_provenance_and_universe(self):
+        with SearchService(IndexSnapshot(index_for(0))) as service:
+            published = service.publish(
+                index_for(1), provenance="manual",
+                universe=frozenset({"gen1.txt"}),
+            )
+            assert published.provenance == "manual"
+            assert published.universe == {"gen1.txt"}
+
+
+class TestRefresh:
+    def test_refresher_forms(self):
+        # bare index, 1-tuple, and the full 4-tuple all publish
+        for payload in (
+            index_for(1),
+            (index_for(1),),
+            (index_for(1), frozenset({"gen1.txt"}), None, "change"),
+        ):
+            service = SearchService(
+                IndexSnapshot(index_for(0)), refresher=lambda: payload
+            )
+            try:
+                outcome = service.refresh()
+                assert outcome.generation == 1
+                assert service.query("probe").paths == ["gen1.txt"]
+            finally:
+                service.close()
+
+    def test_refresh_outcome_carries_change(self):
+        service = SearchService(
+            IndexSnapshot(index_for(0)),
+            refresher=lambda: (index_for(1), None, None, "delta"),
+        )
+        try:
+            outcome = service.refresh()
+            assert outcome.change == "delta"
+            assert "generation 1" in str(outcome)
+        finally:
+            service.close()
+
+    def test_refresh_without_refresher_raises(self):
+        with SearchService(IndexSnapshot(index_for(0))) as service:
+            with pytest.raises(ValueError):
+                service.refresh()
+
+
+class TestAdmissionControl:
+    def test_reject_sheds_beyond_bound(self):
+        service, engine = blocking_service(workers=1, max_inflight=1)
+        try:
+            background = threading.Thread(
+                target=lambda: service.query("probe")
+            )
+            background.start()
+            assert engine.entered.wait(timeout=5.0)
+            # the one slot is taken by the parked query
+            with pytest.raises(ServiceOverloadedError):
+                service.query("probe")
+            assert service.stats()["service.shed"] == 1.0
+        finally:
+            engine.release.set()
+            background.join()
+            service.close()
+
+    def test_block_policy_waits_for_a_slot(self):
+        service, engine = blocking_service(
+            workers=1, max_inflight=1, shed="block"
+        )
+        results = []
+        try:
+            first = threading.Thread(target=lambda: service.query("probe"))
+            first.start()
+            assert engine.entered.wait(timeout=5.0)
+            second = threading.Thread(
+                target=lambda: results.append(service.query("probe"))
+            )
+            second.start()
+            time.sleep(0.05)  # second must still be waiting, not shed
+            assert results == []
+            engine.release.set()
+            second.join(timeout=5.0)
+            first.join(timeout=5.0)
+            assert len(results) == 1
+            assert results[0].paths == ["blocked.txt"]
+            assert service.stats()["service.shed"] == 0.0
+        finally:
+            engine.release.set()
+            service.close()
+
+
+class TestLifecycle:
+    def test_close_drains_accepted_queries(self):
+        service, engine = blocking_service(workers=1, max_inflight=8)
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(service.query("probe"))
+            )
+            for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        assert engine.entered.wait(timeout=5.0)
+        engine.release.set()
+        service.close()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        # every accepted query was answered, none dropped
+        assert len(results) == 3
+        assert service.closed
+
+    def test_query_after_close_raises(self):
+        service = SearchService(IndexSnapshot(index_for(0)))
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.query("probe")
+
+    def test_close_is_idempotent(self):
+        service = SearchService(IndexSnapshot(index_for(0)))
+        service.close()
+        service.close()
+        assert service.closed
+
+    def test_context_manager_closes(self):
+        with SearchService(IndexSnapshot(index_for(0))) as service:
+            service.query("probe")
+        assert service.closed
+
+
+class TestWatch:
+    def test_watch_validation(self):
+        with SearchService(IndexSnapshot(index_for(0))) as service:
+            with pytest.raises(ValueError):
+                service.start_watch(0)
+            with pytest.raises(ValueError):
+                service.start_watch(1.0)  # no refresher
+
+    def test_watch_refreshes_periodically_and_stops_on_close(self):
+        generations = iter(range(1, 100))
+        service = SearchService(
+            IndexSnapshot(index_for(0)),
+            refresher=lambda: index_for(next(generations)),
+        )
+        service.start_watch(0.01)
+        with pytest.raises(RuntimeError):
+            service.start_watch(0.01)  # already watching
+        deadline = time.time() + 5.0
+        while service.generation < 2 and time.time() < deadline:
+            time.sleep(0.01)
+        assert service.generation >= 2
+        service.close()
+        settled = service.generation
+        time.sleep(0.05)  # the watch thread must be gone
+        assert service.generation == settled
