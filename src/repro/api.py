@@ -52,7 +52,7 @@ from repro.index.inverted import InvertedIndex
 from repro.index.merge import join_indices
 from repro.index.multi import MultiIndex
 from repro.index.serialize import load_index, load_multi_index, save_index
-from repro.query.cache import QueryCache
+from repro.query.cache import QueryCache, cache_key
 from repro.query.evaluator import QueryEngine
 from repro.query.optimizer import optimize
 from repro.query.parser import parse_query
@@ -258,7 +258,7 @@ class Search:
         session's LRU cache (normalized on the optimized AST)."""
         started = time.perf_counter()
         if self._cache is not None:
-            key = (self._normalize(query_text), parallel)
+            key = cache_key(self._normalize(query_text), parallel)
             hit = self._cache.get(key)
             if hit is not None:
                 return QueryResult(

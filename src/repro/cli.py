@@ -5,13 +5,17 @@ Subcommands:
 * ``generate-corpus`` — materialize a synthetic benchmark corpus on disk
   (optionally mixed-format);
 * ``index`` — build an index over a directory with one of the three
-  implementations (or sequentially) and optionally save it (JSON or the
-  compact binary format);
+  implementations (or sequentially) and optionally save it (JSON, the
+  compact binary format, or blocked RIDX2 for ``.ridx2`` paths —
+  RIDX2 additionally bakes in term frequencies for BM25);
 * ``search`` — run a boolean/wildcard query against a saved index,
-  optionally tf-idf ranked;
+  optionally ranked (tf-idf or BM25 top-K) and optionally ``--ondisk``:
+  an RIDX2 file is then served straight off ``mmap`` without loading
+  postings into memory;
 * ``serve`` — long-running query serving over a directory: a
   :class:`~repro.service.service.SearchService` answers a query stream
   concurrently while ``--watch`` refreshes the index in the background;
+  with ``--ondisk`` the service queries an mmap'd RIDX2 file instead;
 * ``refresh`` — incrementally update a saved index after file changes;
 * ``simulate`` — run one configuration on a simulated platform;
 * ``tune`` — auto-tune the thread configuration on a simulated platform;
@@ -144,7 +148,17 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="search replicas with one thread each")
     p.add_argument("--ranked", metavar="CORPUS_DIR",
                    help="tf-idf rank the hits, computing term frequencies "
-                   "from the given corpus directory")
+                   "from the given corpus directory (with --rank bm25: "
+                   "the frequency source for in-memory BM25)")
+    p.add_argument("--ondisk", action="store_true",
+                   help="serve the query straight off the mmap'd RIDX2 "
+                   "file (no in-memory postings); index_path must be an "
+                   "RIDX2 index")
+    p.add_argument("--rank", choices=("bool", "bm25"), default="bool",
+                   help="result ordering: plain sorted boolean match "
+                   "(default) or BM25 top-K")
+    p.add_argument("--topk", type=int, default=10,
+                   help="number of BM25 hits to return (default 10)")
     _add_observability_args(p)
     p.set_defaults(func=_cmd_search)
 
@@ -167,6 +181,15 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queries", metavar="FILE",
                    help="newline-separated query file (default: stdin; "
                    "'#' lines are comments)")
+    p.add_argument("--ondisk", action="store_true",
+                   help="serve queries straight off the mmap'd RIDX2 file "
+                   "given by --index (no in-memory postings; incompatible "
+                   "with --watch)")
+    p.add_argument("--rank", choices=("bool", "bm25"), default="bool",
+                   help="answer queries with the boolean match (default) "
+                   "or BM25 top-K (needs --ondisk)")
+    p.add_argument("--topk", type=int, default=10,
+                   help="number of BM25 hits per query (default 10)")
     _add_observability_args(p)
     p.set_defaults(func=_cmd_serve)
 
@@ -405,9 +428,23 @@ def _cmd_index(args: argparse.Namespace) -> int:
                 return 2
             save_multi_index(report.index, args.save)
             print(f"index saved to {args.save}")
+        elif not args.binary and args.save.lower().endswith(".ridx2"):
+            # RIDX2 can carry real term frequencies and document
+            # lengths; re-scan the corpus for them so BM25 served off
+            # this file scores exactly like the in-memory ranker.
+            from repro.query import FrequencyIndex
+
+            frequencies = FrequencyIndex.from_fs(fs, registry=registry)
+            written = save_index(
+                report.index, args.save, format="ridx2",
+                frequencies=frequencies,
+            )
+            print(f"index saved to {args.save} ({written} bytes, "
+                  "RIDX2 with frequencies)")
         else:
             # --binary forces the compact encoding; otherwise the
-            # extension decides (.ridx/.bin binary, anything else JSON).
+            # extension decides (.ridx/.bin binary, .ridx2 blocked,
+            # anything else JSON).
             written = save_index(
                 report.index,
                 args.save,
@@ -426,10 +463,64 @@ def _load_any_index(path: str):
     return load_index(path)
 
 
+def _print_ranked_hits(hits) -> None:
+    for hit in hits:
+        print(f"{hit.score:8.3f}  {hit.path}")
+    print(f"-- {len(hits)} file(s)", file=sys.stderr)
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
+    if args.topk < 1:
+        print("error: --topk must be at least 1", file=sys.stderr)
+        return 2
     observing = _observability_requested(args)
+
+    if args.ondisk:
+        from repro.index import IndexFormatError, MmapPostingsReader
+        from repro.query.daat import DaatQueryEngine
+
+        try:
+            reader = MmapPostingsReader(args.index_path)
+        except (IndexFormatError, OSError) as exc:
+            print(f"error: --ondisk needs an RIDX2 index file: {exc}",
+                  file=sys.stderr)
+            return 2
+        with reader:
+            daat = DaatQueryEngine(reader)
+            if args.rank == "bm25":
+                _print_ranked_hits(
+                    daat.search_bm25(args.query, topk=args.topk)
+                )
+            else:
+                paths = daat.search(args.query, parallel=args.parallel)
+                for path in paths:
+                    print(path)
+                print(f"-- {len(paths)} file(s)", file=sys.stderr)
+            stats = reader.stats()
+        print(f"-- blocks: {stats['ondisk.blocks_read']} read, "
+              f"{stats['ondisk.blocks_skipped']} skipped", file=sys.stderr)
+        if observing:
+            _emit_observability(args)
+        return 0
+
     index = _load_any_index(args.index_path)
     engine = QueryEngine(index)
+    if args.rank == "bm25":
+        from repro.query import BM25Ranker, FrequencyIndex, search_bm25
+
+        if not args.ranked:
+            print("error: in-memory BM25 needs term frequencies; pass "
+                  "--ranked CORPUS_DIR (or use --ondisk against an RIDX2 "
+                  "index with frequencies baked in)", file=sys.stderr)
+            return 2
+        frequencies = FrequencyIndex.from_fs(OsFileSystem(args.ranked))
+        _print_ranked_hits(search_bm25(
+            engine, BM25Ranker(frequencies), args.query,
+            topk=args.topk, parallel=args.parallel,
+        ))
+        if observing:
+            _emit_observability(args)
+        return 0
     if args.ranked:
         from repro.query import FrequencyIndex, TfIdfRanker, search_ranked
 
@@ -437,9 +528,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         hits = search_ranked(
             engine, TfIdfRanker(frequencies), args.query, parallel=args.parallel
         )
-        for hit in hits:
-            print(f"{hit.score:8.3f}  {hit.path}")
-        print(f"-- {len(hits)} file(s)", file=sys.stderr)
+        _print_ranked_hits(hits)
         if observing:
             _emit_observability(args)
         return 0
@@ -465,13 +554,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("error: --workers and --max-inflight must be at least 1",
               file=sys.stderr)
         return 2
+    if args.topk < 1:
+        print("error: --topk must be at least 1", file=sys.stderr)
+        return 2
+    if args.ondisk:
+        if not args.index:
+            print("error: --ondisk needs --index pointing at an RIDX2 "
+                  "file", file=sys.stderr)
+            return 2
+        if args.watch:
+            print("error: --ondisk serves an immutable mmap'd file; "
+                  "--watch cannot refresh it (rebuild and restart "
+                  "instead)", file=sys.stderr)
+            return 2
+    elif args.rank == "bm25":
+        print("error: --rank bm25 under serve needs --ondisk (BM25 is "
+              "scored from the RIDX2 file's frequencies)", file=sys.stderr)
+        return 2
     observing = _observability_requested(args)
-    if args.index:
-        session = Search.open(args.index, source=args.directory)
+
+    reader = None
+    if args.ondisk:
+        from repro.index import IndexFormatError, MmapPostingsReader
+        from repro.service import SearchService
+        from repro.service.snapshot import IndexSnapshot
+
+        try:
+            reader = MmapPostingsReader(args.index)
+        except (IndexFormatError, OSError) as exc:
+            print(f"error: --ondisk needs an RIDX2 index file: {exc}",
+                  file=sys.stderr)
+            return 2
+        snapshot = IndexSnapshot.from_ondisk(reader)
+        service_cm = SearchService(
+            snapshot, workers=args.workers, max_inflight=args.max_inflight
+        )
+        print(f"serving {reader.doc_count} file(s) off mmap "
+              f"({reader.term_count} terms) with {args.workers} worker(s)",
+              file=sys.stderr)
     else:
-        session = Search.build(args.directory)
-    print(f"serving {len(session)} file(s) with {args.workers} worker(s)",
-          file=sys.stderr)
+        if args.index:
+            session = Search.open(args.index, source=args.directory)
+        else:
+            session = Search.build(args.directory)
+        service_cm = session.serve(
+            workers=args.workers, max_inflight=args.max_inflight
+        )
+        print(f"serving {len(session)} file(s) with {args.workers} "
+              f"worker(s)", file=sys.stderr)
 
     stream = (
         open(args.queries, "r", encoding="utf-8")
@@ -479,34 +609,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         else sys.stdin
     )
     served = failed = 0
-    with session.serve(
-        workers=args.workers, max_inflight=args.max_inflight
-    ) as service:
-        if args.watch:
-            service.start_watch(args.watch)
-        try:
-            for line in stream:
-                text = line.strip()
-                if not text or text.startswith("#"):
-                    continue
-                try:
-                    result = service.query(text)
-                except (ParseError, ServiceOverloadedError) as exc:
-                    print(f"error: {text}: {exc}", file=sys.stderr)
-                    failed += 1
-                    continue
-                print(f"[gen {result.generation}] {text} "
-                      f"-> {len(result)} file(s)")
-                for path in result:
-                    print(f"  {path}")
-                served += 1
-        finally:
-            if stream is not sys.stdin:
-                stream.close()
-    stats = service.stats()
-    print(f"-- served {served} query(ies), {failed} failed; "
-          f"generation {stats['service.generation']:.0f}, "
-          f"shed {stats['service.shed']:.0f}", file=sys.stderr)
+    try:
+        with service_cm as service:
+            if args.watch:
+                service.start_watch(args.watch)
+            try:
+                for line in stream:
+                    text = line.strip()
+                    if not text or text.startswith("#"):
+                        continue
+                    try:
+                        result = service.query(
+                            text, rank=args.rank, topk=args.topk
+                        )
+                    except (ParseError, ServiceOverloadedError,
+                            ValueError) as exc:
+                        print(f"error: {text}: {exc}", file=sys.stderr)
+                        failed += 1
+                        continue
+                    print(f"[gen {result.generation}] {text} "
+                          f"-> {len(result)} file(s)")
+                    if result.hits is not None:
+                        for hit in result.hits:
+                            print(f"  {hit.score:8.3f}  {hit.path}")
+                    else:
+                        for path in result:
+                            print(f"  {path}")
+                    served += 1
+            finally:
+                if stream is not sys.stdin:
+                    stream.close()
+        stats = service.stats()
+        print(f"-- served {served} query(ies), {failed} failed; "
+              f"generation {stats['service.generation']:.0f}, "
+              f"shed {stats['service.shed']:.0f}", file=sys.stderr)
+        if reader is not None:
+            io_stats = reader.stats()
+            print(f"-- blocks: {io_stats['ondisk.blocks_read']} read, "
+                  f"{io_stats['ondisk.blocks_skipped']} skipped",
+                  file=sys.stderr)
+    finally:
+        if reader is not None:
+            reader.close()
     if observing:
         _emit_observability(args)
     return 0 if failed == 0 else 1

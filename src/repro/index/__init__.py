@@ -18,8 +18,11 @@ Implementation 3 lives in :mod:`repro.index.multi`.
 """
 
 from repro.index.binfmt import (
+    IndexFormatError,
+    dump_index_ridx2,
     dump_index_wire,
     load_index_binary,
+    load_index_ridx2,
     load_index_wire,
     merge_wire_replica,
     save_index_binary,
@@ -32,6 +35,7 @@ from repro.index.incremental import (
 from repro.index.inverted import InvertedIndex
 from repro.index.merge import join_indices, join_pairwise_tree, merge_into
 from repro.index.multi import MultiIndex
+from repro.index.ondisk import BlockCursor, MmapPostingsReader
 from repro.index.positional import PositionalIndex
 from repro.index.postings import PostingsList
 from repro.index.replica import ReplicaBuilder
@@ -43,20 +47,25 @@ from repro.index.serialize import (
     load_multi_index,
     save_index,
     save_multi_index,
+    sniff_format,
 )
 from repro.index.sharded import ShardedInvertedIndex
 
 __all__ = [
+    "BlockCursor",
     "ChangeReport",
     "INDEX_FORMATS",
     "IncrementalIndex",
     "IncrementalIndexer",
+    "IndexFormatError",
     "InvertedIndex",
+    "MmapPostingsReader",
     "MultiIndex",
     "PositionalIndex",
     "PostingsList",
     "ReplicaBuilder",
     "ShardedInvertedIndex",
+    "dump_index_ridx2",
     "dump_index_wire",
     "index_from_bytes",
     "index_to_bytes",
@@ -64,6 +73,7 @@ __all__ = [
     "join_pairwise_tree",
     "load_index",
     "load_index_binary",
+    "load_index_ridx2",
     "load_index_wire",
     "load_multi_index",
     "merge_into",
@@ -71,4 +81,5 @@ __all__ = [
     "save_index",
     "save_index_binary",
     "save_multi_index",
+    "sniff_format",
 ]

@@ -48,6 +48,43 @@ order, and postings refer to it by position.  Nothing is sorted — the
 wire format preserves build order, which is what makes encoding cheap
 and lets the parent's merge reproduce exactly what a threaded join
 would have produced.
+
+The third format, **RIDX2**, is the serving-oriented successor of
+RIDX1: postings are split into fixed-size *blocks* (``block_size``
+postings each, varbyte gap-coded doc ids plus varbyte per-doc term
+frequencies), every section is reachable through fixed-width offset
+tables, and the lexicon is sorted so a reader can binary-search a term
+in O(log B) *without parsing the file* — which is what lets
+:class:`repro.index.ondisk.MmapPostingsReader` serve queries straight
+off ``mmap``.  Layout (all integers little-endian, offsets absolute)::
+
+    magic        "RIDX2"
+    header       u8 version, u8 flags (bit 0: real term frequencies),
+                 u16 block_size,
+                 u32 doc_count, u32 term_count,
+                 u64 total_doc_len,
+                 u64 x 6 section offsets (doc offsets, doc data,
+                     lexicon offsets, lexicon data, block directory,
+                     block data)
+    doc offsets  u32[doc_count + 1] into the doc-data section
+    doc data     per doc: varint path length, path bytes,
+                 varint document length (term occurrences)
+    lex offsets  u32[term_count + 1] into the lexicon-data section
+    lex data     per term, sorted by UTF-8 bytes:
+                 varint term length, term bytes,
+                 varint df, varint first block, varint block count
+    directory    per block: u64 offset (into block data),
+                 u32 last_docid, u32 count, u32 doc_bytes,
+                 u32 freq_bytes, u8 codec
+    block data   per block: gap-coded doc ids (``doc_bytes`` bytes),
+                 then varbyte ``tf - 1`` values (``freq_bytes`` bytes)
+
+Every block is self-contained (its first doc id is gap-coded against
+-1), so a reader can decode any block without touching the previous
+one — the precondition for ``last_docid`` block skipping.  Doc ids are
+dense and assigned in sorted-path order, making doc-id order equal to
+sorted-path order; the DAAT evaluator exploits this for byte-identical
+results against the in-memory engine.
 """
 
 from __future__ import annotations
@@ -55,13 +92,21 @@ from __future__ import annotations
 import struct
 import sys
 from array import array
-from typing import Iterable, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.index.inverted import InvertedIndex
 from repro.index.postings import PostingsList
 
 MAGIC = b"RIDX1"
 WIRE_MAGIC = b"RWIRE1"
+MAGIC2 = b"RIDX2"
+
+
+class IndexFormatError(ValueError):
+    """Raised when bytes are not in any recognized index format, or a
+    recognized header is truncated/corrupt.  Subclasses ValueError so
+    historical ``except ValueError`` call sites keep working."""
 
 # The wire format stores u32 arrays via the array module for C-speed
 # encode/decode; 'I' is 4 bytes on every platform CPython supports.
@@ -327,6 +372,326 @@ def load_index_wire(data: bytes) -> InvertedIndex:
     """Deserialize RWIRE1 bytes into a fresh index."""
     index = InvertedIndex()
     merge_wire_replica(index, data)
+    return index
+
+
+# -- RIDX2: blocked, compressed, mmap-servable postings ------------------
+
+RIDX2_VERSION = 1
+RIDX2_FLAG_FREQS = 1
+RIDX2_CODEC_VARBYTE = 0
+RIDX2_DEFAULT_BLOCK = 128
+
+#: Fixed-width header following the 5 magic bytes: version, flags,
+#: block_size, doc_count, term_count, total_doc_len, then the six
+#: absolute section offsets (doc offsets, doc data, lexicon offsets,
+#: lexicon data, block directory, block data).
+RIDX2_HEADER = struct.Struct("<BBHIIQQQQQQQ")
+
+#: One block-directory record: offset into the block-data section,
+#: last_docid, postings count, doc-id bytes, frequency bytes, codec.
+RIDX2_DIR_ENTRY = struct.Struct("<QIIIIB")
+
+#: Offset-table entries (doc and lexicon sections).
+_OFF = struct.Struct("<I")
+
+
+@dataclass(frozen=True)
+class Ridx2Header:
+    """The parsed fixed-width RIDX2 header."""
+
+    version: int
+    flags: int
+    block_size: int
+    doc_count: int
+    term_count: int
+    total_doc_len: int
+    doc_offsets_off: int
+    doc_data_off: int
+    lex_offsets_off: int
+    lex_data_off: int
+    dir_off: int
+    blocks_off: int
+
+    @property
+    def has_freqs(self) -> bool:
+        """True when real term frequencies were baked in at dump time
+        (otherwise every stored tf is 1)."""
+        return bool(self.flags & RIDX2_FLAG_FREQS)
+
+
+def parse_ridx2_header(data) -> Ridx2Header:
+    """Parse the leading RIDX2 magic + header of ``data`` (bytes or mmap)."""
+    if len(data) < len(MAGIC2) or bytes(data[: len(MAGIC2)]) != MAGIC2:
+        raise IndexFormatError("not an RIDX2 on-disk index")
+    if len(data) < len(MAGIC2) + RIDX2_HEADER.size:
+        raise IndexFormatError(
+            f"truncated RIDX2 header: need {len(MAGIC2) + RIDX2_HEADER.size} "
+            f"bytes, file has {len(data)}"
+        )
+    return Ridx2Header(*RIDX2_HEADER.unpack_from(data, len(MAGIC2)))
+
+
+def encode_posting_blocks(
+    doc_ids: Sequence[int],
+    freqs: Optional[Sequence[int]] = None,
+    block_size: int = RIDX2_DEFAULT_BLOCK,
+) -> Tuple[List[Tuple[int, int, int, int, int, int]], bytes]:
+    """Split one posting list into self-contained fixed-size blocks.
+
+    Returns ``(entries, blob)``: the concatenated block bytes plus one
+    directory tuple ``(offset, last_docid, count, doc_bytes,
+    freq_bytes, codec)`` per block, offsets relative to ``blob``.
+    ``freqs`` (aligned with ``doc_ids``, every value >= 1) are stored
+    as varbyte ``tf - 1``; ``None`` stores tf = 1 throughout.
+    """
+    if block_size < 1:
+        raise ValueError(f"block_size must be at least 1, got {block_size}")
+    entries: List[Tuple[int, int, int, int, int, int]] = []
+    blob = bytearray()
+    for start in range(0, len(doc_ids), block_size):
+        chunk = list(doc_ids[start : start + block_size])
+        doc_blob = encode_gaps(chunk)
+        if freqs is None:
+            freq_blob = b"\x00" * len(chunk)
+        else:
+            parts = []
+            for tf in freqs[start : start + len(chunk)]:
+                if tf < 1:
+                    raise ValueError(f"term frequencies must be >= 1, got {tf}")
+                parts.append(encode_varint(tf - 1))
+            freq_blob = b"".join(parts)
+        entries.append(
+            (
+                len(blob),
+                chunk[-1],
+                len(chunk),
+                len(doc_blob),
+                len(freq_blob),
+                RIDX2_CODEC_VARBYTE,
+            )
+        )
+        blob += doc_blob
+        blob += freq_blob
+    return entries, bytes(blob)
+
+
+def decode_block_docids(data, offset: int, count: int, doc_bytes: int) -> List[int]:
+    """Decode one block's doc ids from ``data`` (bytes or mmap)."""
+    ids, end = decode_gaps(bytes(data[offset : offset + doc_bytes]), 0, count)
+    if end != doc_bytes:
+        raise IndexFormatError(
+            f"RIDX2 block doc ids consumed {end} of {doc_bytes} bytes"
+        )
+    return ids
+
+
+def decode_block_freqs(data, offset: int, count: int, freq_bytes: int) -> List[int]:
+    """Decode one block's ``tf`` values from ``data`` (bytes or mmap)."""
+    blob = bytes(data[offset : offset + freq_bytes])
+    freqs: List[int] = []
+    position = 0
+    for _ in range(count):
+        value, position = decode_varint(blob, position)
+        freqs.append(value + 1)
+    if position != freq_bytes:
+        raise IndexFormatError(
+            f"RIDX2 block frequencies consumed {position} of {freq_bytes} bytes"
+        )
+    return freqs
+
+
+def _offset_table(lengths: Iterable[int]) -> bytes:
+    """A u32 running-offset table with a trailing end sentinel."""
+    out = bytearray()
+    position = 0
+    out += _OFF.pack(0)
+    for length in lengths:
+        position += length
+        out += _OFF.pack(position)
+    return bytes(out)
+
+
+def dump_index_ridx2(
+    index: InvertedIndex,
+    frequencies=None,
+    block_size: int = RIDX2_DEFAULT_BLOCK,
+) -> bytes:
+    """Serialize ``index`` into the blocked RIDX2 on-disk format.
+
+    ``frequencies`` (a :class:`repro.query.ranking.FrequencyIndex`
+    built over the same corpus) bakes real per-(term, doc) term
+    frequencies and document lengths in, enabling exact BM25 scoring
+    off the file alone; without it every tf is 1 and a document's
+    length is its distinct-term count.  Terms whose postings are empty
+    (tombstoned away by incremental maintenance) are canonicalized out.
+    Output is canonical: equal indices produce equal bytes.
+    """
+    if block_size < 1 or block_size > 0xFFFF:
+        raise ValueError(
+            f"block_size must be in [1, 65535], got {block_size}"
+        )
+    paths = sorted({p for _, postings in index.items() for p in postings})
+    path_id = {path: i for i, path in enumerate(paths)}
+
+    # Per-document lengths: distinct-term counts as the fallback when
+    # no frequency sidecar is supplied (or it misses a path).
+    distinct = [0] * len(paths)
+    term_ids: List[Tuple[str, List[int]]] = []
+    for term, postings in index.items():
+        ids = sorted(path_id[p] for p in set(postings))
+        if not ids:
+            continue  # canonicalize empty postings away
+        term_ids.append((term, ids))
+        for i in ids:
+            distinct[i] += 1
+    term_ids.sort(key=lambda pair: pair[0])
+
+    doc_lengths: List[int] = []
+    for i, path in enumerate(paths):
+        length = frequencies.document_length(path) if frequencies else 0
+        doc_lengths.append(length or distinct[i])
+
+    doc_records = []
+    for path, length in zip(paths, doc_lengths):
+        encoded = path.encode("utf-8")
+        doc_records.append(
+            encode_varint(len(encoded)) + encoded + encode_varint(length)
+        )
+
+    lex_records = []
+    directory = bytearray()
+    blocks = bytearray()
+    block_first = 0
+    for term, ids in term_ids:
+        tfs = None
+        if frequencies is not None:
+            tfs = [max(1, frequencies.tf(term, paths[i])) for i in ids]
+        entries, blob = encode_posting_blocks(ids, tfs, block_size)
+        for offset, last, count, doc_bytes, freq_bytes, codec in entries:
+            directory += RIDX2_DIR_ENTRY.pack(
+                offset + len(blocks), last, count, doc_bytes, freq_bytes, codec
+            )
+        encoded = term.encode("utf-8")
+        lex_records.append(
+            encode_varint(len(encoded))
+            + encoded
+            + encode_varint(len(ids))
+            + encode_varint(block_first)
+            + encode_varint(len(entries))
+        )
+        blocks += blob
+        block_first += len(entries)
+
+    doc_offsets = _offset_table(map(len, doc_records))
+    lex_offsets = _offset_table(map(len, lex_records))
+    doc_blob = b"".join(doc_records)
+    lex_blob = b"".join(lex_records)
+
+    position = len(MAGIC2) + RIDX2_HEADER.size
+    doc_offsets_off = position
+    position += len(doc_offsets)
+    doc_data_off = position
+    position += len(doc_blob)
+    lex_offsets_off = position
+    position += len(lex_offsets)
+    lex_data_off = position
+    position += len(lex_blob)
+    dir_off = position
+    position += len(directory)
+    blocks_off = position
+
+    flags = RIDX2_FLAG_FREQS if frequencies is not None else 0
+    header = RIDX2_HEADER.pack(
+        RIDX2_VERSION,
+        flags,
+        block_size,
+        len(paths),
+        len(term_ids),
+        sum(doc_lengths),
+        doc_offsets_off,
+        doc_data_off,
+        lex_offsets_off,
+        lex_data_off,
+        dir_off,
+        blocks_off,
+    )
+    return b"".join(
+        (
+            MAGIC2,
+            header,
+            doc_offsets,
+            doc_blob,
+            lex_offsets,
+            lex_blob,
+            bytes(directory),
+            bytes(blocks),
+        )
+    )
+
+
+def iter_ridx2_lexicon(data, header: Optional[Ridx2Header] = None):
+    """Yield ``(term, df, block_first, block_count)`` in sorted order."""
+    h = header or parse_ridx2_header(data)
+    for i in range(h.term_count):
+        start = _OFF.unpack_from(data, h.lex_offsets_off + 4 * i)[0]
+        offset = h.lex_data_off + start
+        length, offset = decode_varint(data, offset)
+        term = bytes(data[offset : offset + length]).decode("utf-8")
+        offset += length
+        df, offset = decode_varint(data, offset)
+        block_first, offset = decode_varint(data, offset)
+        block_count, offset = decode_varint(data, offset)
+        yield term, df, block_first, block_count
+
+
+def read_ridx2_doc(data, header: Ridx2Header, doc_id: int) -> Tuple[str, int]:
+    """Decode one document record: ``(path, document length)``."""
+    if not 0 <= doc_id < header.doc_count:
+        raise IndexError(
+            f"doc id {doc_id} out of range [0, {header.doc_count})"
+        )
+    start = _OFF.unpack_from(data, header.doc_offsets_off + 4 * doc_id)[0]
+    offset = header.doc_data_off + start
+    length, offset = decode_varint(data, offset)
+    path = bytes(data[offset : offset + length]).decode("utf-8")
+    doc_length, _ = decode_varint(data, offset + length)
+    return path, doc_length
+
+
+def load_index_ridx2(data: bytes) -> InvertedIndex:
+    """Fully materialize RIDX2 bytes into an in-memory index.
+
+    The transparent counterpart of
+    :class:`repro.index.ondisk.MmapPostingsReader`: decodes every block
+    eagerly (dropping frequencies — the in-memory index is boolean).
+    """
+    header = parse_ridx2_header(data)
+    paths = [
+        read_ridx2_doc(data, header, i)[0] for i in range(header.doc_count)
+    ]
+    index = InvertedIndex()
+    for term, df, block_first, block_count in iter_ridx2_lexicon(data, header):
+        ids: List[int] = []
+        for b in range(block_first, block_first + block_count):
+            offset, _last, count, doc_bytes, _freq_bytes, codec = (
+                RIDX2_DIR_ENTRY.unpack_from(
+                    data, header.dir_off + RIDX2_DIR_ENTRY.size * b
+                )
+            )
+            if codec != RIDX2_CODEC_VARBYTE:
+                raise IndexFormatError(f"unknown RIDX2 block codec {codec}")
+            ids.extend(
+                decode_block_docids(
+                    data, header.blocks_off + offset, count, doc_bytes
+                )
+            )
+        if len(ids) != df:
+            raise IndexFormatError(
+                f"RIDX2 term {term!r}: lexicon says df={df}, "
+                f"blocks hold {len(ids)}"
+            )
+        index._map[term] = PostingsList(paths[i] for i in ids)
     return index
 
 

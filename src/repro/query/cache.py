@@ -3,13 +3,18 @@
 Desktop-search users repeat queries (retyping, paging, live-search
 keystrokes), and the index between refreshes is immutable — ideal
 caching conditions.  :class:`QueryCache` is a from-scratch LRU keyed by
-(normalized query, parallel flag); :class:`CachingQueryEngine` wraps a
+(normalized query, parallel flag, ranking mode, top-K);
+:class:`CachingQueryEngine` wraps a
 :class:`~repro.query.evaluator.QueryEngine` with it and exposes
 :meth:`~CachingQueryEngine.invalidate` for the moment the index changes
 (e.g. after an :meth:`~repro.index.incremental.IncrementalIndexer.refresh`).
 
 Normalization runs the query optimizer first, so ``a AND a`` and ``a``
-share a cache entry.
+share a cache entry.  The ranking mode and top-K are part of the key
+because the same query text produces *different value types* per mode:
+a boolean search returns paths, a BM25 search returns scored
+:class:`~repro.query.ranking.RankedHit` entries truncated to K — a
+cache keyed on the text alone would happily serve one for the other.
 
 Thread safety: a desktop search serves queries from whatever thread the
 UI or API happens to be on, so one cache is hammered concurrently.
@@ -32,6 +37,21 @@ from repro.query.evaluator import QueryEngine
 from repro.query.optimizer import optimize
 from repro.query.parser import parse_query
 
+#: Cache key: (normalized query, parallel flag, ranking mode, top-K).
+#: Boolean lookups use mode ``"bool"`` with ``topk=None``; BM25 lookups
+#: use mode ``"bm25"`` with their K, so the two can never collide.
+CacheKey = Tuple[str, bool, str, Optional[int]]
+
+
+def cache_key(
+    normalized: str,
+    parallel: bool,
+    mode: str = "bool",
+    topk: Optional[int] = None,
+) -> CacheKey:
+    """The canonical cache key for one lookup."""
+    return (normalized, parallel, mode, topk)
+
 
 class QueryCache:
     """A fixed-capacity LRU cache of query results (thread-safe)."""
@@ -50,7 +70,7 @@ class QueryCache:
         self._sync = sync
         self._lock = sync.lock(f"{name}.lock")
         # dict preserves insertion order; recency = reinsertion order.
-        self._entries: Dict[Tuple[str, bool], List[str]] = {}
+        self._entries: Dict[CacheKey, list] = {}
         self.hits = 0
         self.misses = 0
 
@@ -58,7 +78,7 @@ class QueryCache:
         with self._lock:
             return len(self._entries)
 
-    def get(self, key: Tuple[str, bool]) -> Optional[List[str]]:
+    def get(self, key: CacheKey) -> Optional[list]:
         """Cached result for ``key`` (refreshing recency), else None.
 
         The returned list is a copy made under the lock — mutate it
@@ -80,7 +100,7 @@ class QueryCache:
         self._record(hit, hit_rate)
         return result
 
-    def put(self, key: Tuple[str, bool], value: List[str]) -> None:
+    def put(self, key: CacheKey, value: list) -> None:
         """Insert a result, evicting the least recently used if full.
 
         The value is copied in under the lock, so later caller-side
@@ -124,23 +144,62 @@ class QueryCache:
 
 
 class CachingQueryEngine:
-    """A :class:`QueryEngine` front end with LRU result caching."""
+    """A :class:`QueryEngine` front end with LRU result caching.
+
+    ``ranker`` (a :class:`~repro.query.ranking.BM25Ranker`) enables the
+    cached :meth:`search_bm25` path for in-memory engines; engines that
+    score natively (:class:`~repro.query.daat.DaatQueryEngine`) need no
+    ranker.  Boolean and BM25 results share one LRU but can never be
+    confused: the ranking mode and top-K are part of the cache key.
+    """
 
     def __init__(
-        self, engine: QueryEngine, capacity: int = 128, sync=None
+        self, engine: QueryEngine, capacity: int = 128, sync=None,
+        ranker=None,
     ) -> None:
         self.engine = engine
+        self.ranker = ranker
         self.cache = QueryCache(capacity, sync=sync)
 
     def search(self, query_text: str, parallel: bool = False) -> List[str]:
         """Like :meth:`QueryEngine.search`, memoized on the normalized
         query."""
         with obsrec.span("query.cached_search", parallel=parallel):
-            key = (self._normalize(query_text), parallel)
+            key = cache_key(self._normalize(query_text), parallel)
             cached = self.cache.get(key)
             if cached is not None:
                 return cached
             result = self.engine.search(query_text, parallel=parallel)
+            self.cache.put(key, result)
+            return result
+
+    def search_bm25(self, query_text: str, topk: int = 10) -> list:
+        """BM25 top-``topk``, memoized under a mode-and-K-specific key.
+
+        Dispatches to the wrapped engine's own ``search_bm25`` when it
+        has one (the DAAT/mmap path), else scores through the
+        constructor's ``ranker``.
+        """
+        with obsrec.span("query.cached_search", mode="bm25", topk=topk):
+            key = cache_key(
+                self._normalize(query_text), False, "bm25", topk
+            )
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+            if hasattr(self.engine, "search_bm25"):
+                result = self.engine.search_bm25(query_text, topk=topk)
+            elif self.ranker is not None:
+                from repro.query.ranking import search_bm25
+
+                result = search_bm25(
+                    self.engine, self.ranker, query_text, topk=topk
+                )
+            else:
+                raise ValueError(
+                    "BM25 needs an engine with native scoring (DAAT over "
+                    "RIDX2) or a ranker= passed to CachingQueryEngine"
+                )
             self.cache.put(key, result)
             return result
 

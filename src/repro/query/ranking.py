@@ -1,15 +1,23 @@
-"""Ranked retrieval: tf-idf scoring on top of boolean matching.
+"""Ranked retrieval: tf-idf and BM25 scoring on top of boolean matching.
 
 The paper's index is boolean (term -> files); a usable desktop search
 also ranks hits.  :class:`FrequencyIndex` keeps what boolean postings
-drop — per-(term, file) occurrence counts — and :class:`TfIdfRanker`
-orders a boolean result set by the classic
+drop — per-(term, file) occurrence counts plus document lengths — and
+two rankers order a boolean result set:
 
-    score(file) = sum over query terms of tf(term, file) * idf(term)
+* :class:`TfIdfRanker` — the classic ``sum of tf(term, file) *
+  idf(term)`` with log-scaled term frequency and smoothed inverse
+  document frequency;
+* :class:`BM25Ranker` — Okapi BM25 with the usual saturation (``k1``)
+  and length-normalization (``b``) knobs, truncating to a top-K.
 
-with log-scaled term frequency and smoothed inverse document frequency.
 The frequency index is an optional sidecar: the boolean engines stay
-exactly as the paper describes them.
+exactly as the paper describes them.  BM25 is deliberately written to
+match :meth:`repro.query.daat.DaatQueryEngine.search_bm25` operation
+for operation — the same formula, the same sorted-term accumulation
+order, the same (score desc, path asc) tie-break — so the in-memory
+and mmap paths produce *identical* hits over the same corpus, which is
+what the differential suite asserts.
 """
 
 from __future__ import annotations
@@ -21,6 +29,11 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.adt import FnvHashMap
 from repro.query.parser import parse_query
 from repro.text.tokenizer import Tokenizer
+
+#: The standard Okapi BM25 knobs: term-frequency saturation and
+#: document-length normalization.
+BM25_K1 = 1.2
+BM25_B = 0.75
 
 
 class FrequencyIndex:
@@ -34,6 +47,17 @@ class FrequencyIndex:
     def document_count(self) -> int:
         """Number of indexed documents."""
         return len(self._document_lengths)
+
+    @property
+    def total_length(self) -> int:
+        """Sum of every document's length (total term occurrences)."""
+        return sum(self._document_lengths.values())
+
+    @property
+    def average_document_length(self) -> float:
+        """Mean document length; 0.0 for an empty index."""
+        count = len(self._document_lengths)
+        return self.total_length / count if count else 0.0
 
     def add_document(self, path: str, terms: Iterable[str]) -> None:
         """Index a document from its term *occurrences* (with duplicates)."""
@@ -110,6 +134,58 @@ class TfIdfRanker:
         return hits
 
 
+class BM25Ranker:
+    """Okapi BM25 over a :class:`FrequencyIndex`.
+
+    score(d) = sum over query terms of
+        idf(t) * tf * (k1 + 1) / (tf + k1 * (1 - b + b * |d| / avgdl))
+
+    with the non-negative idf ``ln(1 + (N - df + 0.5) / (df + 0.5))``.
+    Mirrors the mmap-side scorer in
+    :meth:`repro.query.daat.DaatQueryEngine.search_bm25` exactly.
+    """
+
+    def __init__(
+        self,
+        frequencies: FrequencyIndex,
+        k1: float = BM25_K1,
+        b: float = BM25_B,
+    ) -> None:
+        self.frequencies = frequencies
+        self.k1 = k1
+        self.b = b
+
+    def idf(self, term: str) -> float:
+        """Non-negative BM25 inverse document frequency."""
+        n = self.frequencies.document_count
+        df = self.frequencies.df(term)
+        return math.log(1.0 + (n - df + 0.5) / (df + 0.5))
+
+    def score(self, path: str, terms: Sequence[str]) -> float:
+        """BM25 score of one document against the query terms."""
+        frequencies = self.frequencies
+        avgdl = frequencies.average_document_length
+        length = frequencies.document_length(path)
+        norm = self.k1 * (
+            1.0 - self.b + self.b * (length / avgdl if avgdl else 0.0)
+        )
+        total = 0.0
+        for term in terms:
+            tf = frequencies.tf(term, path)
+            if tf:
+                total += self.idf(term) * (tf * (self.k1 + 1.0)) / (tf + norm)
+        return total
+
+    def rank(
+        self, paths: Iterable[str], terms: Sequence[str],
+        topk: Optional[int] = None,
+    ) -> List[RankedHit]:
+        """Top-``topk`` hits by (score desc, path asc); all if None."""
+        hits = [RankedHit(path, self.score(path, terms)) for path in paths]
+        hits.sort(key=lambda hit: (-hit.score, hit.path))
+        return hits if topk is None else hits[:topk]
+
+
 def search_ranked(
     engine, ranker: TfIdfRanker, query_text: str, parallel: bool = False
 ) -> List[RankedHit]:
@@ -127,3 +203,28 @@ def search_ranked(
     if has_prefixes(query):
         query = expand_prefixes(query, engine.prefix_dictionary())
     return ranker.rank(paths, sorted(query.terms()))
+
+
+def search_bm25(
+    engine,
+    ranker: BM25Ranker,
+    query_text: str,
+    topk: int = 10,
+    parallel: bool = False,
+) -> List[RankedHit]:
+    """Boolean match via ``engine``, then BM25 top-``topk`` ordering.
+
+    The in-memory ranked-query scenario: same match-then-score shape as
+    :func:`search_ranked`, scoring with BM25 and truncating to the
+    top-K.  Its on-disk twin is
+    :meth:`repro.query.daat.DaatQueryEngine.search_bm25`.
+    """
+    from repro.query.wildcard import expand_prefixes, has_prefixes
+
+    if topk < 1:
+        raise ValueError(f"topk must be at least 1, got {topk}")
+    paths = engine.search(query_text, parallel=parallel)
+    query = parse_query(query_text)
+    if has_prefixes(query):
+        query = expand_prefixes(query, engine.prefix_dictionary())
+    return ranker.rank(paths, sorted(query.terms()), topk=topk)

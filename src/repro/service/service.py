@@ -65,11 +65,15 @@ class RefreshOutcome:
 class _Job:
     """One admitted query waiting for a worker."""
 
-    __slots__ = ("text", "parallel", "done", "result", "error")
+    __slots__ = ("text", "parallel", "rank", "topk", "done", "result", "error")
 
-    def __init__(self, text: str, parallel: bool) -> None:
+    def __init__(
+        self, text: str, parallel: bool, rank: str = "bool", topk: int = 10
+    ) -> None:
         self.text = text
         self.parallel = parallel
+        self.rank = rank
+        self.topk = topk
         self.done = False
         self.result: Optional[QueryResult] = None
         self.error: Optional[BaseException] = None
@@ -161,13 +165,25 @@ class SearchService:
     def generation(self) -> int:
         return self.snapshot.generation
 
-    def query(self, query_text: str, parallel: bool = False) -> QueryResult:
+    def query(
+        self,
+        query_text: str,
+        parallel: bool = False,
+        rank: str = "bool",
+        topk: int = 10,
+    ) -> QueryResult:
         """Admit, enqueue and wait for one query; returns typed hits.
 
-        Raises :class:`ServiceOverloadedError` when the in-flight bound
-        is hit under the ``"reject"`` policy and
-        :class:`ServiceClosedError` once shutdown has begun.
+        ``rank="bm25"`` asks the snapshot for BM25 top-``topk`` instead
+        of the plain boolean match (the result then carries scored
+        ``hits``); it needs a ranking-capable snapshot, e.g. one opened
+        via :meth:`IndexSnapshot.from_ondisk`.  Raises
+        :class:`ServiceOverloadedError` when the in-flight bound is hit
+        under the ``"reject"`` policy and :class:`ServiceClosedError`
+        once shutdown has begun.
         """
+        if rank not in ("bool", "bm25"):
+            raise ValueError(f"rank must be 'bool' or 'bm25', got {rank!r}")
         metrics = obsrec.metrics()
         with self._lock:
             if self._closing:
@@ -184,7 +200,7 @@ class SearchService:
                     if self._closing:
                         raise ServiceClosedError(f"{self.name} is shut down")
                     self._done.wait()
-            job = _Job(query_text, parallel)
+            job = _Job(query_text, parallel, rank=rank, topk=topk)
             self._queue.append(job)
             self._inflight += 1
             metrics.counter(f"{self.name}.queries").inc()
@@ -338,12 +354,23 @@ class SearchService:
                 f"{self.name}.query", generation=snapshot.generation
             ):
                 try:
-                    paths = snapshot.search(job.text, parallel=job.parallel)
-                    job.result = QueryResult(
-                        paths=paths,
-                        generation=snapshot.generation,
-                        elapsed_s=time.perf_counter() - started,
-                    )
+                    if job.rank == "bm25":
+                        hits = snapshot.search_bm25(job.text, topk=job.topk)
+                        job.result = QueryResult(
+                            paths=[hit.path for hit in hits],
+                            generation=snapshot.generation,
+                            elapsed_s=time.perf_counter() - started,
+                            hits=hits,
+                        )
+                    else:
+                        paths = snapshot.search(
+                            job.text, parallel=job.parallel
+                        )
+                        job.result = QueryResult(
+                            paths=paths,
+                            generation=snapshot.generation,
+                            elapsed_s=time.perf_counter() - started,
+                        )
                 except BaseException as exc:  # propagate to the caller
                     job.error = exc
                     metrics.counter(f"{self.name}.errors").inc()

@@ -7,6 +7,13 @@ after construction.  :class:`~repro.service.service.SearchService`
 publishes a *new* snapshot for every update and swaps one reference;
 queries in flight keep the snapshot they started with, which is the
 whole snapshot-isolation story.
+
+The index behind a snapshot need not live in memory:
+:meth:`IndexSnapshot.from_ondisk` wraps an
+:class:`~repro.index.ondisk.MmapPostingsReader` with a
+:class:`~repro.query.daat.DaatQueryEngine`, so a service can serve the
+same query language straight off an mmap'd RIDX2 file.  An mmap'd file
+is immutable by construction, which is snapshot isolation for free.
 """
 
 from __future__ import annotations
@@ -58,9 +65,46 @@ class IndexSnapshot:
                 self, "engine", QueryEngine(self.index, universe=self.universe)
             )
 
+    @classmethod
+    def from_ondisk(
+        cls,
+        reader,
+        generation: int = 0,
+        provenance: str = "ondisk",
+    ) -> "IndexSnapshot":
+        """A snapshot served straight off an mmap'd RIDX2 file.
+
+        ``reader`` is an :class:`~repro.index.ondisk.MmapPostingsReader`;
+        the snapshot's engine is a DAAT evaluator over its block
+        cursors, so queries never materialize postings.  The reader
+        doubles as the ``index`` (it speaks ``lookup``/``terms``); the
+        universe comes from the file's doc table, giving ``NOT`` the
+        same complement the in-memory engine would compute.
+        """
+        from repro.query.daat import DaatQueryEngine
+
+        return cls(
+            index=reader,
+            generation=generation,
+            provenance=provenance,
+            universe=frozenset(reader.doc_paths()),
+            engine=DaatQueryEngine(reader),
+        )
+
     def search(self, query_text: str, parallel: bool = False) -> List[str]:
         """Evaluate ``query_text`` against this snapshot only."""
         return self.engine.search(query_text, parallel=parallel)
+
+    def search_bm25(self, query_text: str, topk: int = 10) -> list:
+        """BM25 top-``topk`` against this snapshot; needs a scoring
+        engine (the on-disk DAAT path, or any engine exposing
+        ``search_bm25``)."""
+        if not hasattr(self.engine, "search_bm25"):
+            raise ValueError(
+                "this snapshot's engine cannot rank; open the index "
+                "on-disk (IndexSnapshot.from_ondisk) for BM25"
+            )
+        return self.engine.search_bm25(query_text, topk=topk)
 
     def next(
         self,
@@ -91,13 +135,17 @@ class QueryResult:
 
     ``generation`` names the exact snapshot the query was evaluated
     against — concurrent updates never mix into a result, so callers
-    can assert every result matches exactly one generation.
+    can assert every result matches exactly one generation.  Ranked
+    queries additionally carry their scored ``hits``
+    (:class:`~repro.query.ranking.RankedHit` entries, score-descending);
+    ``paths`` then lists the same documents in hit order.
     """
 
     paths: List[str]
     generation: int
     elapsed_s: float = 0.0
     cached: bool = False
+    hits: Optional[list] = None
 
     def __len__(self) -> int:
         return len(self.paths)

@@ -1,0 +1,249 @@
+"""Differential correctness of the mmap DAAT path.
+
+The anchor for the on-disk read path: for every build backend and a
+battery of boolean/wildcard queries, the DAAT engine over an mmap'd
+RIDX2 file must return *byte-for-byte* the same sorted path list as the
+in-memory :class:`QueryEngine`, and its BM25 scorer must agree with the
+in-memory :class:`BM25Ranker` to the last float.  Also covered: the
+phrase-query refusal, the ranking-mode-aware cache keys (a BM25 result
+must never satisfy a boolean lookup), and serving a
+:class:`SearchService` from an on-disk snapshot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    Implementation,
+    IndexGenerator,
+    SequentialIndexer,
+    ThreadConfig,
+)
+from repro.index import MmapPostingsReader, join_indices, save_index
+from repro.index.multi import MultiIndex
+from repro.query import (
+    BM25Ranker,
+    CachingQueryEngine,
+    FrequencyIndex,
+    QueryEngine,
+    cache_key,
+    search_bm25,
+)
+from repro.query.cache import QueryCache
+from repro.query.daat import DaatQueryEngine
+from repro.service import SearchService
+from repro.service.snapshot import IndexSnapshot
+
+QUERIES = [
+    "the",
+    "the AND a",
+    "the OR zzz-absent",
+    "the AND NOT a",
+    "NOT the",
+    "(the OR a) AND NOT zzz-absent",
+    "th*",
+    "th* AND NOT a",
+    "zzz-absent",
+    "NOT zzz-absent",
+    "the a",  # implicit AND
+]
+
+ENGINE_RUNS = [
+    ("sequential", None, None),
+    ("impl1", Implementation.SHARED_LOCKED, ThreadConfig(2, 1, 0)),
+    ("impl2", Implementation.REPLICATED_JOINED, ThreadConfig(2, 0, 1)),
+    ("impl3", Implementation.REPLICATED_UNJOINED, ThreadConfig(2, 2, 0)),
+    (
+        "impl2-process",
+        Implementation.REPLICATED_JOINED,
+        ThreadConfig(2, 0, 1, backend="process"),
+    ),
+]
+
+
+def flatten(index):
+    if isinstance(index, MultiIndex):
+        return join_indices(index.replicas)
+    return index
+
+
+@pytest.fixture(scope="module", params=ENGINE_RUNS, ids=lambda r: r[0])
+def engine_pair(request, tiny_fs, tmp_path_factory):
+    """(in-memory QueryEngine, DAAT engine over the same index on disk)."""
+    name, implementation, config = request.param
+    if implementation is None:
+        report = SequentialIndexer(tiny_fs).build()
+    else:
+        # oversubscribe keeps the process run valid on 1-CPU CI boxes;
+        # the point here is the RWIRE1-built index, not parallelism.
+        report = IndexGenerator(tiny_fs, oversubscribe=True).build(
+            implementation, config
+        )
+    index = flatten(report.index)
+    frequencies = FrequencyIndex.from_fs(tiny_fs)
+    path = str(tmp_path_factory.mktemp("daat") / f"{name}.ridx2")
+    save_index(index, path, format="ridx2", frequencies=frequencies)
+    reader = MmapPostingsReader(path)
+    universe = frozenset(frequencies._document_lengths.keys())
+    memory = QueryEngine(index, universe=universe)
+    yield memory, DaatQueryEngine(reader), frequencies
+    reader.close()
+
+
+class TestDifferentialBoolean:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_daat_equals_in_memory(self, engine_pair, query):
+        memory, daat, _ = engine_pair
+        assert daat.search(query) == memory.search(query)
+
+    def test_every_single_term_agrees(self, engine_pair):
+        memory, daat, _ = engine_pair
+        terms = sorted(daat.reader.terms())
+        for term in terms[:: max(1, len(terms) // 50)]:
+            assert daat.search(term) == memory.search(term)
+
+    def test_parallel_flag_is_accepted(self, engine_pair):
+        memory, daat, _ = engine_pair
+        assert daat.search("the", parallel=True) == memory.search("the")
+
+
+class TestDifferentialBm25:
+    @pytest.mark.parametrize(
+        "query", ["the", "the OR a", "the AND a", "th*", "zzz-absent"]
+    )
+    def test_scores_are_float_identical(self, engine_pair, query):
+        memory, daat, frequencies = engine_pair
+        ranker = BM25Ranker(frequencies)
+        expected = search_bm25(memory, ranker, query, topk=10)
+        got = daat.search_bm25(query, topk=10)
+        assert [(h.path, h.score) for h in got] == [
+            (h.path, h.score) for h in expected
+        ]
+
+    def test_topk_truncates(self, engine_pair):
+        _, daat, _ = engine_pair
+        assert len(daat.search_bm25("the", topk=3)) <= 3
+
+    def test_topk_must_be_positive(self, engine_pair):
+        _, daat, _ = engine_pair
+        with pytest.raises(ValueError, match="topk"):
+            daat.search_bm25("the", topk=0)
+
+
+class TestPhraseRefusal:
+    def test_phrase_raises_with_guidance(self, engine_pair):
+        _, daat, _ = engine_pair
+        with pytest.raises(ValueError, match="positional"):
+            daat.search('"the a"')
+
+
+class TestRankingAwareCacheKeys:
+    def test_bool_and_bm25_keys_differ(self):
+        assert cache_key("the", False) != cache_key("the", False, "bm25", 10)
+
+    def test_bm25_keys_differ_per_topk(self):
+        assert cache_key("the", False, "bm25", 5) != cache_key(
+            "the", False, "bm25", 10
+        )
+
+    def test_bm25_result_never_serves_boolean_query(self):
+        # The regression this key shape exists to prevent: one cache,
+        # same query text, ranked then boolean — the boolean lookup
+        # must miss instead of returning RankedHits.
+        cache = QueryCache(capacity=8)
+        cache.put(cache_key("the", False, "bm25", 10), ["scored-garbage"])
+        assert cache.get(cache_key("the", False)) is None
+
+    def test_caching_engine_keeps_modes_apart(self, tiny_fs):
+        report = SequentialIndexer(tiny_fs).build()
+        frequencies = FrequencyIndex.from_fs(tiny_fs)
+        caching = CachingQueryEngine(
+            QueryEngine(report.index), ranker=BM25Ranker(frequencies)
+        )
+        ranked = caching.search_bm25("the", topk=5)
+        boolean = caching.search("the")
+        assert [h.path for h in ranked] != boolean or boolean == []
+        assert all(hasattr(h, "score") for h in ranked)
+        assert all(isinstance(p, str) for p in boolean)
+        # Both are cached, under distinct keys.
+        assert caching.cache.hits == 0
+        assert caching.search("the") == boolean
+        assert caching.search_bm25("the", topk=5) == ranked
+        assert caching.cache.hits == 2
+        # A different K is a different entry.
+        caching.search_bm25("the", topk=2)
+        assert caching.cache.misses == 3
+
+    def test_caching_engine_without_ranker_rejects_bm25(self, tiny_fs):
+        report = SequentialIndexer(tiny_fs).build()
+        caching = CachingQueryEngine(QueryEngine(report.index))
+        with pytest.raises(ValueError, match="ranker"):
+            caching.search_bm25("the")
+
+    def test_caching_engine_uses_native_scoring(self, tiny_fs, tmp_path):
+        report = SequentialIndexer(tiny_fs).build()
+        frequencies = FrequencyIndex.from_fs(tiny_fs)
+        path = str(tmp_path / "native.ridx2")
+        save_index(
+            report.index, path, format="ridx2", frequencies=frequencies
+        )
+        with MmapPostingsReader(path) as reader:
+            caching = CachingQueryEngine(DaatQueryEngine(reader))
+            first = caching.search_bm25("the", topk=5)
+            assert caching.search_bm25("the", topk=5) == first
+            assert caching.cache.hits == 1
+
+
+class TestOndiskService:
+    @pytest.fixture
+    def ridx2_file(self, tiny_fs, tmp_path):
+        report = SequentialIndexer(tiny_fs).build()
+        frequencies = FrequencyIndex.from_fs(tiny_fs)
+        path = str(tmp_path / "serve.ridx2")
+        save_index(
+            report.index, path, format="ridx2", frequencies=frequencies
+        )
+        return path
+
+    def test_snapshot_from_ondisk(self, ridx2_file, tiny_fs):
+        report = SequentialIndexer(tiny_fs).build()
+        memory = QueryEngine(
+            report.index,
+            universe=frozenset(
+                ref.path for ref in tiny_fs.list_files()
+            ),
+        )
+        with MmapPostingsReader(ridx2_file) as reader:
+            snapshot = IndexSnapshot.from_ondisk(reader)
+            assert snapshot.provenance == "ondisk"
+            assert snapshot.universe == frozenset(reader.doc_paths())
+            for query in ("the", "NOT the", "th* AND a"):
+                assert snapshot.search(query) == memory.search(query)
+
+    def test_service_serves_boolean_and_bm25(self, ridx2_file):
+        with MmapPostingsReader(ridx2_file) as reader:
+            snapshot = IndexSnapshot.from_ondisk(reader)
+            with SearchService(snapshot, workers=2) as service:
+                result = service.query("the AND a")
+                assert result.generation == 0
+                assert result.paths == snapshot.search("the AND a")
+                ranked = service.query("the", rank="bm25", topk=5)
+                assert ranked.hits is not None
+                assert len(ranked.hits) <= 5
+                assert ranked.paths == [h.path for h in ranked.hits]
+                scores = [h.score for h in ranked.hits]
+                assert scores == sorted(scores, reverse=True)
+
+    def test_service_rejects_unknown_rank(self, ridx2_file):
+        with MmapPostingsReader(ridx2_file) as reader:
+            snapshot = IndexSnapshot.from_ondisk(reader)
+            with SearchService(snapshot, workers=1) as service:
+                with pytest.raises(ValueError, match="rank"):
+                    service.query("the", rank="pagerank")
+
+    def test_in_memory_snapshot_cannot_rank(self, tiny_fs):
+        report = SequentialIndexer(tiny_fs).build()
+        snapshot = IndexSnapshot(index=report.index)
+        with pytest.raises(ValueError, match="rank"):
+            snapshot.search_bm25("the")

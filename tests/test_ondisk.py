@@ -1,0 +1,350 @@
+"""RIDX2: the blocked on-disk format and its mmap reader.
+
+Covers the format's edge cases (empty index, one term, a term spanning
+many blocks, doc-id gaps wider than 2^28, empty postings dropped at
+dump time), the codec round-trips at the block level, the header and
+magic sniffing failure modes (:class:`IndexFormatError` for
+RIDX1/RIDX2/RWIRE1/JSON/unknown/truncated), and the
+:class:`MmapPostingsReader` serving surface — lexicon binary search,
+block cursors, block-skip accounting, and frequency storage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index import (
+    IndexFormatError,
+    InvertedIndex,
+    MmapPostingsReader,
+    dump_index_ridx2,
+    load_index,
+    load_index_ridx2,
+    save_index,
+    sniff_format,
+)
+from repro.index.binfmt import (
+    RIDX2_DEFAULT_BLOCK,
+    decode_block_docids,
+    decode_block_freqs,
+    dump_index_bytes,
+    dump_index_wire,
+    encode_posting_blocks,
+    parse_ridx2_header,
+)
+from repro.index.ondisk import DONE
+from repro.query.ranking import FrequencyIndex
+from repro.text.termblock import TermBlock
+
+
+def build_index(docs):
+    """docs: {path: iterable of terms} -> (InvertedIndex, FrequencyIndex)."""
+    index = InvertedIndex()
+    frequencies = FrequencyIndex()
+    for path in sorted(docs):
+        terms = list(docs[path])
+        index.add_block(TermBlock(path, tuple(sorted(set(terms)))))
+        frequencies.add_document(path, terms)
+    return index, frequencies
+
+
+@pytest.fixture
+def fruit_docs():
+    return {
+        "a/one.txt": "apple banana cherry apple".split(),
+        "b/two.txt": "banana date elderberry".split(),
+        "c/three.txt": "apple cherry fig grape".split(),
+        "d/four.txt": "grape banana apple apple apple".split(),
+    }
+
+
+@pytest.fixture
+def fruit_file(tmp_path, fruit_docs):
+    index, frequencies = build_index(fruit_docs)
+    path = str(tmp_path / "fruit.ridx2")
+    save_index(index, path, format="ridx2", frequencies=frequencies)
+    return path
+
+
+class TestPostingBlockCodec:
+    def test_round_trip_single_block(self):
+        ids = [0, 1, 5, 9, 200]
+        entries, blob = encode_posting_blocks(ids, block_size=128)
+        assert len(entries) == 1
+        offset, last, count, doc_bytes, freq_bytes, codec = entries[0]
+        assert (last, count) == (200, 5)
+        assert decode_block_docids(blob, offset, count, doc_bytes) == ids
+
+    def test_round_trip_many_blocks(self):
+        ids = list(range(0, 1000, 3))
+        entries, blob = encode_posting_blocks(ids, block_size=7)
+        assert len(entries) == -(-len(ids) // 7)
+        decoded = []
+        for offset, last, count, doc_bytes, _fb, _codec in entries:
+            chunk = decode_block_docids(blob, offset, count, doc_bytes)
+            assert chunk[-1] == last
+            decoded.extend(chunk)
+        assert decoded == ids
+
+    def test_gaps_wider_than_2_to_28(self):
+        # Multi-byte varints: gaps needing 1..5 LEB128 bytes, including
+        # one wider than 2^28 (the 5-byte threshold).
+        ids = [0, 1, 300, 2**21, 2**28 + 7, 2**28 + 7 + (2**28 + 1)]
+        entries, blob = encode_posting_blocks(ids, block_size=4)
+        decoded = []
+        for offset, _last, count, doc_bytes, _fb, _codec in entries:
+            decoded.extend(decode_block_docids(blob, offset, count, doc_bytes))
+        assert decoded == ids
+
+    def test_frequencies_ride_along(self):
+        ids = [3, 4, 10]
+        freqs = [1, 7, 300]
+        entries, blob = encode_posting_blocks(ids, freqs=freqs, block_size=2)
+        got = []
+        for offset, _l, count, doc_bytes, freq_bytes, _c in entries:
+            got.extend(
+                decode_block_freqs(blob, offset + doc_bytes, count, freq_bytes)
+            )
+        assert got == freqs
+
+    def test_rejects_zero_frequency(self):
+        with pytest.raises(ValueError, match="frequenc"):
+            encode_posting_blocks([1, 2], freqs=[1, 0])
+
+    def test_rejects_unsorted_ids(self):
+        with pytest.raises(ValueError):
+            encode_posting_blocks([5, 3])
+
+
+class TestRidx2RoundTrip:
+    def test_empty_index(self):
+        index = InvertedIndex()
+        data = dump_index_ridx2(index)
+        loaded = load_index_ridx2(data)
+        assert len(loaded) == 0
+        header = parse_ridx2_header(data)
+        assert header.doc_count == 0
+        assert header.term_count == 0
+
+    def test_single_term(self):
+        index, _ = build_index({"only.txt": ["solo"]})
+        loaded = load_index_ridx2(dump_index_ridx2(index))
+        assert loaded.lookup("solo") == ["only.txt"]
+
+    def test_term_spanning_many_blocks(self):
+        docs = {f"doc-{i:04d}.txt": ["common"] for i in range(500)}
+        index, _ = build_index(docs)
+        data = dump_index_ridx2(index, block_size=8)
+        loaded = load_index_ridx2(data)
+        assert sorted(loaded.lookup("common")) == sorted(docs)
+
+    def test_fruit_corpus(self, fruit_docs):
+        index, frequencies = build_index(fruit_docs)
+        data = dump_index_ridx2(index, frequencies=frequencies)
+        loaded = load_index_ridx2(data)
+        assert loaded == index
+
+    def test_empty_postings_are_dropped(self):
+        # A term whose postings list emptied (e.g. after removals) is
+        # canonicalized away rather than written as a zero-block term.
+        index, _ = build_index({"a.txt": ["keep"]})
+        index._map["ghost"] = type(index._map["keep"])([])
+        data = dump_index_ridx2(index)
+        header = parse_ridx2_header(data)
+        assert header.term_count == 1
+        assert "ghost" not in load_index_ridx2(data).terms()
+
+    def test_deterministic_bytes(self, fruit_docs):
+        index, _ = build_index(fruit_docs)
+        assert dump_index_ridx2(index) == dump_index_ridx2(index)
+
+    def test_default_block_size_written(self, fruit_docs):
+        index, _ = build_index(fruit_docs)
+        header = parse_ridx2_header(dump_index_ridx2(index))
+        assert header.block_size == RIDX2_DEFAULT_BLOCK
+
+
+class TestFormatSniffing:
+    def test_sniffs_each_magic(self, fruit_docs):
+        index, _ = build_index(fruit_docs)
+        assert sniff_format(dump_index_ridx2(index)[:8]) == "ridx2"
+        assert sniff_format(dump_index_bytes(index)[:8]) == "binary"
+        assert sniff_format(dump_index_wire(index)[:8]) == "binary"
+        assert sniff_format(b'{"format"') == "json"
+        assert sniff_format(b"GARBAGE!") is None
+
+    def test_load_index_round_trips_every_format(
+        self, tmp_path, fruit_docs
+    ):
+        index, _ = build_index(fruit_docs)
+        for format in ("json", "binary", "ridx2"):
+            path = str(tmp_path / f"idx.{format}")
+            save_index(index, path, format=format)
+            assert load_index(path) == index
+
+    def test_unknown_magic_names_bytes_and_formats(self, tmp_path):
+        path = str(tmp_path / "mystery.idx")
+        with open(path, "wb") as fh:
+            fh.write(b"PDFX1\x00\x00\x00 not an index")
+        with pytest.raises(IndexFormatError) as excinfo:
+            load_index(path)
+        message = str(excinfo.value)
+        assert "PDFX1" in message
+        assert "RIDX1" in message and "RIDX2" in message
+        assert "RWIRE1" in message and "JSON" in message
+
+    def test_empty_file_is_a_clear_error(self, tmp_path):
+        path = str(tmp_path / "empty.idx")
+        open(path, "wb").close()
+        with pytest.raises(IndexFormatError, match="empty"):
+            load_index(path)
+
+    def test_truncated_ridx2_header(self, tmp_path, fruit_docs):
+        index, _ = build_index(fruit_docs)
+        data = dump_index_ridx2(index)
+        path = str(tmp_path / "cut.ridx2")
+        with open(path, "wb") as fh:
+            fh.write(data[:20])  # magic survives, header does not
+        with pytest.raises(IndexFormatError, match="truncated"):
+            load_index(path)
+
+    def test_wrong_magic_rejected_by_parser(self):
+        with pytest.raises(IndexFormatError, match="RIDX2"):
+            parse_ridx2_header(b"RIDX1" + b"\x00" * 100)
+
+    def test_frequencies_rejected_for_non_ridx2(self, tmp_path, fruit_docs):
+        index, frequencies = build_index(fruit_docs)
+        with pytest.raises(ValueError, match="RIDX2"):
+            save_index(
+                index, str(tmp_path / "x.ridx"), format="binary",
+                frequencies=frequencies,
+            )
+
+
+class TestMmapPostingsReader:
+    def test_open_reads_header_only_stats(self, fruit_file, fruit_docs):
+        with MmapPostingsReader(fruit_file) as reader:
+            assert reader.doc_count == len(fruit_docs)
+            assert reader.term_count == 7
+            assert reader.has_freqs
+            total = sum(len(terms) for terms in fruit_docs.values())
+            assert reader.total_doc_len == total
+            assert reader.average_document_length == total / len(fruit_docs)
+
+    def test_doc_ids_are_sorted_path_order(self, fruit_file, fruit_docs):
+        with MmapPostingsReader(fruit_file) as reader:
+            assert reader.doc_paths() == sorted(fruit_docs)
+            for i, path in enumerate(sorted(fruit_docs)):
+                assert reader.doc_path(i) == path
+                assert reader.doc_length(i) == len(fruit_docs[path])
+
+    def test_term_info_binary_search(self, fruit_file):
+        with MmapPostingsReader(fruit_file) as reader:
+            info = reader.term_info("banana")
+            assert info.df == 3
+            assert reader.term_info("zzz-absent") is None
+            assert "banana" in reader
+            assert "zzz-absent" not in reader
+
+    def test_terms_walk_is_sorted(self, fruit_file):
+        with MmapPostingsReader(fruit_file) as reader:
+            terms = list(reader.terms())
+            assert terms == sorted(terms)
+            assert "apple" in terms
+
+    def test_lookup_matches_in_memory(self, fruit_file, fruit_docs):
+        index, _ = build_index(fruit_docs)
+        with MmapPostingsReader(fruit_file) as reader:
+            for term in index.terms():
+                assert reader.lookup(term) == sorted(index.lookup(term))
+            assert reader.lookup("zzz-absent") == []
+
+    def test_cursor_walk_and_freqs(self, fruit_file, fruit_docs):
+        _, frequencies = build_index(fruit_docs)
+        with MmapPostingsReader(fruit_file) as reader:
+            cursor = reader.cursor("apple")
+            seen = []
+            while cursor.docid() < DONE:
+                path = reader.doc_path(cursor.docid())
+                assert cursor.freq() == frequencies.tf("apple", path)
+                seen.append(path)
+                cursor.next()
+            assert seen == sorted(
+                p for p, t in fruit_docs.items() if "apple" in t
+            )
+
+    def test_open_rejects_non_ridx2(self, tmp_path, fruit_docs):
+        index, _ = build_index(fruit_docs)
+        path = str(tmp_path / "old.ridx")
+        save_index(index, path, format="binary")
+        with pytest.raises(IndexFormatError):
+            MmapPostingsReader(path)
+
+    def test_open_rejects_empty_file(self, tmp_path):
+        path = str(tmp_path / "zero.ridx2")
+        open(path, "wb").close()
+        with pytest.raises(IndexFormatError, match="empty"):
+            MmapPostingsReader(path)
+
+    def test_without_frequencies_tf_defaults_to_one(
+        self, tmp_path, fruit_docs
+    ):
+        index, _ = build_index(fruit_docs)
+        path = str(tmp_path / "nofreq.ridx2")
+        save_index(index, path, format="ridx2")
+        with MmapPostingsReader(path) as reader:
+            assert not reader.has_freqs
+            cursor = reader.cursor("apple")
+            while cursor.docid() < DONE:
+                assert cursor.freq() == 1
+                cursor.next()
+            # Doc length falls back to the distinct-term count.
+            for i, doc_path in enumerate(sorted(fruit_docs)):
+                assert reader.doc_length(i) == len(set(fruit_docs[doc_path]))
+
+
+class TestBlockSkipping:
+    @pytest.fixture
+    def skippy_file(self, tmp_path):
+        # "rare" lives in documents 0 and 900; "common" is everywhere.
+        # With 8-posting blocks, seeking common's cursor from doc 0 to
+        # doc 900 must jump over ~112 blocks without decoding them.
+        docs = {f"doc-{i:04d}": ["common"] for i in range(901)}
+        docs["doc-0000"].append("rare")
+        docs["doc-0900"].append("rare")
+        index, _ = build_index(docs)
+        path = str(tmp_path / "skippy.ridx2")
+        with open(path, "wb") as fh:
+            fh.write(dump_index_ridx2(index, block_size=8))
+        return path
+
+    def test_seek_skips_blocks(self, skippy_file):
+        with MmapPostingsReader(skippy_file) as reader:
+            cursor = reader.cursor("common")
+            assert cursor.seek(900) == 900
+            stats = reader.stats()
+            assert stats["ondisk.blocks_skipped"] > 100
+            # Only the first and the target block were decoded.
+            assert stats["ondisk.blocks_read"] == 2
+
+    def test_and_query_skips(self, skippy_file):
+        from repro.query.daat import DaatQueryEngine
+
+        with MmapPostingsReader(skippy_file) as reader:
+            engine = DaatQueryEngine(reader)
+            assert engine.search("rare AND common") == [
+                "doc-0000", "doc-0900",
+            ]
+            assert reader.blocks_skipped > 0
+
+    def test_seek_to_done(self, skippy_file):
+        with MmapPostingsReader(skippy_file) as reader:
+            cursor = reader.cursor("rare")
+            assert cursor.seek(901) == DONE
+            assert cursor.docid() == DONE
+
+    def test_seek_is_monotone_noop_backwards(self, skippy_file):
+        with MmapPostingsReader(skippy_file) as reader:
+            cursor = reader.cursor("common")
+            assert cursor.seek(500) == 500
+            assert cursor.seek(100) == 500  # never rewinds

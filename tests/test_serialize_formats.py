@@ -33,7 +33,7 @@ def index():
 
 
 class TestExplicitFormats:
-    @pytest.mark.parametrize("format", ("json", "binary"))
+    @pytest.mark.parametrize("format", ("json", "binary", "ridx2"))
     def test_round_trip(self, index, tmp_path, format):
         path = str(tmp_path / "out.dat")
         written = save_index(index, path, format=format)
@@ -56,7 +56,7 @@ class TestExplicitFormats:
             load_index(path, format="pickle")
 
     def test_formats_constant_is_the_contract(self):
-        assert INDEX_FORMATS == ("json", "binary", "auto")
+        assert INDEX_FORMATS == ("json", "binary", "ridx2", "auto")
 
 
 class TestAutoSave:
@@ -66,6 +66,14 @@ class TestAutoSave:
         save_index(index, path)
         with open(path, "rb") as fh:
             assert fh.read(5) == b"RIDX1"
+
+    @pytest.mark.parametrize("name", ("out.ridx2", "OUT.RIDX2"))
+    def test_ridx2_extension_chooses_ridx2(self, index, tmp_path, name):
+        path = str(tmp_path / name)
+        save_index(index, path)
+        with open(path, "rb") as fh:
+            assert fh.read(5) == b"RIDX2"
+        assert load_index(path) == index
 
     @pytest.mark.parametrize("name", ("out.idx", "out.json", "out"))
     def test_other_extensions_choose_json(self, index, tmp_path, name):
