@@ -13,6 +13,7 @@ folds that into a single session object::
     session = Search.build("~/documents", config=ThreadConfig(3, 2, 0))
     hits = session.query("cat AND dog")         # typed QueryResult
     session.refresh()                           # incremental delta
+    session.compact()                           # fold segments back to one
     session.save("documents.ridx")              # format sniffed back on open
     service = session.serve(workers=4)          # long-running SearchService
 
@@ -23,8 +24,21 @@ behaviour, ``cache`` the LRU result-cache capacity.  The historical
 entry points keep working (the top-level legacy names re-export with a
 ``DeprecationWarning``; see ``docs/api.md`` for the migration table).
 
-Sessions are single-writer: ``query`` may race against ``refresh``
-only through :meth:`Search.serve`, whose
+Since the segmented-index rework the session's source of truth is an
+immutable :class:`~repro.index.segments.SegmentManifest` maintained by
+a :class:`~repro.index.segments.SegmentedIndexer`: ``refresh()`` seals
+the filesystem delta into a new segment (reading only changed files),
+deletions become tombstones, and :meth:`compact` (or a
+:meth:`start_compactor` background thread) folds segments back down
+with layered k-way merges.  Queries evaluate directly over the
+manifest; :attr:`index` materializes a flat
+:class:`~repro.index.inverted.InvertedIndex` on demand (cached per
+generation) for persistence and legacy callers.
+
+Sessions allow one writer at a time: ``refresh``/``rebuild``/``compact``
+serialize on an internal lock (so a background compactor never races a
+refresh), and ``query`` may race against ``refresh`` only through
+:meth:`Search.serve`, whose
 :class:`~repro.service.service.SearchService` isolates readers on
 immutable snapshots.
 """
@@ -41,16 +55,16 @@ from repro.engine.results import BuildReport
 from repro.engine.runner import IndexGenerator
 from repro.engine.sequential import SequentialIndexer
 from repro.fsmodel.realfs import OsFileSystem
-from repro.index.incremental import (
-    ChangeReport,
-    IncrementalIndex,
-    IncrementalIndexer,
-    Snapshot,
-    take_snapshot,
-)
+from repro.index.incremental import ChangeReport
 from repro.index.inverted import InvertedIndex
 from repro.index.merge import join_indices
 from repro.index.multi import MultiIndex
+from repro.index.segments import (
+    BackgroundCompactor,
+    CompactionPolicy,
+    SegmentedIndexer,
+    SegmentManifest,
+)
 from repro.index.serialize import load_index, load_multi_index, save_index
 from repro.query.cache import QueryCache, cache_key
 from repro.query.evaluator import QueryEngine
@@ -78,23 +92,21 @@ def _as_filesystem(source):
 
 
 class Search:
-    """One desktop-search session: build, query, refresh, save, serve.
+    """One desktop-search session: build, query, refresh, compact, serve.
 
     Construct through :meth:`build` (index a filesystem) or
-    :meth:`open` (load a saved index).  The session keeps a single
-    flattened :class:`~repro.index.inverted.InvertedIndex` plus the
-    per-document store that makes incremental refresh possible, a
-    result cache, and a generation counter that bumps on every index
-    change.
+    :meth:`open` (load a saved index).  The session keeps a segmented
+    index manifest plus the fingerprint map that makes incremental
+    refresh O(delta), a result cache, and a generation counter that
+    bumps on every index change.
     """
 
     def __init__(
         self,
-        incremental: IncrementalIndex,
+        segmented: SegmentedIndexer,
         *,
         fs=None,
         root: str = "",
-        fingerprint: Optional[Snapshot] = None,
         generation: int = 0,
         provenance: str = "build",
         report: Optional[BuildReport] = None,
@@ -106,10 +118,9 @@ class Search:
         registry=None,
         sync=None,
     ) -> None:
-        self._incremental = incremental
+        self._segmented = segmented
         self._fs = fs
         self._root = root
-        self._fingerprint: Snapshot = dict(fingerprint or {})
         self._generation = generation
         self._provenance = provenance
         self._report = report
@@ -119,7 +130,16 @@ class Search:
         self._tokenizer = tokenizer
         self._registry = registry
         self._sync = sync
+        if sync is None:
+            from repro.concurrency.provider import THREADING_SYNC
+
+            sync_provider = THREADING_SYNC
+        else:
+            sync_provider = sync
+        self._write_lock = sync_provider.lock("search.write-lock")
         self._cache = QueryCache(cache, sync=sync) if cache else None
+        self._index_cache: Optional[InvertedIndex] = None
+        self._index_cache_generation = -1
         self._engine = self._make_engine()
 
     # -- constructors -----------------------------------------------------
@@ -136,6 +156,7 @@ class Search:
         tokenizer=None,
         registry=None,
         root: str = "",
+        segment_dir: Optional[str] = None,
         sync=None,
     ) -> "Search":
         """Index ``source`` (a directory path or a filesystem object).
@@ -145,13 +166,22 @@ class Search:
         threaded or multiprocessing engines (defaults: Implementation 3
         on threads, Implementation 2 on the process backend).
         ``fault`` applies the per-file error policy and, for the
-        process backend, the retry/timeout ladder.
+        process backend, the retry/timeout ladder.  ``segment_dir``
+        makes compaction write its product as an RIDX2 file served off
+        mmap instead of keeping it in memory.
         """
         fs = _as_filesystem(source)
         fault = fault or FaultPolicy()
+        segmented = SegmentedIndexer(
+            fs,
+            tokenizer=tokenizer,
+            registry=registry,
+            root=root,
+            segment_dir=segment_dir,
+        )
         # Fingerprint first: a file modified while the build runs is
         # then seen as changed by the next refresh, never silently lost.
-        fingerprint = take_snapshot(fs, root)
+        fingerprints = segmented.fingerprint_corpus()
         if config is None:
             report = SequentialIndexer(
                 fs,
@@ -177,12 +207,11 @@ class Search:
                 batch_timeout=fault.batch_timeout,
                 sync=sync,
             ).build(implementation, config, root)
-        incremental = IncrementalIndex.from_inverted(_flatten(report.index))
+        segmented.adopt(_flatten(report.index), fingerprints)
         return cls(
-            incremental,
+            segmented,
             fs=fs,
             root=root,
-            fingerprint=fingerprint,
             provenance="build",
             report=report,
             implementation=implementation,
@@ -204,6 +233,7 @@ class Search:
         tokenizer=None,
         registry=None,
         root: str = "",
+        segment_dir: Optional[str] = None,
         sync=None,
     ) -> "Search":
         """Load a saved index (any format, sniffed; replica directories
@@ -215,10 +245,18 @@ class Search:
             index = _flatten(load_multi_index(path))
         else:
             index = load_index(path)
-        incremental = IncrementalIndex.from_inverted(index)
+        fs = _as_filesystem(source) if source is not None else None
+        segmented = SegmentedIndexer(
+            fs,
+            tokenizer=tokenizer,
+            registry=registry,
+            root=root,
+            segment_dir=segment_dir,
+        )
+        segmented.adopt(index, {})
         return cls(
-            incremental,
-            fs=_as_filesystem(source) if source is not None else None,
+            segmented,
+            fs=fs,
             root=root,
             provenance="open",
             cache=cache,
@@ -230,14 +268,26 @@ class Search:
     # -- reading ----------------------------------------------------------
 
     @property
+    def manifest(self) -> SegmentManifest:
+        """The immutable segment manifest behind the session."""
+        return self._segmented.manifest
+
+    @property
     def index(self) -> InvertedIndex:
-        """The session's current (flattened) index.  Treat as frozen:
-        refresh and rebuild replace it rather than mutate it."""
-        return self._incremental.index
+        """The session's current state, flattened into one index.
+
+        Materialized from the manifest on demand and cached until the
+        next index change.  Treat as frozen: refresh, rebuild and
+        compact replace it rather than mutate it.
+        """
+        if self._index_cache_generation != self._generation:
+            self._index_cache = self._segmented.manifest.materialize()
+            self._index_cache_generation = self._generation
+        return self._index_cache
 
     @property
     def generation(self) -> int:
-        """Bumps by one on every refresh/rebuild."""
+        """Bumps by one on every refresh/rebuild/compaction."""
         return self._generation
 
     @property
@@ -248,10 +298,10 @@ class Search:
     @property
     def universe(self) -> List[str]:
         """All indexed paths."""
-        return self._incremental.document_paths()
+        return self._segmented.manifest.document_paths()
 
     def __len__(self) -> int:
-        return len(self._incremental)
+        return len(self._segmented.manifest)
 
     def query(self, query_text: str, parallel: bool = False) -> QueryResult:
         """Evaluate a boolean/wildcard/phrase query; memoized in the
@@ -281,34 +331,27 @@ class Search:
     def refresh(self) -> ChangeReport:
         """Apply the filesystem delta; returns what changed.
 
-        The update runs on a *clone* of the index and the session flips
-        to the clone when it is complete, so a previously served
-        snapshot (see :meth:`serve`) never observes a half-applied
-        delta.  A session opened from disk reconciles on first refresh:
-        the saved index is diffed against the live filesystem.
+        The scan stats only changed files (unchanged size+mtime files
+        are never opened), seals the delta into a new immutable segment
+        and tombstones removals — the manifest swap is the last step,
+        so a previously served snapshot (see :meth:`serve`) never
+        observes a half-applied delta and a crashed refresh replays
+        cleanly.  A session opened from disk reconciles on first
+        refresh: the saved index is diffed against the live filesystem.
         """
-        fs = self._require_fs("refresh")
-        clone = self._incremental.clone()
-        if not self._fingerprint and len(clone):
-            change, fingerprint = self._reconcile(clone)
-        else:
-            indexer = IncrementalIndexer(
-                fs,
-                tokenizer=self._tokenizer,
-                registry=self._registry,
-                root=self._root,
-                index=clone,
-                snapshot=self._fingerprint,
-            )
-            change = indexer.refresh()
-            fingerprint = indexer.snapshot
-        if change.total == 0:
-            # Nothing changed: keep the published index and the warm
-            # cache; just remember the fingerprint (it is freshly
-            # verified, and the reconcile path starts with none).
-            self._fingerprint = dict(fingerprint)
-            return change
-        self._adopt(clone, fingerprint, "refresh")
+        self._require_fs("refresh")
+        with self._write_lock:
+            segmented = self._segmented
+            if not segmented.fingerprints and len(segmented.manifest):
+                change = segmented.reconcile()
+            else:
+                change = segmented.refresh()
+            if change.total == 0:
+                # Nothing changed: keep the published view and the warm
+                # cache; the freshly verified fingerprints are already
+                # recorded by the indexer.
+                return change
+            self._bump("refresh")
         return change
 
     def rebuild(self) -> BuildReport:
@@ -328,26 +371,86 @@ class Search:
             tokenizer=self._tokenizer,
             registry=self._registry,
             root=self._root,
+            segment_dir=self._segmented.segment_dir,
             sync=self._sync,
         )
-        self._report = rebuilt.report
-        self._adopt(rebuilt._incremental, rebuilt._fingerprint, "rebuild")
+        with self._write_lock:
+            self._report = rebuilt.report
+            self._segmented = rebuilt._segmented
+            self._bump("rebuild")
         return rebuilt.report
+
+    def compact(
+        self,
+        policy: Optional[CompactionPolicy] = None,
+        workers: int = 0,
+        force: bool = True,
+    ) -> bool:
+        """Fold the manifest's segments back down with k-way merges.
+
+        ``workers > 0`` runs the merge groups on the fault-tolerant
+        process pool (:class:`~repro.engine.procbackend.
+        CompactionExecutor`); otherwise they run in-process.  With
+        ``force=False`` the ``policy`` decides whether compaction is
+        due (the background-compactor mode).  Returns whether a
+        compaction ran.  Queries are unaffected either way: the live
+        view of a compacted manifest is identical, only its shape
+        changes.
+        """
+        executor = None
+        if workers:
+            from repro.engine.procbackend import CompactionExecutor
+
+            executor = CompactionExecutor(max_workers=workers)
+        with self._write_lock:
+            ran = self._segmented.compact(
+                policy=policy, executor=executor, force=force
+            )
+            if ran:
+                self._bump("compact")
+        return ran
+
+    def start_compactor(
+        self,
+        interval_s: float = 5.0,
+        policy: Optional[CompactionPolicy] = None,
+        workers: int = 0,
+        sync=None,
+    ) -> BackgroundCompactor:
+        """Run :meth:`compact` periodically on a background thread.
+
+        The compactor checks ``policy`` every ``interval_s`` seconds
+        and compacts only when due; it shares the session's write lock
+        with :meth:`refresh`, so the two writers serialize.  Call
+        ``stop()`` on the returned handle to shut it down.
+        """
+        policy = policy or CompactionPolicy()
+        compactor = BackgroundCompactor(
+            lambda: self.compact(policy=policy, workers=workers, force=False),
+            interval_s=interval_s,
+            sync=sync if sync is not None else self._sync,
+        )
+        return compactor.start()
 
     def save(self, path: str, format: str = "auto") -> int:
         """Persist the index; returns bytes written.  ``format="auto"``
         writes binary for ``.ridx``/``.bin`` paths, JSON-lines else."""
-        return save_index(self._incremental.index, path, format=format)
+        return save_index(self.index, path, format=format)
 
     # -- serving ----------------------------------------------------------
 
     def snapshot(self) -> IndexSnapshot:
-        """The session's current state as an immutable snapshot."""
+        """The session's current state as an immutable snapshot.
+
+        The snapshot wraps the segment manifest directly — manifests
+        are immutable, so snapshot isolation needs no copying at all.
+        """
+        manifest = self._segmented.manifest
         return IndexSnapshot(
-            index=self._incremental.index,
+            index=manifest,
             generation=self._generation,
             provenance=self._provenance,
-            universe=frozenset(self._incremental.document_paths()),
+            universe=manifest.live_paths(),
             report=self._report,
         )
 
@@ -360,16 +463,17 @@ class Search:
     ) -> SearchService:
         """A :class:`~repro.service.service.SearchService` over this
         session.  The service's refresher runs :meth:`refresh` and
-        publishes the resulting index, so ``service.refresh()`` (or
-        ``--watch``) updates readers with one atomic swap."""
+        publishes the resulting manifest, so ``service.refresh()`` (or
+        ``--watch``) updates readers with one atomic pointer swap."""
         refresher = None
         if self._fs is not None:
 
             def refresher():
                 change = self.refresh()
+                manifest = self._segmented.manifest
                 return (
-                    self._incremental.index,
-                    frozenset(self._incremental.document_paths()),
+                    manifest,
+                    manifest.live_paths(),
                     self._report,
                     change,
                 )
@@ -386,57 +490,17 @@ class Search:
     # -- internals --------------------------------------------------------
 
     def _make_engine(self) -> QueryEngine:
-        return QueryEngine(
-            self._incremental.index,
-            universe=self._incremental.document_paths(),
-        )
+        manifest = self._segmented.manifest
+        return QueryEngine(manifest, universe=manifest.document_paths())
 
-    def _adopt(
-        self, incremental: IncrementalIndex, fingerprint: Snapshot, why: str
-    ) -> None:
-        """Flip the session to a fully constructed replacement index."""
-        self._incremental = incremental
-        self._fingerprint = dict(fingerprint)
+    def _bump(self, why: str) -> None:
+        """Advance the session past an index change (caller holds the
+        write lock)."""
         self._generation += 1
         self._provenance = why
         self._engine = self._make_engine()
         if self._cache is not None:
             self._cache.clear()
-
-    def _reconcile(self, clone: IncrementalIndex):
-        """First refresh after :meth:`open`: diff index vs filesystem.
-
-        There is no stored fingerprint to diff against, so every live
-        file is re-extracted and compared against the per-document
-        store; files on disk but not in the index are added, indexed
-        paths gone from disk are removed, and documents whose term set
-        changed are updated.
-        """
-        fs = self._fs
-        fingerprint = take_snapshot(fs, self._root)
-        helper = IncrementalIndexer(
-            fs,
-            tokenizer=self._tokenizer,
-            registry=self._registry,
-            root=self._root,
-            index=clone,
-        )
-        change = ChangeReport()
-        indexed = set(clone.document_paths())
-        for path in sorted(fingerprint):
-            block = helper._extract(path)
-            if path in indexed:
-                old = clone._documents.get(path)
-                if set(old.terms) != set(block.terms):
-                    clone.update(block)
-                    change.modified.append(path)
-            else:
-                clone.add(block)
-                change.added.append(path)
-        for path in sorted(indexed - set(fingerprint)):
-            clone.remove(path)
-            change.removed.append(path)
-        return change, fingerprint
 
     def _require_fs(self, operation: str):
         if self._fs is None:
@@ -455,5 +519,6 @@ class Search:
     def __repr__(self) -> str:
         return (
             f"Search(files={len(self)}, generation={self._generation}, "
-            f"provenance={self._provenance!r})"
+            f"provenance={self._provenance!r}, "
+            f"segments={self._segmented.manifest.segment_count})"
         )

@@ -190,6 +190,20 @@ def _build_parser() -> argparse.ArgumentParser:
                    "or BM25 top-K (needs --ondisk)")
     p.add_argument("--topk", type=int, default=10,
                    help="number of BM25 hits per query (default 10)")
+    p.add_argument("--compact-every", type=float, metavar="SECONDS",
+                   help="run the background segment compactor every "
+                   "SECONDS: refresh-sealed segments are folded back "
+                   "down with layered k-way merges when the policy "
+                   "says the manifest is due")
+    p.add_argument("--fanin", type=int, default=4,
+                   help="k-way merge width for segment compaction "
+                   "(default 4)")
+    p.add_argument("--max-segments", type=int, default=6,
+                   help="compaction triggers once the manifest holds "
+                   "more than this many segments (default 6)")
+    p.add_argument("--compact-workers", type=int, default=0,
+                   help="run compaction merges on a process pool of "
+                   "this size (default 0 = in-process)")
     _add_observability_args(p)
     p.set_defaults(func=_cmd_serve)
 
@@ -571,6 +585,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("error: --rank bm25 under serve needs --ondisk (BM25 is "
               "scored from the RIDX2 file's frequencies)", file=sys.stderr)
         return 2
+    if args.compact_every is not None:
+        if args.compact_every <= 0:
+            print("error: --compact-every requires a positive interval "
+                  "in seconds", file=sys.stderr)
+            return 2
+        if args.ondisk:
+            print("error: --ondisk serves an immutable mmap'd file; "
+                  "--compact-every cannot restructure it", file=sys.stderr)
+            return 2
+    if args.fanin < 2 or args.max_segments < 1 or args.compact_workers < 0:
+        print("error: --fanin must be >= 2, --max-segments >= 1 and "
+              "--compact-workers >= 0", file=sys.stderr)
+        return 2
     observing = _observability_requested(args)
 
     reader = None
@@ -592,7 +619,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"serving {reader.doc_count} file(s) off mmap "
               f"({reader.term_count} terms) with {args.workers} worker(s)",
               file=sys.stderr)
-    else:
+    session = None
+    if not args.ondisk:
         if args.index:
             session = Search.open(args.index, source=args.directory)
         else:
@@ -609,10 +637,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         else sys.stdin
     )
     served = failed = 0
+    compactor = None
     try:
         with service_cm as service:
             if args.watch:
                 service.start_watch(args.watch)
+            if args.compact_every and session is not None:
+                from repro.index.segments import CompactionPolicy
+
+                compactor = session.start_compactor(
+                    args.compact_every,
+                    policy=CompactionPolicy(
+                        fanin=args.fanin, max_segments=args.max_segments
+                    ),
+                    workers=args.compact_workers,
+                )
             try:
                 for line in stream:
                     text = line.strip()
@@ -648,7 +687,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"-- blocks: {io_stats['ondisk.blocks_read']} read, "
                   f"{io_stats['ondisk.blocks_skipped']} skipped",
                   file=sys.stderr)
+        if session is not None:
+            manifest = session.manifest
+            print(f"-- segments: {manifest.segment_count}, "
+                  f"tombstones {len(manifest.tombstones)}, "
+                  f"generation {manifest.generation}", file=sys.stderr)
     finally:
+        if compactor is not None:
+            compactor.stop()
         if reader is not None:
             reader.close()
     if observing:

@@ -108,6 +108,9 @@ class FaultInjectingFileSystem:
     def file_size(self, path: str) -> int:
         return self._inner.file_size(path)
 
+    def stat(self, path: str):
+        return self._inner.stat(path)
+
     def exists(self, path: str) -> bool:
         return self._inner.exists(path)
 

@@ -30,14 +30,20 @@ class FileRef:
 
 
 class VirtualFile:
-    """A file node: immutable content bytes."""
+    """A file node: immutable content bytes plus a modification stamp.
 
-    __slots__ = ("content",)
+    ``mtime`` is a logical counter, not wall-clock time: the owning
+    filesystem bumps a monotonic tick on every write/replace so change
+    detection can use (size, mtime) the way a real FS uses ``st_mtime``.
+    """
 
-    def __init__(self, content: bytes = b"") -> None:
+    __slots__ = ("content", "mtime")
+
+    def __init__(self, content: bytes = b"", mtime: int = 0) -> None:
         if not isinstance(content, (bytes, bytearray)):
             raise TypeError("VirtualFile content must be bytes")
         self.content = bytes(content)
+        self.mtime = mtime
 
     @property
     def size(self) -> int:

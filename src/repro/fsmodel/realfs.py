@@ -8,7 +8,7 @@ how the real-corpus benchmarks run.
 from __future__ import annotations
 
 import os
-from typing import Iterator, List
+from typing import Iterator, List, Tuple
 
 from repro.fsmodel.nodes import FileRef
 
@@ -73,6 +73,11 @@ class OsFileSystem:
     def file_size(self, path: str) -> int:
         """Size in bytes of the file at ``path``."""
         return os.path.getsize(self._full(path))
+
+    def stat(self, path: str) -> Tuple[int, int]:
+        """(size, mtime_ns) of the file at ``path`` without reading it."""
+        st = os.stat(self._full(path))
+        return (st.st_size, st.st_mtime_ns)
 
     def listdir(self, path: str = "") -> List[str]:
         """Entry names of the directory at ``path``."""

@@ -27,6 +27,14 @@ class VirtualFileSystem:
 
     def __init__(self) -> None:
         self.root = VirtualDirectory()
+        # Logical modification clock: bumped on every mutation so
+        # (size, mtime) fingerprints behave like a real filesystem's
+        # stat-based change detection.
+        self._clock = 0
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
 
     # -- construction -------------------------------------------------
 
@@ -53,7 +61,8 @@ class VirtualFileSystem:
         if not parts:
             raise ValueError("empty file path")
         directory = self._resolve_directory(parts[:-1])
-        directory.add_file(parts[-1], content)
+        node = directory.add_file(parts[-1], content)
+        node.mtime = self._tick()
 
     def replace_file(self, path: str, content: bytes) -> None:
         """Overwrite an existing file's content."""
@@ -62,7 +71,7 @@ class VirtualFileSystem:
         name = parts[-1]
         if not isinstance(directory.entries.get(name), VirtualFile):
             raise FileNotFoundError(path)
-        directory.entries[name] = VirtualFile(content)
+        directory.entries[name] = VirtualFile(content, mtime=self._tick())
 
     def remove_file(self, path: str) -> None:
         """Delete a file."""
@@ -100,6 +109,18 @@ class VirtualFileSystem:
     def file_size(self, path: str) -> int:
         """Size in bytes of the file at ``path``."""
         return len(self.read_file(path))
+
+    def stat(self, path: str) -> Tuple[int, int]:
+        """(size, mtime stamp) of the file at ``path`` without reading it.
+
+        The stamp is this filesystem's logical clock value at the file's
+        last write — comparable only within one filesystem instance,
+        exactly like ``st_mtime_ns`` is comparable only within one host.
+        """
+        node = self._resolve(_split(path))
+        if not isinstance(node, VirtualFile):
+            raise IsADirectoryError(path)
+        return (node.size, node.mtime)
 
     def listdir(self, path: str = "") -> List[str]:
         """Entry names of the directory at ``path`` (root by default)."""

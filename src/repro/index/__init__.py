@@ -39,6 +39,16 @@ from repro.index.ondisk import BlockCursor, MmapPostingsReader
 from repro.index.positional import PositionalIndex
 from repro.index.postings import PostingsList
 from repro.index.replica import ReplicaBuilder
+from repro.index.segments import (
+    BackgroundCompactor,
+    CompactionPolicy,
+    DiskSegment,
+    MemorySegment,
+    SegmentManifest,
+    SegmentedIndexer,
+    compact_manifest,
+    merge_segment_payload,
+)
 from repro.index.serialize import (
     INDEX_FORMATS,
     index_from_bytes,
@@ -52,8 +62,14 @@ from repro.index.serialize import (
 from repro.index.sharded import ShardedInvertedIndex
 
 __all__ = [
+    "BackgroundCompactor",
     "BlockCursor",
     "ChangeReport",
+    "CompactionPolicy",
+    "DiskSegment",
+    "MemorySegment",
+    "SegmentManifest",
+    "SegmentedIndexer",
     "INDEX_FORMATS",
     "IncrementalIndex",
     "IncrementalIndexer",
@@ -65,6 +81,7 @@ __all__ = [
     "PostingsList",
     "ReplicaBuilder",
     "ShardedInvertedIndex",
+    "compact_manifest",
     "dump_index_ridx2",
     "dump_index_wire",
     "index_from_bytes",
@@ -77,6 +94,7 @@ __all__ = [
     "load_index_wire",
     "load_multi_index",
     "merge_into",
+    "merge_segment_payload",
     "merge_wire_replica",
     "save_index",
     "save_index_binary",

@@ -204,20 +204,49 @@ class IncrementalIndexer:
         return dict(self._snapshot)
 
     def refresh(self) -> ChangeReport:
-        """Re-scan the filesystem and apply the delta to the index."""
-        new_snapshot = take_snapshot(self.fs, self.root)
+        """Re-scan the filesystem and apply the delta to the index.
+
+        Correctness properties (each pinned by a test):
+
+        * **single read per file** — the bytes that are fingerprinted are
+          the bytes that are indexed.  Hashing in one pass and re-reading
+          in a second would let a concurrent writer slip content into the
+          index that disagrees with its recorded fingerprint, making the
+          change invisible to the next diff (a TOCTOU double-read);
+        * **idempotent replay** — a crash mid-refresh leaves the index
+          partially mutated while ``_snapshot`` still holds the old
+          fingerprints (it is swapped last).  Re-running must converge,
+          so changed paths are applied with upsert semantics
+          (:meth:`IncrementalIndex.update`) and removals sweep every
+          indexed path absent from the new scan — including residue a
+          crashed refresh added for files that have since vanished;
+        * **removals before adds** — a path must never be live in the
+          index twice; the segmented path enforces the same
+          tombstone-then-append order.
+        """
+        new_snapshot: Snapshot = {}
+        blocks: Dict[str, TermBlock] = {}
+        for ref in self.fs.list_files(self.root):
+            content = self.fs.read_file(ref.path)
+            fingerprint = (len(content), fnv1a_64(content))
+            new_snapshot[ref.path] = fingerprint
+            if self._snapshot.get(ref.path) != fingerprint:
+                blocks[ref.path] = self._extract_content(ref.path, content)
         added, removed, modified = diff_snapshots(self._snapshot, new_snapshot)
-        for path in removed:
-            self.index.remove(path)
+        for path in self.index.document_paths():
+            if path not in new_snapshot:
+                self.index.remove(path)
         for path in added:
-            self.index.add(self._extract(path))
+            self.index.update(blocks[path])
         for path in modified:
-            self.index.update(self._extract(path))
+            self.index.update(blocks[path])
         self._snapshot = new_snapshot
         return ChangeReport(added=added, removed=removed, modified=modified)
 
     def _extract(self, path: str) -> TermBlock:
-        content = self.fs.read_file(path)
+        return self._extract_content(path, self.fs.read_file(path))
+
+    def _extract_content(self, path: str, content: bytes) -> TermBlock:
         if self.registry is not None:
             content = self.registry.extract_text(path, content)
         return extract_term_block(path, content, self.tokenizer)

@@ -1,0 +1,757 @@
+"""LSM-style segmented incremental indexing.
+
+``Search.refresh()`` used to mutate one monolithic in-memory index —
+fine for thousands of files, a dead end for millions.  This module
+restructures incremental maintenance the way easily-updatable full-text
+indexes are actually built (run→merge, cf. PAPERS.md and the
+Web-Search-Engine pipeline in SNIPPETS.md §3):
+
+* **immutable sealed segments** — each refresh seals the batch of
+  changed documents into a new :class:`MemorySegment` (or, once
+  compacted to disk, a :class:`DiskSegment` served off an mmap'd RIDX2
+  file).  Sealed segments are never mutated;
+* **tombstones** — deletions never touch old segments: the path goes
+  into a global tombstone set and simply stops being visible;
+* **newest-wins ownership** — a path may appear in several segments
+  (one per revision); only the newest occurrence is live.  The
+  :class:`SegmentManifest` resolves ownership once at construction and
+  serves ``lookup``/``terms`` over the frozen view, so it can sit
+  directly behind :class:`~repro.query.evaluator.QueryEngine` and be
+  wrapped by an :class:`~repro.service.snapshot.IndexSnapshot` — publish
+  stays one pointer store;
+* **layered k-way compaction** — :func:`compact_manifest` merges runs
+  of segments ``fanin`` at a time (the ``parallel_merge --fanin``
+  pattern), newest-wins within each group, dropping tombstoned docs.
+  Merge groups are independent, so they run on the fault-tolerant
+  process pool (:class:`~repro.engine.procbackend.CompactionExecutor`)
+  with an in-parent fallback.  A fully compacted manifest's canonical
+  RIDX2 bytes are identical to a from-scratch rebuild's — the invariant
+  the test suite pins after every mutation sequence.
+
+Refresh correctness (the bugfix half of this layer):
+
+* the successor manifest and fingerprint map are built **off to the
+  side** and swapped in last, so a crash mid-refresh leaves the old
+  state fully intact and a replay trivially converges;
+* each changed file is **read once** — the same bytes are hashed and
+  extracted, closing the snapshot-then-re-read TOCTOU window;
+* removals become tombstones **before** the new segment is appended,
+  and a path that was removed and re-added in one interval is excluded
+  from the tombstone set (asserted), so tombstones can never shadow the
+  segment appended by the same refresh.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.hashing import fnv1a_64
+from repro.index.binfmt import dump_index_ridx2, load_index_ridx2
+from repro.index.incremental import ChangeReport
+from repro.index.inverted import InvertedIndex
+from repro.index.ondisk import MmapPostingsReader
+from repro.obs import recorder as obsrec
+from repro.text.dedup import extract_term_block
+from repro.text.termblock import TermBlock
+from repro.text.tokenizer import Tokenizer
+
+#: path -> (size, stamp, content hash).  The stamp is ``st_mtime_ns``
+#: on a real filesystem and the VFS's logical clock in memory; 0 when
+#: the backend cannot stat.  size+stamp decide *whether to read*, the
+#: hash decides *whether content actually changed* once read.
+Fingerprint = Tuple[int, int, int]
+FingerprintMap = Dict[str, Fingerprint]
+
+
+# -- segments -----------------------------------------------------------------
+
+
+class MemorySegment:
+    """An immutable sealed batch of documents with its own tiny index."""
+
+    def __init__(self, segment_id: int, docs: Mapping[str, TermBlock]) -> None:
+        self.segment_id = segment_id
+        self._docs: Dict[str, TermBlock] = {
+            path: docs[path] for path in sorted(docs)
+        }
+        self._index = InvertedIndex()
+        for block in self._docs.values():
+            self._index.add_block(block)
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._docs
+
+    def doc_paths(self) -> List[str]:
+        """Paths in this segment, sorted."""
+        return list(self._docs)
+
+    def doc_terms(self, path: str) -> Tuple[str, ...]:
+        """The de-duplicated terms of ``path``'s sealed revision."""
+        return self._docs[path].terms
+
+    def lookup(self, term: str) -> List[str]:
+        return self._index.lookup(term)
+
+    def terms(self) -> Iterable[str]:
+        return self._index.terms()
+
+    def approx_bytes(self) -> int:
+        """Rough payload size, for compaction accounting."""
+        return sum(
+            len(path) + sum(len(t) + 1 for t in block.terms)
+            for path, block in self._docs.items()
+        )
+
+    def to_ridx2(self) -> bytes:
+        """Canonical RIDX2 serialization of this segment alone."""
+        return dump_index_ridx2(self._index)
+
+    @classmethod
+    def from_ridx2(cls, segment_id: int, data: bytes) -> "MemorySegment":
+        """Rehydrate a segment from RIDX2 bytes (a compaction product)."""
+        return cls(segment_id, _transpose(load_index_ridx2(data)))
+
+    def __repr__(self) -> str:
+        return f"MemorySegment(id={self.segment_id}, docs={len(self._docs)})"
+
+
+class DiskSegment:
+    """A sealed segment served off an mmap'd RIDX2 file.
+
+    Query-path calls (``lookup``/``terms``) go straight to the
+    :class:`~repro.index.ondisk.MmapPostingsReader`; the per-document
+    transposition needed by compaction is materialized lazily and
+    cached — compaction is the only consumer.
+    """
+
+    def __init__(self, segment_id: int, path: str) -> None:
+        self.segment_id = segment_id
+        self.path = path
+        self._reader = MmapPostingsReader(path)
+        self._doc_terms: Optional[Dict[str, Tuple[str, ...]]] = None
+
+    def __len__(self) -> int:
+        return self._reader.doc_count
+
+    def __contains__(self, path: str) -> bool:
+        return path in set(self._reader.doc_paths())
+
+    def doc_paths(self) -> List[str]:
+        return self._reader.doc_paths()
+
+    def doc_terms(self, path: str) -> Tuple[str, ...]:
+        if self._doc_terms is None:
+            transposed: Dict[str, List[str]] = {}
+            for term in self._reader.terms():
+                for doc in self._reader.lookup(term):
+                    transposed.setdefault(doc, []).append(term)
+            self._doc_terms = {
+                doc: tuple(terms) for doc, terms in transposed.items()
+            }
+        return self._doc_terms[path]
+
+    def lookup(self, term: str) -> List[str]:
+        return self._reader.lookup(term)
+
+    def terms(self) -> Iterable[str]:
+        return self._reader.terms()
+
+    def approx_bytes(self) -> int:
+        return os.path.getsize(self.path)
+
+    def to_ridx2(self) -> bytes:
+        with open(self.path, "rb") as fh:
+            return fh.read()
+
+    def close(self) -> None:
+        self._reader.close()
+
+    def __repr__(self) -> str:
+        return f"DiskSegment(id={self.segment_id}, path={self.path!r})"
+
+
+def _transpose(index: InvertedIndex) -> Dict[str, TermBlock]:
+    by_path: Dict[str, List[str]] = {}
+    for term, postings in index.items():
+        for path in postings:
+            by_path.setdefault(path, []).append(term)
+    return {
+        path: TermBlock(path, tuple(terms))
+        for path, terms in by_path.items()
+    }
+
+
+# -- the manifest -------------------------------------------------------------
+
+
+class SegmentManifest:
+    """An immutable ordered view over segments + tombstones.
+
+    ``segments`` is oldest→newest; a path's live revision is its
+    occurrence in the **newest** segment containing it, unless the path
+    is tombstoned.  The manifest quacks like an index for the query
+    layer (``lookup``/``terms``) and like a corpus for snapshots
+    (``document_paths``), so the rest of the system needs no new
+    concepts: :class:`~repro.service.snapshot.IndexSnapshot` wraps it,
+    ``SearchService.publish`` swaps it, one pointer store.
+    """
+
+    def __init__(
+        self,
+        segments: Sequence = (),
+        tombstones: Iterable[str] = (),
+        generation: int = 0,
+    ) -> None:
+        self.segments: Tuple = tuple(segments)
+        self.tombstones = frozenset(tombstones)
+        self.generation = generation
+        # Ownership resolved once: path -> position of its newest
+        # segment.  Tombstoned paths are simply absent.
+        owner: Dict[str, int] = {}
+        for position, segment in enumerate(self.segments):
+            for path in segment.doc_paths():
+                owner[path] = position
+        for path in self.tombstones:
+            owner.pop(path, None)
+        self._owner = owner
+
+    # -- index protocol (QueryEngine duck type) ------------------------
+
+    def lookup(self, term: str) -> List[str]:
+        """Live paths containing ``term`` (newest revision only)."""
+        owner = self._owner
+        hits: List[str] = []
+        for position, segment in enumerate(self.segments):
+            for path in segment.lookup(term):
+                if owner.get(path) == position:
+                    hits.append(path)
+        return hits
+
+    def terms(self) -> List[str]:
+        """Terms with at least one live posting, sorted."""
+        candidates = set()
+        for segment in self.segments:
+            candidates.update(segment.terms())
+        return sorted(t for t in candidates if self.lookup(t))
+
+    # -- corpus protocol -----------------------------------------------
+
+    def document_paths(self) -> List[str]:
+        """All live paths."""
+        return list(self._owner)
+
+    def live_paths(self) -> frozenset:
+        return frozenset(self._owner)
+
+    def doc_terms(self, path: str) -> Tuple[str, ...]:
+        """The live revision's terms for ``path``."""
+        return self.segments[self._owner[path]].doc_terms(path)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._owner
+
+    def __len__(self) -> int:
+        return len(self._owner)
+
+    # -- stats / derived -----------------------------------------------
+
+    @property
+    def segment_count(self) -> int:
+        return len(self.segments)
+
+    @property
+    def tombstone_ratio(self) -> float:
+        """Tombstones as a fraction of all path slots held by segments."""
+        slots = sum(len(s) for s in self.segments)
+        return len(self.tombstones) / slots if slots else 0.0
+
+    @property
+    def next_segment_id(self) -> int:
+        return 1 + max(
+            (s.segment_id for s in self.segments), default=-1
+        )
+
+    def materialize(self) -> InvertedIndex:
+        """Flatten the live view into one plain :class:`InvertedIndex`."""
+        index = InvertedIndex()
+        for path in sorted(self._owner):
+            index.add_block(
+                TermBlock(path, tuple(self.doc_terms(path)))
+            )
+        return index
+
+    def to_ridx2(self) -> bytes:
+        """Canonical RIDX2 bytes of the live view.
+
+        Because :func:`~repro.index.binfmt.dump_index_ridx2` is
+        canonical, these bytes are identical to a from-scratch rebuild
+        of the same filesystem state — the merge-equivalence oracle.
+        """
+        return dump_index_ridx2(self.materialize())
+
+    def record_metrics(self, prefix: str = "segments") -> None:
+        """Publish manifest shape gauges through :mod:`repro.obs`."""
+        if not obsrec.enabled():
+            return
+        metrics = obsrec.metrics()
+        metrics.gauge(f"{prefix}.count").set(self.segment_count)
+        metrics.gauge(f"{prefix}.tombstones").set(len(self.tombstones))
+        metrics.gauge(f"{prefix}.tombstone_ratio").set(self.tombstone_ratio)
+        metrics.gauge(f"{prefix}.live_docs").set(len(self._owner))
+        metrics.gauge(f"{prefix}.generation").set(self.generation)
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentManifest(gen={self.generation}, "
+            f"segments={self.segment_count}, live={len(self._owner)}, "
+            f"tombstones={len(self.tombstones)})"
+        )
+
+
+# -- compaction ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """When and how wide to compact.
+
+    ``fanin`` is the k-way merge width per layer; compaction triggers
+    when the manifest holds more than ``max_segments`` segments or its
+    tombstone ratio exceeds ``max_tombstone_ratio``.
+    """
+
+    fanin: int = 4
+    max_segments: int = 6
+    max_tombstone_ratio: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.fanin < 2:
+            raise ValueError(f"fanin must be >= 2, got {self.fanin}")
+        if self.max_segments < 1:
+            raise ValueError(
+                f"max_segments must be >= 1, got {self.max_segments}"
+            )
+
+    def should_compact(self, manifest: SegmentManifest) -> bool:
+        if manifest.segment_count > self.max_segments:
+            return True
+        return (
+            bool(manifest.tombstones)
+            and manifest.tombstone_ratio > self.max_tombstone_ratio
+        )
+
+
+def merge_segment_payload(payload) -> bytes:
+    """Merge one compaction group into canonical RIDX2 bytes.
+
+    ``payload`` is picklable plain data — ``(groups, tombstones)``
+    where ``groups`` is a list of segments oldest→newest, each a list
+    of ``(path, terms_tuple)`` documents.  Newest-wins is resolved by
+    dict overwrite in order; tombstoned paths are dropped last.  Runs
+    in pool workers, so it must stay a module-level function of plain
+    data.
+    """
+    groups, tombstones = payload
+    dead = set(tombstones)
+    docs: Dict[str, Tuple[str, ...]] = {}
+    for group in groups:
+        for path, terms in group:
+            docs[path] = tuple(terms)
+    index = InvertedIndex()
+    for path in sorted(docs):
+        if path in dead:
+            continue
+        index.add_block(TermBlock(path, docs[path]))
+    return dump_index_ridx2(index)
+
+
+def _group_payload(segments: Sequence, tombstones: frozenset):
+    return (
+        [
+            [(path, segment.doc_terms(path)) for path in segment.doc_paths()]
+            for segment in segments
+        ],
+        sorted(tombstones),
+    )
+
+
+def compact_manifest(
+    manifest: SegmentManifest,
+    policy: Optional[CompactionPolicy] = None,
+    executor=None,
+    segment_dir: Optional[str] = None,
+) -> SegmentManifest:
+    """Layered k-way merge down to a single sealed segment.
+
+    Each round groups consecutive segments ``fanin`` at a time and
+    merges every group independently — on ``executor`` (a
+    :class:`~repro.engine.procbackend.CompactionExecutor`) when given,
+    in-process otherwise.  Tombstones are applied during the merges,
+    so the compacted manifest carries none.  With ``segment_dir`` the
+    final product is written as an RIDX2 file and served as a
+    :class:`DiskSegment`; otherwise it stays in memory.
+    """
+    policy = policy or CompactionPolicy()
+    segments: List = list(manifest.segments)
+    tombstones = manifest.tombstones
+    next_id = manifest.next_segment_id
+    merged_bytes = 0
+    rounds = 0
+    with obsrec.span(
+        "compaction.run",
+        segments=manifest.segment_count,
+        tombstones=len(manifest.tombstones),
+        fanin=policy.fanin,
+    ):
+        while len(segments) > 1 or tombstones:
+            rounds += 1
+            groups = [
+                segments[i : i + policy.fanin]
+                for i in range(0, len(segments), policy.fanin)
+            ] or [[]]
+            payloads = [_group_payload(g, tombstones) for g in groups]
+            with obsrec.span(
+                "compaction.round", round=rounds, groups=len(groups)
+            ):
+                if executor is not None:
+                    blobs = executor.run(merge_segment_payload, payloads)
+                else:
+                    blobs = [merge_segment_payload(p) for p in payloads]
+            merged_bytes += sum(len(b) for b in blobs)
+            segments = [
+                segment
+                for segment in (
+                    MemorySegment.from_ridx2(next_id + i, blob)
+                    for i, blob in enumerate(blobs)
+                )
+                if len(segment)
+            ]
+            next_id += len(blobs)
+            # Tombstoned paths are gone from every merged product.
+            tombstones = frozenset()
+    if segment_dir is not None and segments:
+        final = segments[-1]
+        os.makedirs(segment_dir, exist_ok=True)
+        path = os.path.join(
+            segment_dir, f"segment-{final.segment_id:08d}.ridx2"
+        )
+        with open(path, "wb") as fh:
+            fh.write(final.to_ridx2())
+        segments[-1] = DiskSegment(final.segment_id, path)
+    if obsrec.enabled():
+        metrics = obsrec.metrics()
+        metrics.counter("compaction.runs").inc()
+        metrics.counter("compaction.merged_bytes").inc(merged_bytes)
+    compacted = SegmentManifest(
+        segments, frozenset(), manifest.generation + 1
+    )
+    compacted.record_metrics()
+    return compacted
+
+
+# -- the indexer --------------------------------------------------------------
+
+
+class SegmentedIndexer:
+    """Keeps a :class:`SegmentManifest` in sync with a filesystem.
+
+    The mutable ingest state (the memtable) exists only *inside* one
+    ``refresh()`` call: changed documents accumulate in a plain dict
+    and are sealed into a :class:`MemorySegment` before the swap, so
+    every state the outside world can observe is an immutable manifest
+    plus the fingerprint map that produced it.
+    """
+
+    def __init__(
+        self,
+        fs,
+        tokenizer: Optional[Tokenizer] = None,
+        registry=None,
+        root: str = "",
+        manifest: Optional[SegmentManifest] = None,
+        fingerprints: Optional[FingerprintMap] = None,
+        segment_dir: Optional[str] = None,
+    ) -> None:
+        self.fs = fs
+        self.tokenizer = tokenizer or Tokenizer()
+        self.registry = registry
+        self.root = root
+        self.segment_dir = segment_dir
+        self._manifest = manifest or SegmentManifest()
+        self._fingerprints: FingerprintMap = dict(fingerprints or {})
+        self.last_scan_stats: Dict[str, int] = {}
+
+    @property
+    def manifest(self) -> SegmentManifest:
+        return self._manifest
+
+    @property
+    def fingerprints(self) -> FingerprintMap:
+        """The fingerprint state to persist alongside the manifest."""
+        return dict(self._fingerprints)
+
+    # -- bootstrap ------------------------------------------------------
+
+    def adopt(
+        self, index: InvertedIndex, fingerprints: FingerprintMap
+    ) -> SegmentManifest:
+        """Adopt a bulk-built index as segment 0 of a fresh manifest."""
+        segment = MemorySegment(0, _transpose(index))
+        self._manifest = SegmentManifest([segment], frozenset(), 0)
+        self._fingerprints = dict(fingerprints)
+        self._manifest.record_metrics()
+        return self._manifest
+
+    def fingerprint_corpus(self) -> FingerprintMap:
+        """Fingerprint every file (reading each once) — bootstrap path."""
+        fingerprints: FingerprintMap = {}
+        for ref in self.fs.list_files(self.root):
+            stamp = self._stat_stamp(ref.path)
+            content = self.fs.read_file(ref.path)
+            fingerprints[ref.path] = (
+                len(content),
+                stamp,
+                fnv1a_64(content),
+            )
+        return fingerprints
+
+    # -- refresh --------------------------------------------------------
+
+    def refresh(self) -> ChangeReport:
+        """Scan, seal the delta into a new segment, swap at the end.
+
+        The stat-first scan is what makes refresh O(delta) in bytes
+        read: unchanged files (same size and mtime stamp as recorded)
+        are skipped without opening them.  Files that must be read are
+        read **once**; the same bytes feed both the fingerprint hash
+        and term extraction.  Nothing observable mutates until the
+        final two assignments, so a crashed refresh replays cleanly.
+        """
+        previous = self._fingerprints
+        manifest = self._manifest
+        fingerprints: FingerprintMap = {}
+        changed: Dict[str, TermBlock] = {}
+        files_seen = 0
+        files_read = 0
+        with obsrec.span("segments.refresh", generation=manifest.generation):
+            for ref in self.fs.list_files(self.root):
+                files_seen += 1
+                stamp = self._stat_stamp(ref.path)
+                old = previous.get(ref.path)
+                if (
+                    old is not None
+                    and stamp != 0
+                    and old[0] == ref.size
+                    and old[1] == stamp
+                ):
+                    # Unchanged by stat: not read, not re-hashed.
+                    fingerprints[ref.path] = old
+                    continue
+                content = self.fs.read_file(ref.path)
+                files_read += 1
+                digest = fnv1a_64(content)
+                # The *pre-read* stamp is recorded: if a writer lands
+                # between stat and read, the next scan sees a newer
+                # stamp and re-checks — a change can be re-examined,
+                # never missed.
+                fingerprints[ref.path] = (len(content), stamp, digest)
+                if old is not None and old[0] == len(content) and old[2] == digest:
+                    # Same bytes as the indexed revision (e.g. removed
+                    # and re-added identical content, or a bare mtime
+                    # bump): refresh the stamp, skip re-indexing, and —
+                    # critically — do not classify it removed/modified.
+                    continue
+                changed[ref.path] = self._extract(ref.path, content)
+
+            added = sorted(p for p in changed if p not in previous)
+            modified = sorted(p for p in changed if p in previous)
+            removed = sorted(p for p in previous if p not in fingerprints)
+            self.apply_delta(changed, removed, fingerprints)
+        self.last_scan_stats = {
+            "files_seen": files_seen,
+            "files_read": files_read,
+        }
+        if obsrec.enabled():
+            metrics = obsrec.metrics()
+            metrics.counter("segments.refreshes").inc()
+            metrics.counter("segments.files_read").inc(files_read)
+            metrics.counter("segments.files_seen").inc(files_seen)
+        return ChangeReport(added=added, removed=removed, modified=modified)
+
+    def reconcile(self) -> ChangeReport:
+        """First refresh with no recorded fingerprints (post-``open``).
+
+        Without fingerprints the only truth is the manifest itself, so
+        every live file is read once (hash and term extraction share
+        the bytes) and compared against the manifest's live revision;
+        the computed delta is then applied exactly like a refresh.
+        """
+        manifest = self._manifest
+        fingerprints: FingerprintMap = {}
+        changed: Dict[str, TermBlock] = {}
+        live = set(manifest.document_paths())
+        modified: List[str] = []
+        added: List[str] = []
+        with obsrec.span("segments.reconcile", live=len(live)):
+            for ref in self.fs.list_files(self.root):
+                stamp = self._stat_stamp(ref.path)
+                content = self.fs.read_file(ref.path)
+                fingerprints[ref.path] = (
+                    len(content),
+                    stamp,
+                    fnv1a_64(content),
+                )
+                block = self._extract(ref.path, content)
+                if ref.path in live:
+                    if set(manifest.doc_terms(ref.path)) != set(block.terms):
+                        changed[ref.path] = block
+                        modified.append(ref.path)
+                else:
+                    changed[ref.path] = block
+                    added.append(ref.path)
+            removed = sorted(live - set(fingerprints))
+            self.apply_delta(changed, removed, fingerprints)
+        return ChangeReport(
+            added=sorted(added), removed=removed, modified=sorted(modified)
+        )
+
+    def apply_delta(
+        self,
+        changed: Mapping[str, TermBlock],
+        removed: Iterable[str],
+        fingerprints: FingerprintMap,
+    ) -> None:
+        """Seal ``changed`` into a new segment, tombstone ``removed``.
+
+        Tombstone-then-append ordering: removals are folded into the
+        tombstone set *before* the new segment exists, and any path
+        re-appearing in this very delta is excluded — a tombstone must
+        never shadow the segment its own refresh appends (asserted).
+        The manifest/fingerprint swap is the only observable mutation
+        and happens last, so interrupted callers replay cleanly.
+        """
+        manifest = self._manifest
+        if not changed and not removed:
+            # Nothing to seal: just remember the verified fingerprints.
+            self._fingerprints = dict(fingerprints)
+            return
+        tombstones = (manifest.tombstones | frozenset(removed)) - set(changed)
+        assert not (tombstones & set(changed)), (
+            "tombstones may not shadow the appended segment"
+        )
+        segments = manifest.segments
+        if changed:
+            with obsrec.span("segments.seal", docs=len(changed)):
+                segments = segments + (
+                    MemorySegment(manifest.next_segment_id, dict(changed)),
+                )
+        successor = SegmentManifest(
+            segments, tombstones, manifest.generation + 1
+        )
+        successor.record_metrics()
+        self._manifest = successor
+        self._fingerprints = dict(fingerprints)
+
+    # -- compaction -----------------------------------------------------
+
+    def compact(
+        self,
+        policy: Optional[CompactionPolicy] = None,
+        executor=None,
+        force: bool = True,
+    ) -> bool:
+        """Compact the current manifest in place (swap on completion).
+
+        With ``force=False`` the policy decides; returns whether a
+        compaction ran.
+        """
+        policy = policy or CompactionPolicy()
+        manifest = self._manifest
+        if not force and not policy.should_compact(manifest):
+            return False
+        if manifest.segment_count <= 1 and not manifest.tombstones:
+            return False
+        self._manifest = compact_manifest(
+            manifest, policy, executor=executor, segment_dir=self.segment_dir
+        )
+        return True
+
+    # -- internals ------------------------------------------------------
+
+    def _stat_stamp(self, path: str) -> int:
+        stat = getattr(self.fs, "stat", None)
+        if stat is None:
+            return 0
+        try:
+            _, stamp = stat(path)
+        except OSError:
+            return 0
+        return stamp
+
+    def _extract(self, path: str, content: bytes) -> TermBlock:
+        if self.registry is not None:
+            content = self.registry.extract_text(path, content)
+        return extract_term_block(path, content, self.tokenizer)
+
+
+class BackgroundCompactor:
+    """Periodically runs a compaction callback on its own thread.
+
+    The callback (typically ``Search.compact`` with ``force=False``)
+    owns all index state and locking; this class owns only the cadence
+    — an interruptible condition-variable wait, so ``stop()`` returns
+    promptly instead of sleeping out the interval.  Built on the
+    :class:`~repro.concurrency.provider.SyncProvider` seam like every
+    other thread in the system, so schedcheck can drive it.
+    """
+
+    def __init__(
+        self,
+        tick,
+        interval_s: float = 5.0,
+        sync=None,
+        name: str = "compactor",
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(
+                f"interval_s must be positive, got {interval_s}"
+            )
+        if sync is None:
+            from repro.concurrency.provider import THREADING_SYNC
+
+            sync = THREADING_SYNC
+        self._tick = tick
+        self._interval_s = interval_s
+        self._lock = sync.lock(f"{name}.lock")
+        self._cond = sync.condition(self._lock, f"{name}.cond")
+        self._stopping = False
+        self._thread = sync.thread(self._loop, name=name)
+        self.runs = 0
+        self.compactions = 0
+
+    def start(self) -> "BackgroundCompactor":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Signal the loop and wait for it to exit."""
+        with self._lock:
+            self._stopping = True
+            self._cond.notify_all()
+        self._thread.join()
+
+    def _loop(self) -> None:
+        while True:
+            with self._lock:
+                if not self._stopping:
+                    self._cond.wait(timeout=self._interval_s)
+                if self._stopping:
+                    return
+            self.runs += 1
+            if self._tick():
+                self.compactions += 1

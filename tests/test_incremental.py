@@ -215,3 +215,122 @@ class TestIncrementalIndexer:
     def test_change_report_totals(self):
         report = ChangeReport(added=["a"], removed=["b", "c"], modified=[])
         assert report.total == 3
+
+
+class TestRefreshCorrectness:
+    """The replay-idempotency and read-once fixes, pinned."""
+
+    def make_fs(self):
+        from repro.fsmodel import VirtualFileSystem
+
+        fs = VirtualFileSystem()
+        fs.write_file("a.txt", b"alpha words")
+        fs.write_file("b.txt", b"beta words")
+        return fs
+
+    def test_replay_after_partial_refresh_converges(self):
+        """A crashed refresh leaves the index part-mutated and the
+        snapshot stale; re-running must not raise 'already indexed'."""
+        from repro.text.termblock import TermBlock
+
+        fs = self.make_fs()
+        indexer = IncrementalIndexer(fs)
+        indexer.refresh()
+        # Simulate a refresh that crashed after applying half its
+        # delta: c.txt was added to the index, d.txt too, but the
+        # snapshot swap never happened — and d.txt has since vanished.
+        fs.write_file("c.txt", b"gamma words")
+        indexer.index.add(TermBlock("c.txt", ("gamma", "words")))
+        indexer.index.add(TermBlock("d.txt", ("delta",)))
+        report = indexer.refresh()
+        assert report.added == ["c.txt"]
+        bulk = SequentialIndexer(fs, naive=False).build()
+        assert indexer.index.index == bulk.index
+        assert indexer.index.lookup("delta") == []
+
+    def test_replay_after_crashed_refresh_with_faultfs(self):
+        """End to end: a fault aborts refresh mid-scan; the retry
+        (fault cleared) converges to the from-scratch rebuild."""
+        import pytest as _pytest
+
+        from repro.fsmodel.faultfs import FaultInjectingFileSystem, FaultSpec
+
+        fs = self.make_fs()
+        clean = IncrementalIndexer(fs)
+        clean.refresh()
+        fs.replace_file("a.txt", b"alpha rewritten")
+        fs.write_file("c.txt", b"gamma words")
+        faulty = FaultInjectingFileSystem(
+            fs, {"c.txt": FaultSpec(action="error", exc_type=OSError)}
+        )
+        crashed = IncrementalIndexer(
+            faulty, index=clean.index, snapshot=clean.snapshot
+        )
+        with _pytest.raises(OSError):
+            crashed.refresh()
+        # Retry against the healthy filesystem, same persisted state.
+        retry = IncrementalIndexer(
+            fs, index=crashed.index, snapshot=crashed.snapshot
+        )
+        report = retry.refresh()
+        assert report.added == ["c.txt"]
+        assert report.modified == ["a.txt"]
+        bulk = SequentialIndexer(fs, naive=False).build()
+        assert retry.index.index == bulk.index
+
+    def test_each_file_read_once_per_refresh(self):
+        """The fingerprint and the indexed content come from one read —
+        the TOCTOU double-read is gone."""
+        from collections import Counter
+
+        fs = self.make_fs()
+
+        class CountingFs:
+            def __init__(self, inner):
+                self.inner = inner
+                self.reads = Counter()
+
+            def read_file(self, path):
+                self.reads[path] += 1
+                return self.inner.read_file(path)
+
+            def __getattr__(self, name):
+                return getattr(self.inner, name)
+
+        counting = CountingFs(fs)
+        indexer = IncrementalIndexer(counting)
+        indexer.refresh()
+        assert set(counting.reads.values()) == {1}
+        counting.reads.clear()
+        fs.replace_file("a.txt", b"alpha rewritten")
+        indexer.refresh()
+        assert counting.reads["a.txt"] == 1
+        assert counting.reads["b.txt"] == 1  # no stat support: hashed once
+
+    def test_removals_apply_before_adds(self):
+        """A path removed while a differently-cased sibling appears in
+        the same interval must never be doubly live; removals land
+        first, then upserts."""
+        fs = self.make_fs()
+        indexer = IncrementalIndexer(fs)
+        indexer.refresh()
+        content = fs.read_file("a.txt")
+        fs.remove_file("a.txt")
+        fs.write_file("a2.txt", content)
+        report = indexer.refresh()
+        assert report.removed == ["a.txt"]
+        assert report.added == ["a2.txt"]
+        assert indexer.index.lookup("alpha") == ["a2.txt"]
+        bulk = SequentialIndexer(fs, naive=False).build()
+        assert indexer.index.index == bulk.index
+
+    def test_remove_and_readd_identical_content_is_noop(self):
+        fs = self.make_fs()
+        indexer = IncrementalIndexer(fs)
+        indexer.refresh()
+        content = fs.read_file("b.txt")
+        fs.remove_file("b.txt")
+        fs.write_file("b.txt", content)
+        report = indexer.refresh()
+        assert report.total == 0
+        assert indexer.index.lookup("beta") == ["b.txt"]

@@ -1,0 +1,128 @@
+"""Stateful property testing of the segmented index.
+
+Hypothesis drives random filesystem churn (create, edit, delete),
+refreshes, crash-injected refreshes, and periodic compactions against a
+live :class:`~repro.index.segments.SegmentedIndexer`.  Two invariants
+hold at every step:
+
+* the manifest's live view always equals a from-scratch rebuild of the
+  current filesystem state (checked as index equality after every
+  refresh);
+* after any compaction, the manifest's canonical RIDX2 bytes are
+  *identical* to the rebuild's — merge-equivalence, byte for byte,
+  regardless of the segment/tombstone history that led there.
+"""
+
+import string
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.engine import SequentialIndexer
+from repro.fsmodel import VirtualFileSystem
+from repro.fsmodel.faultfs import FaultInjectingFileSystem, FaultSpec
+from repro.index.binfmt import dump_index_ridx2
+from repro.index.segments import CompactionPolicy, SegmentedIndexer
+
+words = st.lists(
+    st.text(alphabet=string.ascii_lowercase, min_size=2, max_size=6),
+    min_size=0,
+    max_size=6,
+)
+names = st.integers(min_value=0, max_value=9).map(lambda i: f"file{i}.txt")
+
+
+class SegmentedMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.fs = VirtualFileSystem()
+        self.indexer = SegmentedIndexer(self.fs)
+        self.refreshed = True  # empty manifest == empty fs
+
+    # -- filesystem churn ----------------------------------------------
+
+    @rule(name=names, content=words)
+    def create_or_edit(self, name, content):
+        data = " ".join(content).encode()
+        if self.fs.exists(name):
+            self.fs.replace_file(name, data)
+        else:
+            self.fs.write_file(name, data)
+        self.refreshed = False
+
+    @rule(name=names)
+    def delete(self, name):
+        if self.fs.exists(name):
+            self.fs.remove_file(name)
+            self.refreshed = False
+
+    # -- maintenance ---------------------------------------------------
+
+    @rule()
+    def refresh(self):
+        self.indexer.refresh()
+        self.refreshed = True
+
+    @rule(name=names)
+    def crashed_refresh_then_replay(self, name):
+        """A refresh that dies reading ``name`` must leave no trace; the
+        replay right after must fully converge."""
+        if not self.fs.exists(name):
+            return
+        faulty = FaultInjectingFileSystem(
+            self.fs, {name: FaultSpec(action="error", exc_type=OSError)}
+        )
+        crashing = SegmentedIndexer(
+            faulty,
+            manifest=self.indexer.manifest,
+            fingerprints=self.indexer.fingerprints,
+        )
+        before = crashing.manifest
+        try:
+            crashing.refresh()
+        except OSError:
+            assert crashing.manifest is before
+        self.indexer.refresh()
+        self.refreshed = True
+
+    @rule(fanin=st.integers(min_value=2, max_value=4))
+    @precondition(lambda self: self.refreshed)
+    def compact(self, fanin):
+        self.indexer.compact(policy=CompactionPolicy(fanin=fanin))
+        manifest = self.indexer.manifest
+        assert manifest.segment_count <= 1
+        assert not manifest.tombstones
+        rebuilt = SequentialIndexer(self.fs, naive=False).build().index
+        assert manifest.to_ridx2() == dump_index_ridx2(rebuilt)
+
+    # -- the oracle ----------------------------------------------------
+
+    @invariant()
+    def matches_rebuild_when_refreshed(self):
+        if not getattr(self, "refreshed", True):
+            return
+        rebuilt = SequentialIndexer(self.fs, naive=False).build().index
+        assert self.indexer.manifest.materialize() == rebuilt
+
+    @invariant()
+    def live_view_consistent(self):
+        manifest = self.indexer.manifest
+        live = set(manifest.document_paths())
+        assert live == manifest.live_paths()
+        for term in manifest.terms():
+            hits = manifest.lookup(term)
+            assert hits, f"dead term {term!r} listed"
+            assert set(hits) <= live
+
+
+SegmentedMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestSegmented = SegmentedMachine.TestCase
