@@ -1,0 +1,329 @@
+"""Extension study: serving tail latency under open-loop load.
+
+The claim quantified: under bursty, duplicate-heavy traffic the
+single-flight, batch-admitted :class:`AsyncSearchFrontend` cuts the
+p95/p99 tail versus handing every caller its own blocking
+``SearchService.query`` — because duplicates coalesce onto one
+evaluation and bursts are admitted in one transaction instead of N.
+
+Protocol (open-loop, coordinated-omission-free):
+
+* one seeded Poisson arrival schedule per offered-load point, replayed
+  **identically** against both stacks; latency is measured from the
+  *scheduled* arrival, so a driver that falls behind pays its lateness;
+* workload: ~60% of arrivals drawn from a 4-query hot set (the
+  duplicate traffic single-flight exists for), ~40% from a 40-query
+  cold tail; all boolean, same snapshot for both stacks;
+* offered load is calibrated from this machine's measured solo
+  evaluation time (capacity ~ 1/solo on one core) and swept over
+  factors of that capacity, from comfortable to past saturation;
+* percentiles come from the harness's ``loadgen.query`` obs spans and
+  must agree exactly with the driver's own accounting (cross-check
+  asserted);
+* differential identity: every unique query in the workload answered
+  by the frontend must match a direct ``SearchService.query`` against
+  the same snapshot generation byte-for-byte (paths) and
+  float-for-float (BM25 scores, on-disk engine).
+
+The digest is committed as ``BENCH_serving_latency.json`` at the repo
+root.  The acceptance bar: at the contended, duplicate-heavy points
+the frontend's p95 is at least 1.5x better than the plain service's.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+
+import pytest
+
+from repro.engine import SequentialIndexer
+from repro.fsmodel import VirtualFileSystem
+from repro.index import MmapPostingsReader, save_index
+from repro.obs import recorder as obsrec
+from repro.query import FrequencyIndex
+from repro.service import (
+    AsyncSearchFrontend,
+    IndexSnapshot,
+    OpenLoopLoadGenerator,
+    QuerySpec,
+    SearchService,
+)
+from repro.service.loadgen import summarize_spans
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULT_PATH = os.path.join(REPO_ROOT, "BENCH_serving_latency.json")
+
+FILES = 2_000
+HOT_QUERIES = 4          # the duplicate set
+COLD_QUERIES = 40        # the distinct tail
+HOT_WEIGHT = 15          # hot spec multiplicity -> 60/100 arrivals are hot
+LOAD_FACTORS = (0.3, 0.5, 0.8, 1.3)   # x calibrated capacity
+DURATION_S = 1.0
+WARMUP_S = 0.2
+SEED = 20260807
+EVAL_WORKERS = 2
+MAX_INFLIGHT = 32
+BASELINE_ISSUERS = 8
+SPEEDUP_FLOOR = 1.5
+
+WORDS = (
+    "alpha bravo charlie delta echo foxtrot golf hotel india juliett "
+    "kilo lima mike november oscar papa quebec romeo sierra tango"
+).split()
+
+
+def _make_corpus(n: int) -> VirtualFileSystem:
+    fs = VirtualFileSystem()
+    for d in range(20):
+        fs.mkdir(f"dir{d:02d}")
+    for i in range(n):
+        picks = [WORDS[(i + k * 7) % len(WORDS)] for k in range(6)]
+        fs.write_file(
+            f"dir{i % 20:02d}/doc{i:05d}.txt",
+            (" ".join(picks) + f" doc{i}").encode(),
+        )
+    return fs
+
+
+def _workload() -> list:
+    """~60% duplicate-heavy specs: hot set x HOT_WEIGHT + cold tail."""
+    hot = [
+        QuerySpec(f"{WORDS[2 * i]} AND {WORDS[2 * i + 1]}")
+        for i in range(HOT_QUERIES)
+    ]
+    cold = []
+    for i in range(COLD_QUERIES):
+        a = WORDS[i % len(WORDS)]
+        b = WORDS[(i * 3 + 5) % len(WORDS)]
+        op = ("OR", "AND", "AND NOT")[i % 3]
+        cold.append(QuerySpec(f"{a} {op} {b}"))
+    return hot * HOT_WEIGHT + cold
+
+
+def _duplicate_fraction(specs) -> float:
+    """Fraction of arrivals whose text is shared with other specs."""
+    counts = {}
+    for spec in specs:
+        counts[spec.text] = counts.get(spec.text, 0) + 1
+    shared = sum(c for c in counts.values() if c > 1)
+    return shared / len(specs)
+
+
+def _calibrate(snapshot: IndexSnapshot, specs) -> float:
+    """Mean solo evaluation seconds over the unique workload queries."""
+    unique = sorted({spec.text for spec in specs})
+    for text in unique:                      # warm parse/eval caches
+        snapshot.search(text)
+    started = time.perf_counter()
+    reps = 3
+    for _ in range(reps):
+        for text in unique:
+            snapshot.search(text)
+    return (time.perf_counter() - started) / (reps * len(unique))
+
+
+@pytest.fixture(scope="module")
+def serving_setup(tmp_path_factory):
+    fs = _make_corpus(FILES)
+    index = SequentialIndexer(fs, naive=False).build().index
+    snapshot = IndexSnapshot(index)
+    directory = tmp_path_factory.mktemp("serving")
+    ridx2 = str(directory / "index.ridx2")
+    save_index(index, ridx2, format="ridx2",
+               frequencies=FrequencyIndex.from_fs(fs))
+    return snapshot, ridx2
+
+
+@pytest.fixture()
+def fresh_recorder():
+    """A per-test enabled recorder (fresh metrics registry per run)."""
+    previous = obsrec.set_recorder(obsrec.Recorder(enabled=True))
+    yield
+    obsrec.set_recorder(previous)
+
+
+def _run_point(snapshot, specs, qps: float) -> dict:
+    """One offered-load point: identical schedule against both stacks."""
+    generator = OpenLoopLoadGenerator(
+        specs, offered_qps=qps, duration_s=DURATION_S,
+        warmup_s=WARMUP_S, seed=SEED,
+    )
+
+    # Plain service: every caller blocks in query(); a thread pool of
+    # issuers replays the schedule.
+    obsrec.set_recorder(obsrec.Recorder(enabled=True))
+    service = SearchService(
+        snapshot, workers=EVAL_WORKERS, max_inflight=MAX_INFLIGHT
+    )
+    try:
+        baseline = generator.run_service(
+            service, workers=BASELINE_ISSUERS, label="service"
+        )
+    finally:
+        service.close()
+    base_spans = summarize_spans(
+        obsrec.get_recorder().spans, label="service"
+    )
+
+    # Frontend: same schedule, same snapshot, same eval parallelism
+    # (the backing service's single worker only serves stray direct
+    # queries; the frontend evaluates on its own pool).
+    obsrec.set_recorder(obsrec.Recorder(enabled=True))
+    backing = SearchService(snapshot, workers=1, max_inflight=MAX_INFLIGHT)
+    frontend = AsyncSearchFrontend(
+        backing, batch_window=0.002, single_flight=True,
+        workers=EVAL_WORKERS, max_inflight=MAX_INFLIGHT, own_service=True,
+    )
+    try:
+        fronted = generator.run_frontend(frontend, label="frontend")
+        stats = frontend.stats()
+    finally:
+        frontend.close()
+    front_spans = summarize_spans(
+        obsrec.get_recorder().spans, label="frontend"
+    )
+
+    # The spans ARE the accounting: recomputing percentiles from the
+    # recorded loadgen.query spans must reproduce the driver's numbers.
+    for result, spans in ((baseline, base_spans), (fronted, front_spans)):
+        assert spans["count"] == result.measured
+        assert math.isclose(spans["p95_ms"], result.p95_ms, rel_tol=1e-9)
+        assert math.isclose(spans["p99_ms"], result.p99_ms, rel_tol=1e-9)
+
+    assert baseline.issued == fronted.issued == len(generator.arrivals)
+    assert fronted.completed + fronted.shed + fronted.errors == fronted.issued
+    assert fronted.errors == 0 and baseline.errors == 0
+
+    return {
+        "arrivals": len(generator.arrivals),
+        "service": baseline.to_dict(),
+        "frontend": fronted.to_dict(),
+        "frontend_stats": {k: round(v, 4) for k, v in stats.items()},
+        "p95_speedup": round(baseline.p95_ms / fronted.p95_ms, 2),
+        "p99_speedup": round(baseline.p99_ms / fronted.p99_ms, 2),
+    }
+
+
+def _differential(snapshot, ridx2, specs) -> dict:
+    """Every workload query: frontend answer == direct service answer."""
+    checked = 0
+    # Boolean, in-memory snapshot.
+    service = SearchService(snapshot, workers=1, max_inflight=MAX_INFLIGHT)
+    frontend = AsyncSearchFrontend(service, workers=1, own_service=True)
+    try:
+        direct = SearchService(snapshot, workers=1)
+        try:
+            for text in sorted({spec.text for spec in specs}):
+                served = frontend.query(text)
+                reference = direct.query(text)
+                assert served.paths == reference.paths, text
+                assert served.generation == reference.generation
+                checked += 1
+        finally:
+            direct.close()
+    finally:
+        frontend.close()
+
+    # BM25, on-disk DAAT snapshot: scores must be float-identical.
+    with MmapPostingsReader(ridx2) as reader:
+        ranked_snapshot = IndexSnapshot.from_ondisk(reader)
+        service = SearchService(ranked_snapshot, workers=1)
+        frontend = AsyncSearchFrontend(service, workers=1, own_service=True)
+        try:
+            direct = SearchService(ranked_snapshot, workers=1)
+            try:
+                for text in sorted({s.text for s in specs})[:10]:
+                    served = frontend.query(text, rank="bm25", topk=10)
+                    reference = direct.query(text, rank="bm25", topk=10)
+                    assert served.paths == reference.paths, text
+                    assert [(h.path, h.score) for h in served.hits] == [
+                        (h.path, h.score) for h in reference.hits
+                    ], text
+                    checked += 1
+            finally:
+                direct.close()
+        finally:
+            frontend.close()
+    return {"queries_checked": checked, "identical": True}
+
+
+class TestServingTailLatency:
+    def test_open_loop_tail_latency(
+        self, serving_setup, fresh_recorder, write_result
+    ):
+        snapshot, ridx2 = serving_setup
+        specs = _workload()
+        duplicate_fraction = _duplicate_fraction(specs)
+        assert duplicate_fraction >= 0.5  # the ISSUE's workload bar
+
+        solo_s = _calibrate(snapshot, specs)
+        capacity_qps = 1.0 / solo_s
+
+        curve = []
+        for factor in LOAD_FACTORS:
+            point = _run_point(snapshot, specs, factor * capacity_qps)
+            point["load_factor"] = factor
+            point["offered_qps"] = round(factor * capacity_qps, 1)
+            curve.append(point)
+
+        differential = _differential(snapshot, ridx2, specs)
+
+        digest = {
+            "benchmark": "serving_latency",
+            "protocol": {
+                "open_loop": True,
+                "arrival_process": "poisson",
+                "latency_from": "scheduled_arrival",
+                "seed": SEED,
+                "duration_s": DURATION_S,
+                "warmup_s": WARMUP_S,
+                "files": FILES,
+                "duplicate_fraction": round(duplicate_fraction, 3),
+                "eval_workers": EVAL_WORKERS,
+                "max_inflight": MAX_INFLIGHT,
+                "baseline_issuers": BASELINE_ISSUERS,
+            },
+            "calibration": {
+                "solo_eval_us": round(solo_s * 1e6, 1),
+                "capacity_qps": round(capacity_qps, 1),
+            },
+            "curve": curve,
+            "differential": differential,
+        }
+        with open(RESULT_PATH, "w", encoding="utf-8") as fh:
+            json.dump(digest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        write_result(
+            "extension_serving_latency.txt",
+            json.dumps(digest, indent=2, sort_keys=True),
+        )
+
+        # Sanity across the whole curve.
+        for point in curve:
+            assert math.isfinite(point["frontend"]["p99_ms"])
+            assert math.isfinite(point["service"]["p99_ms"])
+            assert 0.0 <= point["frontend"]["shed_rate"] <= 1.0
+
+        # Coalescing must actually engage under the duplicate workload.
+        contended = [p for p in curve if p["load_factor"] >= 0.5]
+        assert all(p["frontend"]["coalesced"] > 0 for p in contended)
+
+        # The acceptance bar: at the contended duplicate-heavy points
+        # the frontend's p95 beats the plain service by >= 1.5x.
+        best = max(p["p95_speedup"] for p in contended)
+        assert best >= SPEEDUP_FLOOR, (
+            f"best contended p95 speedup {best} < {SPEEDUP_FLOOR}: "
+            + json.dumps(
+                [
+                    {
+                        "factor": p["load_factor"],
+                        "service_p95": p["service"]["p95_ms"],
+                        "frontend_p95": p["frontend"]["p95_ms"],
+                    }
+                    for p in curve
+                ]
+            )
+        )

@@ -41,12 +41,14 @@ from repro.engine.faults import FaultPolicy
 from repro.engine.results import BuildReport
 from repro.index.inverted import InvertedIndex
 from repro.query.evaluator import QueryEngine
+from repro.service.frontend import AsyncSearchFrontend
 from repro.service.service import SearchService
 
 #: The curated public API.  Everything else that used to live at the
 #: top level still resolves via ``__getattr__`` with a
 #: ``DeprecationWarning`` pointing at its home module.
 __all__ = [
+    "AsyncSearchFrontend",
     "BuildReport",
     "FaultPolicy",
     "InvertedIndex",

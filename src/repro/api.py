@@ -16,6 +16,7 @@ folds that into a single session object::
     session.compact()                           # fold segments back to one
     session.save("documents.ridx")              # format sniffed back on open
     service = session.serve(workers=4)          # long-running SearchService
+    frontend = session.serve_async(workers=4)   # batched/coalescing front end
 
 Every knob is a keyword on one constructor:
 :class:`~repro.engine.config.ThreadConfig` picks the engine and
@@ -66,10 +67,9 @@ from repro.index.segments import (
     SegmentManifest,
 )
 from repro.index.serialize import load_index, load_multi_index, save_index
-from repro.query.cache import QueryCache, cache_key
+from repro.query.cache import QueryCache, cache_key, normalize_query
 from repro.query.evaluator import QueryEngine
-from repro.query.optimizer import optimize
-from repro.query.parser import parse_query
+from repro.service.frontend import AsyncSearchFrontend
 from repro.service.service import SearchService
 from repro.service.snapshot import IndexSnapshot, QueryResult
 
@@ -487,6 +487,40 @@ class Search:
             sync=sync if sync is not None else self._sync,
         )
 
+    def serve_async(
+        self,
+        workers: int = 2,
+        max_inflight: int = 32,
+        batch_window: float = 0.0,
+        single_flight: bool = True,
+        stage_workers: int = 1,
+        sync=None,
+    ) -> AsyncSearchFrontend:
+        """An :class:`~repro.service.frontend.AsyncSearchFrontend` over
+        this session: single-flight coalescing of duplicate in-flight
+        queries, batched admission (one snapshot load per burst), and
+        pipelined parse → plan → evaluate stages, with an awaitable
+        ``query_async`` face.  The frontend owns its backing
+        :class:`~repro.service.service.SearchService` (built via
+        :meth:`serve`), so one ``close()`` — or leaving the context
+        manager — shuts both down.  ``workers`` are the evaluation
+        threads; admission happens at the frontend, so the service
+        keeps one worker only for direct ``service.query`` callers.
+        """
+        service = self.serve(
+            workers=1, max_inflight=max_inflight, sync=sync
+        )
+        return AsyncSearchFrontend(
+            service,
+            batch_window=batch_window,
+            single_flight=single_flight,
+            workers=workers,
+            stage_workers=stage_workers,
+            max_inflight=max_inflight,
+            own_service=True,
+            sync=sync if sync is not None else self._sync,
+        )
+
     # -- internals --------------------------------------------------------
 
     def _make_engine(self) -> QueryEngine:
@@ -514,7 +548,7 @@ class Search:
     @staticmethod
     def _normalize(query_text: str) -> str:
         """Canonical cache key: the optimized AST, stringified."""
-        return str(optimize(parse_query(query_text)))
+        return normalize_query(query_text)
 
     def __repr__(self) -> str:
         return (

@@ -204,6 +204,25 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--compact-workers", type=int, default=0,
                    help="run compaction merges on a process pool of "
                    "this size (default 0 = in-process)")
+    p.add_argument("--async", dest="async_frontend", action="store_true",
+                   help="serve through the batched asyncio front end: "
+                   "the whole query stream is submitted up front, "
+                   "duplicate in-flight queries coalesce (single-"
+                   "flight) and bursts are admitted batch-at-a-time "
+                   "with one snapshot load each")
+    p.add_argument("--batch-window", type=float, default=0.002,
+                   metavar="SECONDS",
+                   help="with --async: hold each admission flush open "
+                   "this long so a burst accumulates into one batch "
+                   "(default 0.002; 0 flushes immediately)")
+    p.add_argument("--single-flight", dest="single_flight",
+                   action="store_true", default=True,
+                   help="with --async: coalesce duplicate in-flight "
+                   "queries onto one evaluation (default)")
+    p.add_argument("--no-single-flight", dest="single_flight",
+                   action="store_false",
+                   help="with --async: evaluate every query, even "
+                   "duplicates")
     _add_observability_args(p)
     p.set_defaults(func=_cmd_serve)
 
@@ -555,6 +574,36 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _drive_async_frontend(frontend, texts, rank="bool", topk=10):
+    """Run a query stream through the asyncio face, preserving order.
+
+    All queries are in flight at once — this is what lets the frontend
+    coalesce duplicates and batch admissions across the whole stream.
+    Returns ``(text, result, error)`` triples in submission order.
+    """
+    import asyncio
+
+    from repro.query.parser import ParseError
+    from repro.service import ServiceOverloadedError
+
+    async def run():
+        tasks = [
+            asyncio.ensure_future(
+                frontend.query_async(text, rank=rank, topk=topk)
+            )
+            for text in texts
+        ]
+        outcomes = []
+        for text, task in zip(texts, tasks):
+            try:
+                outcomes.append((text, await task, None))
+            except (ParseError, ServiceOverloadedError, ValueError) as exc:
+                outcomes.append((text, None, exc))
+        return outcomes
+
+    return asyncio.run(run())
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.api import Search
     from repro.query.parser import ParseError
@@ -570,6 +619,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     if args.topk < 1:
         print("error: --topk must be at least 1", file=sys.stderr)
+        return 2
+    if args.batch_window < 0:
+        print("error: --batch-window must be non-negative",
+              file=sys.stderr)
         return 2
     if args.ondisk:
         if not args.index:
@@ -613,8 +666,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         snapshot = IndexSnapshot.from_ondisk(reader)
+        # Behind --async the frontend evaluates; the service keeps one
+        # worker only for completeness.
         service_cm = SearchService(
-            snapshot, workers=args.workers, max_inflight=args.max_inflight
+            snapshot,
+            workers=1 if args.async_frontend else args.workers,
+            max_inflight=args.max_inflight,
         )
         print(f"serving {reader.doc_count} file(s) off mmap "
               f"({reader.term_count} terms) with {args.workers} worker(s)",
@@ -626,7 +683,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         else:
             session = Search.build(args.directory)
         service_cm = session.serve(
-            workers=args.workers, max_inflight=args.max_inflight
+            workers=1 if args.async_frontend else args.workers,
+            max_inflight=args.max_inflight,
         )
         print(f"serving {len(session)} file(s) with {args.workers} "
               f"worker(s)", file=sys.stderr)
@@ -652,20 +710,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     ),
                     workers=args.compact_workers,
                 )
+            frontend = None
+            if args.async_frontend:
+                from repro.service import AsyncSearchFrontend
+
+                frontend = AsyncSearchFrontend(
+                    service,
+                    batch_window=args.batch_window,
+                    single_flight=args.single_flight,
+                    workers=args.workers,
+                    max_inflight=args.max_inflight,
+                )
             try:
-                for line in stream:
-                    text = line.strip()
-                    if not text or text.startswith("#"):
-                        continue
-                    try:
-                        result = service.query(
-                            text, rank=args.rank, topk=args.topk
-                        )
-                    except (ParseError, ServiceOverloadedError,
-                            ValueError) as exc:
-                        print(f"error: {text}: {exc}", file=sys.stderr)
-                        failed += 1
-                        continue
+                def run_one(text):
+                    return service.query(text, rank=args.rank,
+                                         topk=args.topk)
+
+                def emit(text, result):
                     print(f"[gen {result.generation}] {text} "
                           f"-> {len(result)} file(s)")
                     if result.hits is not None:
@@ -674,14 +735,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     else:
                         for path in result:
                             print(f"  {path}")
+
+                texts = [
+                    text for text in (line.strip() for line in stream)
+                    if text and not text.startswith("#")
+                ]
+                if frontend is not None:
+                    outcomes = _drive_async_frontend(
+                        frontend, texts, rank=args.rank, topk=args.topk
+                    )
+                else:
+                    outcomes = []
+                    for text in texts:
+                        try:
+                            outcomes.append((text, run_one(text), None))
+                        except (ParseError, ServiceOverloadedError,
+                                ValueError) as exc:
+                            outcomes.append((text, None, exc))
+                for text, result, error in outcomes:
+                    if error is not None:
+                        print(f"error: {text}: {error}", file=sys.stderr)
+                        failed += 1
+                        continue
+                    emit(text, result)
                     served += 1
             finally:
+                if frontend is not None:
+                    frontend.close()
                 if stream is not sys.stdin:
                     stream.close()
         stats = service.stats()
         print(f"-- served {served} query(ies), {failed} failed; "
               f"generation {stats['service.generation']:.0f}, "
               f"shed {stats['service.shed']:.0f}", file=sys.stderr)
+        if frontend is not None:
+            fstats = frontend.stats()
+            print(f"-- frontend: {fstats['frontend.batches']:.0f} "
+                  f"batch(es), {fstats['frontend.coalesced']:.0f} "
+                  f"coalesced, {fstats['frontend.shed']:.0f} shed, "
+                  f"{fstats['frontend.evaluations']:.0f} evaluation(s)",
+                  file=sys.stderr)
         if reader is not None:
             io_stats = reader.stats()
             print(f"-- blocks: {io_stats['ondisk.blocks_read']} read, "

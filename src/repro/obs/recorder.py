@@ -144,6 +144,36 @@ class Recorder:
         with self._lock:
             self._spans.extend(spans)
 
+    def record_span(
+        self, name: str, start: float, duration: float, **attrs: Attr
+    ) -> Optional[SpanRecord]:
+        """Record an already-measured interval as a finished span.
+
+        For intervals that do not nest on one thread's call stack —
+        e.g. a query's full sojourn through a queueing front end, whose
+        start (submission) and end (resolution) happen on different
+        threads.  The span is parentless and attributed to the
+        recording thread; ``start`` is in this process's
+        ``perf_counter`` timeline.  No-op (returns None) while the
+        recorder is disabled.
+        """
+        if not self.enabled:
+            return None
+        thread = threading.current_thread()
+        record = SpanRecord(
+            name=name,
+            start=start,
+            duration=duration,
+            pid=os.getpid(),
+            tid=thread.ident or 0,
+            thread=thread.name,
+            span_id=next(self._ids),
+            parent_id=None,
+            attrs=attrs,
+        )
+        self._append(record)
+        return record
+
     # -- reading ----------------------------------------------------------
 
     @property

@@ -16,7 +16,12 @@ ranking.
 """
 
 from repro.query.ast import And, Not, Or, Phrase, Prefix, Query, Term
-from repro.query.cache import CachingQueryEngine, QueryCache, cache_key
+from repro.query.cache import (
+    CachingQueryEngine,
+    QueryCache,
+    cache_key,
+    normalize_query,
+)
 from repro.query.daat import DaatQueryEngine
 from repro.query.evaluator import QueryEngine
 from repro.query.optimizer import node_count, optimize
@@ -54,6 +59,7 @@ __all__ = [
     "TfIdfRanker",
     "QueryCache",
     "cache_key",
+    "normalize_query",
     "expand_prefixes",
     "has_prefixes",
     "node_count",

@@ -53,6 +53,18 @@ def cache_key(
     return (normalized, parallel, mode, topk)
 
 
+def normalize_query(query_text: str) -> str:
+    """The canonical string of the optimized AST.
+
+    This is the normalization every cache-key producer must share —
+    the session cache, :class:`CachingQueryEngine` and the serving
+    front end's single-flight map all key on it, so ``a AND a`` and
+    ``a`` coalesce everywhere or nowhere.  Raises
+    :class:`~repro.query.parser.ParseError` on malformed queries.
+    """
+    return str(optimize(parse_query(query_text)))
+
+
 class QueryCache:
     """A fixed-capacity LRU cache of query results (thread-safe)."""
 
@@ -210,4 +222,4 @@ class CachingQueryEngine:
     @staticmethod
     def _normalize(query_text: str) -> str:
         """Canonical string of the optimized AST."""
-        return str(optimize(parse_query(query_text)))
+        return normalize_query(query_text)

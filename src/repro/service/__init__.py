@@ -21,9 +21,17 @@ changing.  This package is that layer, in the mould of the query-broker
   (:class:`~repro.service.service.ServiceOverloadedError`) or blocks,
   per policy;
 * graceful shutdown — :meth:`~repro.service.service.SearchService.close`
-  drains every accepted query before the workers exit.
+  drains every accepted query before the workers exit;
+* :class:`~repro.service.frontend.AsyncSearchFrontend` — the batched,
+  single-flight, stage-pipelined front end over a service: duplicate
+  in-flight queries coalesce onto one evaluation, bursts are admitted
+  with one snapshot load and one queue transaction, and an asyncio
+  face keeps thousands of queries in flight from one event loop.  The
+  open-loop load harness in :mod:`repro.service.loadgen` measures its
+  tail latency (``BENCH_serving_latency.json``).
 
-The one-liner front door is :meth:`repro.api.Search.serve`.
+The one-liner front doors are :meth:`repro.api.Search.serve` and
+:meth:`repro.api.Search.serve_async`.
 """
 
 from repro.service.snapshot import IndexSnapshot, QueryResult
@@ -34,10 +42,21 @@ from repro.service.service import (
     ServiceClosedError,
     ServiceOverloadedError,
 )
+from repro.service.frontend import AsyncSearchFrontend, QueryTicket
+from repro.service.loadgen import (
+    LoadRunResult,
+    OpenLoopLoadGenerator,
+    QuerySpec,
+)
 
 __all__ = [
+    "AsyncSearchFrontend",
     "IndexSnapshot",
+    "LoadRunResult",
+    "OpenLoopLoadGenerator",
     "QueryResult",
+    "QuerySpec",
+    "QueryTicket",
     "RefreshOutcome",
     "SHED_POLICIES",
     "SearchService",

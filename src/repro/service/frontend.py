@@ -1,0 +1,605 @@
+"""The batched, coalescing, pipelined query front end.
+
+:class:`~repro.service.service.SearchService` answers one query per
+caller thread: each ``query()`` pays its own snapshot pointer load, its
+own admission transaction, and its own parse — and two callers asking
+the *same* question evaluate it twice.  Under open-loop traffic those
+per-query costs dominate the tail.  :class:`AsyncSearchFrontend` is the
+serving-side analogue of what the build side got from batching and
+pipelining:
+
+* **single-flight coalescing** — duplicate in-flight queries share one
+  evaluation.  The key is the ranking-aware
+  :func:`~repro.query.cache.cache_key` (normalized query, parallel
+  flag, ranking mode, top-K), so ``a AND a`` coalesces onto ``a`` but a
+  BM25 query can never satisfy a boolean waiter.  Followers get their
+  *own* :class:`~repro.service.snapshot.QueryResult` — same paths/hits/
+  generation, their own ``elapsed_s`` (time *they* waited, not the
+  leader's evaluation time), and ``coalesced=True``;
+* **batched admission** — planned queries park in a batch queue; the
+  batcher thread flushes a whole burst with **one** snapshot pointer
+  load and **one** queue transaction, instead of one of each per query.
+  ``batch_window`` > 0 holds the flush open briefly so a burst
+  accumulates; 0 flushes as soon as the batcher wakes.  Admission
+  control happens at the flush: leaders beyond the in-flight budget are
+  shed (:class:`~repro.service.service.ServiceOverloadedError`) along
+  with their followers, each affected caller counted exactly once;
+* **pipelined stages** — ``submit()`` only enqueues; dedicated stage
+  workers run parse → plan (normalize + single-flight registration) and
+  evaluation workers run evaluate, so independent stages of *distinct*
+  queries overlap: one query's parse proceeds while another's
+  evaluation runs.  Each stage is a span (``frontend.parse``,
+  ``frontend.plan``, ``frontend.evaluate``) and every caller's full
+  sojourn is recorded as a ``frontend.query`` span, which is what the
+  load harness reads its percentiles from;
+* **deterministic shutdown** — :meth:`close` stops intake
+  (:class:`~repro.service.service.ServiceClosedError` for late
+  submitters), then either drains (default: every accepted ticket
+  completes) or sheds the not-yet-admitted remainder
+  (``drain=False`` → ``ServiceOverloadedError``).  Either way every
+  ticket resolves; nothing hangs and no future is dropped.
+
+Every lock, condition and thread comes from the
+:class:`~repro.concurrency.provider.SyncProvider` seam and the shared
+state (the coalescing map, the batch queue) is declared via
+``sync.access``, so the schedule checker can sweep the coalesce /
+flush / swap interleavings exactly like it sweeps the service's
+snapshot swap (``tests/test_frontend_concurrency.py``).
+
+The asyncio face is :meth:`AsyncSearchFrontend.query_async`: submission
+is non-blocking, resolution is delivered onto the caller's event loop,
+so one loop can keep thousands of queries in flight against the
+thread-pool back end.  ``repro-cli serve --async`` and
+:meth:`repro.api.Search.serve_async` are the front doors.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.obs import recorder as obsrec
+from repro.query.cache import CacheKey, cache_key, normalize_query
+from repro.service.service import (
+    SearchService,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.service.snapshot import IndexSnapshot, QueryResult
+
+
+class QueryTicket:
+    """One submitted query: resolves to a result or an error.
+
+    Hand-rolled future on the provider seam (so the schedule checker
+    can drive waiters deterministically) with an
+    :meth:`add_done_callback` hook for the asyncio bridge.
+    """
+
+    __slots__ = (
+        "text", "parallel", "rank", "topk", "submitted",
+        "key", "snapshot", "followers", "done", "value", "error",
+        "_frontend", "_callbacks",
+    )
+
+    def __init__(
+        self,
+        frontend: "AsyncSearchFrontend",
+        text: str,
+        parallel: bool,
+        rank: str,
+        topk: int,
+    ) -> None:
+        self.text = text
+        self.parallel = parallel
+        self.rank = rank
+        self.topk = topk
+        self.submitted = time.perf_counter()
+        self.key: Optional[CacheKey] = None
+        self.snapshot: Optional[IndexSnapshot] = None
+        self.followers: List["QueryTicket"] = []
+        self.done = False
+        self.value: Optional[QueryResult] = None
+        self.error: Optional[BaseException] = None
+        self._frontend = frontend
+        self._callbacks: List[Callable[["QueryTicket"], None]] = []
+
+    def result(self, timeout: Optional[float] = None) -> QueryResult:
+        """Block until resolution; returns the result or raises."""
+        frontend = self._frontend
+        with frontend._lock:
+            while not self.done:
+                if not frontend._done.wait(timeout=timeout):
+                    raise TimeoutError(
+                        f"query {self.text!r} unresolved after {timeout}s"
+                    )
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+    def add_done_callback(
+        self, callback: Callable[["QueryTicket"], None]
+    ) -> None:
+        """Run ``callback(ticket)`` once resolved (immediately if it
+        already is).  Called outside the frontend's locks."""
+        with self._frontend._lock:
+            if not self.done:
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
+
+class AsyncSearchFrontend:
+    """Single-flight, batch-admitted, stage-pipelined serving front end.
+
+    Sits in front of a :class:`~repro.service.service.SearchService`
+    and evaluates directly against its published snapshots (one pointer
+    load per admitted *batch*).  ``workers`` evaluation threads and
+    ``stage_workers`` parse/plan threads plus one batcher thread come
+    from the ``sync`` provider.  ``max_inflight`` bounds admitted,
+    unresolved leaders (coalesced followers ride free — that is the
+    point); beyond it the flush sheds.  ``own_service=True`` makes
+    :meth:`close` also close the wrapped service.
+    """
+
+    def __init__(
+        self,
+        service: SearchService,
+        batch_window: float = 0.0,
+        single_flight: bool = True,
+        workers: int = 2,
+        stage_workers: int = 1,
+        max_inflight: Optional[int] = None,
+        own_service: bool = False,
+        sync=None,
+        name: str = "frontend",
+    ) -> None:
+        if workers < 1 or stage_workers < 1:
+            raise ValueError(
+                f"workers and stage_workers must be at least 1, got "
+                f"{workers} and {stage_workers}"
+            )
+        if batch_window < 0:
+            raise ValueError(
+                f"batch_window must be non-negative, got {batch_window}"
+            )
+        if max_inflight is None:
+            max_inflight = service.max_inflight
+        if max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be at least 1, got {max_inflight}"
+            )
+        if sync is None:
+            from repro.concurrency.provider import THREADING_SYNC
+
+            sync = THREADING_SYNC
+        self.name = name
+        self.service = service
+        self.batch_window = batch_window
+        self.single_flight = single_flight
+        self.max_inflight = max_inflight
+        self._own_service = own_service
+        self._sync = sync
+
+        # One lock guards all frontend state; three conditions fan the
+        # wakeups out by role (stage workers / batcher / result waiters).
+        self._lock = sync.lock(f"{name}.state-lock")
+        self._stage_work = sync.condition(self._lock, f"{name}.stage-cond")
+        self._flush = sync.condition(self._lock, f"{name}.flush-cond")
+        self._eval_work = sync.condition(self._lock, f"{name}.eval-cond")
+        self._done = sync.condition(self._lock, f"{name}.done-cond")
+
+        self._stageq: Deque[QueryTicket] = deque()   # awaiting parse/plan
+        self._pending: List[QueryTicket] = []        # planned, awaiting flush
+        self._evalq: Deque[QueryTicket] = deque()    # admitted, awaiting eval
+        self._inflight_map: Dict[CacheKey, QueryTicket] = {}
+        self._inflight = 0            # admitted, unresolved leaders
+        self._staging = 0             # popped from _stageq, not yet planned
+        self._closing = False
+        self._drain_on_close = True
+        self._batcher_done = False
+
+        self._submitted = 0
+        self._served = 0
+        self._coalesced = 0
+        self._shed = 0
+        self._batches = 0
+        self._evaluations = 0
+
+        self._threads = [
+            sync.thread(self._stage_loop, name=f"{name}-stage-{i}")
+            for i in range(stage_workers)
+        ]
+        self._threads.append(
+            sync.thread(self._batcher_loop, name=f"{name}-batcher")
+        )
+        self._threads.extend(
+            sync.thread(self._eval_loop, name=f"{name}-eval-{i}")
+            for i in range(workers)
+        )
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission -------------------------------------------------------
+
+    def submit(
+        self,
+        query_text: str,
+        parallel: bool = False,
+        rank: str = "bool",
+        topk: int = 10,
+    ) -> QueryTicket:
+        """Enqueue one query; returns immediately with its ticket.
+
+        Raises :class:`~repro.service.service.ServiceClosedError` if
+        shutdown has begun.  Parse errors are *not* raised here — they
+        travel on the ticket, like any other per-query failure, so a
+        bad query in a burst never blocks the submitter.
+        """
+        if rank not in ("bool", "bm25"):
+            raise ValueError(f"rank must be 'bool' or 'bm25', got {rank!r}")
+        ticket = QueryTicket(self, query_text, parallel, rank, topk)
+        metrics = obsrec.metrics()
+        with self._lock:
+            if self._closing:
+                raise ServiceClosedError(f"{self.name} is shut down")
+            self._submitted += 1
+            self._sync.access(f"{self.name}.batch-queue", write=True)
+            self._stageq.append(ticket)
+            metrics.counter(f"{self.name}.queries").inc()
+            self._set_depth_gauge_locked(metrics)
+            self._stage_work.notify()
+        return ticket
+
+    def query(
+        self,
+        query_text: str,
+        parallel: bool = False,
+        rank: str = "bool",
+        topk: int = 10,
+    ) -> QueryResult:
+        """Submit and wait — the drop-in synchronous convenience."""
+        return self.submit(
+            query_text, parallel=parallel, rank=rank, topk=topk
+        ).result()
+
+    async def query_async(
+        self,
+        query_text: str,
+        parallel: bool = False,
+        rank: str = "bool",
+        topk: int = 10,
+    ) -> QueryResult:
+        """The asyncio face: await one query without blocking the loop.
+
+        Submission happens inline (it only enqueues); resolution is
+        delivered back onto the *calling* event loop, so one loop can
+        hold arbitrarily many queries in flight.
+        """
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[QueryResult]" = loop.create_future()
+        ticket = self.submit(
+            query_text, parallel=parallel, rank=rank, topk=topk
+        )
+
+        def deliver(resolved: QueryTicket) -> None:
+            def transfer() -> None:
+                if future.cancelled():
+                    return
+                if resolved.error is not None:
+                    future.set_exception(resolved.error)
+                else:
+                    future.set_result(resolved.value)
+
+            loop.call_soon_threadsafe(transfer)
+
+        ticket.add_done_callback(deliver)
+        return await future
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self, drain: bool = True) -> None:
+        """Stop intake, resolve every outstanding ticket, join threads.
+
+        ``drain=True`` (default) admits and completes everything
+        already accepted.  ``drain=False`` completes what is admitted
+        (mid-batch work) but sheds the not-yet-admitted remainder —
+        queued and coalesced waiters then raise
+        :class:`~repro.service.service.ServiceOverloadedError`.  Either
+        way the outcome set is deterministic: complete or overloaded,
+        never a hang, never an unresolved ticket.
+        """
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+            self._drain_on_close = drain
+            self._stage_work.notify_all()
+            self._flush.notify_all()
+            self._eval_work.notify_all()
+            self._done.notify_all()
+        for thread in self._threads:
+            thread.join()
+        if self._own_service:
+            self.service.close()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closing
+
+    def __enter__(self) -> "AsyncSearchFrontend":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def stats(self) -> Dict[str, float]:
+        """A point-in-time digest of the frontend counters."""
+        with self._lock:
+            snapshot = {
+                "frontend.submitted": float(self._submitted),
+                "frontend.served": float(self._served),
+                "frontend.coalesced": float(self._coalesced),
+                "frontend.shed": float(self._shed),
+                "frontend.batches": float(self._batches),
+                "frontend.evaluations": float(self._evaluations),
+                "frontend.inflight": float(self._inflight),
+                "frontend.queue_depth": float(
+                    len(self._stageq) + len(self._pending) + len(self._evalq)
+                ),
+            }
+        submitted = snapshot["frontend.submitted"]
+        snapshot["frontend.shed_rate"] = (
+            snapshot["frontend.shed"] / submitted if submitted else 0.0
+        )
+        return snapshot
+
+    # -- stage 1+2: parse and plan ---------------------------------------
+
+    def _stage_loop(self) -> None:
+        metrics = obsrec.metrics()
+        while True:
+            with self._lock:
+                while not self._stageq and not self._closing:
+                    self._stage_work.wait()
+                if not self._stageq:
+                    # Closing and nothing left to plan: tell the batcher
+                    # the stage pipeline cannot produce more work.
+                    self._flush.notify_all()
+                    return
+                self._sync.access(f"{self.name}.batch-queue", write=True)
+                ticket = self._stageq.popleft()
+                self._staging += 1
+            try:
+                with obsrec.span(f"{self.name}.parse"):
+                    normalized = normalize_query(ticket.text)
+                with obsrec.span(f"{self.name}.plan"):
+                    ticket.key = cache_key(
+                        normalized,
+                        ticket.parallel,
+                        ticket.rank,
+                        ticket.topk if ticket.rank == "bm25" else None,
+                    )
+            except Exception as exc:  # ParseError etc. → the caller
+                with self._lock:
+                    self._staging -= 1
+                    self._flush.notify_all()
+                self._resolve(ticket, error=exc)
+                continue
+            with self._lock:
+                self._staging -= 1
+                if self.single_flight:
+                    self._sync.access(f"{self.name}.inflight-map",
+                                      write=False)
+                    leader = self._inflight_map.get(ticket.key)
+                    if leader is not None:
+                        self._sync.access(f"{self.name}.inflight-map",
+                                          write=True)
+                        leader.followers.append(ticket)
+                        self._coalesced += 1
+                        metrics.counter(f"{self.name}.coalesced").inc()
+                        continue
+                    self._sync.access(f"{self.name}.inflight-map",
+                                      write=True)
+                    self._inflight_map[ticket.key] = ticket
+                self._sync.access(f"{self.name}.batch-queue", write=True)
+                self._pending.append(ticket)
+                self._set_depth_gauge_locked(metrics)
+                self._flush.notify()
+
+    # -- stage 3: batched admission ---------------------------------------
+
+    def _batcher_loop(self) -> None:
+        metrics = obsrec.metrics()
+        while True:
+            with self._lock:
+                while not self._pending and not self._closing:
+                    self._flush.wait()
+                if self._closing and not self._pending:
+                    if self._stageq or self._staging:
+                        # Stage workers are still planning accepted
+                        # tickets; wait for them to land in _pending.
+                        self._flush.wait()
+                        continue
+                    self._batcher_done = True
+                    self._eval_work.notify_all()
+                    return
+                if self.batch_window > 0 and not self._closing:
+                    # Hold the flush open so a burst accumulates into
+                    # one admission transaction.
+                    self._flush.wait(timeout=self.batch_window)
+                self._sync.access(f"{self.name}.batch-queue", write=True)
+                batch = self._pending
+                self._pending = []
+                # Admission for the whole batch in one transaction:
+                # whatever fits the in-flight budget is admitted against
+                # ONE snapshot pointer load; the excess is shed.  A
+                # draining close admits everything it accepted; a
+                # non-draining close sheds everything not yet admitted.
+                if self._closing:
+                    admit_count = len(batch) if self._drain_on_close else 0
+                    shed_reason = f"{self.name}: closed before admission"
+                else:
+                    admit_count = max(
+                        0, min(len(batch),
+                               self.max_inflight - self._inflight)
+                    )
+                    shed_reason = (
+                        f"{self.name}: admission batch over the "
+                        f"in-flight bound {self.max_inflight}"
+                    )
+                admitted = batch[:admit_count]
+                shed = batch[admit_count:]
+                if admitted:
+                    snapshot = self.service.snapshot  # one pointer load
+                    for ticket in admitted:
+                        ticket.snapshot = snapshot
+                    self._evalq.extend(admitted)
+                    self._inflight += len(admitted)
+                    self._batches += 1
+                    metrics.counter(f"{self.name}.batches").inc()
+                    metrics.gauge(f"{self.name}.batch_size").set(
+                        len(admitted)
+                    )
+                    metrics.gauge(f"{self.name}.inflight").set(
+                        self._inflight
+                    )
+                    self._set_depth_gauge_locked(metrics)
+                    self._eval_work.notify_all()
+            for ticket in shed:
+                self._resolve(ticket,
+                              error=ServiceOverloadedError(shed_reason))
+
+    # -- stage 4: evaluate -------------------------------------------------
+
+    def _eval_loop(self) -> None:
+        metrics = obsrec.metrics()
+        while True:
+            with self._lock:
+                while not self._evalq and not (
+                    self._closing and self._batcher_done
+                ):
+                    self._eval_work.wait()
+                if not self._evalq:
+                    return  # closing, batcher finished, fully drained
+                self._sync.access(f"{self.name}.batch-queue", write=True)
+                ticket = self._evalq.popleft()
+                self._set_depth_gauge_locked(metrics)
+            snapshot = ticket.snapshot
+            started = time.perf_counter()
+            try:
+                with obsrec.span(
+                    f"{self.name}.evaluate",
+                    generation=snapshot.generation,
+                    rank=ticket.rank,
+                ):
+                    if ticket.rank == "bm25":
+                        hits = snapshot.search_bm25(
+                            ticket.text, topk=ticket.topk
+                        )
+                        result = QueryResult(
+                            paths=[hit.path for hit in hits],
+                            generation=snapshot.generation,
+                            elapsed_s=time.perf_counter() - started,
+                            hits=hits,
+                        )
+                    else:
+                        paths = snapshot.search(
+                            ticket.text, parallel=ticket.parallel
+                        )
+                        result = QueryResult(
+                            paths=paths,
+                            generation=snapshot.generation,
+                            elapsed_s=time.perf_counter() - started,
+                        )
+            except BaseException as exc:
+                metrics.counter(f"{self.name}.errors").inc()
+                self._resolve(ticket, error=exc, admitted=True)
+            else:
+                self._resolve(ticket, value=result, admitted=True)
+            with self._lock:
+                self._evaluations += 1
+
+    # -- resolution --------------------------------------------------------
+
+    def _resolve(
+        self,
+        ticket: QueryTicket,
+        value: Optional[QueryResult] = None,
+        error: Optional[BaseException] = None,
+        admitted: bool = False,
+    ) -> None:
+        """Settle a leader and all its followers, exactly once each.
+
+        A follower's :class:`QueryResult` is its own: same paths, hits
+        and generation as the leader's, but ``elapsed_s`` measured from
+        the *follower's* submission and ``coalesced=True``.  Shed
+        resolution (``error`` without ``admitted``) counts each caller
+        on the shed counter exactly once — a ticket that passed
+        single-flight and was then rejected at batch admission has
+        never been counted before this point.
+        """
+        now = time.perf_counter()
+        metrics = obsrec.metrics()
+        callbacks: List[tuple] = []
+        with self._lock:
+            if ticket.key is not None and self.single_flight:
+                self._sync.access(f"{self.name}.inflight-map", write=True)
+                if self._inflight_map.get(ticket.key) is ticket:
+                    del self._inflight_map[ticket.key]
+            party = [ticket] + ticket.followers
+            for waiter in party:
+                if waiter.done:  # pragma: no cover - defensive
+                    continue
+                if error is not None:
+                    waiter.error = error
+                    if isinstance(error, ServiceOverloadedError):
+                        self._shed += 1
+                        metrics.counter(f"{self.name}.shed").inc()
+                elif waiter is ticket:
+                    waiter.value = value
+                else:
+                    waiter.value = QueryResult(
+                        paths=list(value.paths),
+                        generation=value.generation,
+                        elapsed_s=now - waiter.submitted,
+                        hits=value.hits,
+                        coalesced=True,
+                    )
+                waiter.done = True
+                self._served += 1
+                callbacks.extend(
+                    (callback, waiter) for callback in waiter._callbacks
+                )
+                waiter._callbacks = []
+                self._record_sojourn(waiter, now)
+            if admitted:
+                self._inflight -= 1
+                metrics.gauge(f"{self.name}.inflight").set(self._inflight)
+            self._done.notify_all()
+        for callback, waiter in callbacks:
+            callback(waiter)
+
+    def _record_sojourn(self, waiter: QueryTicket, now: float) -> None:
+        """Absorb the caller-visible latency as a ``frontend.query``
+        span, which is what the load harness reads percentiles from."""
+        recorder = obsrec.get_recorder()
+        if not recorder.enabled:
+            return
+        recorder.record_span(
+            f"{self.name}.query",
+            start=waiter.submitted,
+            duration=now - waiter.submitted,
+            rank=waiter.rank,
+            coalesced=waiter.value is not None and waiter.value.coalesced,
+            shed=isinstance(waiter.error, ServiceOverloadedError),
+        )
+
+    def _set_depth_gauge_locked(self, metrics) -> None:
+        metrics.gauge(f"{self.name}.queue_depth").set(
+            len(self._stageq) + len(self._pending) + len(self._evalq)
+        )

@@ -139,6 +139,11 @@ class QueryResult:
     queries additionally carry their scored ``hits``
     (:class:`~repro.query.ranking.RankedHit` entries, score-descending);
     ``paths`` then lists the same documents in hit order.
+
+    ``coalesced`` marks a result delivered by single-flight coalescing
+    (:class:`~repro.service.frontend.AsyncSearchFrontend`): the paths,
+    hits and generation are the leader's evaluation, but ``elapsed_s``
+    is this caller's own wait.
     """
 
     paths: List[str]
@@ -146,6 +151,7 @@ class QueryResult:
     elapsed_s: float = 0.0
     cached: bool = False
     hits: Optional[list] = None
+    coalesced: bool = False
 
     def __len__(self) -> int:
         return len(self.paths)

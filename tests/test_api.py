@@ -187,8 +187,9 @@ class TestServe:
 class TestCuratedTopLevel:
     def test_all_is_exactly_the_curated_api(self):
         assert set(repro.__all__) == {
-            "BuildReport", "FaultPolicy", "InvertedIndex", "QueryEngine",
-            "Search", "SearchService", "ThreadConfig",
+            "AsyncSearchFrontend", "BuildReport", "FaultPolicy",
+            "InvertedIndex", "QueryEngine", "Search", "SearchService",
+            "ThreadConfig",
         }
 
     def test_curated_names_import_silently(self):

@@ -119,6 +119,51 @@ class TestServe:
                      "--queries", query_file(tmp_path, ["x"])]) == 2
         assert main(["serve", corpus_dir, "--workers", "0",
                      "--queries", query_file(tmp_path, ["x"])]) == 2
+        assert main(["serve", corpus_dir, "--batch-window", "-0.1",
+                     "--queries", query_file(tmp_path, ["x"])]) == 2
+
+
+class TestServeAsync:
+    def test_async_answers_match_sync_and_coalesces(
+        self, corpus_dir, tmp_path, capsys
+    ):
+        term = a_term(corpus_dir)
+        queries = query_file(tmp_path, [term, term, term, "zz9"])
+        assert main(["serve", corpus_dir, "--queries", queries]) == 0
+        sync_out = capsys.readouterr().out
+        assert main(["serve", corpus_dir, "--async", "--batch-window",
+                     "0.01", "--queries", queries]) == 0
+        captured = capsys.readouterr()
+        # Result-transparent: the async stream prints the same answers
+        # in the same order as the plain service.
+        assert captured.out == sync_out
+        assert "-- frontend:" in captured.err
+        # 3 identical in-flight queries coalesce onto <= 2 evaluations.
+        coalesced = int(
+            captured.err.split("coalesced")[0].split()[-1]
+        )
+        assert coalesced >= 1
+
+    def test_no_single_flight_evaluates_everything(
+        self, corpus_dir, tmp_path, capsys
+    ):
+        term = a_term(corpus_dir)
+        queries = query_file(tmp_path, [term, term, term])
+        assert main(["serve", corpus_dir, "--async", "--no-single-flight",
+                     "--queries", queries]) == 0
+        err = capsys.readouterr().err
+        assert "0 coalesced" in err
+        assert "3 evaluation(s)" in err
+
+    def test_async_parse_error_reported_not_fatal(
+        self, corpus_dir, tmp_path, capsys
+    ):
+        queries = query_file(tmp_path, ["AND AND", "zz9"])
+        assert main(["serve", corpus_dir, "--async",
+                     "--queries", queries]) == 1
+        captured = capsys.readouterr()
+        assert "error: AND AND" in captured.err
+        assert "[gen 0] zz9" in captured.out  # the stream continued
 
 
 class TestWatchOnlyOnServe:

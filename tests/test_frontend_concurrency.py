@@ -1,0 +1,294 @@
+"""Interleaving-level guarantees of the async query front end.
+
+Mirrors ``test_service_concurrency.py`` one layer up.  The claims
+under test: the coalescing map and batch queue are race-free, a
+snapshot swap during an in-flight batch never tears a result, and
+``close()`` under load resolves every accepted ticket deterministically
+— completed, or :class:`ServiceOverloadedError` — never a hang.
+
+Four layers of evidence:
+
+1. a deterministic schedule sweep — the frontend takes every lock,
+   condition and thread from an
+   :class:`~repro.schedcheck.sync.InstrumentedSyncProvider`; submitters
+   race a publisher across random-walk and PCT schedules and (a) every
+   result matches exactly one generation and (b) the race detector
+   finds nothing on the frontend's seams;
+2. a record-mode run proving those seams (``frontend.inflight-map``,
+   ``frontend.batch-queue``, ``service.snapshot``) actually reach the
+   tracer — the sweep's silence is informed silence;
+3. a mutation run with the snapshot lock broken that *does* race on
+   the swap seam the batcher's one-pointer-load-per-batch depends on.
+   (The frontend's own state lock cannot be no-op'd this way: its four
+   conditions are built on it, and a condition over a no-op lock is
+   structurally invalid rather than racy);
+4. drain-correctness sweeps — ``close(drain=True/False)`` races the
+   submitters under the deterministic scheduler (no sleeps): queued,
+   coalesced-waiter and mid-batch tickets all resolve, with exactly
+   the contract's outcome split.
+
+A real-thread stress run closes the loop at OS speed.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.index.inverted import InvertedIndex
+from repro.schedcheck import (
+    CooperativeScheduler,
+    InstrumentedSyncProvider,
+    Tracer,
+    UnlockedSyncProvider,
+    find_races,
+    make_strategy,
+)
+from repro.service import (
+    AsyncSearchFrontend,
+    IndexSnapshot,
+    SearchService,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.text.termblock import TermBlock
+
+
+def index_for(generation: int) -> InvertedIndex:
+    index = InvertedIndex()
+    index.add_block(
+        TermBlock(f"gen{generation}.txt", ("probe", f"g{generation}"))
+    )
+    return index
+
+
+#: what a query against generation g must return — and nothing else.
+EXPECTED = {g: [f"gen{g}.txt"] for g in range(8)}
+
+
+def make_stack(provider, max_inflight: int = 8):
+    service = SearchService(
+        IndexSnapshot(index_for(0)),
+        workers=1,
+        max_inflight=max_inflight,
+        sync=provider,
+    )
+    frontend = AsyncSearchFrontend(
+        service,
+        batch_window=0.0,
+        workers=1,
+        stage_workers=1,
+        max_inflight=max_inflight,
+        own_service=True,
+        sync=provider,
+    )
+    return frontend, service
+
+
+def frontend_scenario(provider):
+    """Duplicate submitters race a publisher swapping generations.
+
+    Every result must pair one published generation with exactly that
+    generation's paths — a batch that pinned a half-swapped snapshot,
+    or a follower handed a result from a different key, fails here.
+    """
+    frontend, service = make_stack(provider)
+    outcomes = []
+
+    def submitter() -> None:
+        tickets = [frontend.submit("probe") for _ in range(2)]
+        outcomes.extend(ticket.result() for ticket in tickets)
+
+    def publisher() -> None:
+        for generation in (1, 2):
+            service.publish(index_for(generation))
+
+    threads = [
+        provider.thread(submitter, name="submit-a"),
+        provider.thread(submitter, name="submit-b"),
+        provider.thread(publisher, name="publisher"),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    frontend.close()
+
+    assert len(outcomes) == 4
+    for result in outcomes:
+        assert result.paths == EXPECTED[result.generation]
+    stats = frontend.stats()
+    assert stats["frontend.served"] == 4
+    assert stats["frontend.evaluations"] + stats["frontend.coalesced"] == 4
+    return frontend
+
+
+def drain_scenario(provider, drain: bool):
+    """``close(drain=...)`` races two submitters mid-burst.
+
+    The contract: every *accepted* ticket resolves — with a result
+    when draining (nothing was over budget here), with a result or
+    ``ServiceOverloadedError`` when not draining — and every rejected
+    submit raised ``ServiceClosedError``.  No third outcome, no hang.
+    """
+    frontend, _service = make_stack(provider)
+    accepted = []
+    closed_out = []
+
+    def submitter(texts) -> None:
+        for text in texts:
+            try:
+                accepted.append(frontend.submit(text))
+            except ServiceClosedError:
+                closed_out.append(text)
+
+    threads = [
+        # Same answer at every generation, three distinct cache keys —
+        # so schedules produce queued, coalesced and mid-batch tickets.
+        provider.thread(
+            submitter,
+            args=(("probe", "probe", "probe AND probe"),),
+            name="submit-a",
+        ),
+        provider.thread(
+            submitter,
+            args=(("probe", "probe OR probe", "probe AND probe"),),
+            name="submit-b",
+        ),
+    ]
+    for thread in threads:
+        thread.start()
+    # Deliberately NOT joined first: close lands somewhere inside the
+    # bursts, catching tickets queued, coalesced and mid-batch.
+    frontend.close(drain=drain)
+    for thread in threads:
+        thread.join()
+
+    assert len(accepted) + len(closed_out) == 6
+    for ticket in accepted:
+        assert ticket.done  # close() resolved everything it accepted
+        if ticket.error is not None:
+            assert isinstance(ticket.error, ServiceOverloadedError)
+            assert not drain  # draining close never sheds
+        else:
+            assert ticket.value.paths == EXPECTED[ticket.value.generation]
+    stats = frontend.stats()
+    assert stats["frontend.served"] == len(accepted)
+    completed = sum(1 for t in accepted if t.error is None)
+    assert completed + stats["frontend.shed"] == len(accepted)
+    return frontend
+
+
+class TestScheduleSweep:
+    @pytest.mark.parametrize("strategy", ("random", "pct"))
+    @pytest.mark.parametrize("seed", range(4))
+    def test_no_torn_results_and_no_races(self, strategy, seed):
+        tracer = Tracer()
+        scheduler = CooperativeScheduler(make_strategy(strategy, seed))
+        provider = InstrumentedSyncProvider(tracer=tracer,
+                                            scheduler=scheduler)
+        provider.run(lambda: frontend_scenario(provider))
+        assert find_races(tracer) == []
+
+    def test_record_mode_sees_the_frontend_seams(self):
+        tracer = Tracer()
+        provider = InstrumentedSyncProvider(tracer=tracer)
+        provider.run(lambda: frontend_scenario(provider))
+        locations = {access.location for access in tracer.accesses}
+        assert "frontend.inflight-map" in locations
+        assert "frontend.batch-queue" in locations
+        assert "service.snapshot" in locations
+        map_writes = [
+            a for a in tracer.accesses
+            if a.location == "frontend.inflight-map" and a.write
+        ]
+        assert map_writes  # registrations and removals reach the tracer
+
+    def test_broken_snapshot_lock_is_caught(self):
+        # Mutation self-test: strip the lock under the one-pointer-load
+        # seam the batcher depends on; the detector must report a race
+        # there in at least one schedule (or the oracle must trip).
+        for seed in range(8):
+            tracer = Tracer()
+            scheduler = CooperativeScheduler(make_strategy("random", seed))
+            provider = UnlockedSyncProvider(
+                tracer=tracer,
+                scheduler=scheduler,
+                break_locks=("service.snapshot-lock",),
+            )
+            try:
+                provider.run(lambda: frontend_scenario(provider))
+            except AssertionError:
+                return  # a genuinely torn result surfacing also counts
+            races = find_races(tracer)
+            if any("service.snapshot" in race.location for race in races):
+                return
+        pytest.fail("no schedule exposed the broken snapshot lock")
+
+
+class TestDrainCorrectness:
+    @pytest.mark.parametrize("strategy", ("random", "pct"))
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("drain", (True, False))
+    def test_close_under_load_resolves_every_ticket(
+        self, strategy, seed, drain
+    ):
+        tracer = Tracer()
+        scheduler = CooperativeScheduler(make_strategy(strategy, seed))
+        provider = InstrumentedSyncProvider(tracer=tracer,
+                                            scheduler=scheduler)
+        provider.run(lambda: drain_scenario(provider, drain))
+        assert find_races(tracer) == []
+
+
+class TestRealThreadStress:
+    SUBMITTERS = 4
+    QUERIES = 25
+    REFRESHES = 4
+
+    def test_coalescing_under_publishes_at_os_speed(self):
+        service = SearchService(
+            IndexSnapshot(index_for(0)), workers=1, max_inflight=64
+        )
+        frontend = AsyncSearchFrontend(
+            service, workers=2, max_inflight=64, own_service=True
+        )
+        start = threading.Barrier(self.SUBMITTERS + 1)
+        mismatches = []
+        errors = []
+
+        def submitter() -> None:
+            start.wait()
+            try:
+                for _ in range(self.QUERIES):
+                    result = frontend.query("probe")
+                    if result.paths != EXPECTED[result.generation]:
+                        mismatches.append(result)
+            except BaseException as exc:  # pragma: no cover - on failure
+                errors.append(exc)
+
+        def publisher() -> None:
+            start.wait()
+            try:
+                for generation in range(1, self.REFRESHES + 1):
+                    service.publish(index_for(generation))
+            except BaseException as exc:  # pragma: no cover - on failure
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=submitter)
+            for _ in range(self.SUBMITTERS)
+        ]
+        threads.append(threading.Thread(target=publisher))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        frontend.close()
+
+        assert errors == []
+        assert mismatches == []
+        stats = frontend.stats()
+        assert stats["frontend.served"] == self.SUBMITTERS * self.QUERIES
+        assert stats["frontend.shed"] == 0

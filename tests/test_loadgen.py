@@ -1,0 +1,122 @@
+"""Unit tests for the open-loop load generator.
+
+The measurement tool gets measured: the Poisson schedule must be
+seed-deterministic (both stacks replay identical arrivals), the
+percentile math exact, the accounting conserved (completed + shed +
+errors == issued), and the ``loadgen.query`` obs spans must reproduce
+the driver's own percentiles — the cross-check the benchmark asserts.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.index.inverted import InvertedIndex
+from repro.obs import recorder as obsrec
+from repro.service import (
+    AsyncSearchFrontend,
+    IndexSnapshot,
+    OpenLoopLoadGenerator,
+    QuerySpec,
+    SearchService,
+)
+from repro.service.loadgen import percentile, summarize_spans
+from repro.text.termblock import TermBlock
+
+SPECS = [QuerySpec("alpha"), QuerySpec("alpha AND bravo"), QuerySpec("bravo")]
+
+
+def tiny_snapshot() -> IndexSnapshot:
+    index = InvertedIndex()
+    index.add_block(TermBlock("doc.txt", ("alpha", "bravo")))
+    index.add_block(TermBlock("other.txt", ("bravo",)))
+    return IndexSnapshot(index)
+
+
+class TestPercentile:
+    def test_exact_interpolation(self):
+        values = list(range(1, 101))
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 100
+        assert percentile(values, 50) == pytest.approx(50.5)
+        assert percentile([7.0], 99) == 7.0
+
+    def test_empty_is_nan_and_bounds_raise(self):
+        assert math.isnan(percentile([], 50))
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestSchedule:
+    def test_same_seed_same_arrivals(self):
+        a = OpenLoopLoadGenerator(SPECS, offered_qps=500, duration_s=0.5,
+                                  seed=42)
+        b = OpenLoopLoadGenerator(SPECS, offered_qps=500, duration_s=0.5,
+                                  seed=42)
+        assert a.arrivals == b.arrivals
+        assert all(arrival.at < 0.5 for arrival in a.arrivals)
+        # ~500 qps x 0.5 s: a Poisson count far from 0 and far from 2x.
+        assert 150 < len(a.arrivals) < 450
+
+    def test_different_seed_different_arrivals(self):
+        a = OpenLoopLoadGenerator(SPECS, offered_qps=500, duration_s=0.5,
+                                  seed=1)
+        b = OpenLoopLoadGenerator(SPECS, offered_qps=500, duration_s=0.5,
+                                  seed=2)
+        assert a.arrivals != b.arrivals
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OpenLoopLoadGenerator([], offered_qps=10, duration_s=1)
+        with pytest.raises(ValueError):
+            OpenLoopLoadGenerator(SPECS, offered_qps=0, duration_s=1)
+        with pytest.raises(ValueError):
+            OpenLoopLoadGenerator(SPECS, offered_qps=10, duration_s=1,
+                                  warmup_s=1.0)
+
+
+class TestDrivers:
+    @pytest.fixture(autouse=True)
+    def fresh_recorder(self):
+        previous = obsrec.set_recorder(obsrec.Recorder(enabled=True))
+        yield
+        obsrec.set_recorder(previous)
+
+    def test_frontend_driver_accounting_and_span_crosscheck(self):
+        generator = OpenLoopLoadGenerator(
+            SPECS, offered_qps=400, duration_s=0.3, warmup_s=0.1, seed=3
+        )
+        service = SearchService(tiny_snapshot(), workers=1, max_inflight=32)
+        frontend = AsyncSearchFrontend(service, workers=1, own_service=True)
+        try:
+            result = generator.run_frontend(frontend)
+        finally:
+            frontend.close()
+        assert result.issued == len(generator.arrivals)
+        assert result.completed + result.shed + result.errors == result.issued
+        assert result.errors == 0
+        assert 0 < result.measured <= result.issued
+        assert math.isfinite(result.p99_ms) and result.p99_ms > 0
+        spans = summarize_spans(
+            obsrec.get_recorder().spans, label="frontend"
+        )
+        assert spans["count"] == result.measured
+        assert math.isclose(spans["p95_ms"], result.p95_ms, rel_tol=1e-9)
+
+    def test_service_driver_accounting(self):
+        generator = OpenLoopLoadGenerator(
+            SPECS, offered_qps=400, duration_s=0.3, warmup_s=0.1, seed=3
+        )
+        service = SearchService(tiny_snapshot(), workers=1, max_inflight=32)
+        try:
+            result = generator.run_service(service, workers=4)
+        finally:
+            service.close()
+        assert result.issued == len(generator.arrivals)
+        assert result.completed + result.shed + result.errors == result.issued
+        assert result.errors == 0
+        digest = result.to_dict()
+        assert digest["label"] == "service"
+        assert digest["issued"] == result.issued
