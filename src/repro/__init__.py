@@ -43,6 +43,7 @@ from repro.index.inverted import InvertedIndex
 from repro.query.evaluator import QueryEngine
 from repro.service.frontend import AsyncSearchFrontend
 from repro.service.service import SearchService
+from repro.service.sharded import ScatterGatherBroker, ShardDeadError
 
 #: The curated public API.  Everything else that used to live at the
 #: top level still resolves via ``__getattr__`` with a
@@ -53,8 +54,10 @@ __all__ = [
     "FaultPolicy",
     "InvertedIndex",
     "QueryEngine",
+    "ScatterGatherBroker",
     "Search",
     "SearchService",
+    "ShardDeadError",
     "ThreadConfig",
 ]
 

@@ -521,6 +521,79 @@ class Search:
             sync=sync if sync is not None else self._sync,
         )
 
+    def serve_sharded(
+        self,
+        shards: int = 2,
+        replicas: int = 1,
+        strategy: str = "roundrobin",
+        partial: str = "degrade",
+        workers: int = 1,
+        max_inflight: int = 32,
+        shed: str = "reject",
+        bm25: bool = False,
+        backend: str = "local",
+        ridx2_dir: Optional[str] = None,
+        sync=None,
+    ):
+        """Document-partitioned serving: N shards behind a
+        scatter-gather broker.
+
+        The corpus is partitioned by document (``strategy`` picks the
+        ``distribute/`` partitioner: ``"roundrobin"`` or
+        ``"sizebalanced"``), each shard serves its slice from its own
+        :class:`~repro.service.service.SearchService` (× ``replicas``
+        for failover/throughput), and the returned
+        :class:`~repro.service.sharded.ScatterGatherBroker` fans every
+        query out and merges: boolean results byte-identical to the
+        unsharded engine, BM25 a heap-merge over shard-local statistics
+        (``docs/sharded.md`` has the scoring contract).  ``partial``
+        picks the dead-shard policy (``"degrade"`` answers from live
+        shards with a ``shards_ok/shards_total`` health tuple;
+        ``"fail"`` raises).  ``bm25=True`` builds the per-shard
+        frequency sidecars (needs the session's filesystem) so
+        ``rank="bm25"`` works.  ``backend="process"`` spawns one OS
+        process per replica serving RIDX2 off mmap (``ridx2_dir``
+        defaults to a temp directory); ``backend="local"`` keeps shards
+        in-process (in-memory, or off mmap when ``ridx2_dir`` is set).
+
+        The sharded topology is immutable — built from this session's
+        current state; rebuild and re-serve to pick up changes.  For
+        coalescing *before* fan-out, seat a frontend on the broker:
+        ``AsyncSearchFrontend(broker, own_service=True)``.
+        """
+        from repro.query.ranking import FrequencyIndex
+        from repro.service.sharded import build_sharded_service
+
+        frequencies = None
+        if bm25:
+            fs = self._require_fs("serve sharded BM25 (frequency sidecar)")
+            frequencies = FrequencyIndex.from_fs(
+                fs,
+                tokenizer=self._tokenizer,
+                registry=self._registry,
+                root=self._root,
+            )
+        if backend == "process" and ridx2_dir is None:
+            import tempfile
+
+            ridx2_dir = tempfile.mkdtemp(prefix="repro-shards-")
+        return build_sharded_service(
+            self.index,
+            self._segmented.manifest.live_paths(),
+            shards=shards,
+            replicas=replicas,
+            strategy=strategy,
+            partial=partial,
+            frequencies=frequencies,
+            workers=workers,
+            max_inflight=max_inflight,
+            shed=shed,
+            sync=sync if sync is not None else self._sync,
+            generation=self._generation,
+            ridx2_dir=ridx2_dir,
+            backend=backend,
+        )
+
     # -- internals --------------------------------------------------------
 
     def _make_engine(self) -> QueryEngine:

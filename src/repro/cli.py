@@ -223,6 +223,28 @@ def _build_parser() -> argparse.ArgumentParser:
                    action="store_false",
                    help="with --async: evaluate every query, even "
                    "duplicates")
+    p.add_argument("--shards", type=int, default=0, metavar="N",
+                   help="document-partition the corpus across N shard "
+                   "services behind a scatter-gather broker: boolean "
+                   "results merge by set-union, BM25 by a global "
+                   "top-K heap-merge of shard-local scores "
+                   "(incompatible with --watch, --ondisk and "
+                   "--compact-every)")
+    p.add_argument("--replicas", type=int, default=1,
+                   help="with --shards: replicas per shard; the "
+                   "broker rotates to the next replica when one "
+                   "dies (default 1)")
+    p.add_argument("--partial", choices=("degrade", "fail"),
+                   default="degrade",
+                   help="with --shards: once every replica of a "
+                   "shard is dead, answer from the live shards and "
+                   "mark the result degraded (default) or fail the "
+                   "query with a typed error")
+    p.add_argument("--shard-strategy",
+                   choices=("roundrobin", "sizebalanced"),
+                   default="roundrobin",
+                   help="with --shards: how documents are assigned "
+                   "to shards (default roundrobin)")
     _add_observability_args(p)
     p.set_defaults(func=_cmd_serve)
 
@@ -584,7 +606,7 @@ def _drive_async_frontend(frontend, texts, rank="bool", topk=10):
     import asyncio
 
     from repro.query.parser import ParseError
-    from repro.service import ServiceOverloadedError
+    from repro.service import ServiceOverloadedError, ShardDeadError
 
     async def run():
         tasks = [
@@ -597,7 +619,8 @@ def _drive_async_frontend(frontend, texts, rank="bool", topk=10):
         for text, task in zip(texts, tasks):
             try:
                 outcomes.append((text, await task, None))
-            except (ParseError, ServiceOverloadedError, ValueError) as exc:
+            except (ParseError, ServiceOverloadedError, ShardDeadError,
+                    ValueError) as exc:
                 outcomes.append((text, None, exc))
         return outcomes
 
@@ -607,7 +630,7 @@ def _drive_async_frontend(frontend, texts, rank="bool", topk=10):
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.api import Search
     from repro.query.parser import ParseError
-    from repro.service import ServiceOverloadedError
+    from repro.service import ServiceOverloadedError, ShardDeadError
 
     if args.watch is not None and args.watch <= 0:
         print("error: --watch requires a positive interval in seconds",
@@ -624,6 +647,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("error: --batch-window must be non-negative",
               file=sys.stderr)
         return 2
+    if args.shards:
+        if args.shards < 2:
+            print("error: --shards needs at least 2 shards (omit it "
+                  "for a single-service deployment)", file=sys.stderr)
+            return 2
+        if args.replicas < 1:
+            print("error: --replicas must be at least 1",
+                  file=sys.stderr)
+            return 2
+        if args.watch:
+            print("error: --shards serves an immutable document "
+                  "partition; --watch cannot refresh it (rebuild and "
+                  "restart instead)", file=sys.stderr)
+            return 2
+        if args.ondisk:
+            print("error: --shards partitions the in-memory index; "
+                  "--ondisk is the single-file mmap serving path",
+                  file=sys.stderr)
+            return 2
+        if args.compact_every is not None:
+            print("error: --shards serves an immutable document "
+                  "partition; --compact-every cannot restructure it",
+                  file=sys.stderr)
+            return 2
     if args.ondisk:
         if not args.index:
             print("error: --ondisk needs --index pointing at an RIDX2 "
@@ -634,9 +681,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   "--watch cannot refresh it (rebuild and restart "
                   "instead)", file=sys.stderr)
             return 2
-    elif args.rank == "bm25":
+    elif args.rank == "bm25" and not args.shards:
         print("error: --rank bm25 under serve needs --ondisk (BM25 is "
-              "scored from the RIDX2 file's frequencies)", file=sys.stderr)
+              "scored from the RIDX2 file's frequencies) or --shards "
+              "(scored from per-shard frequencies)", file=sys.stderr)
         return 2
     if args.compact_every is not None:
         if args.compact_every <= 0:
@@ -682,12 +730,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             session = Search.open(args.index, source=args.directory)
         else:
             session = Search.build(args.directory)
-        service_cm = session.serve(
-            workers=1 if args.async_frontend else args.workers,
-            max_inflight=args.max_inflight,
-        )
-        print(f"serving {len(session)} file(s) with {args.workers} "
-              f"worker(s)", file=sys.stderr)
+        if args.shards:
+            service_cm = session.serve_sharded(
+                shards=args.shards,
+                replicas=args.replicas,
+                strategy=args.shard_strategy,
+                partial=args.partial,
+                workers=1 if args.async_frontend else args.workers,
+                max_inflight=args.max_inflight,
+                bm25=(args.rank == "bm25"),
+            )
+            print(f"serving {len(session)} file(s) across "
+                  f"{args.shards} shard(s) x {args.replicas} "
+                  f"replica(s), partial={args.partial}",
+                  file=sys.stderr)
+        else:
+            service_cm = session.serve(
+                workers=1 if args.async_frontend else args.workers,
+                max_inflight=args.max_inflight,
+            )
+            print(f"serving {len(session)} file(s) with {args.workers} "
+                  f"worker(s)", file=sys.stderr)
 
     stream = (
         open(args.queries, "r", encoding="utf-8")
@@ -750,7 +813,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         try:
                             outcomes.append((text, run_one(text), None))
                         except (ParseError, ServiceOverloadedError,
-                                ValueError) as exc:
+                                ShardDeadError, ValueError) as exc:
                             outcomes.append((text, None, exc))
                 for text, result, error in outcomes:
                     if error is not None:
@@ -765,9 +828,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 if stream is not sys.stdin:
                     stream.close()
         stats = service.stats()
-        print(f"-- served {served} query(ies), {failed} failed; "
-              f"generation {stats['service.generation']:.0f}, "
-              f"shed {stats['service.shed']:.0f}", file=sys.stderr)
+        if args.shards:
+            print(f"-- served {served} query(ies), {failed} failed; "
+                  f"shards {stats['broker.shards_ok']:.0f}/"
+                  f"{stats['broker.shards_total']:.0f} alive, "
+                  f"{stats['broker.degraded']:.0f} degraded, "
+                  f"{stats['broker.shed']:.0f} shed, "
+                  f"{stats['broker.failed']:.0f} dead-shard "
+                  f"failure(s)", file=sys.stderr)
+        else:
+            print(f"-- served {served} query(ies), {failed} failed; "
+                  f"generation {stats['service.generation']:.0f}, "
+                  f"shed {stats['service.shed']:.0f}", file=sys.stderr)
         if frontend is not None:
             fstats = frontend.stats()
             print(f"-- frontend: {fstats['frontend.batches']:.0f} "

@@ -3,7 +3,7 @@
 Desktop-search users repeat queries (retyping, paging, live-search
 keystrokes), and the index between refreshes is immutable — ideal
 caching conditions.  :class:`QueryCache` is a from-scratch LRU keyed by
-(normalized query, parallel flag, ranking mode, top-K);
+(normalized query, parallel flag, ranking mode, top-K, topology scope);
 :class:`CachingQueryEngine` wraps a
 :class:`~repro.query.evaluator.QueryEngine` with it and exposes
 :meth:`~CachingQueryEngine.invalidate` for the moment the index changes
@@ -37,10 +37,16 @@ from repro.query.evaluator import QueryEngine
 from repro.query.optimizer import optimize
 from repro.query.parser import parse_query
 
-#: Cache key: (normalized query, parallel flag, ranking mode, top-K).
-#: Boolean lookups use mode ``"bool"`` with ``topk=None``; BM25 lookups
-#: use mode ``"bm25"`` with their K, so the two can never collide.
-CacheKey = Tuple[str, bool, str, Optional[int]]
+#: Cache key: (normalized query, parallel flag, ranking mode, top-K,
+#: topology scope).  Boolean lookups use mode ``"bool"`` with
+#: ``topk=None``; BM25 lookups use mode ``"bm25"`` with their K, so the
+#: two can never collide.  ``scope`` names the serving topology the
+#: result came from (``None`` for a single unsharded engine,
+#: ``"shards=N"`` for a scatter-gather broker over N shards): sharded
+#: BM25 scores use shard-local statistics, so a 3-shard top-K is *not*
+#: the same value as an unsharded or 5-shard one and must never be
+#: served across topologies.
+CacheKey = Tuple[str, bool, str, Optional[int], Optional[str]]
 
 
 def cache_key(
@@ -48,9 +54,10 @@ def cache_key(
     parallel: bool,
     mode: str = "bool",
     topk: Optional[int] = None,
+    scope: Optional[str] = None,
 ) -> CacheKey:
     """The canonical cache key for one lookup."""
-    return (normalized, parallel, mode, topk)
+    return (normalized, parallel, mode, topk, scope)
 
 
 def normalize_query(query_text: str) -> str:

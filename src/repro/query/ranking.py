@@ -84,6 +84,30 @@ class FrequencyIndex:
         """Total term occurrences in ``path``."""
         return self._document_lengths.get(path, 0)
 
+    def subset(self, keep) -> "FrequencyIndex":
+        """A new frequency index restricted to documents in ``keep``.
+
+        Exact decomposition for document-partitioned sharding: the
+        per-(term, path) counts and per-document lengths are copied for
+        kept paths only, so the shard's ``df``/``avgdl``/``N`` become
+        genuinely *shard-local* statistics — which is what the
+        distributed BM25 scoring contract (``docs/sharded.md``) scores
+        with.  ``keep`` is any ``in``-supporting container (use a set).
+        """
+        sub = FrequencyIndex()
+        for term, per_doc in self._counts.items():
+            kept = {
+                path: count
+                for path, count in per_doc.items()
+                if path in keep
+            }
+            if kept:
+                sub._counts[term] = kept
+        for path, length in self._document_lengths.items():
+            if path in keep:
+                sub._document_lengths[path] = length
+        return sub
+
     @classmethod
     def from_fs(cls, fs, tokenizer: Optional[Tokenizer] = None,
                 registry=None, root: str = "") -> "FrequencyIndex":

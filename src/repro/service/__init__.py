@@ -28,10 +28,19 @@ changing.  This package is that layer, in the mould of the query-broker
   with one snapshot load and one queue transaction, and an asyncio
   face keeps thousands of queries in flight from one event loop.  The
   open-loop load harness in :mod:`repro.service.loadgen` measures its
-  tail latency (``BENCH_serving_latency.json``).
+  tail latency (``BENCH_serving_latency.json``);
+* :class:`~repro.service.sharded.ScatterGatherBroker` — document-
+  partitioned scaling: N shards (each a ``SearchService`` over its own
+  per-shard snapshot, in-process or one OS process each via
+  :mod:`repro.service.shardproc`) behind a broker that scatters every
+  query, gathers, and merges — sorted set-union for boolean results, a
+  shard-local-statistics BM25 heap-merge for ranked ones — with
+  replica failover and ``partial=fail|degrade`` dead-shard policies
+  (``docs/sharded.md``).
 
-The one-liner front doors are :meth:`repro.api.Search.serve` and
-:meth:`repro.api.Search.serve_async`.
+The one-liner front doors are :meth:`repro.api.Search.serve`,
+:meth:`repro.api.Search.serve_async` and
+:meth:`repro.api.Search.serve_sharded`.
 """
 
 from repro.service.snapshot import IndexSnapshot, QueryResult
@@ -48,18 +57,36 @@ from repro.service.loadgen import (
     OpenLoopLoadGenerator,
     QuerySpec,
 )
+from repro.service.sharded import (
+    PARTIAL_POLICIES,
+    SHARD_STRATEGIES,
+    ScatterGatherBroker,
+    ShardDeadError,
+    ShardGroup,
+    build_sharded_service,
+    local_broker,
+    shard_snapshots,
+)
 
 __all__ = [
     "AsyncSearchFrontend",
     "IndexSnapshot",
     "LoadRunResult",
     "OpenLoopLoadGenerator",
+    "PARTIAL_POLICIES",
     "QueryResult",
     "QuerySpec",
     "QueryTicket",
     "RefreshOutcome",
+    "SHARD_STRATEGIES",
     "SHED_POLICIES",
+    "ScatterGatherBroker",
     "SearchService",
     "ServiceClosedError",
     "ServiceOverloadedError",
+    "ShardDeadError",
+    "ShardGroup",
+    "build_sharded_service",
+    "local_broker",
+    "shard_snapshots",
 ]

@@ -378,11 +378,17 @@ class AsyncSearchFrontend:
                 with obsrec.span(f"{self.name}.parse"):
                     normalized = normalize_query(ticket.text)
                 with obsrec.span(f"{self.name}.plan"):
+                    # The topology scope keeps keys from crossing
+                    # serving topologies: a sharded BM25 result (scored
+                    # with shard-local statistics) must never satisfy an
+                    # unsharded waiter or one from a different shard
+                    # count.  Unsharded services expose no scope (None).
                     ticket.key = cache_key(
                         normalized,
                         ticket.parallel,
                         ticket.rank,
                         ticket.topk if ticket.rank == "bm25" else None,
+                        getattr(self.service, "cache_scope", None),
                     )
             except Exception as exc:  # ParseError etc. → the caller
                 with self._lock:
@@ -506,6 +512,10 @@ class AsyncSearchFrontend:
                             generation=snapshot.generation,
                             elapsed_s=time.perf_counter() - started,
                             hits=hits,
+                            shards_ok=getattr(hits, "shards_ok", None),
+                            shards_total=getattr(
+                                hits, "shards_total", None
+                            ),
                         )
                     else:
                         paths = snapshot.search(
@@ -515,6 +525,10 @@ class AsyncSearchFrontend:
                             paths=paths,
                             generation=snapshot.generation,
                             elapsed_s=time.perf_counter() - started,
+                            shards_ok=getattr(paths, "shards_ok", None),
+                            shards_total=getattr(
+                                paths, "shards_total", None
+                            ),
                         )
             except BaseException as exc:
                 metrics.counter(f"{self.name}.errors").inc()
@@ -569,6 +583,8 @@ class AsyncSearchFrontend:
                         elapsed_s=now - waiter.submitted,
                         hits=value.hits,
                         coalesced=True,
+                        shards_ok=value.shards_ok,
+                        shards_total=value.shards_total,
                     )
                 waiter.done = True
                 self._served += 1

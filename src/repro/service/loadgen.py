@@ -122,8 +122,39 @@ class LoadRunResult:
     max_queue_depth: float = 0.0
     latencies_ms: List[float] = field(default_factory=list, repr=False)
 
+    def require_measured(self, minimum: int = 1) -> "LoadRunResult":
+        """Fail loudly when the run measured too few completions.
+
+        An empty latency set turns every percentile NaN;
+        ``round(nan)`` then writes literal ``NaN`` tokens into a
+        ``BENCH_*.json`` digest — which is not JSON, and silently
+        poisons any downstream comparison.  Benchmark and smoke drivers
+        call this before serializing so a misconfigured run (warmup
+        longer than the duration, a service shedding 100 %, a wedged
+        frontend) aborts with a message instead.  Returns ``self`` for
+        chaining.
+        """
+        if self.measured < minimum:
+            raise ValueError(
+                f"{self.label}: only {self.measured} measured "
+                f"completions (need >= {minimum}); issued={self.issued} "
+                f"shed={self.shed} errors={self.errors} — percentiles "
+                "would be NaN"
+            )
+        return self
+
     def to_dict(self) -> Dict[str, float]:
-        """The JSON-ready digest (raw samples excluded)."""
+        """The JSON-ready digest (raw samples excluded).
+
+        Latency fields that were never measured (NaN) are emitted as
+        ``None`` — JSON's ``null`` — never as a bare ``NaN`` token,
+        which ``json.dumps`` would happily produce and no strict parser
+        would accept.
+        """
+
+        def _ms(value: float, digits: int) -> Optional[float]:
+            return None if math.isnan(value) else round(value, digits)
+
         return {
             "label": self.label,
             "offered_qps": round(self.offered_qps, 3),
@@ -135,11 +166,11 @@ class LoadRunResult:
             "shed": self.shed,
             "errors": self.errors,
             "coalesced": self.coalesced,
-            "p50_ms": round(self.p50_ms, 4),
-            "p95_ms": round(self.p95_ms, 4),
-            "p99_ms": round(self.p99_ms, 4),
-            "mean_ms": round(self.mean_ms, 4),
-            "max_ms": round(self.max_ms, 4),
+            "p50_ms": _ms(self.p50_ms, 4),
+            "p95_ms": _ms(self.p95_ms, 4),
+            "p99_ms": _ms(self.p99_ms, 4),
+            "mean_ms": _ms(self.mean_ms, 4),
+            "max_ms": _ms(self.max_ms, 4),
             "shed_rate": round(self.shed_rate, 4),
             "throughput_qps": round(self.throughput_qps, 3),
             "max_queue_depth": self.max_queue_depth,
@@ -408,6 +439,12 @@ class OpenLoopLoadGenerator:
         if gauge is not None and hasattr(gauge, "max"):
             result.max_queue_depth = gauge.max
         return result
+
+
+def format_ms(value: float) -> str:
+    """A latency for a human footer: ``"n/a"`` when nothing was
+    measured, never the string ``"nan"``."""
+    return "n/a" if math.isnan(value) else f"{value:.2f}"
 
 
 def summarize_spans(

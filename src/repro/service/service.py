@@ -200,6 +200,14 @@ class SearchService:
                     if self._closing:
                         raise ServiceClosedError(f"{self.name} is shut down")
                     self._done.wait()
+                # Re-check after the slot wait: close() may have begun
+                # while we were blocked, and the workers only drain jobs
+                # enqueued *before* shutdown.  Enqueueing now would hang
+                # this caller forever (nothing would ever run the job).
+                # A blocked-then-admitted (or blocked-then-closed) query
+                # is never counted as shed: it was never rejected.
+                if self._closing:
+                    raise ServiceClosedError(f"{self.name} is shut down")
             job = _Job(query_text, parallel, rank=rank, topk=topk)
             self._queue.append(job)
             self._inflight += 1
@@ -293,13 +301,36 @@ class SearchService:
 
     # -- lifecycle --------------------------------------------------------
 
-    def close(self) -> None:
-        """Graceful shutdown: stop admission, drain, join the pool."""
+    def close(self, drain: bool = True) -> None:
+        """Graceful shutdown: stop admission, settle the queue, join.
+
+        ``drain=True`` (default) lets the workers finish every accepted
+        query.  ``drain=False`` shortcuts the queue: accepted jobs that
+        no worker has started yet are settled immediately with
+        :class:`ServiceOverloadedError` (each counted on the shed
+        counter exactly once); jobs already executing still complete.
+        Either way callers blocked on admission (``shed="block"``) are
+        woken and raise :class:`ServiceClosedError` — close never
+        leaves a waiter hanging.
+        """
+        metrics = obsrec.metrics()
         with self._lock:
             if self._closing:
                 return
             self._closing = True
             self._watch_stop = True
+            if not drain:
+                while self._queue:
+                    job = self._queue.popleft()
+                    job.error = ServiceOverloadedError(
+                        f"{self.name}: shed at close(drain=False)"
+                    )
+                    job.done = True
+                    self._inflight -= 1
+                    self._shed_count += 1
+                    metrics.counter(f"{self.name}.shed").inc()
+                metrics.gauge(f"{self.name}.queue_depth").set(0)
+                metrics.gauge(f"{self.name}.inflight").set(self._inflight)
             self._work.notify_all()
             self._done.notify_all()
             self._watch_cond.notify_all()

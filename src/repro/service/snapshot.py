@@ -144,6 +144,14 @@ class QueryResult:
     (:class:`~repro.service.frontend.AsyncSearchFrontend`): the paths,
     hits and generation are the leader's evaluation, but ``elapsed_s``
     is this caller's own wait.
+
+    ``shards_ok``/``shards_total`` are the health tuple of a
+    scatter-gathered result
+    (:class:`~repro.service.sharded.ScatterGatherBroker`): how many
+    shards answered out of how many exist.  ``shards_ok <
+    shards_total`` marks a *degraded* result — correct over the live
+    shards' documents, silent about the dead ones' (``partial=
+    "degrade"``).  Both are ``None`` for unsharded results.
     """
 
     paths: List[str]
@@ -152,6 +160,17 @@ class QueryResult:
     cached: bool = False
     hits: Optional[list] = None
     coalesced: bool = False
+    shards_ok: Optional[int] = None
+    shards_total: Optional[int] = None
+
+    @property
+    def degraded(self) -> bool:
+        """True when some shards were dead at evaluation time."""
+        return (
+            self.shards_ok is not None
+            and self.shards_total is not None
+            and self.shards_ok < self.shards_total
+        )
 
     def __len__(self) -> int:
         return len(self.paths)

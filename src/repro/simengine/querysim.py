@@ -100,6 +100,9 @@ class QuerySimulation:
     HASH_PROBE_FRACTION = 2.0  # in units of one posting's touch cost
     #: Per-posting cost of merging partial result lists.
     MERGE_FRACTION = 0.25
+    #: Per-shard dispatch overhead the scatter-gather broker pays, in
+    #: hash-probe units (request marshalling + response handling).
+    SCATTER_FRACTION = 1.0
 
     def __init__(
         self,
@@ -231,4 +234,83 @@ class QuerySimulation:
             mode: [self.run(mode, workers, replicas)
                    for workers in workers_list]
             for mode in MODES
+        }
+
+    # -- document-partitioned serving (the scatter-gather broker) ----------
+
+    def run_doc_sharded(self, workers: int, shards: int) -> QueryServiceResult:
+        """Document-partitioned scatter-gather serving.
+
+        The serving-side topology of ``repro.service.sharded``: every
+        query is scattered to ``shards`` document partitions, each
+        probing ~1/``shards`` of every term's postings concurrently,
+        and the broker pays a per-shard dispatch cost on scatter plus
+        a per-posting merge on gather.  Structurally this is
+        ``replicas-parallel`` with the fan-out overhead made explicit
+        — which is exactly why the broker's win shrinks as shard
+        count outgrows the live query volume.  ``mode`` in the result
+        is ``"doc-sharded"`` (not a member of the pinned :data:`MODES`
+        tuple) and ``replicas`` records the shard count.
+        """
+        if workers < 1 or shards < 1:
+            raise ValueError("workers and shards must be positive")
+
+        kernel = Kernel()
+        cpu = kernel.resource("cpu", total_rate=float(self.platform.cores),
+                              per_job_cap=1.0)
+        queue = SimBuffer("queries", capacity=len(self._queries) + 1)
+        latencies: List[float] = []
+        scatter_cpu = (
+            shards * self.SCATTER_FRACTION * self.HASH_PROBE_FRACTION
+            * self._per_posting_s
+        )
+
+        def feeder():
+            for query in self._queries:
+                yield Put(queue, query)
+            yield Close(queue)
+
+        def shard_child(query: SimQuery, barrier: SimBarrier):
+            for postings in query.postings_per_term:
+                yield Use(cpu, self._probe_cpu(postings, shards))
+            yield WaitBarrier(barrier)
+
+        def worker(worker_id: int):
+            while True:
+                query = yield Get(queue)
+                if query is BUFFER_CLOSED:
+                    return
+                started = kernel.now
+                yield Use(cpu, scatter_cpu)
+                barrier = SimBarrier(shards + 1, "gather")
+                for shard_id in range(shards):
+                    kernel.spawn(
+                        f"shard-{worker_id}-{shard_id}",
+                        shard_child(query, barrier),
+                    )
+                yield WaitBarrier(barrier)
+                for postings in query.postings_per_term:
+                    yield Use(cpu, self._merge_cpu(postings))
+                latencies.append(kernel.now - started)
+
+        kernel.spawn("feeder", feeder())
+        for worker_id in range(workers):
+            kernel.spawn(f"query-worker-{worker_id}", worker(worker_id))
+        total = kernel.run()
+        return QueryServiceResult(
+            mode="doc-sharded",
+            workers=workers,
+            replicas=shards,
+            total_s=total,
+            latencies=latencies,
+        )
+
+    def sweep_doc_sharded(
+        self, workers_list: List[int], shard_counts: List[int]
+    ) -> Dict[int, List[QueryServiceResult]]:
+        """``{shard count: per-worker-count results}`` for the broker."""
+        return {
+            shards: [self.run_doc_sharded(workers, shards)
+                     for workers in workers_list]
+            for shards in shard_counts
         }

@@ -188,8 +188,8 @@ class TestCuratedTopLevel:
     def test_all_is_exactly_the_curated_api(self):
         assert set(repro.__all__) == {
             "AsyncSearchFrontend", "BuildReport", "FaultPolicy",
-            "InvertedIndex", "QueryEngine", "Search", "SearchService",
-            "ThreadConfig",
+            "InvertedIndex", "QueryEngine", "ScatterGatherBroker",
+            "Search", "SearchService", "ShardDeadError", "ThreadConfig",
         }
 
     def test_curated_names_import_silently(self):

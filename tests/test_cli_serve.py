@@ -166,6 +166,59 @@ class TestServeAsync:
         assert "[gen 0] zz9" in captured.out  # the stream continued
 
 
+class TestServeSharded:
+    def test_sharded_answers_match_the_single_service(
+        self, corpus_dir, tmp_path, capsys
+    ):
+        term = a_term(corpus_dir)
+        queries = query_file(tmp_path, [term, "zz9"])
+        assert main(["serve", corpus_dir, "--queries", queries]) == 0
+        single_out = capsys.readouterr().out
+        assert main(["serve", corpus_dir, "--shards", "3",
+                     "--replicas", "2", "--queries", queries]) == 0
+        captured = capsys.readouterr()
+        # the differential gate, through the CLI: byte-identical output
+        assert captured.out == single_out
+        assert "across 3 shard(s) x 2 replica(s)" in captured.err
+        assert "shards 3/3 alive" in captured.err
+
+    def test_sharded_bm25_needs_no_ondisk(self, corpus_dir, tmp_path,
+                                          capsys):
+        term = a_term(corpus_dir)
+        queries = query_file(tmp_path, [term])
+        assert main(["serve", corpus_dir, "--shards", "2",
+                     "--rank", "bm25", "--topk", "3",
+                     "--queries", queries]) == 0
+        out = capsys.readouterr().out
+        assert f"[gen 0] {term} ->" in out
+
+    def test_sharded_async_frontend_composes(self, corpus_dir, tmp_path,
+                                             capsys):
+        term = a_term(corpus_dir)
+        queries = query_file(tmp_path, [term, term, term])
+        assert main(["serve", corpus_dir, "--shards", "2", "--async",
+                     "--batch-window", "0.01",
+                     "--queries", queries]) == 0
+        err = capsys.readouterr().err
+        assert "-- frontend:" in err
+        assert "shards 2/2 alive" in err
+
+    def test_sharded_argument_validation(self, corpus_dir, tmp_path,
+                                         capsys):
+        queries = query_file(tmp_path, ["x"])
+        # incompatible serving modes are rejected up front
+        assert main(["serve", corpus_dir, "--shards", "1",
+                     "--queries", queries]) == 2
+        assert main(["serve", corpus_dir, "--shards", "2",
+                     "--replicas", "0", "--queries", queries]) == 2
+        assert main(["serve", corpus_dir, "--shards", "2", "--watch",
+                     "0.5", "--queries", queries]) == 2
+        assert main(["serve", corpus_dir, "--shards", "2", "--ondisk",
+                     "--index", "x.ridx2", "--queries", queries]) == 2
+        assert main(["serve", corpus_dir, "--shards", "2",
+                     "--compact-every", "1", "--queries", queries]) == 2
+
+
 class TestWatchOnlyOnServe:
     @pytest.mark.parametrize("argv", [
         ["index", "somedir", "--watch", "1"],

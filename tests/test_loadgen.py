@@ -49,6 +49,43 @@ class TestPercentile:
             percentile([1.0], 101)
 
 
+class TestNanHygiene:
+    """An unmeasured run must fail loudly or serialize as null — a bare
+    ``NaN`` token in a ``BENCH_*.json`` is not JSON and poisons every
+    downstream comparison silently."""
+
+    def empty_result(self):
+        from repro.service.loadgen import LoadRunResult
+
+        return LoadRunResult(label="empty", offered_qps=10.0,
+                             duration_s=1.0, warmup_s=2.0)
+
+    def test_to_dict_emits_null_not_nan(self):
+        import json
+
+        digest = self.empty_result().to_dict()
+        assert digest["p50_ms"] is None
+        assert digest["p99_ms"] is None
+        # strict serialization must succeed — no NaN tokens anywhere
+        text = json.dumps(digest, allow_nan=False)
+        assert "NaN" not in text
+
+    def test_require_measured_raises_with_the_accounting(self):
+        result = self.empty_result()
+        with pytest.raises(ValueError, match="0 measured"):
+            result.require_measured()
+        result.measured = 5
+        assert result.require_measured(minimum=5) is result
+        with pytest.raises(ValueError):
+            result.require_measured(minimum=6)
+
+    def test_format_ms_prints_na_for_unmeasured(self):
+        from repro.service.loadgen import format_ms
+
+        assert format_ms(float("nan")) == "n/a"
+        assert format_ms(1.23456) == "1.23"
+
+
 class TestSchedule:
     def test_same_seed_same_arrivals(self):
         a = OpenLoopLoadGenerator(SPECS, offered_qps=500, duration_s=0.5,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.index import InvertedIndex
 from repro.query import QueryEngine
-from repro.query.cache import CachingQueryEngine, QueryCache
+from repro.query.cache import CachingQueryEngine, QueryCache, cache_key
 from repro.text import TermBlock
 
 
@@ -13,6 +13,32 @@ def make_engine():
     index.add_block(TermBlock("f1", ("cat", "dog")))
     index.add_block(TermBlock("f2", ("cat",)))
     return QueryEngine(index, universe=["f1", "f2"])
+
+
+class TestCacheKeySchema:
+    """Pins the key tuple — every producer and consumer shares it, so
+    a silent reshape would let entries cross lookup modes or serving
+    topologies."""
+
+    def test_schema_is_the_five_tuple(self):
+        assert cache_key("cat", False) == ("cat", False, "bool", None, None)
+        assert cache_key("cat", True, "bm25", 10, "shards=3") == (
+            "cat", True, "bm25", 10, "shards=3"
+        )
+
+    def test_topology_scope_separates_entries(self):
+        # A sharded BM25 top-K is scored with shard-local statistics:
+        # it must never satisfy an unsharded lookup or one behind a
+        # different shard count.
+        unsharded = cache_key("cat", False, "bm25", 10)
+        three = cache_key("cat", False, "bm25", 10, "shards=3")
+        five = cache_key("cat", False, "bm25", 10, "shards=5")
+        assert len({unsharded, three, five}) == 3
+        cache = QueryCache()
+        cache.put(three, ["sharded-garbage"])
+        assert cache.get(unsharded) is None
+        assert cache.get(five) is None
+        assert cache.get(three) == ["sharded-garbage"]
 
 
 class TestQueryCache:

@@ -120,3 +120,48 @@ class TestQueryServiceShape:
         one = many.run("joined", workers=1)
         eight = many.run("joined", workers=8)
         assert eight.throughput_qps > one.throughput_qps * 4
+
+
+class TestDocShardedService:
+    """The scatter-gather broker's simulated counterpart."""
+
+    @pytest.fixture(scope="class")
+    def many(self, tiny_workload):
+        return QuerySimulation(
+            MANYCORE_32, tiny_workload, QueryWorkloadSpec(query_count=100)
+        )
+
+    def test_all_queries_served_and_deterministic(self, many):
+        a = many.run_doc_sharded(workers=4, shards=4)
+        b = many.run_doc_sharded(workers=4, shards=4)
+        assert len(a.latencies) == 100
+        assert a.mode == "doc-sharded"
+        assert a.replicas == 4  # records the shard count
+        assert a.total_s == b.total_s
+        assert a.latencies == b.latencies
+
+    def test_validation(self, many):
+        with pytest.raises(ValueError):
+            many.run_doc_sharded(workers=0, shards=2)
+        with pytest.raises(ValueError):
+            many.run_doc_sharded(workers=2, shards=0)
+
+    def test_sharding_cuts_latency_at_light_load(self, many):
+        one = many.run_doc_sharded(workers=2, shards=1)
+        eight = many.run_doc_sharded(workers=2, shards=8)
+        # concurrent per-shard probes of 1/8 the postings each
+        assert eight.mean_latency_ms < one.mean_latency_ms * 0.7
+
+    def test_scatter_overhead_gives_diminishing_returns(self, many):
+        eight = many.run_doc_sharded(workers=8, shards=8)
+        thirty_two = many.run_doc_sharded(workers=8, shards=32)
+        # 4x the shards does not buy 4x anything: the per-shard
+        # dispatch cost grows linearly while the probe saving shrinks
+        assert thirty_two.mean_latency_ms > eight.mean_latency_ms * 0.5
+
+    def test_sweep_covers_the_grid(self, many):
+        sweep = many.sweep_doc_sharded([1, 4], [2, 8])
+        assert sorted(sweep) == [2, 8]
+        for shards, results in sweep.items():
+            assert [r.workers for r in results] == [1, 4]
+            assert all(r.replicas == shards for r in results)

@@ -265,6 +265,106 @@ class TestLifecycle:
         assert service.closed
 
 
+class TestShedAccountingAndShutdown:
+    """Regressions: shed counting under ``shed="block"`` and shutdown.
+
+    Two bugs this pins down: (a) a query that blocked at admission and
+    was later admitted (or turned away by shutdown) must never be
+    counted as shed — it was never rejected; (b) ``close()`` must wake
+    callers blocked at admission with a typed error instead of leaving
+    them waiting on a condition nobody will ever signal again.
+    """
+
+    def test_blocked_then_admitted_counts_served_not_shed(self):
+        service, engine = blocking_service(
+            workers=1, max_inflight=1, shed="block"
+        )
+        results = []
+        try:
+            first = threading.Thread(
+                target=lambda: results.append(service.query("probe"))
+            )
+            first.start()
+            assert engine.entered.wait(timeout=5.0)
+            second = threading.Thread(
+                target=lambda: results.append(service.query("probe"))
+            )
+            second.start()
+            time.sleep(0.05)
+            engine.release.set()
+            first.join(timeout=5.0)
+            second.join(timeout=5.0)
+            assert len(results) == 2
+            stats = service.stats()
+            assert stats["service.served"] == 2.0
+            assert stats["service.shed"] == 0.0
+        finally:
+            engine.release.set()
+            service.close()
+
+    def test_close_wakes_blocked_admitters(self):
+        service, engine = blocking_service(
+            workers=1, max_inflight=1, shed="block"
+        )
+        outcomes = []
+
+        def blocked_admitter():
+            try:
+                outcomes.append(service.query("probe"))
+            except ServiceClosedError as exc:
+                outcomes.append(exc)
+
+        first = threading.Thread(target=lambda: service.query("probe"))
+        first.start()
+        assert engine.entered.wait(timeout=5.0)
+        second = threading.Thread(target=blocked_admitter)
+        second.start()
+        time.sleep(0.05)  # let it park on the admission condition
+        closer = threading.Thread(target=service.close)
+        closer.start()
+        time.sleep(0.05)
+        engine.release.set()
+        second.join(timeout=5.0)
+        assert not second.is_alive(), "blocked admitter never woke"
+        first.join(timeout=5.0)
+        closer.join(timeout=5.0)
+        assert len(outcomes) == 1
+        assert isinstance(outcomes[0], ServiceClosedError)
+        assert service.stats()["service.shed"] == 0.0
+
+    def test_close_without_drain_sheds_queued_jobs_once_each(self):
+        service, engine = blocking_service(workers=1, max_inflight=8)
+        results, errors = [], []
+
+        def caller():
+            try:
+                results.append(service.query("probe"))
+            except ServiceOverloadedError as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=caller) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        assert engine.entered.wait(timeout=5.0)
+        time.sleep(0.05)  # two queued behind the parked one
+        closer = threading.Thread(
+            target=lambda: service.close(drain=False)
+        )
+        closer.start()
+        time.sleep(0.05)
+        engine.release.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        closer.join(timeout=5.0)
+        # the executing query finished; the queued ones were shed with
+        # a typed error, each counted exactly once
+        assert len(results) == 1
+        assert len(errors) == 2
+        stats = service.stats()
+        assert stats["service.shed"] == 2.0
+        assert stats["service.queue_depth"] == 0.0
+
+
 class TestWatch:
     def test_watch_validation(self):
         with SearchService(IndexSnapshot(index_for(0))) as service:

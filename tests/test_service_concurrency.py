@@ -132,6 +132,67 @@ class TestScheduleSweep:
         pytest.fail("no schedule exposed the broken snapshot lock")
 
 
+def block_shutdown_scenario(provider):
+    """``shed="block"`` admitters racing ``close()``: no hang, ever.
+
+    A query that blocks at the admission bound while another executes
+    must end one of exactly two ways whatever the interleaving: served
+    (admitted before the close took effect) or a typed
+    ``ServiceClosedError`` — and never counted as shed.  A schedule
+    that left the admitter parked forever would deadlock the
+    cooperative scheduler and fail the sweep.
+    """
+    from repro.service import ServiceClosedError
+
+    service = SearchService(
+        IndexSnapshot(index_for(0)),
+        workers=1,
+        max_inflight=1,
+        shed="block",
+        sync=provider,
+    )
+    served = []
+    turned_away = []
+
+    def reader() -> None:
+        for _ in range(2):
+            try:
+                served.append(service.query("probe"))
+            except ServiceClosedError as exc:
+                turned_away.append(exc)
+
+    def closer() -> None:
+        service.close()
+
+    threads = [
+        provider.thread(reader, name="reader-a"),
+        provider.thread(reader, name="reader-b"),
+        provider.thread(closer, name="closer"),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    service.close()
+
+    assert len(served) + len(turned_away) == 4
+    for result in served:
+        assert result.paths == EXPECTED[result.generation]
+    assert service.stats()["service.shed"] == 0.0
+
+
+class TestBlockShutdownSweep:
+    @pytest.mark.parametrize("strategy", ("random", "pct"))
+    @pytest.mark.parametrize("seed", range(4))
+    def test_blocked_admitters_always_terminate(self, strategy, seed):
+        tracer = Tracer()
+        scheduler = CooperativeScheduler(make_strategy(strategy, seed))
+        provider = InstrumentedSyncProvider(tracer=tracer,
+                                            scheduler=scheduler)
+        provider.run(lambda: block_shutdown_scenario(provider))
+        assert find_races(tracer) == []
+
+
 class TestRealThreadStress:
     READERS = 6
     QUERIES = 40

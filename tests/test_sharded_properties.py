@@ -1,0 +1,152 @@
+"""Property-based tests (hypothesis) of the sharded scoring contract.
+
+Random corpora, random shard counts and partition strategies, random
+boolean queries — the broker must honour the two halves of the
+contract in ``docs/sharded.md``:
+
+* **boolean**: the merged answer is byte-identical to the unsharded
+  engine's, for *any* query the language can express (document
+  partitioning commutes with per-document evaluation);
+* **BM25**: the merged top-K is exactly the first K of the
+  concatenated per-shard top-K lists under the documented
+  ``(score desc, path asc)`` tie-break — a permutation-stable prefix —
+  and collapses to the unsharded ranking when there is one shard.
+"""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.inverted import InvertedIndex
+from repro.query.evaluator import QueryEngine
+from repro.query.ranking import FrequencyIndex
+from repro.service.sharded import (
+    RankedQueryEngine,
+    SHARD_STRATEGIES,
+    local_broker,
+    partition_paths,
+    shard_snapshots,
+)
+from repro.text.termblock import TermBlock
+
+#: A small shared vocabulary so random documents overlap on terms —
+#: merges with no overlap would never stress the set-union or the
+#: tie-break.  Shared prefixes stress wildcard expansion per shard.
+VOCAB = ("alpha", "alphabet", "beta", "gamma", "delta", "zeta")
+
+paths = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+corpora = st.dictionaries(
+    paths,
+    st.lists(st.sampled_from(VOCAB), min_size=1, max_size=8),
+    min_size=1,
+    max_size=10,
+)
+shard_counts = st.integers(min_value=1, max_value=4)
+strategies = st.sampled_from(SHARD_STRATEGIES)
+
+atoms = st.sampled_from(VOCAB + ("nosuchterm", "alph*", "ze*", "qq*"))
+queries = st.recursive(
+    atoms,
+    lambda children: st.one_of(
+        st.tuples(children, children).map(
+            lambda pair: f"({pair[0]} AND {pair[1]})"
+        ),
+        st.tuples(children, children).map(
+            lambda pair: f"({pair[0]} OR {pair[1]})"
+        ),
+        children.map(lambda q: f"(NOT {q})"),
+    ),
+    max_leaves=4,
+)
+
+
+def build_corpus(docs):
+    index = InvertedIndex()
+    frequencies = FrequencyIndex()
+    for path in sorted(docs):
+        words = docs[path]
+        index.add_block(TermBlock(path, tuple(sorted(set(words)))))
+        frequencies.add_document(path, words)
+    return index, frequencies
+
+
+class TestPartitionProperties:
+    @given(docs=corpora, shards=shard_counts, strategy=strategies)
+    @settings(max_examples=40, deadline=None)
+    def test_partition_is_always_a_disjoint_cover(self, docs, shards,
+                                                  strategy):
+        sizes = {path: len(words) for path, words in docs.items()}
+        parts = partition_paths(docs, shards, strategy, sizes=sizes)
+        assert len(parts) == shards
+        flat = [path for part in parts for path in part]
+        assert sorted(flat) == sorted(docs)
+        assert len(flat) == len(set(flat))
+
+
+class TestBooleanEquivalence:
+    @given(docs=corpora, shards=shard_counts, strategy=strategies,
+           query=queries)
+    @settings(max_examples=25, deadline=None)
+    def test_sharded_boolean_equals_unsharded_byte_for_byte(
+        self, docs, shards, strategy, query
+    ):
+        index, _ = build_corpus(docs)
+        engine = QueryEngine(index, universe=frozenset(docs))
+        snapshots = shard_snapshots(index, docs, shards,
+                                    strategy=strategy)
+        broker = local_broker(snapshots)
+        try:
+            result = broker.query(query)
+            assert result.paths == engine.search(query)
+            assert result.shards_ok == result.shards_total == shards
+        finally:
+            broker.close()
+
+
+class TestBM25Prefix:
+    @given(docs=corpora, shards=shard_counts, query=queries,
+           topk=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=25, deadline=None)
+    def test_merge_is_a_permutation_stable_prefix(self, docs, shards,
+                                                  query, topk):
+        index, frequencies = build_corpus(docs)
+        snapshots = shard_snapshots(index, docs, shards,
+                                    frequencies=frequencies)
+        broker = local_broker(snapshots)
+        try:
+            merged = broker.query(query, rank="bm25", topk=topk).hits
+            per_shard = []
+            for group in broker.groups:
+                per_shard.extend(
+                    group.query(query, rank="bm25", topk=topk).hits
+                )
+            per_shard.sort(key=lambda hit: (-hit.score, hit.path))
+            assert merged == per_shard[:topk]
+            # the merge itself is ordered under the documented tie-break
+            keys = [(-hit.score, hit.path) for hit in merged]
+            assert keys == sorted(keys)
+        finally:
+            broker.close()
+
+    @given(docs=corpora, query=queries,
+           topk=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=25, deadline=None)
+    def test_one_shard_collapses_to_the_unsharded_ranking(self, docs,
+                                                          query, topk):
+        # With a single shard, "shard-local" statistics *are* the
+        # global ones: scores and order must match exactly.
+        index, frequencies = build_corpus(docs)
+        reference = RankedQueryEngine(
+            index, universe=frozenset(docs), frequencies=frequencies
+        )
+        snapshots = shard_snapshots(index, docs, 1,
+                                    frequencies=frequencies)
+        broker = local_broker(snapshots)
+        try:
+            merged = broker.query(query, rank="bm25", topk=topk).hits
+            assert merged == reference.search_bm25(query, topk=topk)
+        finally:
+            broker.close()
