@@ -39,6 +39,7 @@ from repro.api import Search
 from repro.engine.config import Implementation, ThreadConfig
 from repro.engine.faults import FaultPolicy
 from repro.engine.results import BuildReport
+from repro.extract import Extractor, ExtractorSpec, get_extractor
 from repro.index.inverted import InvertedIndex
 from repro.query.evaluator import QueryEngine
 from repro.service.frontend import AsyncSearchFrontend
@@ -51,6 +52,8 @@ from repro.service.sharded import ScatterGatherBroker, ShardDeadError
 __all__ = [
     "AsyncSearchFrontend",
     "BuildReport",
+    "Extractor",
+    "ExtractorSpec",
     "FaultPolicy",
     "InvertedIndex",
     "QueryEngine",
@@ -59,6 +62,7 @@ __all__ = [
     "SearchService",
     "ShardDeadError",
     "ThreadConfig",
+    "get_extractor",
 ]
 
 #: legacy top-level name -> (home module, attribute).  Resolved lazily

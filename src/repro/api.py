@@ -55,6 +55,7 @@ from repro.engine.faults import FaultPolicy
 from repro.engine.results import BuildReport
 from repro.engine.runner import IndexGenerator
 from repro.engine.sequential import SequentialIndexer
+from repro.extract.registry import resolve_extractor
 from repro.fsmodel.realfs import OsFileSystem
 from repro.index.incremental import ChangeReport
 from repro.index.inverted import InvertedIndex
@@ -117,6 +118,8 @@ class Search:
         tokenizer=None,
         registry=None,
         sync=None,
+        extractor=None,
+        split_threshold: Optional[int] = None,
     ) -> None:
         self._segmented = segmented
         self._fs = fs
@@ -127,8 +130,14 @@ class Search:
         self._implementation = implementation
         self._config = config
         self._fault = fault or FaultPolicy()
-        self._tokenizer = tokenizer
-        self._registry = registry
+        # One extraction seam (see repro.extract): the session resolves
+        # extractor=/tokenizer=/registry= once and hands the Extractor
+        # to every engine it constructs, so the deprecated kwargs keep
+        # working here without tripping the engines' warnings.
+        self._extractor = resolve_extractor(extractor, tokenizer, registry)
+        self._tokenizer = self._extractor.tokenizer
+        self._registry = self._extractor.registry
+        self._split_threshold = split_threshold
         self._sync = sync
         if sync is None:
             from repro.concurrency.provider import THREADING_SYNC
@@ -158,6 +167,8 @@ class Search:
         root: str = "",
         segment_dir: Optional[str] = None,
         sync=None,
+        extractor=None,
+        split_threshold: Optional[int] = None,
     ) -> "Search":
         """Index ``source`` (a directory path or a filesystem object).
 
@@ -168,14 +179,19 @@ class Search:
         ``fault`` applies the per-file error policy and, for the
         process backend, the retry/timeout ladder.  ``segment_dir``
         makes compaction write its product as an RIDX2 file served off
-        mmap instead of keeping it in memory.
+        mmap instead of keeping it in memory.  ``extractor`` picks the
+        extraction pipeline — an :class:`~repro.extract.Extractor`
+        instance or a registered name (``"ascii"``, ``"code"``,
+        ``"tsv"``); ``split_threshold`` makes parallel builds chunk
+        files larger than that many bytes across workers (see
+        ``docs/extraction.md``).
         """
         fs = _as_filesystem(source)
         fault = fault or FaultPolicy()
+        extractor = resolve_extractor(extractor, tokenizer, registry)
         segmented = SegmentedIndexer(
             fs,
-            tokenizer=tokenizer,
-            registry=registry,
+            extractor=extractor,
             root=root,
             segment_dir=segment_dir,
         )
@@ -185,10 +201,9 @@ class Search:
         if config is None:
             report = SequentialIndexer(
                 fs,
-                tokenizer=tokenizer,
                 naive=False,
-                registry=registry,
                 on_error=fault.on_error,
+                extractor=extractor,
             ).build(root)
         else:
             if implementation is None:
@@ -200,12 +215,12 @@ class Search:
             config.validate_for(implementation)
             report = IndexGenerator(
                 fs,
-                tokenizer=tokenizer,
-                registry=registry,
                 on_error=fault.on_error,
                 max_retries=fault.max_retries,
                 batch_timeout=fault.batch_timeout,
                 sync=sync,
+                extractor=extractor,
+                split_threshold=split_threshold,
             ).build(implementation, config, root)
         segmented.adopt(_flatten(report.index), fingerprints)
         return cls(
@@ -218,9 +233,9 @@ class Search:
             config=config,
             fault=fault,
             cache=cache,
-            tokenizer=tokenizer,
-            registry=registry,
             sync=sync,
+            extractor=extractor,
+            split_threshold=split_threshold,
         )
 
     @classmethod
@@ -235,6 +250,8 @@ class Search:
         root: str = "",
         segment_dir: Optional[str] = None,
         sync=None,
+        extractor=None,
+        split_threshold: Optional[int] = None,
     ) -> "Search":
         """Load a saved index (any format, sniffed; replica directories
         join).  Pass ``source`` — the indexed directory or filesystem —
@@ -246,10 +263,10 @@ class Search:
         else:
             index = load_index(path)
         fs = _as_filesystem(source) if source is not None else None
+        extractor = resolve_extractor(extractor, tokenizer, registry)
         segmented = SegmentedIndexer(
             fs,
-            tokenizer=tokenizer,
-            registry=registry,
+            extractor=extractor,
             root=root,
             segment_dir=segment_dir,
         )
@@ -260,9 +277,9 @@ class Search:
             root=root,
             provenance="open",
             cache=cache,
-            tokenizer=tokenizer,
-            registry=registry,
             sync=sync,
+            extractor=extractor,
+            split_threshold=split_threshold,
         )
 
     # -- reading ----------------------------------------------------------
@@ -368,8 +385,8 @@ class Search:
             config=self._config,
             fault=self._fault,
             cache=0,
-            tokenizer=self._tokenizer,
-            registry=self._registry,
+            extractor=self._extractor,
+            split_threshold=self._split_threshold,
             root=self._root,
             segment_dir=self._segmented.segment_dir,
             sync=self._sync,
@@ -569,8 +586,7 @@ class Search:
             fs = self._require_fs("serve sharded BM25 (frequency sidecar)")
             frequencies = FrequencyIndex.from_fs(
                 fs,
-                tokenizer=self._tokenizer,
-                registry=self._registry,
+                extractor=self._extractor,
                 root=self._root,
             )
         if backend == "process" and ridx2_dir is None:

@@ -119,6 +119,17 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--formats", action="store_true",
                    help="extract text per file format (HTML, DocZ, ...) "
                    "before tokenizing")
+    p.add_argument("--extractor", choices=("ascii", "code", "tsv"),
+                   default="ascii",
+                   help="extraction pipeline: 'ascii' (the paper's "
+                   "tokenizer), 'code' (splits identifiers on camelCase "
+                   "and snake_case), 'tsv' (indexes tab-separated "
+                   "records line by line)")
+    p.add_argument("--split-threshold", type=int, default=None,
+                   metavar="BYTES",
+                   help="chunk files larger than BYTES across workers "
+                   "on separator boundaries (parallel builds only; "
+                   "default: never split)")
     p.add_argument("--dynamic", choices=("steal", "queue"),
                    help="acquire work at runtime (work stealing or a "
                    "shared queue) instead of static round-robin vectors")
@@ -405,6 +416,12 @@ def _reject_incompatible_index_args(args: argparse.Namespace) -> Optional[str]:
                 "process backend distributes work as static batches; "
                 "use --backend thread for work stealing or a shared "
                 "queue")
+    if args.sequential and args.split_threshold is not None:
+        return ("--split-threshold only applies to parallel builds "
+                "(chunks are extracted concurrently; the sequential "
+                "baseline reads files whole)")
+    if args.split_threshold is not None and args.split_threshold < 1:
+        return "--split-threshold must be at least 1 byte"
     return None
 
 
@@ -429,6 +446,7 @@ def _print_failure_summary(report) -> None:
 
 
 def _cmd_index(args: argparse.Namespace) -> int:
+    from repro.extract import get_extractor
     from repro.formats import default_registry
 
     conflict = _reject_incompatible_index_args(args)
@@ -438,10 +456,11 @@ def _cmd_index(args: argparse.Namespace) -> int:
     observing = _observability_requested(args)
     fs = OsFileSystem(args.directory)
     registry = default_registry() if args.formats else None
+    extractor = get_extractor(args.extractor, registry=registry)
     if args.sequential:
         try:
             report = SequentialIndexer(
-                fs, registry=registry, on_error=args.on_error
+                fs, extractor=extractor, on_error=args.on_error
             ).build()
         except OSError as exc:
             print(f"error: build failed: {exc}", file=sys.stderr)
@@ -454,7 +473,8 @@ def _cmd_index(args: argparse.Namespace) -> int:
             config.validate_for(implementation)
             report = IndexGenerator(
                 fs,
-                registry=registry,
+                extractor=extractor,
+                split_threshold=args.split_threshold,
                 dynamic=args.dynamic,
                 oversubscribe=args.oversubscribe,
                 on_error=args.on_error,
@@ -489,7 +509,7 @@ def _cmd_index(args: argparse.Namespace) -> int:
             # this file scores exactly like the in-memory ranker.
             from repro.query import FrequencyIndex
 
-            frequencies = FrequencyIndex.from_fs(fs, registry=registry)
+            frequencies = FrequencyIndex.from_fs(fs, extractor=extractor)
             written = save_index(
                 report.index, args.save, format="ridx2",
                 frequencies=frequencies,

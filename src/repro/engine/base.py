@@ -18,6 +18,7 @@ branch while tracing is disabled.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.concurrency.buffers import BoundedBuffer, Closed
@@ -27,13 +28,30 @@ from repro.distribute.roundrobin import RoundRobinStrategy
 from repro.engine.config import Implementation, ThreadConfig
 from repro.engine.faults import ERROR_POLICIES, FileFailure
 from repro.engine.results import BuildReport, StageTimings, build_metrics
-from repro.fsmodel.nodes import FileRef
+from repro.extract.registry import resolve_extractor
+from repro.extract.split import SplitJoiner, expand_file_refs, read_chunk
+from repro.fsmodel.nodes import ChunkRef, FileRef
 from repro.obs import recorder as obsrec
-from repro.text.dedup import extract_term_block
+from repro.text.dedup import dedup_terms
 from repro.text.termblock import TermBlock
 from repro.text.tokenizer import Tokenizer
 
 BlockSink = Callable[[int, TermBlock], None]
+
+#: One shared wording for the legacy-kwarg deprecation on every engine.
+TOKENIZER_KWARGS_DEPRECATED = (
+    "the tokenizer=/registry= engine kwargs are deprecated; pass "
+    "extractor=... (an Extractor instance or a registered name such as "
+    "'ascii', 'code', 'tsv') instead — see docs/api.md"
+)
+
+
+def warn_legacy_extraction_kwargs(tokenizer, registry) -> None:
+    """Emit the deprecation warning when either legacy kwarg is used."""
+    if tokenizer is not None or registry is not None:
+        warnings.warn(
+            TOKENIZER_KWARGS_DEPRECATED, DeprecationWarning, stacklevel=3
+        )
 
 
 class ThreadedIndexerBase:
@@ -56,19 +74,32 @@ class ThreadedIndexerBase:
         dynamic: Optional[str] = None,
         on_error: str = "strict",
         sync: Optional[SyncProvider] = None,
+        extractor=None,
+        split_threshold: Optional[int] = None,
     ) -> None:
         self.fs = fs
-        self.tokenizer = tokenizer or Tokenizer()
+        # The extraction seam: one Extractor (format conversion +
+        # tokenization) replaces the legacy tokenizer/registry pair;
+        # the old kwargs still work but warn and are folded in.
+        warn_legacy_extraction_kwargs(tokenizer, registry)
+        self.extractor = resolve_extractor(extractor, tokenizer, registry)
+        # Legacy aliases (read-only by convention): code that inspected
+        # engine.tokenizer / engine.registry keeps working.
+        self.tokenizer = self.extractor.tokenizer
+        self.registry = self.extractor.registry
+        # Files above this size (bytes) are split into chunks extracted
+        # in parallel (see repro.extract.split); None disables splitting.
+        if split_threshold is not None and split_threshold < 1:
+            raise ValueError(
+                f"split_threshold must be positive, got {split_threshold}"
+            )
+        self.split_threshold = split_threshold
         self.strategy = strategy or RoundRobinStrategy()
         self.buffer_capacity = buffer_capacity
         # All locks, condition variables, buffers and worker threads come
         # from this provider; repro.schedcheck substitutes an instrumented
         # one to trace and deterministically schedule the build.
         self.sync = sync or ThreadingSyncProvider()
-        # Optional repro.formats.FormatRegistry: when set, stage 2 first
-        # extracts plain text from each file's format (HTML, DocZ, ...)
-        # before tokenizing — the paper's "more file formats" extension.
-        self.registry = registry
         # Dynamic work acquisition instead of static private vectors:
         # None (the paper's choice), "steal" (per-extractor deques with
         # work stealing) or "queue" (one shared synchronized queue) —
@@ -90,6 +121,10 @@ class ThreadedIndexerBase:
         # The current build's span recorder; replaced at each build()
         # so stage helpers always have somewhere to record.
         self._recorder = obsrec.Recorder()
+        # Per-build chunk-join state, created by _run_extractors when a
+        # build actually splits files (None otherwise).
+        self._split_joiner: Optional[SplitJoiner] = None
+        self._split_lock = None
 
     # -- public API ------------------------------------------------------
 
@@ -147,25 +182,41 @@ class ThreadedIndexerBase:
     # -- shared stage machinery ---------------------------------------------
 
     def _extract_file(self, ref: FileRef) -> Optional[TermBlock]:
-        """Stage 2 for one file, with an ``extract.file`` detail span
-        when tracing is enabled (one branch when it is not)."""
+        """Stage 2 for one file (or one chunk of a split file), with an
+        ``extract.file`` / ``extract.chunk`` detail span when tracing is
+        enabled (one branch when it is not)."""
+        if isinstance(ref, ChunkRef):
+            if not obsrec.enabled():
+                return self._extract_chunk_inner(ref)
+            with obsrec.span(
+                "extract.chunk",
+                path=ref.path,
+                start=ref.start,
+                end=ref.end,
+                index=ref.index,
+            ):
+                return self._extract_chunk_inner(ref)
         if not obsrec.enabled():
             return self._extract_file_inner(ref)
         with obsrec.span("extract.file", path=ref.path, size=ref.size):
             return self._extract_file_inner(ref)
 
     def _extract_file_inner(self, ref: FileRef) -> Optional[TermBlock]:
-        """Stage 2 for one file: read, (convert,) scan, de-duplicate.
+        """Stage 2 for one file: read, prepare, scan, de-duplicate.
 
         Under ``on_error="skip"`` a failing file is recorded in
         ``self.last_failures`` and ``None`` is returned (the extractor
         loop drops it); under ``"strict"`` the error propagates.
         """
+        extractor = self.extractor
         if self.on_error != "skip":
             content = self.fs.read_file(ref.path)
-            if self.registry is not None:
-                content = self.registry.extract_text(ref.path, content)
-            return extract_term_block(ref.path, content, self.tokenizer)
+            return TermBlock(
+                path=ref.path,
+                terms=dedup_terms(
+                    extractor.tokenize(extractor.prepare(ref.path, content))
+                ),
+            )
         try:
             content = self.fs.read_file(ref.path)
         except Exception as exc:
@@ -175,21 +226,78 @@ class ThreadedIndexerBase:
                 FileFailure.from_exception(ref.path, "read", exc)
             )
             return None
-        if self.registry is not None:
-            try:
-                content = self.registry.extract_text(ref.path, content)
-            except Exception as exc:
-                self.last_failures.append(
-                    FileFailure.from_exception(ref.path, "extract", exc)
-                )
-                return None
         try:
-            return extract_term_block(ref.path, content, self.tokenizer)
+            content = extractor.prepare(ref.path, content)
+        except Exception as exc:
+            self.last_failures.append(
+                FileFailure.from_exception(ref.path, "extract", exc)
+            )
+            return None
+        try:
+            return TermBlock(
+                path=ref.path, terms=dedup_terms(extractor.tokenize(content))
+            )
         except Exception as exc:
             self.last_failures.append(
                 FileFailure.from_exception(ref.path, "tokenize", exc)
             )
             return None
+
+    def _extract_chunk_inner(self, ref: ChunkRef) -> Optional[TermBlock]:
+        """Stage 2 for one chunk of a split file.
+
+        Each chunk's terms land in the build's :class:`SplitJoiner`;
+        whichever worker delivers a file's *last* chunk receives the
+        unioned whole-file terms and returns the TermBlock (every other
+        chunk returns ``None``).  Which worker that is doesn't matter —
+        serialization canonicalizes block order.  Any chunk failure
+        under ``"skip"`` poisons the whole file (one FileFailure, no
+        block) so a document is never half-indexed.
+        """
+        extractor = self.extractor
+        if self.on_error != "skip":
+            data = read_chunk(
+                self.fs,
+                ref.path,
+                ref.file_size,
+                ref.start,
+                ref.end,
+                extractor.boundary_bytes,
+            )
+            terms = extractor.chunk_terms(data)
+        else:
+            try:
+                data = read_chunk(
+                    self.fs,
+                    ref.path,
+                    ref.file_size,
+                    ref.start,
+                    ref.end,
+                    extractor.boundary_bytes,
+                )
+            except Exception as exc:
+                self._record_chunk_failure(ref, "read", exc)
+                return None
+            try:
+                terms = extractor.chunk_terms(data)
+            except Exception as exc:
+                self._record_chunk_failure(ref, "tokenize", exc)
+                return None
+        with self._split_lock:
+            whole = self._split_joiner.add(
+                ref.path, ref.index, ref.count, terms
+            )
+        if whole is None:
+            return None
+        return TermBlock(path=ref.path, terms=dedup_terms(whole))
+
+    def _record_chunk_failure(self, ref: ChunkRef, stage: str, exc) -> None:
+        with self._split_lock:
+            first = self._split_joiner.fail(ref.path, ref.count)
+        if first:
+            self.last_failures.append(
+                FileFailure.from_exception(ref.path, stage, exc)
+            )
 
     def _run_extractors(
         self,
@@ -212,6 +320,20 @@ class ThreadedIndexerBase:
         Returns elapsed seconds.  Exceptions raised inside workers are
         re-raised here.
         """
+        if self.split_threshold is not None:
+            # Huge-file divide-and-conquer: oversized splittable files
+            # become ChunkRefs that distribute across workers like
+            # ordinary files, so one giant file no longer serializes
+            # the build tail.
+            files, split_paths = expand_file_refs(
+                self.fs, files, self.extractor, self.split_threshold
+            )
+            if split_paths:
+                self._split_joiner = SplitJoiner()
+                self._split_lock = self.sync.lock("split-joiner")
+                obsrec.metrics().counter("extract.files_split").inc(
+                    len(split_paths)
+                )
         errors: List[BaseException] = []
         worker = self._make_worker(config.extractors, files, sink, errors)
         self.last_extractor_times = [0.0] * config.extractors

@@ -66,20 +66,27 @@ from repro.engine.faults import (
     PoolUnavailableError,
     reconcile_failures,
 )
+from repro.engine.base import warn_legacy_extraction_kwargs
 from repro.engine.procworker import (
+    ChunkBatch,
+    ChunkResult,
     FilesystemSpec,
-    TokenizerSpec,
     WorkerBatch,
     WorkerResult,
     build_replica,
+    extract_chunk,
 )
 from repro.engine.results import BuildReport, StageTimings, build_metrics
+from repro.extract.registry import resolve_extractor
+from repro.extract.split import SplitJoiner, expand_file_refs
 from repro.obs import recorder as obsrec
 from repro.obs.spans import rebase_spans
-from repro.fsmodel.nodes import FileRef
+from repro.fsmodel.nodes import ChunkRef, FileRef
 from repro.index.binfmt import load_index_wire, merge_wire_replica
 from repro.index.inverted import InvertedIndex
 from repro.index.merge import join_pairwise_tree
+from repro.text.dedup import dedup_terms
+from repro.text.termblock import TermBlock
 from repro.text.tokenizer import Tokenizer
 
 
@@ -130,7 +137,11 @@ class _Job:
 
     def split(self) -> List["_Job"]:
         """The retry shape: halves (to isolate poisoned files) at
-        attempt + 1; a single-file batch cannot split further."""
+        attempt + 1.  A single-file batch — and a chunk job, which is
+        already one indivisible unit of one file — cannot split
+        further and just re-enters the ladder."""
+        if isinstance(self.batch, ChunkBatch):
+            return [_Job(self.batch, self.slot, self.attempt + 1)]
         paths = self.batch.paths
         if len(paths) <= 1:
             return [_Job(self.batch, self.slot, self.attempt + 1)]
@@ -139,6 +150,13 @@ class _Job:
             _Job(replace(self.batch, paths=paths[:mid]), self.slot, self.attempt + 1),
             _Job(replace(self.batch, paths=paths[mid:]), self.slot, self.attempt + 1),
         ]
+
+    @property
+    def fn(self):
+        """The module-level worker body this job dispatches to."""
+        if isinstance(self.batch, ChunkBatch):
+            return extract_chunk
+        return build_replica
 
 
 class ProcessReplicatedIndexer:
@@ -160,6 +178,8 @@ class ProcessReplicatedIndexer:
         max_retries: int = 2,
         batch_timeout: Optional[float] = None,
         retry_backoff: float = 0.05,
+        extractor=None,
+        split_threshold: Optional[int] = None,
     ) -> None:
         if dynamic is not None:
             raise ValueError(
@@ -168,12 +188,21 @@ class ProcessReplicatedIndexer:
                 f"({dynamic!r}) is not supported"
             )
         self.fs = fs
-        self.tokenizer = tokenizer or Tokenizer()
+        # One Extractor seam (see repro.extract); the legacy
+        # tokenizer=/registry= kwargs warn and fold in.
+        warn_legacy_extraction_kwargs(tokenizer, registry)
+        self.extractor = resolve_extractor(extractor, tokenizer, registry)
+        self.tokenizer = self.extractor.tokenizer
+        self.registry = self.extractor.registry
+        if split_threshold is not None and split_threshold < 1:
+            raise ValueError(
+                f"split_threshold must be positive, got {split_threshold}"
+            )
+        self.split_threshold = split_threshold
         self.strategy = strategy or RoundRobinStrategy()
         # Accepted for signature parity with the threaded engines; there
         # is no cross-process buffer stage.
         self.buffer_capacity = buffer_capacity
-        self.registry = registry
         self.oversubscribe = oversubscribe
         self.policy = FaultPolicy(
             on_error=on_error,
@@ -214,6 +243,7 @@ class ProcessReplicatedIndexer:
         self.last_failures = []
         self.last_retries = 0
         self._succeeded_paths = set()
+        self._chunk_blocks: List[TermBlock] = []
         rec = self._recorder = obsrec.Recorder()
 
         root_span = rec.span(
@@ -282,11 +312,11 @@ class ProcessReplicatedIndexer:
 
         indexer = ReplicatedJoinedIndexer(
             self.fs,
-            tokenizer=self.tokenizer,
+            extractor=self.extractor,
             strategy=self.strategy,
             buffer_capacity=self.buffer_capacity,
-            registry=self.registry,
             on_error=self.policy.on_error,
+            split_threshold=self.split_threshold,
         )
         report = indexer.build(config.with_backend("thread"), root)
         report.degraded = True
@@ -321,6 +351,12 @@ class ProcessReplicatedIndexer:
                 index = join_pairwise_tree(
                     replicas, threads_per_level=config.joiners
                 )
+            # Split huge files were unioned from their chunks in the
+            # parent; their term blocks update the index here, in the
+            # join phase (serialization canonicalizes order, so block
+            # position relative to the merged replicas is immaterial).
+            for block in self._chunk_blocks:
+                index.add_block(block)
         return index
 
     def _run_workers(
@@ -333,10 +369,22 @@ class ProcessReplicatedIndexer:
         """
         workers = config.extractors
         policy = self.policy
+        if self.split_threshold is not None:
+            # Huge-file divide-and-conquer: chunks of an oversized file
+            # distribute across worker slots like ordinary files, so
+            # one giant file no longer pins a single worker's tail.
+            files, split_paths = expand_file_refs(
+                self.fs, files, self.extractor, self.split_threshold
+            )
+            if split_paths:
+                obsrec.metrics().counter("extract.files_split").inc(
+                    len(split_paths)
+                )
         distribution = self.strategy.distribute(files, workers)
         fs_spec = FilesystemSpec.from_filesystem(self.fs)
-        tokenizer_spec = TokenizerSpec.from_tokenizer(self.tokenizer)
+        extractor_spec = self.extractor.spec()
         rec = self._recorder
+        trace = obsrec.enabled()
 
         jobs: List[_Job] = []
         for slot, assignment in enumerate(distribution.assignments):
@@ -345,24 +393,94 @@ class ProcessReplicatedIndexer:
                 # slot; its extractor_times entry stays 0.0 so the
                 # imbalance accounting keeps length x.
                 continue
-            jobs.append(
-                _Job(
-                    WorkerBatch(
-                        fs=fs_spec,
-                        paths=tuple(ref.path for ref in assignment),
-                        tokenizer=tokenizer_spec,
-                        registry=self.registry,
-                        on_error=policy.on_error,
-                        trace=obsrec.enabled(),
-                    ),
-                    slot,
-                    0,
+            whole = [ref for ref in assignment if not isinstance(ref, ChunkRef)]
+            if whole:
+                jobs.append(
+                    _Job(
+                        WorkerBatch(
+                            fs=fs_spec,
+                            paths=tuple(ref.path for ref in whole),
+                            extractor=extractor_spec,
+                            on_error=policy.on_error,
+                            trace=trace,
+                        ),
+                        slot,
+                        0,
+                    )
                 )
-            )
+            for ref in assignment:
+                if not isinstance(ref, ChunkRef):
+                    continue
+                # Each chunk is its own pool job: chunks of one file
+                # must be able to land on different workers, which is
+                # the entire point of splitting.
+                jobs.append(
+                    _Job(
+                        ChunkBatch(
+                            fs=fs_spec,
+                            path=ref.path,
+                            file_size=ref.file_size,
+                            start=ref.start,
+                            end=ref.end,
+                            index=ref.index,
+                            count=ref.count,
+                            extractor=extractor_spec,
+                            on_error=policy.on_error,
+                            trace=trace,
+                        ),
+                        slot,
+                        0,
+                    )
+                )
 
         blobs: List[bytes] = []
+        joiner = SplitJoiner()
 
-        def collect(job: _Job, result: WorkerResult) -> None:
+        def absorb_spans(job: _Job, result) -> None:
+            if not result.spans:
+                return
+            # Worker span starts are relative to the worker body's
+            # start; perf_counter minus the worker's elapsed time is
+            # that instant on the parent's timeline (collection
+            # happens promptly after completion).
+            offset = time.perf_counter() - result.elapsed
+            rebased = []
+            for span in rebase_spans(result.spans, offset):
+                if span.name in ("extract.worker", "extract.chunk"):
+                    span = replace(
+                        span,
+                        attrs={
+                            **span.attrs,
+                            "worker": job.slot,
+                            "attempt": job.attempt,
+                        },
+                    )
+                rebased.append(span)
+            rec.absorb(rebased)
+
+        def collect(job: _Job, result) -> None:
+            if isinstance(result, ChunkResult):
+                self.last_extractor_times[job.slot] += result.elapsed
+                absorb_spans(job, result)
+                if result.failure is not None:
+                    # One failed chunk poisons the whole file: exactly
+                    # one FileFailure, and the joiner never releases a
+                    # block for it (no half-indexed documents).
+                    if joiner.fail(result.path, result.count):
+                        self.last_failures.append(result.failure)
+                    return
+                whole_terms = joiner.add(
+                    result.path, result.index, result.count, result.terms
+                )
+                if whole_terms is not None:
+                    self._chunk_blocks.append(
+                        TermBlock(
+                            path=result.path,
+                            terms=dedup_terms(whole_terms),
+                        )
+                    )
+                    self._succeeded_paths.add(result.path)
+                return
             blobs.append(result.replica)
             self.last_extractor_times[job.slot] += result.elapsed
             self.last_failures.extend(result.failures)
@@ -372,25 +490,7 @@ class ProcessReplicatedIndexer:
             self._succeeded_paths.update(
                 path for path in job.batch.paths if path not in failed
             )
-            if result.spans:
-                # Worker span starts are relative to the worker body's
-                # start; perf_counter minus the worker's elapsed time is
-                # that instant on the parent's timeline (collection
-                # happens promptly after completion).
-                offset = time.perf_counter() - result.elapsed
-                rebased = []
-                for span in rebase_spans(result.spans, offset):
-                    if span.name == "extract.worker":
-                        span = replace(
-                            span,
-                            attrs={
-                                **span.attrs,
-                                "worker": job.slot,
-                                "attempt": job.attempt,
-                            },
-                        )
-                    rebased.append(span)
-                rec.absorb(rebased)
+            absorb_spans(job, result)
 
         # Cap the pool at the number of non-empty batches — forking
         # processes that would only receive empty work is pure cost.
@@ -400,12 +500,12 @@ class ProcessReplicatedIndexer:
             dispatch: List[_Job] = []
             for job in jobs:
                 if job.attempt > policy.max_retries:
-                    # Last resort: index the remaining sub-batch in the
-                    # parent so the build terminates no matter what the
-                    # pool does.  Per-file errors still follow
-                    # ``on_error``; under "strict" they raise, exactly
-                    # like the pre-fault-tolerance engine.
-                    collect(job, build_replica(job.batch))
+                    # Last resort: run the remaining sub-batch (or
+                    # chunk) in the parent so the build terminates no
+                    # matter what the pool does.  Per-file errors still
+                    # follow ``on_error``; under "strict" they raise,
+                    # exactly like the pre-fault-tolerance engine.
+                    collect(job, job.fn(job.batch))
                 else:
                     dispatch.append(job)
             jobs = []
@@ -452,7 +552,7 @@ class ProcessReplicatedIndexer:
         try:
             try:
                 futures = {
-                    executor.submit(build_replica, job.batch): job
+                    executor.submit(job.fn, job.batch): job
                     for job in dispatch
                 }
             except OSError as exc:

@@ -28,10 +28,13 @@ run truly in parallel because each owns its own interpreter and GIL.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.engine.faults import ERROR_POLICIES, FileFailure
+from repro.extract.base import ExtractorSpec
+from repro.extract.split import read_chunk
 from repro.index.replica import ReplicaBuilder
 from repro.obs.recorder import NULL_SPAN, Recorder
 from repro.obs.spans import SpanRecord, rebase_spans
@@ -40,7 +43,14 @@ from repro.text.tokenizer import Tokenizer
 
 @dataclass(frozen=True)
 class TokenizerSpec:
-    """A :class:`Tokenizer`'s configuration as picklable plain data."""
+    """Deprecated: a :class:`Tokenizer`'s configuration as plain data.
+
+    Superseded by :class:`repro.extract.ExtractorSpec`, which carries
+    the whole extraction pipeline (format registry included) across the
+    worker boundary instead of the tokenizer alone.  Kept as a shim: a
+    ``WorkerBatch`` built with ``tokenizer=``/``registry=`` folds them
+    into an equivalent ``ExtractorSpec`` automatically.
+    """
 
     min_length: int = 2
     max_length: int = 64
@@ -48,6 +58,12 @@ class TokenizerSpec:
 
     @classmethod
     def from_tokenizer(cls, tokenizer: Tokenizer) -> "TokenizerSpec":
+        warnings.warn(
+            "TokenizerSpec is deprecated; use Extractor.spec() / "
+            "repro.extract.ExtractorSpec instead (see docs/api.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return cls(
             min_length=tokenizer.min_length,
             max_length=tokenizer.max_length,
@@ -59,6 +75,16 @@ class TokenizerSpec:
             min_length=self.min_length,
             max_length=self.max_length,
             stopwords=self.stopwords or None,
+        )
+
+    def to_extractor_spec(self, registry=None) -> ExtractorSpec:
+        """The equivalent ascii ExtractorSpec (the migration shim)."""
+        return ExtractorSpec(
+            kind="ascii",
+            min_length=self.min_length,
+            max_length=self.max_length,
+            stopwords=self.stopwords,
+            registry=registry,
         )
 
 
@@ -110,10 +136,18 @@ class FilesystemSpec:
 
 @dataclass(frozen=True)
 class WorkerBatch:
-    """Everything one worker process needs, as picklable data."""
+    """Everything one worker process needs, as picklable data.
+
+    The extraction pipeline crosses the boundary as ``extractor`` (an
+    :class:`~repro.extract.ExtractorSpec`).  The legacy ``tokenizer`` /
+    ``registry`` fields survive as a compatibility shim: when
+    ``extractor`` is not given they fold into an equivalent ascii
+    ExtractorSpec, so pre-extractor callers keep working unchanged.
+    """
 
     fs: FilesystemSpec
     paths: Tuple[str, ...]
+    # Deprecated pair, folded into ``extractor`` when it is None.
     tokenizer: TokenizerSpec = field(default_factory=TokenizerSpec)
     # Optional repro.formats.FormatRegistry, pickled by value.  Format
     # handlers are stateless plain-Python objects, so this is cheap; a
@@ -126,12 +160,20 @@ class WorkerBatch:
     # by the parent when tracing is enabled; the per-batch
     # ``extract.worker`` span is always recorded).
     trace: bool = False
+    # The extraction pipeline; wins over tokenizer/registry when set.
+    extractor: Optional[ExtractorSpec] = None
 
     def __post_init__(self) -> None:
         if self.on_error not in ERROR_POLICIES:
             raise ValueError(
                 f"on_error must be one of {ERROR_POLICIES}, "
                 f"got {self.on_error!r}"
+            )
+        if self.extractor is None:
+            object.__setattr__(
+                self,
+                "extractor",
+                self.tokenizer.to_extractor_spec(self.registry),
             )
 
 
@@ -170,18 +212,15 @@ def build_replica(batch: WorkerBatch) -> WorkerResult:
     worker_span = rec.span("extract.worker")
     with worker_span:
         fs = batch.fs.open()
-        tokenizer = batch.tokenizer.build()
-        registry = batch.registry
+        extractor = batch.extractor.build()
         read = fs.read_file
-        iter_terms = tokenizer.iter_terms
+        prepare = extractor.prepare
+        tokenize = extractor.tokenize
         builder = ReplicaBuilder()
         add_scan = builder.add_scan
         trace = batch.trace
         failures: List[FileFailure] = []
         if batch.on_error == "skip":
-            extract_text = (
-                registry.extract_text if registry is not None else None
-            )
             for path in batch.paths:
                 file_span = (
                     rec.span("extract.file", path=path) if trace else NULL_SPAN
@@ -194,49 +233,150 @@ def build_replica(batch: WorkerBatch) -> WorkerResult:
                             FileFailure.from_exception(path, "read", exc)
                         )
                         continue
-                    if extract_text is not None:
-                        try:
-                            content = extract_text(path, content)
-                        except Exception as exc:
-                            failures.append(
-                                FileFailure.from_exception(
-                                    path, "extract", exc
-                                )
-                            )
-                            continue
+                    try:
+                        content = prepare(path, content)
+                    except Exception as exc:
+                        failures.append(
+                            FileFailure.from_exception(path, "extract", exc)
+                        )
+                        continue
                     try:
                         # Materialized, not streamed: a tokenizer error
                         # must not leave a half-indexed document in the
                         # replica.
-                        terms = list(iter_terms(content))
+                        terms = tokenize(content)
                     except Exception as exc:
                         failures.append(
                             FileFailure.from_exception(path, "tokenize", exc)
                         )
                         continue
                     add_scan(path, terms)
-        elif registry is None:
-            if trace:
-                for path in batch.paths:
-                    with rec.span("extract.file", path=path):
-                        add_scan(path, iter_terms(read(path)))
-            else:
-                for path in batch.paths:
-                    add_scan(path, iter_terms(read(path)))
+        elif trace:
+            for path in batch.paths:
+                with rec.span("extract.file", path=path):
+                    add_scan(path, tokenize(prepare(path, read(path))))
         else:
-            extract_text = registry.extract_text
-            if trace:
-                for path in batch.paths:
-                    with rec.span("extract.file", path=path):
-                        add_scan(path, iter_terms(extract_text(path, read(path))))
-            else:
-                for path in batch.paths:
-                    add_scan(path, iter_terms(extract_text(path, read(path))))
+            for path in batch.paths:
+                add_scan(path, tokenize(prepare(path, read(path))))
         blob = builder.to_bytes()
     return WorkerResult(
         replica=blob,
         elapsed=time.perf_counter() - started,
         file_count=len(batch.paths),
         failures=tuple(failures),
+        spans=tuple(rebase_spans(rec.spans, -started)),
+    )
+
+
+@dataclass(frozen=True)
+class ChunkBatch:
+    """One chunk of a split huge file, as a picklable pool job.
+
+    Chunk jobs ride the same dispatch/recovery machinery as
+    :class:`WorkerBatch` jobs; the worker returns raw terms (not a
+    replica blob) because chunks of one file must be unioned *in chunk
+    order* in the parent before any index update.
+    """
+
+    fs: FilesystemSpec
+    path: str
+    file_size: int
+    start: int
+    end: int
+    index: int
+    count: int
+    extractor: ExtractorSpec = field(default_factory=ExtractorSpec)
+    on_error: str = "strict"
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.on_error not in ERROR_POLICIES:
+            raise ValueError(
+                f"on_error must be one of {ERROR_POLICIES}, "
+                f"got {self.on_error!r}"
+            )
+        if not 0 <= self.start <= self.end <= self.file_size:
+            raise ValueError(
+                f"invalid chunk range [{self.start}, {self.end}) "
+                f"in file of {self.file_size} bytes"
+            )
+        if not 0 <= self.index < self.count:
+            raise ValueError(
+                f"chunk index {self.index} outside count {self.count}"
+            )
+
+
+@dataclass(frozen=True)
+class ChunkResult:
+    """One chunk's output: its ordered terms (or one failure)."""
+
+    path: str
+    index: int
+    count: int
+    terms: Optional[Tuple[str, ...]]
+    elapsed: float
+    failure: Optional[FileFailure] = None
+    spans: Tuple[SpanRecord, ...] = ()
+
+
+def extract_chunk(batch: ChunkBatch) -> ChunkResult:
+    """The chunk worker body: boundary-aligned read + tokenize.
+
+    Must stay module-level for pool pickling, like :func:`build_replica`.
+    Under ``on_error="skip"`` a failing chunk returns its FileFailure
+    (the parent then drops the whole file — no half-indexed documents);
+    under ``"strict"`` the exception crosses the pool boundary and
+    fails the build, exactly like a file error would.
+    """
+    started = time.perf_counter()
+    rec = Recorder()
+    failure: Optional[FileFailure] = None
+    terms: Optional[Tuple[str, ...]] = None
+    chunk_span = rec.span(
+        "extract.chunk",
+        path=batch.path,
+        start=batch.start,
+        end=batch.end,
+        index=batch.index,
+    )
+    with chunk_span:
+        fs = batch.fs.open()
+        extractor = batch.extractor.build()
+        if batch.on_error == "skip":
+            try:
+                data = read_chunk(
+                    fs,
+                    batch.path,
+                    batch.file_size,
+                    batch.start,
+                    batch.end,
+                    extractor.boundary_bytes,
+                )
+            except Exception as exc:
+                failure = FileFailure.from_exception(batch.path, "read", exc)
+            else:
+                try:
+                    terms = tuple(extractor.chunk_terms(data))
+                except Exception as exc:
+                    failure = FileFailure.from_exception(
+                        batch.path, "tokenize", exc
+                    )
+        else:
+            data = read_chunk(
+                fs,
+                batch.path,
+                batch.file_size,
+                batch.start,
+                batch.end,
+                extractor.boundary_bytes,
+            )
+            terms = tuple(extractor.chunk_terms(data))
+    return ChunkResult(
+        path=batch.path,
+        index=batch.index,
+        count=batch.count,
+        terms=terms,
+        elapsed=time.perf_counter() - started,
+        failure=failure,
         spans=tuple(rebase_spans(rec.spans, -started)),
     )

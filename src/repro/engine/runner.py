@@ -47,12 +47,22 @@ class IndexGenerator:
         max_retries: int = 2,
         batch_timeout=None,
         sync=None,
+        extractor=None,
+        split_threshold=None,
     ) -> None:
+        from repro.engine.base import warn_legacy_extraction_kwargs
+        from repro.extract.registry import resolve_extractor
+
         self.fs = fs
-        self.tokenizer = tokenizer
+        # Resolve the extraction seam once here so the dispatched
+        # engine constructors don't re-warn about legacy kwargs.
+        warn_legacy_extraction_kwargs(tokenizer, registry)
+        self.extractor = resolve_extractor(extractor, tokenizer, registry)
+        self.tokenizer = self.extractor.tokenizer
+        self.registry = self.extractor.registry
+        self.split_threshold = split_threshold
         self.strategy = strategy
         self.buffer_capacity = buffer_capacity
-        self.registry = registry
         self.dynamic = dynamic
         self.oversubscribe = oversubscribe
         # Fault tolerance (see repro.engine.faults): per-file error
@@ -81,27 +91,27 @@ class IndexGenerator:
             config.validate_for(implementation)
             indexer = ProcessReplicatedIndexer(
                 self.fs,
-                tokenizer=self.tokenizer,
+                extractor=self.extractor,
                 strategy=self.strategy,
                 buffer_capacity=self.buffer_capacity,
-                registry=self.registry,
                 dynamic=self.dynamic,
                 oversubscribe=self.oversubscribe,
                 on_error=self.on_error,
                 max_retries=self.max_retries,
                 batch_timeout=self.batch_timeout,
+                split_threshold=self.split_threshold,
             )
             return indexer.build(config, root)
         indexer_cls = _INDEXERS[implementation]
         indexer = indexer_cls(
             self.fs,
-            tokenizer=self.tokenizer,
+            extractor=self.extractor,
             strategy=self.strategy,
             buffer_capacity=self.buffer_capacity,
-            registry=self.registry,
             dynamic=self.dynamic,
             on_error=self.on_error,
             sync=self.sync,
+            split_threshold=self.split_threshold,
         )
         return indexer.build(config, root)
 

@@ -20,12 +20,15 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.engine.base import warn_legacy_extraction_kwargs
 from repro.engine.config import Implementation, ThreadConfig
 from repro.engine.faults import ERROR_POLICIES, FileFailure
 from repro.engine.results import BuildReport, StageTimings, build_metrics
+from repro.extract.registry import resolve_extractor
 from repro.index.inverted import InvertedIndex
 from repro.obs import recorder as obsrec
-from repro.text.dedup import extract_term_block
+from repro.text.dedup import dedup_terms
+from repro.text.termblock import TermBlock
 from repro.text.tokenizer import Tokenizer
 
 
@@ -39,12 +42,16 @@ class SequentialIndexer:
         naive: bool = True,
         registry=None,
         on_error: str = "strict",
+        extractor=None,
     ) -> None:
         self.fs = fs
-        self.tokenizer = tokenizer or Tokenizer()
+        # One Extractor seam (see repro.extract); the legacy
+        # tokenizer=/registry= kwargs warn and fold in.
+        warn_legacy_extraction_kwargs(tokenizer, registry)
+        self.extractor = resolve_extractor(extractor, tokenizer, registry)
+        self.tokenizer = self.extractor.tokenizer
+        self.registry = self.extractor.registry
         self.naive = naive
-        # Optional repro.formats.FormatRegistry (see ThreadedIndexerBase).
-        self.registry = registry
         # Per-file error policy (see repro.engine.faults).
         if on_error not in ERROR_POLICIES:
             raise ValueError(
@@ -56,10 +63,7 @@ class SequentialIndexer:
     def _load(self, path: str) -> Optional[bytes]:
         """Read (and format-convert) one file, honouring ``on_error``."""
         if self.on_error != "skip":
-            content = self.fs.read_file(path)
-            if self.registry is not None:
-                content = self.registry.extract_text(path, content)
-            return content
+            return self.extractor.prepare(path, self.fs.read_file(path))
         try:
             content = self.fs.read_file(path)
         except Exception as exc:
@@ -67,15 +71,13 @@ class SequentialIndexer:
                 FileFailure.from_exception(path, "read", exc)
             )
             return None
-        if self.registry is not None:
-            try:
-                content = self.registry.extract_text(path, content)
-            except Exception as exc:
-                self.last_failures.append(
-                    FileFailure.from_exception(path, "extract", exc)
-                )
-                return None
-        return content
+        try:
+            return self.extractor.prepare(path, content)
+        except Exception as exc:
+            self.last_failures.append(
+                FileFailure.from_exception(path, "extract", exc)
+            )
+            return None
 
     def build(self, root: str = "") -> BuildReport:
         """Index every file under ``root`` sequentially."""
@@ -96,10 +98,13 @@ class SequentialIndexer:
                     if content is not None:
                         try:
                             if self.naive:
-                                terms = self.tokenizer.tokenize(content)
+                                terms = self.extractor.tokenize(content)
                             else:
-                                block = extract_term_block(
-                                    ref.path, content, self.tokenizer
+                                block = TermBlock(
+                                    path=ref.path,
+                                    terms=dedup_terms(
+                                        self.extractor.tokenize(content)
+                                    ),
                                 )
                             extracted = True
                         except Exception as exc:

@@ -1,0 +1,18 @@
+"""The default extractor: ASCII word runs, optional format conversion.
+
+This is the paper's extraction semantics behind the new API — the
+pipeline every engine ran before extractors existed, now as one
+pluggable unit: optional :class:`~repro.formats.base.FormatRegistry`
+conversion, then the vectorized
+:class:`~repro.text.tokenizer.Tokenizer`.
+"""
+
+from __future__ import annotations
+
+from repro.extract.base import Extractor
+
+
+class AsciiExtractor(Extractor):
+    """Maximal ``[a-zA-Z0-9]`` runs, lower-cased — the classic pipeline."""
+
+    name = "ascii"

@@ -1,0 +1,96 @@
+"""Code-aware extraction: identifiers split into their parts.
+
+Source code defeats the ASCII tokenizer twice: ``snake_case`` breaks
+into fragments at every underscore with the identifier itself lost, and
+``camelCase`` survives as one opaque term nobody queries for.  The code
+tokenizer treats ``_`` as a word byte (so an identifier is one run),
+then splits each identifier into camelCase / snake_case / digit parts
+and emits **both** the parts and — when there is more than one part —
+the joined identifier (underscores dropped, lower-cased), so
+``parseHTTPHeader`` is findable via ``parse``, ``http``, ``header`` or
+``parsehttpheader``.  Every emitted term is pure lower-case
+alphanumeric, so code terms live in the same query language as text
+terms.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List
+
+from repro.extract.base import Extractor
+from repro.text.tokenizer import Tokenizer, make_translation_table
+
+_CODE_WORD_BYTES = frozenset(
+    b"abcdefghijklmnopqrstuvwxyz"
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    b"0123456789_"
+)
+
+#: Case is preserved by the table (fold_case=False): the part splitter
+#: below needs it to find camelCase boundaries.
+_CODE_TABLE = make_translation_table(_CODE_WORD_BYTES, fold_case=False)
+
+#: Identifier parts: digit runs, acronyms (``HTTP`` in ``HTTPServer``),
+#: capitalized words, lower-case runs.  Underscores match nothing and
+#: so act as part separators.
+_PART_RE = re.compile(rb"[0-9]+|[A-Z]+(?![a-z])|[A-Z][a-z]*|[a-z]+")
+
+
+class CodeTokenizer(Tokenizer):
+    """Identifier-splitting tokenizer (camelCase / snake_case / digits).
+
+    ``min_length`` / ``max_length`` / ``stopwords`` apply to each
+    emitted term — parts and joined identifiers alike — with the same
+    semantics (and the same ``max_length`` truncation aliasing) as the
+    base tokenizer.
+    """
+
+    _table = _CODE_TABLE
+    word_bytes = _CODE_WORD_BYTES
+
+    def tokenize(self, content: bytes) -> List[str]:
+        out: List[str] = []
+        for ident in content.translate(self._table).split():
+            out.extend(self._emit(ident))
+        return out
+
+    def _emit(self, word) -> Iterator[str]:
+        # Shared by the fast path above and the inherited per-byte
+        # reference loop (iter_terms_slow), so the two stay equivalent
+        # by construction.
+        ident = bytes(word)
+        parts = _PART_RE.findall(ident)
+        min_length = self.min_length
+        max_length = self.max_length
+        stopwords = self.stopwords
+        for part in parts:
+            if len(part) >= min_length:
+                term = part[:max_length].decode("ascii").lower()
+                if term not in stopwords:
+                    yield term
+        if len(parts) > 1:
+            joined = ident.replace(b"_", b"")
+            if len(joined) >= min_length:
+                term = joined[:max_length].decode("ascii").lower()
+                if term not in stopwords:
+                    yield term
+
+    def count_terms(self, content: bytes) -> int:
+        return len(self.tokenize(content))
+
+
+class CodeExtractor(Extractor):
+    """Code-aware pipeline: format conversion + identifier splitting."""
+
+    name = "code"
+
+    def __init__(self, tokenizer=None, registry=None) -> None:
+        super().__init__(
+            tokenizer=tokenizer if tokenizer is not None else CodeTokenizer(),
+            registry=registry,
+        )
+
+    @classmethod
+    def _tokenizer_class(cls):
+        return CodeTokenizer

@@ -1,0 +1,87 @@
+"""Extractor registry and the one resolution seam for engines.
+
+``register_extractor`` / ``get_extractor`` map short names (the CLI's
+``--extractor {ascii,code,tsv}``) to extractor classes;
+:func:`resolve_extractor` is the single helper every engine constructor
+funnels through, so the legacy ``tokenizer=`` / ``registry=`` kwargs
+and the new ``extractor=`` kwarg resolve identically everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Type
+
+from repro.extract.ascii import AsciiExtractor
+from repro.extract.base import Extractor
+from repro.extract.code import CodeExtractor
+from repro.extract.tsv import TsvExtractor
+
+_FACTORIES: Dict[str, Type[Extractor]] = {}
+
+
+def register_extractor(name: str, factory: Type[Extractor]) -> None:
+    """Register an extractor class under ``name`` (last wins)."""
+    if not name:
+        raise ValueError("extractor name must be non-empty")
+    _FACTORIES[name] = factory
+
+
+def extractor_class(name: str) -> Type[Extractor]:
+    """The registered class for ``name``; KeyError with choices if unknown."""
+    try:
+        return _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown extractor {name!r}; available: "
+            f"{', '.join(available_extractors())}"
+        ) from None
+
+
+def get_extractor(name: str, *, tokenizer=None, registry=None) -> Extractor:
+    """Build a registered extractor by name."""
+    cls = extractor_class(name)
+    if tokenizer is None and registry is None:
+        return cls()
+    if tokenizer is None:
+        return cls(registry=registry)
+    return cls(tokenizer=tokenizer, registry=registry)
+
+
+def available_extractors() -> Tuple[str, ...]:
+    """Registered extractor names, sorted (for CLI choices / errors)."""
+    return tuple(sorted(_FACTORIES))
+
+
+def resolve_extractor(
+    extractor=None,
+    tokenizer=None,
+    registry=None,
+) -> Extractor:
+    """The engine seam: one extractor from old-style or new-style kwargs.
+
+    ``extractor`` may be an :class:`Extractor` instance (returned as
+    is), a registered name (built, honoring ``tokenizer``/``registry``
+    as construction parameters), or ``None`` (the legacy path: an
+    :class:`AsciiExtractor` wrapping whatever ``tokenizer``/``registry``
+    the caller passed, which reproduces pre-extractor engine behavior
+    exactly).
+    """
+    if extractor is None:
+        return AsciiExtractor(tokenizer=tokenizer, registry=registry)
+    if isinstance(extractor, Extractor):
+        if tokenizer is not None or registry is not None:
+            raise ValueError(
+                "pass either extractor= or tokenizer=/registry=, not both"
+            )
+        return extractor
+    if isinstance(extractor, str):
+        return get_extractor(extractor, tokenizer=tokenizer, registry=registry)
+    raise TypeError(
+        f"extractor must be an Extractor, a registered name, or None, "
+        f"not {type(extractor).__name__}"
+    )
+
+
+register_extractor("ascii", AsciiExtractor)
+register_extractor("code", CodeExtractor)
+register_extractor("tsv", TsvExtractor)

@@ -24,7 +24,6 @@ from typing import Dict, List, Optional, Tuple
 from repro.adt import FnvHashMap
 from repro.hashing import fnv1a_64
 from repro.index.inverted import InvertedIndex
-from repro.text.dedup import extract_term_block
 from repro.text.termblock import TermBlock
 from repro.text.tokenizer import Tokenizer
 
@@ -188,10 +187,16 @@ class IncrementalIndexer:
         root: str = "",
         index: Optional[IncrementalIndex] = None,
         snapshot: Optional[Snapshot] = None,
+        extractor=None,
     ) -> None:
+        from repro.extract.registry import resolve_extractor
+
         self.fs = fs
-        self.tokenizer = tokenizer or Tokenizer()
-        self.registry = registry
+        # One Extractor seam (see repro.extract); tokenizer=/registry=
+        # still fold in for older callers.
+        self.extractor = resolve_extractor(extractor, tokenizer, registry)
+        self.tokenizer = self.extractor.tokenizer
+        self.registry = self.extractor.registry
         self.root = root
         # Passing a previously persisted index + its snapshot resumes
         # maintenance across process restarts (see the CLI's `refresh`).
@@ -247,6 +252,4 @@ class IncrementalIndexer:
         return self._extract_content(path, self.fs.read_file(path))
 
     def _extract_content(self, path: str, content: bytes) -> TermBlock:
-        if self.registry is not None:
-            content = self.registry.extract_text(path, content)
-        return extract_term_block(path, content, self.tokenizer)
+        return self.extractor.term_block(path, content)

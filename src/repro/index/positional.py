@@ -89,15 +89,16 @@ class PositionalIndex:
         tokenizer: Optional[Tokenizer] = None,
         registry=None,
         root: str = "",
+        extractor=None,
     ) -> "PositionalIndex":
         """Build a positional index by scanning a filesystem."""
-        tokenizer = tokenizer or Tokenizer()
+        from repro.extract.registry import resolve_extractor
+
+        extractor = resolve_extractor(extractor, tokenizer, registry)
         index = cls()
         for ref in fs.list_files(root):
             content = fs.read_file(ref.path)
-            if registry is not None:
-                content = registry.extract_text(ref.path, content)
-            index.add_document(ref.path, tokenizer.tokenize(content))
+            index.add_document(ref.path, extractor.terms(ref.path, content))
         return index
 
     # -- persistence -------------------------------------------------------

@@ -53,7 +53,6 @@ from repro.index.incremental import ChangeReport
 from repro.index.inverted import InvertedIndex
 from repro.index.ondisk import MmapPostingsReader
 from repro.obs import recorder as obsrec
-from repro.text.dedup import extract_term_block
 from repro.text.termblock import TermBlock
 from repro.text.tokenizer import Tokenizer
 
@@ -476,10 +475,16 @@ class SegmentedIndexer:
         manifest: Optional[SegmentManifest] = None,
         fingerprints: Optional[FingerprintMap] = None,
         segment_dir: Optional[str] = None,
+        extractor=None,
     ) -> None:
+        from repro.extract.registry import resolve_extractor
+
         self.fs = fs
-        self.tokenizer = tokenizer or Tokenizer()
-        self.registry = registry
+        # One Extractor seam (see repro.extract); tokenizer=/registry=
+        # still fold in for older callers.
+        self.extractor = resolve_extractor(extractor, tokenizer, registry)
+        self.tokenizer = self.extractor.tokenizer
+        self.registry = self.extractor.registry
         self.root = root
         self.segment_dir = segment_dir
         self._manifest = manifest or SegmentManifest()
@@ -694,9 +699,7 @@ class SegmentedIndexer:
         return stamp
 
     def _extract(self, path: str, content: bytes) -> TermBlock:
-        if self.registry is not None:
-            content = self.registry.extract_text(path, content)
-        return extract_term_block(path, content, self.tokenizer)
+        return self.extractor.term_block(path, content)
 
 
 class BackgroundCompactor:

@@ -110,15 +110,16 @@ class FrequencyIndex:
 
     @classmethod
     def from_fs(cls, fs, tokenizer: Optional[Tokenizer] = None,
-                registry=None, root: str = "") -> "FrequencyIndex":
+                registry=None, root: str = "",
+                extractor=None) -> "FrequencyIndex":
         """Build a frequency index by scanning a filesystem."""
-        tokenizer = tokenizer or Tokenizer()
+        from repro.extract.registry import resolve_extractor
+
+        extractor = resolve_extractor(extractor, tokenizer, registry)
         index = cls()
         for ref in fs.list_files(root):
             content = fs.read_file(ref.path)
-            if registry is not None:
-                content = registry.extract_text(ref.path, content)
-            index.add_document(ref.path, tokenizer.iter_terms(content))
+            index.add_document(ref.path, extractor.terms(ref.path, content))
         return index
 
 

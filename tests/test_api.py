@@ -187,9 +187,11 @@ class TestServe:
 class TestCuratedTopLevel:
     def test_all_is_exactly_the_curated_api(self):
         assert set(repro.__all__) == {
-            "AsyncSearchFrontend", "BuildReport", "FaultPolicy",
-            "InvertedIndex", "QueryEngine", "ScatterGatherBroker",
-            "Search", "SearchService", "ShardDeadError", "ThreadConfig",
+            "AsyncSearchFrontend", "BuildReport", "Extractor",
+            "ExtractorSpec", "FaultPolicy", "InvertedIndex",
+            "QueryEngine", "ScatterGatherBroker", "Search",
+            "SearchService", "ShardDeadError", "ThreadConfig",
+            "get_extractor",
         }
 
     def test_curated_names_import_silently(self):

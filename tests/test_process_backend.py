@@ -24,6 +24,7 @@ from repro.engine.procworker import (
     build_replica,
 )
 from repro.index.binfmt import WIRE_MAGIC, dump_index_bytes
+from repro.extract import AsciiExtractor
 from repro.text import Tokenizer
 
 IMPL2 = Implementation.REPLICATED_JOINED
@@ -93,8 +94,10 @@ class TestConfigValidation:
 
 class TestWorkerBoundary:
     def test_tokenizer_spec_round_trip(self):
+        # the legacy spelling; deprecated in favour of extractor.spec()
         tokenizer = Tokenizer(min_length=3, max_length=9, stopwords=("the",))
-        rebuilt = TokenizerSpec.from_tokenizer(tokenizer).build()
+        with pytest.warns(DeprecationWarning, match="ExtractorSpec"):
+            rebuilt = TokenizerSpec.from_tokenizer(tokenizer).build()
         assert rebuilt.min_length == 3
         assert rebuilt.max_length == 9
         assert rebuilt.stopwords == frozenset({"the"})
@@ -198,7 +201,8 @@ class TestProcessBuild:
         (corpus / "note.txt").write_bytes(b"plain gem")
         fs = OsFileSystem(str(corpus))
         report = ProcessReplicatedIndexer(
-            fs, registry=default_registry(), oversubscribe=True
+            fs, extractor=AsciiExtractor(registry=default_registry()),
+            oversubscribe=True,
         ).build(ThreadConfig(2, 0, 1, backend="process"))
         assert sorted(report.index.lookup("gem")) == ["note.txt", "page.html"]
         assert not report.index.lookup("body")

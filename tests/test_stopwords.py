@@ -4,6 +4,7 @@ plus the engine's per-extractor instrumentation."""
 import pytest
 
 from repro.engine import Implementation, IndexGenerator, SequentialIndexer, ThreadConfig
+from repro.extract import AsciiExtractor
 from repro.fsmodel import VirtualFileSystem
 from repro.text import Tokenizer, derive_stopwords
 
@@ -76,9 +77,9 @@ class TestDeriveStopwords:
         full = SequentialIndexer(tiny_fs, naive=False).build()
         stopped = SequentialIndexer(
             tiny_fs,
-            tokenizer=Tokenizer(
+            extractor=AsciiExtractor(Tokenizer(
                 stopwords=derive_stopwords(tiny_fs, min_document_fraction=0.8)
-            ),
+            )),
             naive=False,
         ).build()
         assert stopped.posting_count < full.posting_count
